@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure: it runs the
+experiment driver (once -- these are whole-system simulations, not
+microseconds-scale snippets), prints the paper-style rows so the output
+can be compared against the original, and asserts the headline shape.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-experiment benchmark exactly once and return it."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping run_once with the benchmark bound."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

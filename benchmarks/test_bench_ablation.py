@@ -1,0 +1,49 @@
+"""Benchmarks: the ablation experiments (A2 CV law, A3 stride, A4 comp)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_a2_quantum_accuracy_law(once):
+    result = once(
+        ablations.run_quantum_accuracy,
+        lottery_counts=(100, 400, 1600, 6400),
+        trials=200,
+    )
+    result.print_report()
+    # Empirical CV tracks sqrt((1-p)/(np)) within a factor; and halving
+    # the quantum (4x lotteries) halves the CV.
+    for row in result.rows:
+        assert 0.6 < row["ratio"] < 1.6
+    cv_by_count = {row["lotteries"]: row["observed_cv"]
+                   for row in result.rows}
+    assert cv_by_count[6400] < cv_by_count[100] / 4
+
+
+def test_a3_lottery_vs_stride_error(once):
+    result = once(
+        ablations.run_lottery_vs_stride,
+        checkpoints_ms=(1_000, 10_000, 100_000),
+    )
+    result.print_report()
+    stride = [r["max_error_quanta"] for r in result.rows
+              if r["policy"] == "stride"]
+    lottery = [r["max_error_quanta"] for r in result.rows
+               if r["policy"] == "lottery"]
+    # Stride: O(1) error at every horizon; lottery: grows with time.
+    assert max(stride) <= 1.5
+    assert lottery[-1] > max(stride)
+    assert lottery[-1] > lottery[0]
+
+
+def test_a4_compensation_tickets(once):
+    result = once(ablations.run_compensation, duration_ms=300_000.0)
+    result.print_report()
+    with_comp = next(r for r in result.rows if r["policy"] == "lottery")
+    without = next(r for r in result.rows
+                   if r["policy"] == "lottery-no-compensation")
+    # Section 4.5's worked example: ~1:1 with compensation, ~5:1 without
+    # (the fraction-of-quantum user loses exactly its unused fraction).
+    assert with_comp["cpu_ratio"] == pytest.approx(1.0, rel=0.15)
+    assert without["cpu_ratio"] == pytest.approx(5.0, rel=0.2)

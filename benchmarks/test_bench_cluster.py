@@ -1,0 +1,22 @@
+"""Benchmark: distributed lottery scheduling (§4.2 extension)."""
+
+import pytest
+
+from repro.experiments import cluster_fairness
+
+
+def test_cluster_global_fairness(once):
+    result = once(cluster_fairness.run, duration_ms=200_000.0)
+    result.print_report()
+    static_error = float(
+        result.summary["max relative error (static placement)"]
+    )
+    balanced_error = float(
+        result.summary["max relative error (rebalancing)"]
+    )
+    # With worst-case placement, independent node lotteries cannot honour
+    # global shares; funding-balancing migration restores them.
+    assert static_error > 0.4
+    assert balanced_error < 0.25
+    assert balanced_error < static_error / 2
+    assert result.summary["migrations (rebalancing)"] > 0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 4 (relative rate accuracy, §5.1)."""
+
+import pytest
+
+from repro.experiments import fig4_rate_accuracy
+
+
+def test_fig4_rate_accuracy(once):
+    result = once(
+        fig4_rate_accuracy.run,
+        ratios=list(range(1, 11)),
+        runs=3,
+        duration_ms=60_000.0,
+    )
+    result.print_report()
+    # Paper shape: every observed ratio close to the diagonal; spread
+    # grows with the allocated ratio.
+    for row in result.rows:
+        assert row["observed"] == pytest.approx(row["allocated"], rel=0.4)
+    small = [abs(r["observed"] - r["allocated"]) for r in result.rows
+             if r["allocated"] <= 2]
+    large = [abs(r["observed"] - r["allocated"]) for r in result.rows
+             if r["allocated"] >= 9]
+    assert max(small) < max(large) + 1.0  # absolute spread grows
+
+
+def test_fig4_twenty_to_one_long_run(once):
+    # The paper's 20:1 x 3-minute check: observed 19.08:1.
+    ratio = once(
+        fig4_rate_accuracy.run_single, 20.0, 180_000.0, seed=2020
+    )
+    print(f"\n20:1 over 3 minutes -> observed {ratio:.2f}:1 (paper 19.08:1)")
+    assert ratio == pytest.approx(20.0, rel=0.15)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 5 (fairness over time, §5.1)."""
+
+import pytest
+
+from repro.experiments import fig5_fairness_over_time
+from repro.metrics.stats import mean
+
+
+def test_fig5_fairness_over_time(once):
+    result = once(
+        fig5_fairness_over_time.run,
+        duration_ms=200_000.0,
+        window_ms=8_000.0,
+        ratio=2.0,
+    )
+    result.print_report()
+    ratios = [row["ratio"] for row in result.rows]
+    # Paper shape: windows scatter around 2:1 (overall run 2.01:1),
+    # with visible window-to-window variation.
+    assert mean(ratios) == pytest.approx(2.0, rel=0.1)
+    assert max(ratios) > 2.1
+    assert min(ratios) < 1.9
+    overall = result.summary["overall ratio"]
+    assert float(overall.split(":")[0]) == pytest.approx(2.0, rel=0.1)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 6 (Monte-Carlo inflation, §5.2)."""
+
+import pytest
+
+from repro.experiments import fig6_montecarlo
+
+
+def test_fig6_montecarlo_convergence(once):
+    result = once(
+        fig6_montecarlo.run,
+        duration_ms=1_000_000.0,
+        stagger_ms=120_000.0,
+    )
+    result.print_report()
+    finals = sorted(
+        value for key, value in result.summary.items()
+        if key.endswith("final trials")
+    )
+    # Paper shape: three staggered curves converge toward equal totals
+    # ("bumps" as each new task catches up).  After 1000 s the youngest
+    # task has closed most of its 240 s head-start deficit.
+    assert len(finals) == 3
+    assert finals[0] > 0.6 * finals[-1]
+    # The error-driven controller really fed real estimates: all three
+    # integrals are correct to a few decimal places.
+    for key, value in result.summary.items():
+        if key.endswith("estimate"):
+            estimate = float(str(value).split()[0])
+            assert estimate == pytest.approx(0.785398, abs=0.001)

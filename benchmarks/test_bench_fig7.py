@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (query processing rates, §5.3)."""
+
+import pytest
+
+from repro.experiments import fig7_query_rates
+
+
+def test_fig7_query_rates(once):
+    result = once(fig7_query_rates.run)
+    result.print_report()
+    # Paper shape: B:C throughput ~3:1; when the 8-ticket client
+    # finished its 20 queries the others had completed ~10; response
+    # times ordered A < B < C with ratios tracking 1 : 8/3 : 8
+    # (paper observed 1 : 2.51 : 7.69, itself below the ideal).
+    ratio = float(result.summary["B:C throughput ratio"].split(":")[0])
+    assert ratio == pytest.approx(3.0, rel=0.25)
+    others = result.summary["B+C queries when A finished"]
+    assert 5 <= others <= 20  # paper: 10
+    response = result.summary["response time ratio"]
+    parts = [p.strip() for p in response.split("(")[0].split(":")]
+    b_over_a, c_over_a = float(parts[1]), float(parts[2])
+    assert 1.5 < b_over_a < 3.5
+    assert 3.5 < c_over_a < 9.0
+    assert "[8]" in result.summary["query result (occurrences)"]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 8 (controlling video rates, §5.4)."""
+
+import pytest
+
+from repro.experiments import fig8_video_rates
+
+
+def test_fig8_video_rates(once):
+    result = once(fig8_video_rates.run, duration_ms=300_000.0)
+    result.print_report()
+
+    def parse(label):
+        text = result.summary[label].split("(")[0]
+        return [float(x) for x in text.split(":")]
+
+    before = parse("frame-rate ratio before")
+    after = parse("frame-rate ratio after")
+    # Paper shape: 3:2:1 before (observed 1.92:1.50:1 under X-server
+    # distortion; our simulator lacks that distortion so the ratios land
+    # closer to the allocation), flipping to 3:1:2 after the change.
+    assert before[0] / before[2] == pytest.approx(3.0, rel=0.2)
+    assert before[1] / before[2] == pytest.approx(2.0, rel=0.2)
+    assert after[0] / after[1] == pytest.approx(3.0, rel=0.2)
+    assert after[2] / after[1] == pytest.approx(2.0, rel=0.2)
+    # Cumulative frame curves are monotone (Figure 8's plotted series).
+    for viewer in ("viewerA", "viewerB", "viewerC"):
+        series = [row[f"{viewer}_frames"] for row in result.rows]
+        assert series == sorted(series)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 9 (currencies insulate loads, §5.5)."""
+
+import pytest
+
+from repro.experiments import fig9_load_insulation
+
+
+def test_fig9_load_insulation(once):
+    result = once(fig9_load_insulation.run, duration_ms=300_000.0)
+    result.print_report()
+    # Paper shape: B3's arrival halves B1/B2's rates, leaves A1/A2
+    # unchanged, and the aggregate A:B slope stays 1:1 (paper: 1.01:1
+    # before, 1.00:1 after, aggregate 1.01:1).
+    aggregate = float(
+        result.summary["aggregate A:B iterations"].split(":")[0]
+    )
+    assert aggregate == pytest.approx(1.0, abs=0.1)
+
+    def factor(label):
+        return float(result.summary[label].split("(")[1].split("x")[0])
+
+    assert factor("B1 rate (before -> after B3)") == pytest.approx(0.5,
+                                                                   abs=0.12)
+    assert factor("B2 rate (before -> after B3)") == pytest.approx(0.5,
+                                                                   abs=0.12)
+    assert factor("A1 rate (before -> after B3)") == pytest.approx(1.0,
+                                                                   abs=0.2)
+    assert factor("A2 rate (before -> after B3)") == pytest.approx(1.0,
+                                                                   abs=0.2)

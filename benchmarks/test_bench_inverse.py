@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the §6.2 inverse-lottery memory experiment."""
+
+import pytest
+
+from repro.experiments import inverse_memory
+
+
+def test_inverse_lottery_memory(once):
+    result = once(inverse_memory.run, references=60_000)
+    result.print_report()
+    # Shape: eviction shares track (1 - t_i/T) * usage_i, monotone
+    # decreasing in ticket holdings; ticket-blind baselines victimize
+    # uniformly.
+    for row in result.rows:
+        assert row["observed_share"] == pytest.approx(
+            row["predicted_share"], abs=0.05
+        )
+    shares = {row["client"]: row["observed_share"] for row in result.rows}
+    assert shares["A"] < shares["B"] < shares["C"]
+    lru = result.summary["baseline lru eviction shares"]
+    values = [float(p.split("=")[1]) for p in
+              lru.split("(")[0].strip().split(", ")]
+    assert max(values) - min(values) < 0.05

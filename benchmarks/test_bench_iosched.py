@@ -1,0 +1,32 @@
+"""Benchmark: regenerate the §6 diverse-resource lotteries (disk, net)."""
+
+import pytest
+
+from repro.experiments import diverse_resources
+
+
+def test_disk_and_link_shares(once):
+    result = once(diverse_resources.run)
+    result.print_report()
+    disk_lottery = next(
+        r for r in result.rows
+        if r["resource"] == "disk" and r["scheduler"] == "lottery"
+    )
+    assert disk_lottery["A_share"] / disk_lottery["B_share"] == (
+        pytest.approx(3.0, rel=0.2)
+    )
+    disk_rr = next(
+        r for r in result.rows
+        if r["resource"] == "disk" and r["scheduler"] == "round-robin"
+    )
+    assert disk_rr["A_share"] == pytest.approx(0.5, abs=0.05)
+    link_lottery = next(
+        r for r in result.rows
+        if r["resource"] == "link" and r["scheduler"] == "lottery"
+    )
+    assert link_lottery["X_share"] / link_lottery["Z_share"] == (
+        pytest.approx(4.0, rel=0.2)
+    )
+    assert link_lottery["Y_share"] / link_lottery["Z_share"] == (
+        pytest.approx(2.0, rel=0.2)
+    )

@@ -1,0 +1,36 @@
+"""Benchmark: service-class differentiation on an open job stream.
+
+The §5.4 note that databases could "manage the response times seen by
+competing clients or transactions with varying importance", evaluated
+on the trace-replay substrate: Poisson arrivals at ~80% load, three
+ticket classes, mean slowdown per class under lottery vs round-robin.
+"""
+
+import pytest
+
+from repro.experiments import service_classes
+
+
+def test_ticket_classes_order_slowdowns(once):
+    result = once(service_classes.run, duration_ms=600_000.0)
+    result.print_report()
+    rows = {row["policy"]: row for row in result.rows}
+    lottery = rows["lottery"]
+    # Lottery orders service quality by payment...
+    assert (lottery["gold_slowdown"] < lottery["silver_slowdown"]
+            < lottery["bronze_slowdown"])
+    assert lottery["bronze_slowdown"] / lottery["gold_slowdown"] > 1.5
+    # ...stride does the same, deterministically...
+    stride = rows["stride"]
+    assert (stride["gold_slowdown"] < stride["silver_slowdown"]
+            < stride["bronze_slowdown"])
+    # ...round-robin treats the classes interchangeably.
+    rr = rows["round-robin"]
+    values = sorted(
+        rr[k] for k in ("gold_slowdown", "silver_slowdown",
+                        "bronze_slowdown")
+    )
+    assert values[-1] / values[0] < 1.25
+    # Everyone finishes the stream under every policy (load < 100%).
+    for row in rows.values():
+        assert row["completed"] == 900

@@ -1,0 +1,138 @@
+"""Micro-benchmarks of the core scheduling operations (§4.2, §5.6).
+
+The paper argues the core mechanism is "extremely lightweight" -- a
+random number and a short list walk per decision, lg(n) work with the
+tree.  These benchmarks time the individual operations (these ARE
+microsecond-scale, so they use normal pytest-benchmark rounds) and
+check the list-vs-tree scaling ablation (A1).
+"""
+
+import pytest
+
+from repro.core.lottery import ListLottery, TreeLottery
+from repro.core.prng import ParkMillerPRNG, fastrand
+from repro.core.tickets import Ledger, TicketHolder
+from repro.core.transfers import transfer_funding
+
+
+def test_fastrand_step(benchmark):
+    # Paper appendix: ~10 RISC instructions on a DECStation.
+    result = benchmark(fastrand, 123456789)
+    assert 0 < result < 2**31 - 1
+
+
+def test_list_lottery_draw_10_clients(benchmark):
+    values = {f"c{i}": float(i + 1) for i in range(10)}
+    lottery = ListLottery(value_of=values.__getitem__)
+    for client in values:
+        lottery.add(client)
+    prng = ParkMillerPRNG(7)
+    benchmark(lottery.draw, prng)
+
+
+def test_list_lottery_draw_1000_clients(benchmark):
+    values = {f"c{i}": float(i + 1) for i in range(1000)}
+    lottery = ListLottery(value_of=values.__getitem__)
+    for client in values:
+        lottery.add(client)
+    prng = ParkMillerPRNG(7)
+    benchmark(lottery.draw, prng)
+
+
+def test_tree_lottery_draw_1000_clients(benchmark):
+    lottery = TreeLottery()
+    for i in range(1000):
+        lottery.add(f"c{i}", float(i + 1))
+    prng = ParkMillerPRNG(7)
+    benchmark(lottery.draw, prng)
+
+
+def test_tree_lottery_update(benchmark):
+    lottery = TreeLottery()
+    for i in range(1000):
+        lottery.add(f"c{i}", float(i + 1))
+    benchmark(lottery.set_value, "c500", 42.0)
+
+
+def test_tree_beats_list_on_search_length(once):
+    """A1 ablation: average examined clients, list vs sorted-list vs
+    move-to-front vs tree, on a skewed 256-client population."""
+
+    def compare():
+        values = {f"c{i}": 1.0 for i in range(255)}
+        values["hog"] = 255.0  # one client holds half the tickets
+        prng = ParkMillerPRNG(31)
+        plain = ListLottery(value_of=values.__getitem__,
+                            move_to_front=False)
+        mtf = ListLottery(value_of=values.__getitem__, move_to_front=True)
+        sorted_lottery = ListLottery(value_of=values.__getitem__,
+                                     move_to_front=False, keep_sorted=True)
+        tree = TreeLottery()
+        for client, value in values.items():
+            plain.add(client)
+            mtf.add(client)
+            sorted_lottery.add(client)
+            tree.add(client, value)
+        for _ in range(4000):
+            plain.draw(prng)
+            mtf.draw(prng)
+            sorted_lottery.draw(prng)
+            tree.draw(prng)
+        return {
+            "plain list": plain.stats.average_search_length(),
+            "move-to-front": mtf.stats.average_search_length(),
+            "sorted list": sorted_lottery.stats.average_search_length(),
+            "partial-sum tree": tree.stats.average_search_length(),
+        }
+
+    report = once(compare)
+    print("\nA1: average search length per draw (256 skewed clients)")
+    for name, value in report.items():
+        print(f"  {name:<18} {value:8.2f}")
+    assert report["move-to-front"] < report["plain list"]
+    assert report["sorted list"] < report["plain list"]
+    assert report["partial-sum tree"] <= 9  # lg(256) = 8 levels
+
+
+def test_currency_valuation(benchmark):
+    """Cost of a cached base-value computation through a 3-level graph."""
+    ledger = Ledger()
+    user = ledger.create_currency("user")
+    ledger.create_ticket(1000, fund=user)
+    task = ledger.create_currency("task")
+    ledger.create_ticket(100, currency=user, fund=task)
+    holder = TicketHolder("h")
+    ticket = ledger.create_ticket(10, currency=task, fund=holder)
+    holder.start_competing()
+    value = benchmark(ticket.base_value)
+    assert value == pytest.approx(1000)
+
+
+def test_ticket_transfer_roundtrip(benchmark):
+    """Mint + revoke one RPC transfer (the §4.6 hot path)."""
+    ledger = Ledger()
+    client = TicketHolder("client")
+    ledger.create_ticket(500, fund=client)
+    server = TicketHolder("server")
+    server.start_competing()
+
+    def roundtrip():
+        handle = transfer_funding(ledger, client, server)
+        handle.revoke()
+
+    benchmark(roundtrip)
+
+
+def test_dispatch_cost_lottery_vs_timesharing(benchmark):
+    """§5.6 micro view: host cost of simulating 1000 quanta."""
+    from tests.conftest import make_lottery_kernel, spin_body
+
+    def run_1000_quanta():
+        kernel = make_lottery_kernel(seed=5)
+        for i in range(5):
+            kernel.spawn(spin_body(100.0), f"t{i}", tickets=100)
+        kernel.run_until(100_000)  # 1000 dispatches
+        return kernel.dispatch_count
+
+    dispatches = benchmark(run_1000_quanta)
+    assert dispatches >= 1000

@@ -1,0 +1,26 @@
+"""Benchmark: the §6.3 multi-resource manager extension."""
+
+import pytest
+
+from repro.experiments import multiresource
+
+
+def test_manager_tracks_phase_shift(once):
+    result = once(multiresource.run, duration_ms=400_000.0)
+    result.print_report()
+    items = {row["policy"]: row["items"] for row in result.rows}
+    # Each lopsided static split is wrong for one of the two phases;
+    # the manager tracks the shift, matching the best static and
+    # clearly beating both lopsided splits.
+    assert items["manager"] >= 0.95 * max(
+        items["static-50"], items["static-disk"], items["static-cpu"]
+    )
+    assert items["manager"] > 1.1 * items["static-disk"]
+    assert items["manager"] > 1.1 * items["static-cpu"]
+    # The manager actually adapted (many rebalances) and ended CPU-heavy.
+    manager_row = next(r for r in result.rows if r["policy"] == "manager")
+    assert manager_row["rebalances"] > 10
+    final = result.summary["manager final split"]
+    cpu = float(final.split("cpu=")[1].split(",")[0])
+    disk = float(final.split("disk=")[1].split(" ")[0])
+    assert cpu > disk

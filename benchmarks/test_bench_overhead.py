@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the §5.6 overhead comparison."""
+
+from repro.experiments import overhead
+
+
+def test_overhead_dhrystone_and_database(once):
+    result = once(overhead.run, duration_ms=100_000.0)
+    result.print_report()
+    # Paper claim: the (unoptimized) lottery scheduler's overhead is
+    # comparable to the standard timesharing policy -- here, host cost
+    # per dispatch within a small factor.
+    factor = float(
+        result.summary["lottery/timesharing dispatch cost"].split("x")[0]
+    )
+    assert 0.2 < factor < 5.0
+    # Both policies deliver the same virtual CPU to the workload.
+    iterations = {row["policy"]: row["iterations"] for row in result.rows}
+    assert iterations["lottery"] > 0.95 * iterations["timesharing"]
+    assert iterations["lottery"] < 1.05 * iterations["timesharing"]

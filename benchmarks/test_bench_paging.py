@@ -1,0 +1,23 @@
+"""Benchmark: §6.2 end-to-end — paging policy vs runtime throughput."""
+
+import pytest
+
+from repro.experiments import paging_runtime
+
+
+def test_memory_tickets_protect_runtime(once):
+    result = once(paging_runtime.run, duration_ms=120_000.0)
+    result.print_report()
+    rows = {row["policy"]: row for row in result.rows}
+    inverse = rows["inverse-lottery"]
+    lru = rows["lru"]
+    # The funded worker keeps far more of its working set resident...
+    assert inverse["worker_resident"] > 2 * lru["worker_resident"]
+    # ...faults far less...
+    assert inverse["worker_fault_rate"] < lru["worker_fault_rate"] / 1.8
+    # ...and therefore computes meaningfully faster under pressure.
+    assert inverse["worker_steps"] > 1.2 * lru["worker_steps"]
+    # The scanner misses everywhere under both policies (its set never
+    # fits), so the worker's gain is not the scanner's loss of hits.
+    assert inverse["scanner_fault_rate"] == pytest.approx(1.0, abs=0.02)
+    assert lru["scanner_fault_rate"] == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,29 @@
+"""Benchmark: quantum sweep — sub-second fairness vs overhead (§2.2)."""
+
+import pytest
+
+from repro.experiments import quantum_sweep
+
+
+def test_quantum_fairness_tradeoff(once):
+    result = once(quantum_sweep.run, duration_ms=120_000.0)
+    result.print_report()
+    rows = {row["quantum_ms"]: row for row in result.rows}
+    # Paper claim: 10 ms quanta give sub-second fairness -- the one-
+    # second window share varies by well under 10%.
+    assert rows[10.0]["window_share_cv"] < 0.10
+    # The CV tracks the sqrt((1-p)/np) law at every quantum size...
+    for row in result.rows:
+        assert row["window_share_cv"] == pytest.approx(
+            row["predicted_cv"], rel=0.35
+        )
+    # ...and improves monotonically (modulo noise) as quanta shrink.
+    assert (rows[10.0]["window_share_cv"]
+            < rows[100.0]["window_share_cv"]
+            < rows[200.0]["window_share_cv"] * 1.2)
+    # Overhead knob: dispatch rate scales inversely with the quantum.
+    assert rows[10.0]["dispatches_per_s"] == pytest.approx(100.0, rel=0.01)
+    assert rows[200.0]["dispatches_per_s"] == pytest.approx(5.0, rel=0.05)
+    # Long-run shares honour 2:1 regardless of quantum.
+    for row in result.rows:
+        assert row["window_share_mean"] == pytest.approx(2 / 3, abs=0.03)

@@ -1,0 +1,27 @@
+"""Benchmark: interactive responsiveness under load (§1 / §3.4)."""
+
+import pytest
+
+from repro.experiments import responsiveness
+
+
+def test_interactive_latency_across_policies(once):
+    result = once(responsiveness.run, duration_ms=120_000.0)
+    result.print_report()
+    rows = {row["policy"]: row for row in result.rows}
+    # Compensation keeps the interactive thread's wake-to-dispatch
+    # latency well under one quantum on average...
+    assert rows["lottery"]["mean_latency_ms"] < 60
+    # ...roughly an order of magnitude better than without it...
+    assert (rows["lottery-no-compensation"]["mean_latency_ms"]
+            > 5 * rows["lottery"]["mean_latency_ms"])
+    # ...and comparable to decay-usage timesharing, the classical
+    # interactivity mechanism.
+    assert rows["lottery"]["mean_latency_ms"] < 100
+    # The low-priority interactive thread starves outright under fixed
+    # priorities (the paper's critique of absolute priority).
+    assert rows["fixed-priority"]["bursts_completed"] == 0
+    # Throughput sanity: the compensated thread also got far more of
+    # its requested CPU.
+    assert (rows["lottery"]["ui_cpu_ms"]
+            > 3 * rows["lottery-no-compensation"]["ui_cpu_ms"])

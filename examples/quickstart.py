@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Quickstart: lottery scheduling in five minutes.
+
+Walks through the paper's core ideas on a tiny simulated machine:
+
+1. a raw lottery over ticket counts (Figure 1),
+2. proportional-share CPU scheduling (the one-liner API),
+3. currencies and the Figure 3 valuation example,
+4. the section 4.7 user commands via the command shell.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Compute,
+    Engine,
+    Kernel,
+    Ledger,
+    LotteryPolicy,
+    ParkMillerPRNG,
+    TicketHolder,
+    hold_lottery,
+    simulate_shares,
+)
+from repro.cli import Shell
+
+
+def part1_simple_lottery() -> None:
+    print("== 1. A lottery over 20 tickets (paper Figure 1) ==")
+    entries = [("client1", 10.0), ("client2", 2.0), ("client3", 5.0),
+               ("client4", 1.0), ("client5", 2.0)]
+    prng = ParkMillerPRNG(1994)
+    wins = {name: 0 for name, _ in entries}
+    draws = 10_000
+    for _ in range(draws):
+        wins[hold_lottery(entries, prng)] += 1
+    for name, tickets in entries:
+        print(f"  {name}: {tickets:>4.0f} tickets -> "
+              f"{wins[name] / draws:.3f} of wins "
+              f"(expected {tickets / 20:.3f})")
+    print()
+
+
+def part2_proportional_cpu() -> None:
+    print("== 2. Proportional-share CPU scheduling ==")
+    shares = simulate_shares({"editor": 300, "builder": 100},
+                             duration_ms=60_000, seed=42)
+    for name, share in shares.items():
+        print(f"  {name}: {share:.1%} of the CPU")
+    print("  (allocated 3:1 -> observed "
+          f"{shares['editor'] / shares['builder']:.2f}:1)")
+    print()
+
+
+def part3_currencies() -> None:
+    print("== 3. Currencies (paper Figure 3) ==")
+    ledger = Ledger()
+    alice = ledger.create_currency("alice")
+    bob = ledger.create_currency("bob")
+    ledger.create_ticket(1000, fund=alice)
+    ledger.create_ticket(2000, fund=bob)
+    task2 = ledger.create_currency("task2")
+    task3 = ledger.create_currency("task3")
+    ledger.create_ticket(200, currency=alice, fund=task2)
+    ledger.create_ticket(100, currency=bob, fund=task3)
+    threads = {}
+    for name, currency, amount in (
+        ("thread2", task2, 200), ("thread3", task2, 300),
+        ("thread4", task3, 100),
+    ):
+        holder = TicketHolder(name)
+        ledger.create_ticket(amount, currency=currency, fund=holder)
+        holder.start_competing()
+        threads[name] = holder
+    for name, holder in threads.items():
+        print(f"  {name}: {holder.funding():.0f} base units")
+    print(f"  total active base: {ledger.total_active_base():.0f}"
+          " (paper: 400 / 600 / 2000 of 3000)")
+    print()
+
+
+def part4_shell() -> None:
+    print("== 4. The user commands (paper section 4.7) ==")
+    shell = Shell()
+    # Register a running client so currency values are live in lscur.
+    player = TicketHolder("player")
+    player.start_competing()
+    shell.state.register_holder("player", player)
+    for line in (
+        "mkcur multimedia",
+        "mktkt 600 base backing",
+        "fund backing multimedia",
+        "fundx 100 multimedia player",
+        "lscur",
+        "lstkt",
+    ):
+        print(f"  $ {line}")
+        output = shell.execute(line)
+        for row in output.splitlines():
+            print(f"    {row}")
+    print()
+
+
+def part5_kernel_by_hand() -> None:
+    print("== 5. Building a machine by hand ==")
+    engine = Engine()
+    ledger = Ledger()
+    kernel = Kernel(engine, LotteryPolicy(ledger, prng=ParkMillerPRNG(7)),
+                    ledger=ledger, quantum=100.0)
+
+    def worker(ctx):
+        while True:
+            yield Compute(25.0)
+
+    fast = kernel.spawn(worker, "fast", tickets=400)
+    slow = kernel.spawn(worker, "slow", tickets=100)
+    kernel.run_until(30_000)
+    print(f"  fast: {fast.cpu_time:.0f} ms, slow: {slow.cpu_time:.0f} ms"
+          f" -> ratio {fast.cpu_time / slow.cpu_time:.2f}:1 (allocated 4:1)")
+
+
+if __name__ == "__main__":
+    part1_simple_lottery()
+    part2_proportional_cpu()
+    part3_currencies()
+    part4_shell()
+    part5_kernel_by_hand()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Multimedia rate control (the Figure 8 scenario, interactively extended).
+
+Three simulated MPEG viewers share one CPU.  Tickets -- not feedback
+hacks in the applications -- set their relative frame rates; halfway
+through, the allocation changes from 3:2:1 to 3:1:2 and the rates
+follow within one quantum.  A fourth, paced viewer then joins to show
+that a viewer whose share exceeds its target frame rate simply sleeps
+(compensation tickets keep its share intact when it wakes).
+
+Run:  python examples/video_server.py
+"""
+
+from repro import Engine, Kernel, Ledger, LotteryPolicy, ParkMillerPRNG
+from repro.core.inflation import set_share
+from repro.workloads.mpeg import MpegViewer
+
+
+def main() -> None:
+    engine = Engine()
+    ledger = Ledger()
+    kernel = Kernel(engine, LotteryPolicy(ledger, prng=ParkMillerPRNG(88)),
+                    ledger=ledger, quantum=100.0)
+
+    videos = ledger.create_currency("videos")
+    ledger.create_ticket(600, fund=videos)
+
+    viewers = []
+    threads = []
+    for name, share in (("A", 300), ("B", 200), ("C", 100)):
+        viewer = MpegViewer(f"viewer{name}", decode_ms=100.0)
+        task = kernel.create_task(f"mpeg-{name}")
+        task.currency = videos
+        thread = kernel.spawn(viewer.body, viewer.name, task=task,
+                              tickets=share, currency=videos)
+        viewers.append(viewer)
+        threads.append(thread)
+
+    half = 150_000.0
+
+    def reallocate():
+        print(f"[{engine.now / 1000:6.1f}s] reallocating 3:2:1 -> 3:1:2")
+        for thread, share in zip(threads, (300, 100, 200)):
+            set_share(thread, videos, share)
+
+    engine.call_at(half, reallocate)
+
+    def report():
+        window = 30_000.0
+        start = max(engine.now - window, 0.0)
+        rates = [v.frame_rate(start, engine.now) for v in viewers]
+        floor = min(r for r in rates if r > 0) if any(rates) else 1.0
+        pretty = " : ".join(f"{r / floor:.2f}" for r in rates)
+        print(f"[{engine.now / 1000:6.1f}s] frame rates "
+              + " ".join(f"{v.name}={r:.2f}fps" for v, r in zip(viewers, rates))
+              + f"  ratio {pretty}")
+        if engine.now < 300_000.0:
+            engine.call_after(30_000.0, report)
+
+    engine.call_after(30_000.0, report)
+    kernel.run_until(300_000.0)
+
+    print()
+    print("cumulative frames:",
+          {v.name: int(v.frames) for v in viewers})
+
+    # -- act 2: a paced viewer joins --------------------------------------
+    print()
+    print("A 10 fps *paced* viewer joins with a huge allocation;")
+    print("it sleeps between frames, so the others keep most of the CPU:")
+    paced = MpegViewer("paced", decode_ms=10.0, target_fps=10.0)
+    task = kernel.create_task("mpeg-paced")
+    task.currency = videos
+    kernel.spawn(paced.body, "paced", task=task, tickets=1200,
+                 currency=videos)
+    start = engine.now
+    kernel.run_until(start + 60_000.0)
+    print(f"  paced viewer: {paced.frame_rate(start, engine.now):.1f} fps"
+          " (capped by its own deadline pacing, not by tickets)")
+    others = [v.frame_rate(start, engine.now) for v in viewers]
+    print("  others still decode at "
+          + ", ".join(f"{r:.2f}fps" for r in others))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""User-level currency/ticket manipulation commands (paper section 4.7)."""
+
+from repro.cli.commands import COMMANDS
+from repro.cli.shell import Shell
+from repro.cli.state import CommandState, PermissionError_, ROOT_USER
+
+__all__ = ["COMMANDS", "CommandState", "PermissionError_", "ROOT_USER", "Shell"]

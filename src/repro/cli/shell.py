@@ -1,0 +1,64 @@
+"""A minimal command interpreter over the §4.7 command set.
+
+Used by the quickstart example and the CLI tests; scripts feed it lines
+(``mkcur alice``, ``mktkt 200 base``, ``fund t1 alice``, ...) and read
+back the command output.  Errors are reported, not raised, matching
+shell behaviour.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import List, Optional
+
+from repro.cli.commands import COMMANDS
+from repro.cli.state import CommandState
+from repro.errors import ReproError
+
+__all__ = ["Shell"]
+
+
+class Shell:
+    """Line-oriented interpreter bound to one :class:`CommandState`."""
+
+    def __init__(self, state: Optional[CommandState] = None) -> None:
+        self.state = state if state is not None else CommandState()
+        self.history: List[str] = []
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output (or an error line)."""
+        self.history.append(line)
+        try:
+            parts = shlex.split(line, comments=True)
+        except ValueError as exc:
+            return f"error: {exc}"
+        if not parts:
+            return ""
+        name, args = parts[0], parts[1:]
+        if name in ("help", "?"):
+            return self._help()
+        command = COMMANDS.get(name)
+        if command is None:
+            return f"error: unknown command {name!r} (try 'help')"
+        try:
+            return command(self.state, args)
+        except (ReproError, ValueError) as exc:
+            return f"error: {exc}"
+
+    def run_script(self, script: str) -> List[str]:
+        """Execute each non-empty line; returns the outputs."""
+        outputs = []
+        for line in script.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            outputs.append(self.execute(line))
+        return outputs
+
+    @staticmethod
+    def _help() -> str:
+        rows = ["commands:"]
+        for name, command in COMMANDS.items():
+            doc = (command.__doc__ or "").strip().splitlines()[0]
+            rows.append(f"  {doc}")
+        return "\n".join(rows)

@@ -1,0 +1,54 @@
+"""Core lottery-scheduling mechanisms: the paper's primary contribution.
+
+Exports the ticket/currency object model (section 3-4), the lottery
+draw structures (section 4.2), compensation tickets (section 3.4),
+ticket transfers (sections 3.1/4.6), inflation controllers (sections
+3.2/5.2), inverse lotteries (section 6.2), and the Park-Miller PRNG the
+prototype used (Appendix A).
+"""
+
+from repro.core.compensation import CompensationManager
+from repro.core.inflation import ErrorDrivenInflator, deflate, inflate, set_share
+from repro.core.inverse import (
+    inverse_lottery,
+    inverse_probabilities,
+    weighted_inverse_lottery,
+)
+from repro.core.multiresource import (
+    BottleneckManager,
+    ResourceBudget,
+    proportional_decide,
+)
+from repro.core.lottery import DrawStats, ListLottery, TreeLottery, hold_lottery
+from repro.core.prng import MODULUS, MULTIPLIER, ParkMillerPRNG, fastrand
+from repro.core.tickets import Currency, Ledger, Ticket, TicketHolder
+from repro.core.transfers import TransferHandle, split_transfer, transfer_funding
+
+__all__ = [
+    "BottleneckManager",
+    "CompensationManager",
+    "Currency",
+    "DrawStats",
+    "ErrorDrivenInflator",
+    "Ledger",
+    "ListLottery",
+    "ResourceBudget",
+    "MODULUS",
+    "MULTIPLIER",
+    "ParkMillerPRNG",
+    "Ticket",
+    "TicketHolder",
+    "TransferHandle",
+    "TreeLottery",
+    "deflate",
+    "fastrand",
+    "hold_lottery",
+    "inflate",
+    "inverse_lottery",
+    "inverse_probabilities",
+    "proportional_decide",
+    "set_share",
+    "split_transfer",
+    "transfer_funding",
+    "weighted_inverse_lottery",
+]

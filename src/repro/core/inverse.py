@@ -1,0 +1,103 @@
+"""Inverse lotteries for space-shared resources (paper section 6.2).
+
+A normal lottery picks a *winner* to receive a unit of a time-shared
+resource.  For finely divisible **space-shared** resources -- physical
+memory pages are the paper's example -- the dual is needed: pick a
+*loser* that must relinquish a unit it holds.  The paper's inverse
+lottery selects client ``i`` with probability
+
+    P[i] = (1 / (n - 1)) * (1 - t_i / T)
+
+where ``n`` is the number of clients, ``t_i`` the client's tickets and
+``T`` the ticket total: the more tickets a client holds, the less
+likely it is to lose a unit.  The ``1/(n-1)`` factor normalizes the
+probabilities to sum to one.
+
+The paper further suggests a proportional-share page-replacement
+policy: choose the victim's *owner* with probability proportional to
+both ``(1 - t_i/T)`` and the fraction of physical memory the client
+occupies; :func:`weighted_inverse_lottery` implements that composition
+and :mod:`repro.mem` builds the replacement policy on it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, TypeVar
+
+from repro.core.lottery import hold_lottery
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import EmptyLotteryError, SchedulerError
+
+__all__ = [
+    "inverse_probabilities",
+    "inverse_lottery",
+    "weighted_inverse_lottery",
+]
+
+ClientT = TypeVar("ClientT")
+
+
+def inverse_probabilities(
+    entries: Sequence[Tuple[ClientT, float]]
+) -> Sequence[Tuple[ClientT, float]]:
+    """Map ``(client, tickets)`` to ``(client, loss probability)``.
+
+    Implements the section 6.2 formula.  Requires at least two clients
+    (with one client there is no one else to protect, and the formula's
+    ``n - 1`` denominator vanishes).
+    """
+    n = len(entries)
+    if n < 2:
+        raise SchedulerError("an inverse lottery requires at least two clients")
+    total = 0.0
+    for _, tickets in entries:
+        if tickets < 0:
+            raise SchedulerError(f"negative ticket count {tickets!r}")
+        total += tickets
+    if total <= 0:
+        raise EmptyLotteryError("inverse lottery held with zero total tickets")
+    factor = 1.0 / (n - 1)
+    return [
+        (client, factor * (1.0 - tickets / total)) for client, tickets in entries
+    ]
+
+
+def inverse_lottery(
+    entries: Sequence[Tuple[ClientT, float]],
+    prng: ParkMillerPRNG,
+) -> ClientT:
+    """Select a loser with probability (1/(n-1)) * (1 - t_i/T)."""
+    weighted = inverse_probabilities(entries)
+    return hold_lottery(weighted, prng)
+
+
+def weighted_inverse_lottery(
+    entries: Sequence[Tuple[ClientT, float, float]],
+    prng: ParkMillerPRNG,
+) -> ClientT:
+    """Inverse lottery additionally weighted by resource usage.
+
+    ``entries`` holds ``(client, tickets, usage)`` triples; a client is
+    chosen with probability proportional to ``(1 - t_i/T) * usage_i``
+    (section 6.2's victim-page policy, with ``usage`` the fraction of
+    physical memory in use by the client).  Clients using none of the
+    resource can never be chosen.
+    """
+    if len(entries) < 2:
+        raise SchedulerError("an inverse lottery requires at least two clients")
+    for _, tickets, usage in entries:
+        if tickets < 0 or usage < 0:
+            raise SchedulerError("negative tickets or usage in inverse lottery")
+    total = sum(t for _, t, _ in entries)
+    if total <= 0:
+        raise EmptyLotteryError("inverse lottery held with zero total tickets")
+    weighted = [
+        (client, (1.0 - tickets / total) * usage)
+        for client, tickets, usage in entries
+    ]
+    if all(w <= 0 for _, w in weighted):
+        # Degenerate case: a single client holds every ticket *and* all
+        # usage weight.  Fall back to usage-proportional selection so a
+        # victim can still be produced.
+        weighted = [(client, usage) for client, _, usage in entries]
+    return hold_lottery(weighted, prng)

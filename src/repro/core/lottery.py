@@ -1,0 +1,357 @@
+"""Lottery draw mechanisms (paper section 4.2, Figure 1).
+
+Three interchangeable implementations of "pick the client holding the
+winning ticket":
+
+* :class:`ListLottery` -- the paper prototype's structure: generate a
+  random winning value in ``[0, total)``, then walk a client list
+  accumulating a running ticket sum until it crosses the winning value.
+  Optional **move-to-front** heuristic: frequently winning (i.e. highly
+  funded) clients migrate toward the head, shortening the average
+  search.  Optional **sorted** mode keeps clients ordered by decreasing
+  value, the other optimization the paper suggests.
+* :class:`TreeLottery` -- the O(log n) structure the paper recommends
+  for large n: a binary tree of partial ticket sums (implemented as a
+  Fenwick tree with a top-down prefix-sum descent), requiring only
+  ``lg n`` additions and comparisons per draw.
+* :func:`hold_lottery` -- a one-shot functional lottery over
+  ``(client, value)`` pairs, used wherever a persistent structure is
+  overkill (inverse lotteries, mutex wake-ups, tests).
+
+All mechanisms draw their randomness from a
+:class:`~repro.core.prng.ParkMillerPRNG` so identical seeds reproduce
+identical scheduling histories.
+
+Client values are *base-unit funding* and may be any non-negative
+floats; clients whose value is zero can never win (the paper's
+starvation-freedom claim applies to clients holding a non-zero number
+of tickets).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import EmptyLotteryError, SchedulerError
+
+__all__ = ["hold_lottery", "ListLottery", "TreeLottery", "DrawStats"]
+
+ClientT = TypeVar("ClientT", bound=Hashable)
+
+
+def hold_lottery(
+    entries: Sequence[Tuple[ClientT, float]],
+    prng: ParkMillerPRNG,
+) -> ClientT:
+    """Run one lottery over ``(client, value)`` pairs; return the winner.
+
+    The winning ticket value is uniform on ``[0, total)``; the client
+    whose running-sum interval contains it wins -- exactly Figure 1's
+    procedure with real-valued ticket totals.
+    """
+    total = 0.0
+    for _, value in entries:
+        if value < 0:
+            raise SchedulerError(f"negative lottery value {value!r}")
+        total += value
+    if total <= 0:
+        raise EmptyLotteryError("lottery held with zero total tickets")
+    winning = prng.uniform() * total
+    accumulated = 0.0
+    last_funded: Optional[ClientT] = None
+    for client, value in entries:
+        if value <= 0:
+            continue
+        accumulated += value
+        last_funded = client
+        if accumulated > winning:
+            return client
+    # Floating-point accumulation can land exactly on the boundary; the
+    # final funded client owns the residual interval.
+    assert last_funded is not None
+    return last_funded
+
+
+class DrawStats:
+    """Counters describing how much work draws performed.
+
+    ``draws`` is the number of lotteries held, ``comparisons`` the total
+    clients examined (list) or tree levels descended (tree); their ratio
+    is the average search length the paper's heuristics try to shrink.
+    """
+
+    __slots__ = ("draws", "comparisons")
+
+    def __init__(self) -> None:
+        self.draws = 0
+        self.comparisons = 0
+
+    def average_search_length(self) -> float:
+        """Mean number of clients/levels examined per draw."""
+        if self.draws == 0:
+            return 0.0
+        return self.comparisons / self.draws
+
+    def reset(self) -> None:
+        self.draws = 0
+        self.comparisons = 0
+
+
+class ListLottery(Generic[ClientT]):
+    """List-based lottery with optional move-to-front / sorted heuristics.
+
+    Parameters
+    ----------
+    value_of:
+        Callback returning a client's current base-unit funding.  It is
+        consulted afresh on every draw, so currency fluctuations and
+        compensation tickets are always reflected in the very next
+        allocation decision -- the responsiveness property of section 2.
+    move_to_front:
+        After each draw, move the winner to the head of the list.
+    keep_sorted:
+        Before each draw, order clients by decreasing value.  Mutually
+        exclusive with ``move_to_front``.
+    """
+
+    def __init__(
+        self,
+        value_of: Callable[[ClientT], float],
+        move_to_front: bool = True,
+        keep_sorted: bool = False,
+    ) -> None:
+        if move_to_front and keep_sorted:
+            raise SchedulerError("choose move_to_front or keep_sorted, not both")
+        self._value_of = value_of
+        self._move_to_front = move_to_front
+        self._keep_sorted = keep_sorted
+        self._clients: List[ClientT] = []
+        self.stats = DrawStats()
+
+    # -- membership -----------------------------------------------------------
+
+    def add(self, client: ClientT) -> None:
+        """Enter a client into subsequent lotteries."""
+        if client in self._clients:
+            raise SchedulerError(f"client {client!r} already in lottery")
+        self._clients.append(client)
+
+    def remove(self, client: ClientT) -> None:
+        """Withdraw a client from subsequent lotteries."""
+        try:
+            self._clients.remove(client)
+        except ValueError:
+            raise SchedulerError(f"client {client!r} not in lottery") from None
+
+    def __contains__(self, client: object) -> bool:
+        return client in self._clients
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def clients(self) -> List[ClientT]:
+        """Current client order (head first)."""
+        return list(self._clients)
+
+    # -- drawing ----------------------------------------------------------------
+
+    def total(self) -> float:
+        """Sum of all clients' current values."""
+        return sum(self._value_of(c) for c in self._clients)
+
+    def draw(self, prng: ParkMillerPRNG) -> ClientT:
+        """Hold one lottery and return the winner.
+
+        Raises :class:`~repro.errors.EmptyLotteryError` when no client
+        has positive funding -- callers (the kernel) treat that as an
+        idle CPU.
+        """
+        if not self._clients:
+            raise EmptyLotteryError("lottery held with no clients")
+        values = [self._value_of(c) for c in self._clients]
+        total = sum(values)
+        if total <= 0:
+            raise EmptyLotteryError("lottery held with zero total funding")
+        if self._keep_sorted:
+            order = sorted(
+                range(len(self._clients)), key=values.__getitem__, reverse=True
+            )
+            self._clients = [self._clients[i] for i in order]
+            values = [values[i] for i in order]
+        winning = prng.uniform() * total
+        accumulated = 0.0
+        winner_index = -1
+        examined = 0
+        for index, value in enumerate(values):
+            examined += 1
+            accumulated += value
+            if value > 0 and accumulated > winning:
+                winner_index = index
+                break
+        if winner_index < 0:
+            # Floating-point boundary: last positive-value client wins.
+            for index in range(len(values) - 1, -1, -1):
+                if values[index] > 0:
+                    winner_index = index
+                    break
+        winner = self._clients[winner_index]
+        self.stats.draws += 1
+        self.stats.comparisons += examined
+        if self._move_to_front and winner_index > 0:
+            del self._clients[winner_index]
+            self._clients.insert(0, winner)
+        return winner
+
+
+class TreeLottery(Generic[ClientT]):
+    """O(log n) lottery over a binary tree of partial ticket sums.
+
+    Clients occupy slots in a Fenwick (binary indexed) tree holding
+    their ticket values; a draw generates one random value and descends
+    the implicit tree with ``lg n`` additions/comparisons, exactly the
+    structure the paper proposes for large client populations and as
+    the basis of a distributed lottery scheduler (section 4.2).
+
+    Unlike :class:`ListLottery`, values are **stored**, not recomputed
+    per draw: callers must push changes via :meth:`set_value`.  That is
+    the honest cost model of the tree variant -- update O(log n), draw
+    O(log n).
+    """
+
+    def __init__(self) -> None:
+        self._tree: List[float] = [0.0]  # 1-indexed Fenwick array
+        self._values: List[float] = []  # slot -> value
+        self._clients: List[Optional[ClientT]] = []  # slot -> client
+        self._slot_of: dict = {}
+        self._free_slots: List[int] = []
+        self.stats = DrawStats()
+
+    # -- membership -----------------------------------------------------------
+
+    def add(self, client: ClientT, value: float) -> None:
+        """Insert a client with an initial ticket value."""
+        if client in self._slot_of:
+            raise SchedulerError(f"client {client!r} already in lottery")
+        if value < 0:
+            raise SchedulerError(f"negative lottery value {value!r}")
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._clients[slot] = client
+            self._slot_of[client] = slot
+            self._values[slot] = 0.0
+            self._fenwick_add(slot, value)
+            self._values[slot] = value
+        else:
+            slot = len(self._values)
+            self._values.append(0.0)
+            self._clients.append(client)
+            self._tree.append(0.0)
+            self._rebuild_tail(slot)
+            self._slot_of[client] = slot
+            self._fenwick_add(slot, value)
+            self._values[slot] = value
+
+    def remove(self, client: ClientT) -> None:
+        """Withdraw a client; its slot is recycled."""
+        slot = self._require_slot(client)
+        self._fenwick_add(slot, -self._values[slot])
+        self._values[slot] = 0.0
+        self._clients[slot] = None
+        del self._slot_of[client]
+        self._free_slots.append(slot)
+
+    def __contains__(self, client: object) -> bool:
+        return client in self._slot_of
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    # -- values ------------------------------------------------------------------
+
+    def set_value(self, client: ClientT, value: float) -> None:
+        """Update a client's ticket value (O(log n))."""
+        if value < 0:
+            raise SchedulerError(f"negative lottery value {value!r}")
+        slot = self._require_slot(client)
+        self._fenwick_add(slot, value - self._values[slot])
+        self._values[slot] = value
+
+    def value_of(self, client: ClientT) -> float:
+        """Current stored value for a client."""
+        return self._values[self._require_slot(client)]
+
+    def total(self) -> float:
+        """Sum of all clients' stored values."""
+        return self._prefix_sum(len(self._values))
+
+    # -- drawing -------------------------------------------------------------------
+
+    def draw(self, prng: ParkMillerPRNG) -> ClientT:
+        """Hold one lottery; O(log n) additions and comparisons."""
+        total = self.total()
+        if total <= 0:
+            raise EmptyLotteryError("lottery held with zero total funding")
+        winning = prng.uniform() * total
+        slot, levels = self._find_prefix(winning)
+        self.stats.draws += 1
+        self.stats.comparisons += levels
+        client = self._clients[slot]
+        if client is None or self._values[slot] <= 0:
+            # Float-boundary fallback: scan for the last funded slot.
+            for index in range(len(self._values) - 1, -1, -1):
+                if self._clients[index] is not None and self._values[index] > 0:
+                    client = self._clients[index]
+                    break
+        assert client is not None
+        return client
+
+    # -- Fenwick internals -----------------------------------------------------------
+
+    def _require_slot(self, client: ClientT) -> int:
+        try:
+            return self._slot_of[client]
+        except KeyError:
+            raise SchedulerError(f"client {client!r} not in lottery") from None
+
+    def _fenwick_add(self, slot: int, delta: float) -> None:
+        index = slot + 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & -index
+
+    def _prefix_sum(self, count: int) -> float:
+        total = 0.0
+        index = count
+        while index > 0:
+            total += self._tree[index]
+            index -= index & -index
+        return total
+
+    def _rebuild_tail(self, slot: int) -> None:
+        """Fix the new Fenwick node's partial sum after an append."""
+        index = slot + 1
+        lower = index - (index & -index)
+        self._tree[index] = self._prefix_sum(index - 1) - self._prefix_sum(lower)
+
+    def _find_prefix(self, target: float) -> Tuple[int, int]:
+        """Smallest slot whose prefix sum exceeds ``target``.
+
+        Returns ``(slot, levels_descended)``; the descent is the tree
+        traversal of paper Figure 1 generalized to partial sums.
+        """
+        index = 0
+        levels = 0
+        bit = 1
+        while bit * 2 <= len(self._tree) - 1:
+            bit *= 2
+        remaining = target
+        while bit > 0:
+            nxt = index + bit
+            if nxt < len(self._tree):
+                levels += 1
+                if self._tree[nxt] <= remaining:
+                    remaining -= self._tree[nxt]
+                    index = nxt
+            bit //= 2
+        return index, max(levels, 1)  # slot is `index` (0-based slot = index)

@@ -1,0 +1,201 @@
+"""Multiple-resource funding management (paper section 6.3).
+
+Because rights for *every* resource are uniformly represented by
+tickets, "clients can use quantitative comparisons to make decisions
+involving tradeoffs between different resources".  The paper sketches
+the design this module implements:
+
+* an application's overall funding is **split across resources** (CPU,
+  disk, network, ...), and may be shifted between them at runtime;
+* a small **manager thread**, allocated a fixed percentage of the
+  application's funding so it is periodically scheduled, observes the
+  application's per-resource congestion and re-balances the split
+  toward the bottleneck;
+* the system supplies a sensible default manager
+  (:class:`BottleneckManager`); sophisticated applications define their
+  own strategies by supplying a custom ``decide`` function.
+
+Mechanically, a :class:`ResourceBudget` owns a total funding amount and
+a set of per-resource *applicators* -- callables that install a funding
+level into the underlying subsystem (a CPU ticket's ``set_amount``, a
+disk scheduler's ``set_tickets``, a link circuit's ticket field...).
+Re-balancing is atomic: weights in, amounts out, applicators called.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Mapping, Optional
+
+from repro.errors import ReproError
+from repro.kernel.syscalls import Compute, Sleep, Syscall
+from repro.kernel.thread import ThreadContext
+
+__all__ = ["ResourceBudget", "BottleneckManager", "proportional_decide"]
+
+#: Installs a funding amount into one resource's scheduler.
+Applicator = Callable[[float], None]
+
+#: Reads one resource's congestion signal (higher = more starved).
+Sensor = Callable[[], float]
+
+#: Maps {resource: pressure} to {resource: weight}.
+DecideFn = Callable[[Mapping[str, float]], Dict[str, float]]
+
+
+class ResourceBudget:
+    """One application's funding, split across named resources.
+
+    Parameters
+    ----------
+    total:
+        The application's overall funding in base units.  A fraction
+        (``manager_share``) is carved out for the manager thread itself,
+        as the paper suggests (e.g. 1%), so the manager keeps running
+        even when the application's resource tickets are depleted.
+    manager_share:
+        Fraction of ``total`` reserved for the manager.
+    """
+
+    def __init__(self, total: float, manager_share: float = 0.01) -> None:
+        if total <= 0:
+            raise ReproError(f"budget total must be positive: {total}")
+        if not 0.0 <= manager_share < 1.0:
+            raise ReproError(
+                f"manager share must lie in [0, 1): {manager_share}"
+            )
+        self.total = float(total)
+        self.manager_share = manager_share
+        self._applicators: Dict[str, Applicator] = {}
+        self._weights: Dict[str, float] = {}
+        #: (time, {resource: amount}) log of every rebalance.
+        self.history = []
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, resource: str, applicator: Applicator,
+               weight: float = 1.0) -> None:
+        """Register a resource and its funding applicator."""
+        if resource in self._applicators:
+            raise ReproError(f"resource {resource!r} already attached")
+        if weight < 0:
+            raise ReproError(f"negative weight for {resource!r}")
+        self._applicators[resource] = applicator
+        self._weights[resource] = weight
+
+    @property
+    def resources(self) -> list:
+        """Attached resource names."""
+        return list(self._applicators)
+
+    @property
+    def manager_funding(self) -> float:
+        """Base units reserved for the manager thread."""
+        return self.total * self.manager_share
+
+    @property
+    def spendable(self) -> float:
+        """Base units divided among the resources."""
+        return self.total - self.manager_funding
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocation(self, resource: str) -> float:
+        """Current funding directed at one resource."""
+        weights_total = sum(self._weights.values())
+        if weights_total <= 0:
+            return 0.0
+        try:
+            weight = self._weights[resource]
+        except KeyError:
+            raise ReproError(f"unknown resource {resource!r}") from None
+        return self.spendable * weight / weights_total
+
+    def allocations(self) -> Dict[str, float]:
+        """Current funding per resource."""
+        return {name: self.allocation(name) for name in self._applicators}
+
+    def rebalance(self, weights: Mapping[str, float],
+                  now: Optional[float] = None) -> Dict[str, float]:
+        """Adopt new weights and push amounts into every applicator.
+
+        Unknown resources in ``weights`` are rejected; attached
+        resources missing from ``weights`` keep weight 0 (defunded).
+        """
+        for name in weights:
+            if name not in self._applicators:
+                raise ReproError(f"unknown resource {name!r}")
+        if all(w <= 0 for w in weights.values()):
+            raise ReproError("at least one rebalance weight must be positive")
+        for name in self._applicators:
+            self._weights[name] = max(float(weights.get(name, 0.0)), 0.0)
+        amounts = self.allocations()
+        for name, amount in amounts.items():
+            self._applicators[name](amount)
+        self.history.append((now, dict(amounts)))
+        return amounts
+
+
+def proportional_decide(pressures: Mapping[str, float]) -> Dict[str, float]:
+    """The default policy: weight each resource by its pressure.
+
+    A floor keeps every resource minimally funded so its sensor can
+    still observe progress (a completely defunded resource would look
+    idle and never recover).
+    """
+    floor = 0.05 * (sum(pressures.values()) or 1.0) / max(len(pressures), 1)
+    return {name: max(value, floor) for name, value in pressures.items()}
+
+
+class BottleneckManager:
+    """The §6.3 manager thread: sense pressure, shift funding.
+
+    Parameters
+    ----------
+    budget:
+        The application's :class:`ResourceBudget`.
+    sensors:
+        Per-resource congestion signals.  Any non-negative scale works;
+        queueing delay and backlog length are natural choices.
+    period_ms:
+        How often the manager wakes to rebalance.
+    decide:
+        Policy mapping pressures to weights (default: proportional).
+    think_ms:
+        Virtual CPU consumed per decision (the manager's own footprint,
+        funded by the reserved ``manager_share``).
+    """
+
+    def __init__(
+        self,
+        budget: ResourceBudget,
+        sensors: Dict[str, Sensor],
+        period_ms: float = 1000.0,
+        decide: Optional[DecideFn] = None,
+        think_ms: float = 1.0,
+    ) -> None:
+        if period_ms <= 0:
+            raise ReproError(f"period must be positive: {period_ms}")
+        if think_ms < 0:
+            raise ReproError(f"think_ms must be non-negative: {think_ms}")
+        unknown = set(sensors) - set(budget.resources)
+        if unknown:
+            raise ReproError(f"sensors for unattached resources: {unknown}")
+        self.budget = budget
+        self.sensors = sensors
+        self.period_ms = period_ms
+        self.decide = decide if decide is not None else proportional_decide
+        self.think_ms = think_ms
+        self.decisions = 0
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, None, None]:
+        """Manager thread body: sample sensors, rebalance, sleep."""
+        while True:
+            if self.think_ms > 0:
+                yield Compute(self.think_ms)
+            pressures = {name: max(sensor(), 0.0)
+                         for name, sensor in self.sensors.items()}
+            if any(value > 0 for value in pressures.values()):
+                weights = self.decide(pressures)
+                self.budget.rebalance(weights, now=ctx.now)
+                self.decisions += 1
+            yield Sleep(self.period_ms)

@@ -1,0 +1,532 @@
+"""Tickets and currencies: the paper's resource-right object model.
+
+Section 3 of the paper represents resource rights as **lottery tickets**
+that are *abstract*, *relative*, and *uniform*, and introduces
+**currencies** so that mutually trusting modules can denominate tickets
+in local units while the effects of local inflation stay contained.
+Section 4.3/4.4 describes the Mach kernel objects this module mirrors
+(paper Figure 2):
+
+* a **ticket** has an ``amount`` denominated in some ``currency`` and
+  funds exactly one target -- either another currency (it sits on that
+  currency's *backing* list) or a client such as a thread;
+* a **currency** has a unique name, a list of *backing* tickets (its
+  funding), a list of *issued* tickets (denominated in it), and an
+  *active amount*: the sum of amounts of its issued tickets that are
+  currently competing in lotteries.
+
+A ticket's value in **base units** is the value of its denominating
+currency multiplied by its share of that currency's active amount; a
+currency's value is the sum of its backing tickets' values; a base-
+currency ticket is worth its face amount (section 4.4, Figure 3).
+
+Activation follows the paper exactly: tickets held by a thread activate
+when the thread joins the run queue and deactivate when it leaves; when
+a currency's active amount transitions zero <-> non-zero, the
+(de)activation propagates to each of its backing tickets (section 4.4,
+footnote 3's behaviour for blocked threads is implemented by the kernel
+via ticket transfers).
+
+The :class:`Ledger` facade owns the base currency, enforces acyclicity
+of the funding graph, assigns unique names, and provides the
+create/destroy/fund/unfund/value operations of the minimal kernel
+interface (section 4.3), plus cached valuation ("currency conversions
+can be accelerated by caching values or exchange rates").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import (
+    CurrencyCycleError,
+    CurrencyError,
+    TicketError,
+)
+
+__all__ = ["Ticket", "Currency", "TicketHolder", "Ledger", "FundingTarget"]
+
+
+class TicketHolder:
+    """A client that competes in lotteries by holding tickets.
+
+    Kernel threads, mutexes-in-waiting, and experiment clients all
+    derive from (or embed) this class.  A holder's *funding* is the sum
+    of the base values of its currently active tickets.  The ``name`` is
+    only for diagnostics.
+    """
+
+    def __init__(self, name: str = "holder") -> None:
+        self.name = name
+        self.tickets: List[Ticket] = []
+        #: True while this holder competes in lotteries; mirrors
+        #: run-queue membership for kernel threads.
+        self._competing = False
+
+    # -- ticket bookkeeping ------------------------------------------------
+
+    def _attach(self, ticket: "Ticket") -> None:
+        self.tickets.append(ticket)
+        if self._competing:
+            ticket.activate()
+
+    def _detach(self, ticket: "Ticket") -> None:
+        self.tickets.remove(ticket)
+        if ticket.active:
+            ticket.deactivate()
+
+    # -- activation --------------------------------------------------------
+
+    @property
+    def competing(self) -> bool:
+        """Whether this holder's tickets are active."""
+        return self._competing
+
+    def start_competing(self) -> None:
+        """Activate all held tickets (thread joined the run queue)."""
+        if self._competing:
+            return
+        self._competing = True
+        for ticket in self.tickets:
+            ticket.activate()
+
+    def stop_competing(self) -> None:
+        """Deactivate all held tickets (thread left the run queue)."""
+        if not self._competing:
+            return
+        self._competing = False
+        for ticket in self.tickets:
+            if ticket.active:
+                ticket.deactivate()
+
+    # -- valuation ----------------------------------------------------------
+
+    def funding(self) -> float:
+        """Total base-unit value of this holder's active tickets."""
+        return sum(t.base_value() for t in self.tickets if t.active)
+
+    def nominal_funding(self) -> float:
+        """Base-unit value as if the whole funding graph were active.
+
+        Used for reporting, for sizing ticket transfers out of blocked
+        threads, and for the release lottery of lottery-scheduled
+        mutexes; the CPU lottery itself only sees active tickets.
+        """
+        return sum(t.nominal_value() for t in self.tickets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} tickets={len(self.tickets)}>"
+
+
+FundingTarget = Union["Currency", TicketHolder]
+
+
+class Ticket:
+    """A lottery ticket: an ``amount`` denominated in a ``currency``.
+
+    Tickets are first-class objects (they can be transferred between
+    holders, section 3.1) and fund exactly one target at a time.  A
+    single Ticket may represent any number of logical tickets (paper
+    footnote 1): ``amount`` is that multiplicity.
+    """
+
+    __slots__ = ("currency", "_amount", "target", "_active", "tag",
+                 "_destroyed")
+
+    def __init__(self, currency: "Currency", amount: float, tag: str = "") -> None:
+        if amount < 0:
+            raise TicketError(f"ticket amount must be non-negative, got {amount}")
+        self.currency = currency
+        self._amount = float(amount)
+        self.target: Optional[FundingTarget] = None
+        self._active = False
+        #: Free-form label ("transfer", "compensation", ...) for tracing.
+        self.tag = tag
+        self._destroyed = False
+        currency._issued.append(self)
+
+    # -- amount -------------------------------------------------------------
+
+    @property
+    def amount(self) -> float:
+        """Face amount in the denominating currency's units."""
+        return self._amount
+
+    def set_amount(self, amount: float) -> None:
+        """Change the face amount (ticket inflation/deflation, section 3.2).
+
+        If the ticket is active the currency's active amount is adjusted
+        so the next lottery immediately reflects the new allocation.
+        """
+        if amount < 0:
+            raise TicketError(f"ticket amount must be non-negative, got {amount}")
+        amount = float(amount)
+        if self._active:
+            self.currency._adjust_active(amount - self._amount)
+        self._amount = amount
+        self.currency._ledger._bump_epoch()
+
+    # -- funding edges -------------------------------------------------------
+
+    def fund(self, target: FundingTarget) -> None:
+        """Direct this ticket's value at a currency or a client."""
+        if self._destroyed:
+            raise TicketError("cannot fund a destroyed ticket")
+        if self.target is not None:
+            raise TicketError(f"ticket already funds {self.target!r}; unfund first")
+        if isinstance(target, Currency):
+            self.currency._ledger._check_acyclic(self.currency, target)
+            target._backing.append(self)
+            self.target = target
+            # A backing ticket is active iff the funded currency has
+            # active consumers (paper section 4.4).
+            if target.active_amount > 0:
+                self.activate()
+        else:
+            self.target = target
+            target._attach(self)
+        self.currency._ledger._bump_epoch()
+
+    def unfund(self) -> None:
+        """Withdraw this ticket from whatever it currently funds."""
+        if self.target is None:
+            return
+        if isinstance(self.target, Currency):
+            self.target._backing.remove(self)
+            if self._active:
+                self.deactivate()
+            self.target = None
+        else:
+            holder = self.target
+            self.target = None
+            holder._detach(self)
+        self.currency._ledger._bump_epoch()
+
+    # -- activation ----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while this ticket competes (directly or via its currency)."""
+        return self._active
+
+    def activate(self) -> None:
+        """Mark this ticket active and propagate into its denomination."""
+        if self._active:
+            return
+        self._active = True
+        self.currency._adjust_active(self._amount)
+
+    def deactivate(self) -> None:
+        """Mark this ticket inactive and propagate into its denomination."""
+        if not self._active:
+            return
+        self._active = False
+        self.currency._adjust_active(-self._amount)
+
+    # -- valuation -----------------------------------------------------------
+
+    def base_value(self) -> float:
+        """This ticket's value in base units (paper section 4.4).
+
+        An inactive ticket is worth nothing to a lottery.  The value is
+        the denominating currency's base value times this ticket's share
+        of the currency's active amount.
+        """
+        if not self._active:
+            return 0.0
+        currency = self.currency
+        if currency.is_base:
+            return self._amount
+        denominator = currency.active_amount
+        if denominator <= 0:
+            return 0.0
+        return currency.base_value() * (self._amount / denominator)
+
+    def nominal_value(self) -> float:
+        """Value in base units as if the entire funding graph were active.
+
+        Answers "what would this ticket be worth if everything competed":
+        the denominating currency's *nominal* value times this ticket's
+        share of the currency's total issue.  Unlike :meth:`base_value`,
+        this is well-defined for a blocked (deactivated) holder, which is
+        what mutex release lotteries and transfer sizing need.
+        """
+        currency = self.currency
+        if currency.is_base:
+            return self._amount
+        issued = currency.issued_amount()
+        if issued <= 0:
+            return 0.0
+        return currency.nominal_base_value() * (self._amount / issued)
+
+    def destroy(self) -> None:
+        """Remove this ticket from the system entirely (terminal)."""
+        self.unfund()
+        if self in self.currency._issued:
+            self.currency._issued.remove(self)
+        self._destroyed = True
+        self.currency._ledger._bump_epoch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self._active else "inactive"
+        return (
+            f"<Ticket {self._amount:g}.{self.currency.name}"
+            f" -> {getattr(self.target, 'name', None)!r} {state}>"
+        )
+
+
+class Currency:
+    """A named denomination for tickets (paper sections 3.3 and 4.4)."""
+
+    def __init__(self, name: str, ledger: "Ledger", is_base: bool = False) -> None:
+        self.name = name
+        self.is_base = is_base
+        self._ledger = ledger
+        #: Tickets funding this currency (its income).
+        self._backing: List[Ticket] = []
+        #: Tickets denominated in this currency (its issue).
+        self._issued: List[Ticket] = []
+        #: Sum of amounts of currently active issued tickets.
+        self._active_amount = 0.0
+        # Valuation cache: (ledger epoch, value).
+        self._cached_value: Optional[float] = None
+        self._cached_epoch = -1
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def backing(self) -> List[Ticket]:
+        """Tickets that back (fund) this currency."""
+        return list(self._backing)
+
+    @property
+    def issued(self) -> List[Ticket]:
+        """Tickets denominated in this currency."""
+        return list(self._issued)
+
+    @property
+    def active_amount(self) -> float:
+        """Sum of amounts of this currency's active issued tickets."""
+        return self._active_amount
+
+    def backing_currencies(self) -> Iterator["Currency"]:
+        """Denominations of this currency's backing tickets."""
+        for ticket in self._backing:
+            yield ticket.currency
+
+    # -- activation propagation -----------------------------------------------
+
+    def _adjust_active(self, delta: float) -> None:
+        """Apply an active-amount change, propagating 0 <-> non-zero edges."""
+        was_active = self._active_amount > 0
+        self._active_amount += delta
+        if self._active_amount < 1e-9:
+            self._active_amount = 0.0
+        now_active = self._active_amount > 0
+        if now_active and not was_active:
+            for ticket in self._backing:
+                ticket.activate()
+        elif was_active and not now_active:
+            for ticket in self._backing:
+                ticket.deactivate()
+        self._ledger._bump_epoch()
+
+    # -- valuation -----------------------------------------------------------
+
+    def base_value(self) -> float:
+        """This currency's value in base units.
+
+        The base currency is worth its active amount (each base ticket is
+        worth its face value); every other currency is worth the sum of
+        its backing tickets' base values.  Results are cached per ledger
+        epoch, invalidated by any funding/activation mutation.
+        """
+        if self.is_base:
+            return self._active_amount
+        epoch = self._ledger._epoch
+        if self._cached_epoch == epoch and self._cached_value is not None:
+            return self._cached_value
+        value = sum(t.base_value() for t in self._backing)
+        self._cached_value = value
+        self._cached_epoch = epoch
+        return value
+
+    def exchange_rate(self, other: "Currency") -> float:
+        """Base value of one unit of ``self`` per one unit of ``other``.
+
+        Both currencies must have active issue; a currency with zero
+        active amount has no per-unit value.
+        """
+        mine = self.per_unit_value()
+        theirs = other.per_unit_value()
+        if theirs == 0:
+            raise CurrencyError(
+                f"currency {other.name!r} has no per-unit value (inactive)"
+            )
+        return mine / theirs
+
+    def per_unit_value(self) -> float:
+        """Base units per one unit of this currency (0 if inactive)."""
+        if self.is_base:
+            return 1.0
+        if self._active_amount <= 0:
+            return 0.0
+        return self.base_value() / self._active_amount
+
+    def issued_amount(self) -> float:
+        """Sum of the amounts of all issued tickets, active or not."""
+        return sum(t.amount for t in self._issued)
+
+    def nominal_base_value(self) -> float:
+        """Value in base units as if the whole funding graph were active.
+
+        The base currency's nominal per-unit value is 1, so this is only
+        meaningful for derived currencies: the sum of the backing
+        tickets' nominal values.
+        """
+        if self.is_base:
+            return self.issued_amount()
+        return sum(t.nominal_value() for t in self._backing)
+
+    def destroy(self) -> None:
+        """Remove an empty currency from the ledger."""
+        if self._issued:
+            raise CurrencyError(
+                f"cannot destroy currency {self.name!r}: {len(self._issued)} "
+                "tickets still denominated in it"
+            )
+        for ticket in list(self._backing):
+            ticket.unfund()
+        self._ledger._remove_currency(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Currency {self.name!r} active={self._active_amount:g}"
+            f" backing={len(self._backing)} issued={len(self._issued)}>"
+        )
+
+
+class Ledger:
+    """Registry and factory for all tickets and currencies in a system.
+
+    One Ledger per simulated machine.  It owns the unique **base**
+    currency, guards the funding graph against cycles, and exports the
+    paper's minimal kernel interface (section 4.3):
+
+    * create and destroy tickets and currencies,
+    * fund and unfund a currency or client,
+    * compute current values of tickets and currencies in base units.
+    """
+
+    BASE_NAME = "base"
+
+    def __init__(self) -> None:
+        self._currencies: Dict[str, Currency] = {}
+        self._epoch = 0
+        self.base = Currency(self.BASE_NAME, self, is_base=True)
+        self._currencies[self.BASE_NAME] = self.base
+
+    # -- epochs (valuation-cache invalidation) ---------------------------------
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+
+    # -- currency management ----------------------------------------------------
+
+    def create_currency(self, name: str) -> Currency:
+        """Create a named currency (``mkcur``)."""
+        if name in self._currencies:
+            raise CurrencyError(f"currency {name!r} already exists")
+        currency = Currency(name, self)
+        self._currencies[name] = currency
+        self._bump_epoch()
+        return currency
+
+    def currency(self, name: str) -> Currency:
+        """Look up a currency by name."""
+        try:
+            return self._currencies[name]
+        except KeyError:
+            raise CurrencyError(f"no such currency: {name!r}") from None
+
+    def currencies(self) -> List[Currency]:
+        """All currencies, base first, then by creation order."""
+        return list(self._currencies.values())
+
+    def _remove_currency(self, currency: Currency) -> None:
+        if currency.is_base:
+            raise CurrencyError("the base currency cannot be destroyed")
+        self._currencies.pop(currency.name, None)
+        self._bump_epoch()
+
+    # -- ticket management --------------------------------------------------------
+
+    def create_ticket(
+        self,
+        amount: float,
+        currency: Optional[Union[Currency, str]] = None,
+        fund: Optional[FundingTarget] = None,
+        tag: str = "",
+    ) -> Ticket:
+        """Create a ticket (``mktkt``), optionally funding a target."""
+        if currency is None:
+            currency_obj = self.base
+        elif isinstance(currency, str):
+            currency_obj = self.currency(currency)
+        else:
+            currency_obj = currency
+        if currency_obj._ledger is not self:
+            raise TicketError("currency belongs to a different ledger")
+        ticket = Ticket(currency_obj, amount, tag=tag)
+        self._bump_epoch()
+        if fund is not None:
+            ticket.fund(fund)
+        return ticket
+
+    # -- graph validation -----------------------------------------------------------
+
+    def _check_acyclic(self, denomination: Currency, funded: Currency) -> None:
+        """Reject a funding edge that would create a valuation cycle.
+
+        ``funded``'s value will depend on ``denomination``'s value; a
+        cycle exists if ``denomination`` (transitively, through its own
+        backing) already depends on ``funded``.
+        """
+        if denomination is funded:
+            raise CurrencyCycleError(
+                f"currency {funded.name!r} cannot be backed by its own tickets"
+            )
+        seen = set()
+        stack = [denomination]
+        while stack:
+            current = stack.pop()
+            if current is funded:
+                raise CurrencyCycleError(
+                    f"funding {funded.name!r} with {denomination.name!r} tickets "
+                    "would create a cycle in the currency graph"
+                )
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            stack.extend(current.backing_currencies())
+
+    # -- valuation helpers -------------------------------------------------------------
+
+    def total_active_base(self) -> float:
+        """Total active tickets in the base currency (the lottery's T)."""
+        return self.base.active_amount
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-currency view for diagnostics and the CLI ``lscur``."""
+        report: Dict[str, Dict[str, float]] = {}
+        for currency in self._currencies.values():
+            report[currency.name] = {
+                "active_amount": currency.active_amount,
+                "base_value": currency.base_value(),
+                "backing_tickets": float(len(currency._backing)),
+                "issued_tickets": float(len(currency._issued)),
+            }
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Ledger currencies={len(self._currencies)} epoch={self._epoch}>"

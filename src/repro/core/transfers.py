@@ -1,0 +1,152 @@
+"""Ticket transfers (paper sections 3.1 and 4.6).
+
+A client that blocks on a dependency -- classically a synchronous RPC --
+should not idle its resource rights: it **transfers** its tickets to the
+server computing on its behalf, so server CPU time is charged at the
+client's rate.  This also solves priority inversion in the manner of
+priority inheritance (section 2's discussion, and the mutex use in
+section 6.1).
+
+The prototype implements a transfer by *creating a new ticket
+denominated in the client's currency and using it to fund the server*
+(section 4.6).  The elegance is in the activation rules: the blocked
+client's own tickets are inactive (it left the run queue), so the
+freshly minted transfer ticket -- the only active issue in the client's
+currency -- captures the currency's entire value, whatever that value
+becomes while the client waits.  On reply the transfer ticket is simply
+destroyed.
+
+:class:`TransferHandle` wraps one such minted ticket;
+:func:`transfer_funding` and :func:`split_transfer` are the operations
+the kernel IPC layer and lottery-scheduled mutexes build on.  Split
+transfers across several servers (paper section 3.1) divide the amount
+by the given weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.tickets import Currency, FundingTarget, Ledger, TicketHolder
+from repro.errors import TicketError
+
+__all__ = ["TransferHandle", "transfer_funding", "split_transfer"]
+
+
+class TransferHandle:
+    """One outstanding ticket transfer, revocable on reply.
+
+    Holds the minted ticket; :meth:`revoke` destroys it (idempotent).
+    The handle records the source for diagnostics and so mutex/IPC
+    layers can re-route transfers when a waiter abandons.
+    """
+
+    def __init__(self, ledger: Ledger, source: TicketHolder, target: FundingTarget,
+                 amount: float, currency: Currency) -> None:
+        self.source = source
+        self.target = target
+        self._ticket = ledger.create_ticket(
+            amount, currency=currency, fund=target, tag="transfer"
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether the transfer is still in force."""
+        return self._ticket is not None
+
+    @property
+    def amount(self) -> float:
+        """Face amount of the minted transfer ticket."""
+        if self._ticket is None:
+            return 0.0
+        return self._ticket.amount
+
+    def base_value(self) -> float:
+        """Current base-unit value flowing through this transfer."""
+        if self._ticket is None:
+            return 0.0
+        return self._ticket.base_value()
+
+    def retarget(self, new_target: FundingTarget) -> None:
+        """Redirect the transfer to a different recipient.
+
+        Used when a lottery-scheduled mutex changes owner: waiter
+        funding must follow the new owner.
+        """
+        if self._ticket is None:
+            raise TicketError("cannot retarget a revoked transfer")
+        self._ticket.unfund()
+        self._ticket.fund(new_target)
+
+    def revoke(self) -> None:
+        """Destroy the transfer ticket, returning rights to the source."""
+        if self._ticket is not None:
+            self._ticket.destroy()
+            self._ticket = None
+
+
+def _transfer_denomination(
+    ledger: Ledger, source: TicketHolder
+) -> Tuple[Currency, float]:
+    """Choose the currency and amount a transfer from ``source`` mints.
+
+    If the source has a dedicated funding currency (kernel threads have
+    their task's currency attached as ``funding_currency``), the
+    transfer is denominated there with the source's nominal issue so it
+    captures the currency's value while the source is blocked.
+    Otherwise the transfer is denominated in base at the source's
+    nominal funding.
+    """
+    currency: Optional[Currency] = getattr(source, "funding_currency", None)
+    if currency is not None:
+        amount = sum(
+            t.amount for t in source.tickets if t.currency is currency
+        )
+        if amount > 0:
+            return currency, amount
+    return ledger.base, source.nominal_funding()
+
+
+def transfer_funding(
+    ledger: Ledger,
+    source: TicketHolder,
+    target: FundingTarget,
+    fraction: float = 1.0,
+) -> TransferHandle:
+    """Transfer (a fraction of) the source's resource rights to ``target``.
+
+    The source is normally blocked (its own tickets inactive); the
+    minted ticket funds ``target`` -- a server thread, a server task
+    currency, or a mutex currency -- until :meth:`TransferHandle.revoke`.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise TicketError(f"transfer fraction must be in (0, 1], got {fraction}")
+    currency, amount = _transfer_denomination(ledger, source)
+    return TransferHandle(ledger, source, target, amount * fraction, currency)
+
+
+def split_transfer(
+    ledger: Ledger,
+    source: TicketHolder,
+    targets: Sequence[Tuple[FundingTarget, float]],
+) -> List[TransferHandle]:
+    """Divide the source's rights across several servers (section 3.1).
+
+    ``targets`` is a sequence of ``(target, weight)``; each receives the
+    weight's share of the source's transferable amount.
+    """
+    if not targets:
+        raise TicketError("split_transfer requires at least one target")
+    total_weight = sum(weight for _, weight in targets)
+    if total_weight <= 0:
+        raise TicketError("split_transfer weights must sum to a positive value")
+    currency, amount = _transfer_denomination(ledger, source)
+    handles = []
+    for target, weight in targets:
+        if weight < 0:
+            raise TicketError(f"negative transfer weight {weight}")
+        if weight == 0:
+            continue
+        share = amount * (weight / total_weight)
+        handles.append(TransferHandle(ledger, source, target, share, currency))
+    return handles

@@ -1,0 +1,5 @@
+"""Distributed lottery scheduling across simulated cluster nodes."""
+
+from repro.distributed.cluster import Cluster, ClusterNode
+
+__all__ = ["Cluster", "ClusterNode"]

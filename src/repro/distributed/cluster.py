@@ -1,0 +1,271 @@
+"""A distributed lottery scheduler over a cluster of simulated nodes.
+
+Section 4.2 notes that the tree-of-partial-ticket-sums "can also be
+used as the basis of a distributed lottery scheduler".  This module
+builds that extension: several single-CPU nodes (each an independent
+:class:`~repro.kernel.kernel.Kernel` with its own lottery policy) share
+one virtual clock and one ticket ledger, and a **rebalancer** maintains
+the global proportional-share guarantee by keeping the *per-node ticket
+totals* balanced -- the distributed analogue of one big lottery.
+
+Why ticket balancing is the right invariant: within a node, the local
+lottery gives thread i the share  t_i / T_node.  If every node carries
+(approximately) T_total / N tickets, that local share equals
+N * t_i / T_total -- exactly thread i's entitlement of the cluster's N
+CPUs.  Skewed placement breaks this (a thread on a crowded node is
+under-served); migrating runnable threads to re-equalize node totals
+restores it.  The rebalancer walks a :class:`TreeLottery` over node
+ticket sums to find donors/recipients, which is the tree the paper
+gestures at.
+
+Scope: migration moves *runnable, compute-bound* threads.  Node-local
+objects (ports, mutexes) pin a thread to its node; the rebalancer
+skips threads flagged ``pinned``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.prng import ParkMillerPRNG
+from repro.core.tickets import Ledger
+from repro.errors import ReproError
+from repro.kernel.kernel import Kernel
+from repro.kernel.thread import Thread, ThreadBody, ThreadState
+from repro.schedulers.lottery_policy import LotteryPolicy
+from repro.sim.engine import Engine
+
+__all__ = ["ClusterNode", "Cluster"]
+
+
+class ClusterNode:
+    """One CPU of the cluster: a kernel with its own lottery policy."""
+
+    def __init__(self, name: str, engine: Engine, ledger: Ledger,
+                 seed: int, quantum: float) -> None:
+        self.name = name
+        self.policy = LotteryPolicy(ledger, prng=ParkMillerPRNG(seed))
+        self.kernel = Kernel(engine, self.policy, ledger=ledger,
+                             quantum=quantum)
+        #: Threads currently placed on this node (owned by the Cluster).
+        self.threads: List[Thread] = []
+
+    def total_funding(self) -> float:
+        """Nominal funding of all live threads placed here."""
+        return sum(t.nominal_funding() for t in self.threads if t.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ClusterNode {self.name!r} threads={len(self.threads)}"
+                f" funding={self.total_funding():.0f}>")
+
+
+class Cluster:
+    """N lottery-scheduled nodes with funding-balancing migration.
+
+    Parameters
+    ----------
+    nodes:
+        Number of single-CPU nodes.
+    quantum:
+        Per-node scheduling quantum (ms).
+    rebalance_period:
+        How often the rebalancer runs; None disables migration (the
+        ablation baseline).
+    seed:
+        Seeds the per-node lotteries and placement decisions.
+    """
+
+    def __init__(self, nodes: int = 4, quantum: float = 100.0,
+                 rebalance_period: Optional[float] = 1000.0,
+                 seed: int = 1) -> None:
+        if nodes <= 0:
+            raise ReproError(f"cluster needs at least one node: {nodes}")
+        if rebalance_period is not None and rebalance_period <= 0:
+            raise ReproError("rebalance_period must be positive or None")
+        self.engine = Engine()
+        self.ledger = Ledger()
+        self.nodes = [
+            ClusterNode(f"node{i}", self.engine, self.ledger,
+                        seed=seed + 101 * i, quantum=quantum)
+            for i in range(nodes)
+        ]
+        self.rebalance_period = rebalance_period
+        self.migrations = 0
+        self._placement: Dict[int, ClusterNode] = {}
+        if rebalance_period is not None:
+            self.engine.call_after(rebalance_period, self._rebalance_tick,
+                                   label="cluster-rebalance")
+
+    # -- time -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Cluster-wide virtual time (shared clock)."""
+        return self.engine.now
+
+    def run_until(self, time_ms: float) -> None:
+        """Advance every node to ``time_ms``."""
+        self.engine.run(until=time_ms)
+
+    # -- placement -----------------------------------------------------------------
+
+    def spawn(self, body: ThreadBody, name: str, tickets: float,
+              node: Optional[ClusterNode] = None,
+              pinned: bool = False) -> Thread:
+        """Create a funded thread, placing it on the least-funded node
+        (or an explicit ``node``)."""
+        target = node if node is not None else self._least_funded_node()
+        thread = target.kernel.spawn(body, name, tickets=tickets)
+        thread.pinned = pinned
+        target.threads.append(thread)
+        self._placement[thread.tid] = target
+        return thread
+
+    def node_of(self, thread: Thread) -> ClusterNode:
+        """The node a thread currently runs on."""
+        try:
+            return self._placement[thread.tid]
+        except KeyError:
+            raise ReproError(
+                f"thread {thread.name!r} is not placed on this cluster"
+            ) from None
+
+    def _least_funded_node(self) -> ClusterNode:
+        return min(self.nodes, key=lambda n: (n.total_funding(),
+                                              len(n.threads)))
+
+    # -- migration ---------------------------------------------------------------------
+
+    def migrate(self, thread: Thread, destination: ClusterNode) -> bool:
+        """Move a runnable, unpinned thread to another node.
+
+        Returns False (without side effects) when the thread cannot be
+        moved right now -- running, blocked, exited, or pinned.
+        """
+        source = self.node_of(thread)
+        if destination is source:
+            return False
+        if getattr(thread, "pinned", False):
+            return False
+        if thread.state is not ThreadState.RUNNABLE:
+            return False
+        source.policy.dequeue(thread)
+        source.threads.remove(thread)
+        thread.kernel = destination.kernel
+        destination.threads.append(thread)
+        self._placement[thread.tid] = destination
+        destination.policy.enqueue(thread)
+        destination.kernel._schedule_dispatch()
+        self.migrations += 1
+        return True
+
+    def _rebalance_tick(self) -> None:
+        """Greedy funding balancing: richest node donates to poorest."""
+        for _ in range(len(self.nodes)):
+            ordered = sorted(self.nodes, key=ClusterNode.total_funding)
+            poorest, richest = ordered[0], ordered[-1]
+            gap = richest.total_funding() - poorest.total_funding()
+            if gap <= 0:
+                break
+            candidate = self._best_donor(richest, gap)
+            if candidate is None:
+                break
+            if not self.migrate(candidate, poorest):
+                break
+        assert self.rebalance_period is not None
+        self.engine.call_after(self.rebalance_period, self._rebalance_tick,
+                               label="cluster-rebalance")
+
+    @staticmethod
+    def _best_donor(node: ClusterNode, gap: float) -> Optional[Thread]:
+        """The movable thread that best halves the funding gap."""
+        best: Optional[Thread] = None
+        best_score = float("inf")
+        for thread in node.threads:
+            if thread.state is not ThreadState.RUNNABLE:
+                continue
+            if getattr(thread, "pinned", False):
+                continue
+            funding = thread.nominal_funding()
+            if funding <= 0 or funding >= gap:
+                # Moving more than the gap would overshoot and oscillate.
+                continue
+            score = abs(gap / 2 - funding)
+            if score < best_score:
+                best_score = score
+                best = thread
+        return best
+
+    # -- measurement -----------------------------------------------------------------------
+
+    def total_funding(self) -> float:
+        """Aggregate nominal funding of all live cluster threads."""
+        return sum(node.total_funding() for node in self.nodes)
+
+    def _entitlements(self, elapsed_ms: float) -> Dict[int, float]:
+        """Water-filling entitlements: a thread can use at most one CPU.
+
+        Funding shares that would exceed one node's worth of CPU are
+        capped at ``elapsed_ms`` and the surplus is redistributed among
+        the uncapped threads, iteratively (progressive filling).
+        """
+        live = [t for node in self.nodes for t in node.threads if t.alive]
+        entitled: Dict[int, float] = {}
+        remaining = list(live)
+        remaining_cpu = elapsed_ms * len(self.nodes)
+        while remaining:
+            total = sum(t.nominal_funding() for t in remaining)
+            if total <= 0:
+                for thread in remaining:
+                    entitled[thread.tid] = 0.0
+                break
+            capped = []
+            for thread in remaining:
+                share = thread.nominal_funding() / total
+                if share * remaining_cpu > elapsed_ms + 1e-9:
+                    capped.append(thread)
+            if not capped:
+                for thread in remaining:
+                    share = thread.nominal_funding() / total
+                    entitled[thread.tid] = share * remaining_cpu
+                break
+            for thread in capped:
+                entitled[thread.tid] = elapsed_ms
+                remaining.remove(thread)
+                remaining_cpu -= elapsed_ms
+        return entitled
+
+    def fairness_report(self, elapsed_ms: float) -> List[Dict[str, float]]:
+        """Per-thread observed vs entitled CPU over ``elapsed_ms``.
+
+        Entitlement: the water-filled funding share of the cluster's
+        aggregate CPU (N nodes x elapsed, one CPU max per thread).
+        """
+        entitlements = self._entitlements(elapsed_ms)
+        rows = []
+        for node in self.nodes:
+            for thread in node.threads:
+                if not thread.alive:
+                    continue
+                entitled = entitlements.get(thread.tid, 0.0)
+                rows.append(
+                    {
+                        "thread": thread.name,
+                        "node": node.name,
+                        "funding": thread.nominal_funding(),
+                        "cpu_ms": thread.cpu_time,
+                        "entitled_ms": entitled,
+                        "relative_error": (
+                            abs(thread.cpu_time - entitled) / entitled
+                            if entitled > 0 else 0.0
+                        ),
+                    }
+                )
+        return rows
+
+    def max_relative_error(self, elapsed_ms: float) -> float:
+        """Worst per-thread deviation from global entitlement."""
+        rows = self.fairness_report(elapsed_ms)
+        if not rows:
+            return 0.0
+        return max(row["relative_error"] for row in rows)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the lottery-scheduling reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the simulator can catch a single base class.  The
+subtypes mirror the paper's object model: ticket/currency bookkeeping
+errors, kernel/simulation errors, and experiment configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TicketError(ReproError):
+    """Invalid operation on a :class:`~repro.core.tickets.Ticket`."""
+
+
+class CurrencyError(ReproError):
+    """Invalid operation on a :class:`~repro.core.tickets.Currency`."""
+
+
+class CurrencyCycleError(CurrencyError):
+    """A funding edge would make the currency graph cyclic.
+
+    The paper requires currency relationships to form an acyclic graph
+    (section 3.3); valuation would otherwise not terminate.
+    """
+
+
+class InsufficientTicketsError(TicketError):
+    """A transfer or deflation asked for more tickets than are held."""
+
+
+class EmptyLotteryError(ReproError):
+    """A lottery was held with no active tickets (zero total)."""
+
+
+class KernelError(ReproError):
+    """Invalid kernel operation (bad thread state, unknown port, ...)."""
+
+
+class ThreadStateError(KernelError):
+    """A thread transitioned between incompatible states."""
+
+
+class IpcError(KernelError):
+    """Invalid IPC operation (dead port, reply without request, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency."""
+
+
+class SchedulerError(ReproError):
+    """A scheduling policy was misused (unknown thread, double add...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured with invalid parameters."""

@@ -1,0 +1,250 @@
+"""One-shot reproduction driver: every figure, one verdict per line.
+
+``python -m repro.experiments.reproduce_all`` runs the full evaluation
+(the same scales as the benchmarks; several minutes);
+``python -m repro.experiments.reproduce_all --quick`` runs reduced
+scales (tens of seconds) for a fast end-to-end sanity check.
+
+Each entry runs one experiment and checks the paper's headline shape,
+printing PASS/FAIL plus the measured value -- a compact, self-auditing
+version of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Tuple
+
+from repro.experiments import (
+    ablations,
+    cluster_fairness,
+    diverse_resources,
+    fig1_walkthrough,
+    fig4_rate_accuracy,
+    fig5_fairness_over_time,
+    fig6_montecarlo,
+    fig7_query_rates,
+    fig8_video_rates,
+    fig9_load_insulation,
+    fig11_mutex,
+    inverse_memory,
+    multiresource,
+    paging_runtime,
+    quantum_sweep,
+    responsiveness,
+    service_classes,
+)
+
+__all__ = ["reproduce", "main"]
+
+#: (label, runner) -> (verdict bool, human-readable measurement).
+Check = Tuple[str, Callable[[bool], Tuple[bool, str]]]
+
+
+def _fig1(quick: bool):
+    result = fig1_walkthrough.run(draws=20_000 if quick else 100_000)
+    ok = "client 3" in result.summary["winner"]
+    return ok, result.summary["winner"]
+
+
+def _fig4(quick: bool):
+    ratios = [2, 5, 10] if quick else list(range(1, 11))
+    result = fig4_rate_accuracy.run(
+        ratios=ratios, runs=2 if quick else 3,
+        duration_ms=30_000 if quick else 60_000,
+    )
+    worst = float(result.summary["worst relative error"])
+    return worst < 0.45, f"worst relative error {worst:.2f}"
+
+
+def _fig5(quick: bool):
+    result = fig5_fairness_over_time.run(
+        duration_ms=60_000 if quick else 200_000
+    )
+    ratio = float(result.summary["overall ratio"].split(":")[0])
+    return abs(ratio - 2.0) < 0.4, f"overall ratio {ratio:.2f}:1 (want 2:1)"
+
+
+def _fig6(quick: bool):
+    result = fig6_montecarlo.run(
+        duration_ms=240_000 if quick else 1_000_000,
+        stagger_ms=40_000 if quick else 120_000,
+    )
+    spread = float(result.summary["final spread"].split("%")[0])
+    return spread < 50.0, f"final trial spread {spread:.1f}% (converging)"
+
+
+def _fig7(quick: bool):
+    result = fig7_query_rates.run(
+        duration_ms=300_000 if quick else 800_000,
+        corpus_kb=1000 if quick else 4600,
+    )
+    ratio = float(result.summary["B:C throughput ratio"].split(":")[0])
+    return abs(ratio - 3.0) < 1.0, f"B:C throughput {ratio:.2f}:1 (want 3:1)"
+
+
+def _fig8(quick: bool):
+    result = fig8_video_rates.run(
+        duration_ms=120_000 if quick else 300_000
+    )
+    before = result.summary["frame-rate ratio before"].split("(")[0]
+    values = [float(v) for v in before.split(":")]
+    ok = values[0] > values[1] > values[2]
+    return ok, f"before-change ratio {before.strip()} (want 3:2:1 order)"
+
+
+def _fig9(quick: bool):
+    result = fig9_load_insulation.run(
+        duration_ms=160_000 if quick else 300_000
+    )
+    aggregate = float(
+        result.summary["aggregate A:B iterations"].split(":")[0]
+    )
+    return abs(aggregate - 1.0) < 0.15, f"aggregate A:B {aggregate:.2f}:1"
+
+
+def _fig11(quick: bool):
+    result = fig11_mutex.run(duration_ms=60_000 if quick else 120_000)
+    ratio = float(result.summary["acquisition ratio A:B"].split(":")[0])
+    return 1.3 < ratio < 2.7, f"acquisition ratio {ratio:.2f}:1 (want ~2:1)"
+
+
+def _inverse(quick: bool):
+    result = inverse_memory.run(references=15_000 if quick else 60_000)
+    shares = {row["client"]: row["observed_share"] for row in result.rows}
+    ok = shares["A"] < shares["B"] < shares["C"]
+    return ok, (f"eviction shares A={shares['A']:.2f} B={shares['B']:.2f}"
+                f" C={shares['C']:.2f} (want increasing)")
+
+
+def _diverse(quick: bool):
+    result = diverse_resources.run()
+    disk = float(result.summary["disk lottery A:B"].split(":")[0])
+    return abs(disk - 3.0) < 0.6, f"disk lottery A:B {disk:.2f}:1 (want 3:1)"
+
+
+def _quantum(quick: bool):
+    result = quantum_sweep.run(
+        quanta=(10.0, 100.0), duration_ms=60_000 if quick else 120_000
+    )
+    rows = {row["quantum_ms"]: row for row in result.rows}
+    ok = (rows[10.0]["window_share_cv"]
+          < rows[100.0]["window_share_cv"] / 2)
+    return ok, (f"1s-window CV {rows[10.0]['window_share_cv']:.3f} @10ms"
+                f" vs {rows[100.0]['window_share_cv']:.3f} @100ms")
+
+
+def _compensation(quick: bool):
+    result = ablations.run_compensation(
+        duration_ms=120_000 if quick else 300_000
+    )
+    rows = {row["policy"]: row["cpu_ratio"] for row in result.rows}
+    ok = (abs(rows["lottery"] - 1.0) < 0.25
+          and abs(rows["lottery-no-compensation"] - 5.0) < 1.5)
+    return ok, (f"ratio {rows['lottery']:.2f}:1 with compensation,"
+                f" {rows['lottery-no-compensation']:.2f}:1 without")
+
+
+def _stride(quick: bool):
+    result = ablations.run_lottery_vs_stride(
+        checkpoints_ms=(10_000, 50_000)
+    )
+    stride_max = max(r["max_error_quanta"] for r in result.rows
+                     if r["policy"] == "stride")
+    return stride_max <= 1.5, f"stride max error {stride_max:.1f} quanta"
+
+
+def _multiresource(quick: bool):
+    result = multiresource.run(duration_ms=200_000 if quick else 400_000)
+    items = {row["policy"]: row["items"] for row in result.rows}
+    ok = items["manager"] >= 0.9 * max(items.values())
+    return ok, (f"manager {items['manager']} items"
+                f" vs best static {max(items.values())}")
+
+
+def _cluster(quick: bool):
+    result = cluster_fairness.run(
+        duration_ms=100_000 if quick else 200_000
+    )
+    static = float(result.summary["max relative error (static placement)"])
+    balanced = float(result.summary["max relative error (rebalancing)"])
+    return balanced < static / 2, (
+        f"max error {static:.2f} static -> {balanced:.2f} rebalanced"
+    )
+
+
+def _responsiveness(quick: bool):
+    result = responsiveness.run(duration_ms=60_000 if quick else 120_000)
+    rows = {row["policy"]: row["mean_latency_ms"] for row in result.rows}
+    ok = rows["lottery"] < rows["lottery-no-compensation"] / 3
+    return ok, (f"latency {rows['lottery']:.0f}ms with compensation,"
+                f" {rows['lottery-no-compensation']:.0f}ms without")
+
+
+def _paging(quick: bool):
+    result = paging_runtime.run(duration_ms=60_000 if quick else 120_000)
+    rows = {row["policy"]: row for row in result.rows}
+    ok = (rows["inverse-lottery"]["worker_steps"]
+          > 1.15 * rows["lru"]["worker_steps"])
+    return ok, (f"worker steps {rows['inverse-lottery']['worker_steps']:.0f}"
+                f" inverse vs {rows['lru']['worker_steps']:.0f} LRU")
+
+
+def _service(quick: bool):
+    result = service_classes.run(duration_ms=300_000 if quick else 600_000)
+    lottery = next(r for r in result.rows if r["policy"] == "lottery")
+    ok = (lottery["gold_slowdown"] < lottery["silver_slowdown"]
+          < lottery["bronze_slowdown"])
+    return ok, (f"slowdowns {lottery['gold_slowdown']:.1f}/"
+                f"{lottery['silver_slowdown']:.1f}/"
+                f"{lottery['bronze_slowdown']:.1f} (gold/silver/bronze)")
+
+
+CHECKS: List[Check] = [
+    ("Figure 1  list-lottery walkthrough", _fig1),
+    ("Figure 4  rate accuracy", _fig4),
+    ("Figure 5  fairness over time", _fig5),
+    ("Figure 6  Monte-Carlo inflation", _fig6),
+    ("Figure 7  client-server 8:3:1", _fig7),
+    ("Figure 8  video rates", _fig8),
+    ("Figure 9  load insulation", _fig9),
+    ("Figure 11 lottery mutex", _fig11),
+    ("Sec. 2.2  quantum vs fairness", _quantum),
+    ("Sec. 4.5  compensation tickets", _compensation),
+    ("Sec. 6.2  inverse-lottery memory", _inverse),
+    ("Sec. 6.2  paging end-to-end", _paging),
+    ("Sec. 6    disk & link lotteries", _diverse),
+    ("Ext  stride determinism", _stride),
+    ("Ext  multi-resource manager", _multiresource),
+    ("Ext  distributed lottery", _cluster),
+    ("Ext  responsiveness", _responsiveness),
+    ("Ext  service classes", _service),
+]
+
+
+def reproduce(quick: bool = True) -> int:
+    """Run every check; returns the number of failures."""
+    failures = 0
+    mode = "quick" if quick else "full"
+    print(f"reproducing the OSDI '94 evaluation ({mode} mode)\n")
+    for label, check in CHECKS:
+        try:
+            ok, detail = check(quick)
+        except Exception as exc:  # pragma: no cover - surfacing only
+            ok, detail = False, f"crashed: {exc!r}"
+        verdict = "PASS" if ok else "FAIL"
+        print(f"[{verdict}] {label:<36} {detail}")
+        if not ok:
+            failures += 1
+    print(f"\n{len(CHECKS) - failures}/{len(CHECKS)} headline shapes"
+          " reproduced")
+    return failures
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    quick = "--full" not in sys.argv
+    sys.exit(1 if reproduce(quick=quick) else 0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,14 @@
+"""I/O-bandwidth generalizations: lottery-scheduled disk and network."""
+
+from repro.iosched.disk import FIFO, LOTTERY, ROUND_ROBIN, Disk, DiskRequest
+from repro.iosched.netport import LinkScheduler, VirtualCircuit
+
+__all__ = [
+    "Disk",
+    "DiskRequest",
+    "FIFO",
+    "LOTTERY",
+    "LinkScheduler",
+    "ROUND_ROBIN",
+    "VirtualCircuit",
+]

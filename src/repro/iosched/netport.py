@@ -1,0 +1,163 @@
+"""Lottery-scheduled network virtual circuits (paper section 6).
+
+"ATM switches schedule virtual circuits to determine which buffered
+cell should next be forwarded.  Lottery scheduling could be used to
+provide different levels of service to virtual circuits competing for
+congested channels."  This module models one congested output link: a
+fixed cell time, per-circuit cell queues, and a scheduler that picks
+the circuit to forward from at each slot -- by lottery over circuit
+tickets, or round-robin as the ticket-blind baseline (the statistical
+matching of [And93] is the related work the lottery replaces).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.lottery import hold_lottery
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import EmptyLotteryError, ReproError
+from repro.sim.engine import Engine
+
+__all__ = ["VirtualCircuit", "LinkScheduler"]
+
+
+class VirtualCircuit:
+    """A flow competing for the output link."""
+
+    __slots__ = ("name", "tickets", "queue", "cells_forwarded", "delays",
+                 "cells_dropped")
+
+    def __init__(self, name: str, tickets: float, queue_limit: int) -> None:
+        if tickets < 0:
+            raise ReproError(f"tickets must be non-negative: {tickets}")
+        self.name = name
+        self.tickets = tickets
+        #: Arrival times of queued cells.
+        self.queue: Deque[float] = deque()
+        self.cells_forwarded = 0
+        self.cells_dropped = 0
+        self.delays: List[float] = []
+
+    def mean_delay(self) -> float:
+        """Average queueing delay of forwarded cells (ms)."""
+        if not self.delays:
+            return 0.0
+        return sum(self.delays) / len(self.delays)
+
+
+class LinkScheduler:
+    """One congested link multiplexing virtual circuits cell-by-cell.
+
+    Parameters
+    ----------
+    engine:
+        Discrete-event engine providing virtual time.
+    cell_time:
+        Milliseconds to forward one cell (link capacity = 1/cell_time).
+    mode:
+        "lottery" or "round-robin".
+    queue_limit:
+        Per-circuit buffer size; arrivals beyond it are dropped.
+    """
+
+    def __init__(self, engine: Engine, cell_time: float = 0.01,
+                 mode: str = "lottery", queue_limit: int = 10_000,
+                 prng: Optional[ParkMillerPRNG] = None) -> None:
+        if cell_time <= 0:
+            raise ReproError(f"cell_time must be positive: {cell_time}")
+        if mode not in ("lottery", "round-robin"):
+            raise ReproError(f"unknown link scheduler mode {mode!r}")
+        self.engine = engine
+        self.cell_time = cell_time
+        self.mode = mode
+        self.queue_limit = queue_limit
+        self.prng = prng if prng is not None else ParkMillerPRNG(1)
+        self._circuits: Dict[str, VirtualCircuit] = {}
+        self._rr_order: Deque[str] = deque()
+        self._busy = False
+        self.cells_total = 0
+
+    # -- configuration --------------------------------------------------------------
+
+    def open_circuit(self, name: str, tickets: float) -> VirtualCircuit:
+        """Register a virtual circuit with a ticket allocation."""
+        if name in self._circuits:
+            raise ReproError(f"circuit {name!r} already open")
+        circuit = VirtualCircuit(name, tickets, self.queue_limit)
+        self._circuits[name] = circuit
+        self._rr_order.append(name)
+        return circuit
+
+    def circuit(self, name: str) -> VirtualCircuit:
+        """Look up a circuit by name."""
+        try:
+            return self._circuits[name]
+        except KeyError:
+            raise ReproError(f"no such circuit: {name!r}") from None
+
+    # -- data path -------------------------------------------------------------------
+
+    def arrive(self, name: str, cells: int = 1) -> None:
+        """Enqueue cells on a circuit at the current virtual time."""
+        circuit = self.circuit(name)
+        now = self.engine.now
+        for _ in range(cells):
+            if len(circuit.queue) >= self.queue_limit:
+                circuit.cells_dropped += 1
+            else:
+                circuit.queue.append(now)
+        if not self._busy:
+            self._forward_next()
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def _backlogged(self) -> List[VirtualCircuit]:
+        return [c for c in self._circuits.values() if c.queue]
+
+    def _pick_circuit(self) -> Optional[VirtualCircuit]:
+        backlogged = self._backlogged()
+        if not backlogged:
+            return None
+        if self.mode == "round-robin":
+            while True:
+                name = self._rr_order.popleft()
+                self._rr_order.append(name)
+                if self._circuits[name].queue:
+                    return self._circuits[name]
+        entries: List[Tuple[VirtualCircuit, float]] = [
+            (c, c.tickets) for c in backlogged
+        ]
+        try:
+            return hold_lottery(entries, self.prng)
+        except EmptyLotteryError:
+            return backlogged[0]
+
+    def _forward_next(self) -> None:
+        circuit = self._pick_circuit()
+        if circuit is None:
+            self._busy = False
+            return
+        self._busy = True
+        arrived = circuit.queue.popleft()
+        self.engine.call_after(
+            self.cell_time,
+            lambda c=circuit, a=arrived: self._forwarded(c, a),
+            label="cell-forward",
+        )
+
+    def _forwarded(self, circuit: VirtualCircuit, arrived: float) -> None:
+        circuit.cells_forwarded += 1
+        circuit.delays.append(self.engine.now - arrived)
+        self.cells_total += 1
+        self._forward_next()
+
+    # -- statistics -------------------------------------------------------------------
+
+    def shares(self) -> Dict[str, float]:
+        """Fraction of forwarded cells per circuit."""
+        total = self.cells_total or 1
+        return {
+            name: c.cells_forwarded / total for name, c in self._circuits.items()
+        }

@@ -1,0 +1,44 @@
+"""Simulated microkernel: threads, tasks, dispatch loop, and IPC."""
+
+from repro.kernel.ipc import Port, Request
+from repro.kernel.kernel import BLOCK, Kernel
+from repro.kernel.syscalls import (
+    AcquireMutex,
+    Call,
+    Compute,
+    Exit,
+    Receive,
+    ReleaseMutex,
+    Reply,
+    SemaphoreDown,
+    SemaphoreUp,
+    Send,
+    Sleep,
+    Syscall,
+    YieldCPU,
+)
+from repro.kernel.thread import Task, Thread, ThreadContext, ThreadState
+
+__all__ = [
+    "AcquireMutex",
+    "BLOCK",
+    "Call",
+    "Compute",
+    "Exit",
+    "Kernel",
+    "Port",
+    "Receive",
+    "ReleaseMutex",
+    "Reply",
+    "Request",
+    "SemaphoreDown",
+    "SemaphoreUp",
+    "Send",
+    "Sleep",
+    "Syscall",
+    "Task",
+    "Thread",
+    "ThreadContext",
+    "ThreadState",
+    "YieldCPU",
+]

@@ -1,0 +1,345 @@
+"""The simulated microkernel: dispatch loop and syscall interpreter.
+
+This is the substrate standing in for Mach 3.0 (section 4): a
+uniprocessor kernel that repeatedly asks its scheduling policy for the
+next thread, runs it for up to one quantum of virtual time, and
+interprets the syscalls the thread's body generator yields.  As in
+Mach, the running thread is removed from the run queue for the duration
+of its quantum -- which for the lottery policy is exactly what
+deactivates its tickets (section 4.4) -- and a thread that blocks or
+yields early comes off the CPU immediately, triggering the policy's
+``quantum_end`` hook (where compensation tickets are granted).
+
+There is no mid-quantum preemption on wakeup: a thread that becomes
+runnable joins the run queue and competes in the next lottery, matching
+the prototype's 100 ms-quantum behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.tickets import Currency, Ledger
+from repro.errors import KernelError, SimulationError
+from repro.kernel import syscalls as sc
+from repro.kernel.thread import Task, Thread, ThreadBody, ThreadState
+from repro.schedulers.base import SchedulingPolicy
+from repro.sim.engine import Engine
+
+__all__ = ["Kernel", "BLOCK"]
+
+#: Sentinel returned by syscall handlers that blocked the thread.
+BLOCK = object()
+
+#: Guard against bodies that issue non-CPU syscalls forever at one instant.
+_MAX_INSTANT_SYSCALLS = 100_000
+
+_EPS = 1e-9
+
+
+class Kernel:
+    """A single simulated machine: engine + ledger + policy + threads.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine supplying virtual time.
+    policy:
+        The scheduling policy (lottery or a baseline).
+    ledger:
+        Ticket/currency registry; created fresh when omitted.
+    quantum:
+        Scheduling quantum in milliseconds (the prototype's was 100).
+    context_switch_cost:
+        Virtual milliseconds charged (to nobody) per dispatch, for
+        overhead-sensitivity experiments.  Default 0.
+    recorder:
+        Optional metrics sink (see :mod:`repro.metrics.recorder`).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: SchedulingPolicy,
+        ledger: Optional[Ledger] = None,
+        quantum: float = 100.0,
+        context_switch_cost: float = 0.0,
+        recorder: Optional[Any] = None,
+    ) -> None:
+        if quantum <= 0:
+            raise KernelError(f"quantum must be positive, got {quantum}")
+        if context_switch_cost < 0:
+            raise KernelError("context_switch_cost must be non-negative")
+        self.engine = engine
+        self.policy = policy
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.quantum = float(quantum)
+        self.context_switch_cost = float(context_switch_cost)
+        self.recorder = recorder
+
+        self.tasks: List[Task] = []
+        self.threads: List[Thread] = []
+        self.running: Optional[Thread] = None
+        self._quantum_left = 0.0
+        self._dispatch_pending = False
+        self._instant_syscalls = 0
+
+        # -- accounting -----------------------------------------------------
+        self.dispatch_count = 0
+        self.idle_time = 0.0
+        self._idle_since: Optional[float] = engine.now
+
+        policy.attach(self)
+
+    # -- time ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self.engine.now
+
+    def run_until(self, time: float) -> None:
+        """Advance the whole machine to virtual time ``time``."""
+        self.engine.run(until=time)
+
+    # -- task and thread creation --------------------------------------------------
+
+    def create_task(self, name: str, currency: Optional[Currency] = None,
+                    create_currency: bool = False) -> Task:
+        """Create a task, optionally with its own (or a fresh) currency."""
+        if create_currency:
+            if currency is not None:
+                raise KernelError("pass either currency or create_currency")
+            currency = self.ledger.create_currency(name)
+        task = Task(name, currency)
+        self.tasks.append(task)
+        return task
+
+    def spawn(
+        self,
+        body: ThreadBody,
+        name: str,
+        task: Optional[Task] = None,
+        tickets: Optional[float] = None,
+        currency: Optional[Currency] = None,
+        priority: int = 0,
+        start: bool = True,
+    ) -> Thread:
+        """Create a thread, optionally fund it, and make it runnable.
+
+        ``tickets`` issues a funding ticket denominated in ``currency``
+        (default: the task's currency, else base).  Baseline policies
+        ignore funding and use ``priority`` / arrival order instead.
+        """
+        if task is None:
+            task = self.create_task(f"task:{name}")
+        thread = Thread(name, task, body, self, priority=priority)
+        self.threads.append(thread)
+        if tickets is not None:
+            thread.fund_from(self.ledger, tickets, currency=currency)
+        if start:
+            self.start_thread(thread)
+        return thread
+
+    def start_thread(self, thread: Thread) -> None:
+        """Admit a CREATED thread to the run queue."""
+        if thread.state is not ThreadState.CREATED:
+            raise KernelError(f"thread {thread.name!r} already started")
+        self._make_runnable(thread)
+
+    # -- wakeups ---------------------------------------------------------------------
+
+    def wake(self, thread: Thread, value: Any = None) -> None:
+        """Unblock a thread, delivering ``value`` into its generator."""
+        if thread.state is not ThreadState.BLOCKED:
+            raise KernelError(
+                f"cannot wake thread {thread.name!r} in state {thread.state.value}"
+            )
+        thread.deliver(value)
+        self._make_runnable(thread)
+        if self.recorder is not None:
+            self.recorder.on_wake(thread, self.now)
+
+    def _make_runnable(self, thread: Thread) -> None:
+        thread.transition(ThreadState.RUNNABLE)
+        thread.runnable_since = self.now
+        self.policy.enqueue(thread)
+        self._schedule_dispatch()
+
+    # -- dispatch loop ------------------------------------------------------------------
+
+    def _schedule_dispatch(self) -> None:
+        if self.running is None and not self._dispatch_pending:
+            self._dispatch_pending = True
+            self.engine.call_soon(self._dispatch, label="dispatch")
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        if self.running is not None:
+            return
+        thread = self.policy.select()
+        if thread is None:
+            # CPU idles; the next _make_runnable re-arms the dispatcher.
+            if self._idle_since is None:
+                self._idle_since = self.now
+            return
+        if self._idle_since is not None:
+            self.idle_time += self.now - self._idle_since
+            self._idle_since = None
+        thread.transition(ThreadState.RUNNING)
+        self.running = thread
+        self._quantum_left = self.quantum
+        self._instant_syscalls = 0
+        thread.dispatches += 1
+        self.dispatch_count += 1
+        if self.recorder is not None:
+            self.recorder.on_dispatch(thread, self.now)
+        if self.context_switch_cost > 0:
+            self.engine.call_after(
+                self.context_switch_cost,
+                lambda: self._run_segment(thread),
+                label="context-switch",
+            )
+        else:
+            self._run_segment(thread)
+
+    def _run_segment(self, thread: Thread) -> None:
+        """Interpret syscalls until the thread computes, blocks, or stops."""
+        while True:
+            syscall = thread.current_syscall
+            if syscall is None:
+                syscall = thread.advance()
+            if syscall is None or isinstance(syscall, sc.Exit):
+                self._end_dispatch(thread, "exit")
+                return
+            if isinstance(syscall, sc.Compute):
+                thread.current_syscall = syscall
+                if self._quantum_left <= _EPS:
+                    self._end_dispatch(thread, "preempt")
+                    return
+                run = min(syscall.remaining, self._quantum_left)
+                self.engine.call_after(
+                    run,
+                    lambda t=thread, s=syscall, r=run: self._segment_done(t, s, r),
+                    label="compute",
+                )
+                return
+            if isinstance(syscall, sc.YieldCPU):
+                thread.voluntary_yields += 1
+                self._end_dispatch(thread, "yield")
+                return
+            # Instantaneous (zero-CPU) syscalls.
+            self._instant_syscalls += 1
+            if self._instant_syscalls > _MAX_INSTANT_SYSCALLS:
+                raise SimulationError(
+                    f"thread {thread.name!r} issued {_MAX_INSTANT_SYSCALLS} "
+                    "syscalls without consuming CPU; body is livelocked"
+                )
+            result = self._handle_instant(syscall, thread)
+            if result is BLOCK:
+                self._end_dispatch(thread, "block")
+                return
+            thread.deliver(result)
+
+    def _segment_done(self, thread: Thread, syscall: sc.Compute, run: float) -> None:
+        if self.running is not thread:  # pragma: no cover - defensive
+            raise SimulationError("compute completion for a non-running thread")
+        syscall.remaining -= run
+        self._quantum_left -= run
+        thread.cpu_time += run
+        if self.recorder is not None:
+            self.recorder.on_cpu(thread, self.now - run, run)
+        if syscall.remaining <= _EPS:
+            thread.current_syscall = None
+        if self._quantum_left <= _EPS:
+            self._end_dispatch(thread, "preempt")
+        else:
+            self._run_segment(thread)
+
+    def _end_dispatch(self, thread: Thread, outcome: str) -> None:
+        used = self.quantum - self._quantum_left
+        self.running = None
+        if outcome in ("preempt", "yield"):
+            thread.transition(ThreadState.RUNNABLE)
+            thread.runnable_since = self.now
+            self.policy.enqueue(thread)
+            self.policy.quantum_end(thread, used, self.quantum, still_runnable=True)
+        elif outcome == "block":
+            thread.transition(ThreadState.BLOCKED)
+            self.policy.quantum_end(thread, used, self.quantum, still_runnable=False)
+            if self.recorder is not None:
+                self.recorder.on_block(thread, self.now)
+        elif outcome == "exit":
+            thread.transition(ThreadState.EXITED)
+            thread.exited_at = self.now
+            thread.stop_competing()
+            self.policy.thread_exited(thread)
+            if self.recorder is not None:
+                self.recorder.on_exit(thread, self.now)
+        else:  # pragma: no cover - defensive
+            raise KernelError(f"unknown dispatch outcome {outcome!r}")
+        self._schedule_dispatch()
+
+    # -- instantaneous syscall handlers ----------------------------------------------------
+
+    def _handle_instant(self, syscall: sc.Syscall, thread: Thread) -> Any:
+        """Execute a zero-CPU syscall; BLOCK means the thread blocked."""
+        if isinstance(syscall, sc.Sleep):
+            # Wake via thread.kernel (not self): a cluster rebalancer
+            # may migrate the thread to another node while it sleeps.
+            self.engine.call_after(
+                syscall.duration,
+                lambda t=thread: t.kernel.wake(t),
+                label="sleep-wakeup",
+            )
+            return BLOCK
+        if isinstance(syscall, sc.Send):
+            syscall.port.send(thread, syscall.message)
+            return None
+        if isinstance(syscall, sc.Call):
+            return syscall.port.call(
+                thread, syscall.message, syscall.transfer_fraction
+            )
+        if isinstance(syscall, sc.Receive):
+            return syscall.port.receive(thread)
+        if isinstance(syscall, sc.Reply):
+            syscall.request.reply(syscall.value)
+            return None
+        if isinstance(syscall, sc.AcquireMutex):
+            return syscall.mutex.acquire(thread)
+        if isinstance(syscall, sc.ReleaseMutex):
+            syscall.mutex.release(thread)
+            return None
+        if isinstance(syscall, sc.SemaphoreDown):
+            return syscall.semaphore.down(thread)
+        if isinstance(syscall, sc.SemaphoreUp):
+            syscall.semaphore.up(thread)
+            return None
+        if isinstance(syscall, sc.WaitCondition):
+            return syscall.condition.wait(thread)
+        if isinstance(syscall, sc.SignalCondition):
+            syscall.condition.signal(thread)
+            return None
+        if isinstance(syscall, sc.BroadcastCondition):
+            syscall.condition.broadcast(thread)
+            return None
+        raise KernelError(f"unknown syscall {syscall!r}")
+
+    # -- introspection --------------------------------------------------------------------------
+
+    def cpu_utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of virtual time the CPU was busy so far."""
+        end = horizon if horizon is not None else self.now
+        if end <= 0:
+            return 0.0
+        idle = self.idle_time
+        if self._idle_since is not None:
+            idle += end - self._idle_since
+        return max(0.0, min(1.0, 1.0 - idle / end))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = self.running.name if self.running else None
+        return (
+            f"<Kernel now={self.now:.1f}ms policy={self.policy.name}"
+            f" running={running!r} threads={len(self.threads)}>"
+        )

@@ -1,0 +1,163 @@
+"""Structured scheduling traces and an ASCII timeline renderer.
+
+A :class:`SchedulerTrace` is a richer recorder than
+:class:`~repro.metrics.recorder.KernelRecorder`: it logs typed events
+(dispatches with the winner's funding and run-queue size, blocks,
+wakes, exits) and can render the history as a per-thread timeline --
+the debugging view you want when a proportional-share bug is "thread X
+mysteriously starves between 40 s and 55 s".
+
+Usage::
+
+    trace = SchedulerTrace()
+    kernel = Kernel(engine, policy, recorder=trace)
+    ...
+    print(trace.render_timeline(0, 10_000, bucket_ms=250))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import Thread
+
+__all__ = ["TraceEvent", "SchedulerTrace"]
+
+
+@dataclass
+class TraceEvent:
+    """One scheduling event."""
+
+    time: float
+    kind: str  # "dispatch" | "cpu" | "block" | "wake" | "exit"
+    tid: int
+    thread_name: str
+    #: kind-specific payload: funding at dispatch, duration for cpu...
+    value: float = 0.0
+
+
+class SchedulerTrace:
+    """Recorder collecting a full typed event log (kernel-pluggable)."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events <= 0:
+            raise ReproError("max_events must be positive")
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self._names: Dict[int, str] = {}
+
+    # -- kernel recorder interface ------------------------------------------
+
+    def on_dispatch(self, thread: "Thread", time: float) -> None:
+        self._append(TraceEvent(time, "dispatch", thread.tid, thread.name,
+                                thread.nominal_funding()))
+
+    def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        self._append(TraceEvent(start, "cpu", thread.tid, thread.name,
+                                duration))
+
+    def on_block(self, thread: "Thread", time: float) -> None:
+        self._append(TraceEvent(time, "block", thread.tid, thread.name))
+
+    def on_wake(self, thread: "Thread", time: float) -> None:
+        self._append(TraceEvent(time, "wake", thread.tid, thread.name))
+
+    def on_exit(self, thread: "Thread", time: float) -> None:
+        self._append(TraceEvent(time, "exit", thread.tid, thread.name))
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            raise ReproError(
+                f"trace exceeded {self.max_events} events; "
+                "narrow the traced interval or raise max_events"
+            )
+        self.events.append(event)
+        self._names[event.tid] = event.thread_name
+
+    # -- queries ----------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def for_thread(self, tid: int) -> List[TraceEvent]:
+        """All events for one thread, in time order."""
+        return [e for e in self.events if e.tid == tid]
+
+    def dispatch_counts(self) -> Dict[str, int]:
+        """Dispatches per thread name."""
+        counts: Dict[str, int] = {}
+        for event in self.of_kind("dispatch"):
+            counts[event.thread_name] = counts.get(event.thread_name, 0) + 1
+        return counts
+
+    def cpu_by_thread(self, start: float = 0.0,
+                      end: Optional[float] = None) -> Dict[str, float]:
+        """CPU milliseconds per thread name over [start, end)."""
+        totals: Dict[str, float] = {}
+        for event in self.of_kind("cpu"):
+            if event.time < start:
+                continue
+            if end is not None and event.time >= end:
+                continue
+            totals[event.thread_name] = (
+                totals.get(event.thread_name, 0.0) + event.value
+            )
+        return totals
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render_timeline(self, start: float, end: float,
+                        bucket_ms: float = 100.0,
+                        width_limit: int = 120) -> str:
+        """Per-thread occupancy bars over [start, end).
+
+        Each column is one bucket; a filled cell means the thread held
+        the CPU for the majority of that bucket ('#'), a partial cell
+        ('+') for any smaller slice, '.' for none.
+        """
+        if end <= start or bucket_ms <= 0:
+            raise ReproError("invalid timeline interval")
+        buckets = int((end - start) / bucket_ms + 0.999)
+        if buckets > width_limit:
+            raise ReproError(
+                f"timeline would need {buckets} columns (> {width_limit});"
+                " increase bucket_ms"
+            )
+        occupancy: Dict[int, List[float]] = {}
+        for event in self.of_kind("cpu"):
+            segment_start = event.time
+            segment_end = event.time + event.value
+            if segment_end <= start or segment_start >= end:
+                continue
+            row = occupancy.setdefault(event.tid, [0.0] * buckets)
+            cursor = max(segment_start, start)
+            while cursor < min(segment_end, end) - 1e-9:
+                index = int((cursor - start) / bucket_ms)
+                bucket_end = start + (index + 1) * bucket_ms
+                slice_end = min(segment_end, bucket_end, end)
+                row[index] += slice_end - cursor
+                cursor = slice_end
+        if not occupancy:
+            return "(no CPU activity in interval)"
+        name_width = max(len(self._names[tid]) for tid in occupancy)
+        lines = [
+            f"{'thread'.ljust(name_width)} | {start:.0f}..{end:.0f} ms in "
+            f"{bucket_ms:.0f} ms buckets"
+        ]
+        for tid in sorted(occupancy):
+            cells = []
+            for filled in occupancy[tid]:
+                if filled >= bucket_ms * 0.5:
+                    cells.append("#")
+                elif filled > 0:
+                    cells.append("+")
+                else:
+                    cells.append(".")
+            lines.append(f"{self._names[tid].ljust(name_width)} |"
+                         f"{''.join(cells)}")
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Memory management generalization: inverse-lottery page replacement."""
+
+from repro.mem.frames import Frame, FramePool, PageBinding
+from repro.mem.manager import MemoryManager
+from repro.mem.paging import DEFAULT_FAULT_SERVICE_MS, PagedWorkload
+from repro.mem.policies import (
+    FIFOReplacement,
+    InverseLotteryReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+)
+
+__all__ = [
+    "FIFOReplacement",
+    "Frame",
+    "FramePool",
+    "InverseLotteryReplacement",
+    "LRUReplacement",
+    "MemoryManager",
+    "PagedWorkload",
+    "DEFAULT_FAULT_SERVICE_MS",
+    "PageBinding",
+    "RandomReplacement",
+    "ReplacementPolicy",
+]

@@ -1,0 +1,118 @@
+"""Physical frame pool for the memory-management generalization (§6.2).
+
+Models the machine's physical memory as a fixed set of frames, each
+either free or bound to a ``(client, virtual page)`` pair.  Policies in
+:mod:`repro.mem.policies` decide which resident page to evict on
+pressure; :mod:`repro.mem.manager` drives faults through the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Frame", "FramePool", "PageBinding"]
+
+#: (client name, virtual page number) identifying a resident page.
+PageBinding = Tuple[str, int]
+
+
+class Frame:
+    """One physical frame: free, or holding a client's virtual page."""
+
+    __slots__ = ("index", "binding", "loaded_at", "last_used")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.binding: Optional[PageBinding] = None
+        self.loaded_at = 0.0
+        self.last_used = 0.0
+
+    @property
+    def free(self) -> bool:
+        """Whether the frame holds no page."""
+        return self.binding is None
+
+
+class FramePool:
+    """Fixed-size physical memory with an owner index."""
+
+    def __init__(self, frame_count: int) -> None:
+        if frame_count <= 0:
+            raise ReproError(f"frame count must be positive: {frame_count}")
+        self.frames = [Frame(i) for i in range(frame_count)]
+        self._free: List[int] = list(range(frame_count - 1, -1, -1))
+        self._where: Dict[PageBinding, int] = {}
+        self._owned: Dict[str, Set[int]] = {}
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of physical frames."""
+        return len(self.frames)
+
+    def free_count(self) -> int:
+        """Frames currently unbound."""
+        return len(self._free)
+
+    def resident(self, client: str, page: int) -> bool:
+        """Whether the client's page is in memory."""
+        return (client, page) in self._where
+
+    def usage(self, client: str) -> int:
+        """Frames currently held by the client."""
+        return len(self._owned.get(client, ()))
+
+    def usage_fraction(self, client: str) -> float:
+        """Fraction of physical memory held by the client."""
+        return self.usage(client) / self.capacity
+
+    def clients(self) -> List[str]:
+        """Clients owning at least one frame."""
+        return [c for c, frames in self._owned.items() if frames]
+
+    def frames_of(self, client: str) -> List[Frame]:
+        """The frames a client currently owns."""
+        return [self.frames[i] for i in self._owned.get(client, ())]
+
+    # -- mutations -------------------------------------------------------------------
+
+    def touch(self, client: str, page: int, now: float) -> None:
+        """Record a reference to a resident page (for LRU baselines)."""
+        index = self._where.get((client, page))
+        if index is None:
+            raise ReproError(f"page {page} of {client!r} is not resident")
+        self.frames[index].last_used = now
+
+    def load(self, client: str, page: int, now: float) -> Frame:
+        """Bind a page into a free frame (caller evicts first if full)."""
+        binding = (client, page)
+        if binding in self._where:
+            raise ReproError(f"page {page} of {client!r} already resident")
+        if not self._free:
+            raise ReproError("no free frame; evict before loading")
+        index = self._free.pop()
+        frame = self.frames[index]
+        frame.binding = binding
+        frame.loaded_at = now
+        frame.last_used = now
+        self._where[binding] = index
+        self._owned.setdefault(client, set()).add(index)
+        return frame
+
+    def evict(self, frame: Frame) -> PageBinding:
+        """Unbind a frame, returning what it held."""
+        if frame.binding is None:
+            raise ReproError(f"frame {frame.index} is already free")
+        binding = frame.binding
+        client, _ = binding
+        frame.binding = None
+        del self._where[binding]
+        self._owned[client].discard(frame.index)
+        self._free.append(frame.index)
+        return binding
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FramePool {self.capacity - self.free_count()}/{self.capacity} used>"

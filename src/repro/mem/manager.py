@@ -1,0 +1,75 @@
+"""Page-fault service: drives reference streams through the frame pool.
+
+The :class:`MemoryManager` is the section 6.2 substrate: clients issue
+virtual-page references; hits update recency, misses fault and -- when
+physical memory is full -- invoke the replacement policy to pick a
+victim.  Per-client fault/eviction statistics support the E10
+experiment's check that victim frequencies track the inverse-lottery
+formula.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.mem.frames import FramePool
+from repro.mem.policies import ReplacementPolicy
+
+__all__ = ["MemoryManager"]
+
+
+class MemoryManager:
+    """Fault handler over a frame pool with a pluggable victim policy."""
+
+    def __init__(self, pool: FramePool, policy: ReplacementPolicy) -> None:
+        self.pool = pool
+        self.policy = policy
+        self.faults: Dict[str, int] = {}
+        self.hits: Dict[str, int] = {}
+        #: client -> pages stolen *from* that client.
+        self.evictions: Dict[str, int] = {}
+        self.total_references = 0
+
+    def reference(self, client: str, page: int, now: float = 0.0) -> bool:
+        """Touch a virtual page; returns True on hit, False on fault.
+
+        A fault loads the page, evicting a victim first when memory is
+        full.  The victim's owner is charged in ``evictions``.
+        """
+        if page < 0:
+            raise ReproError(f"page numbers must be non-negative: {page}")
+        self.total_references += 1
+        if self.pool.resident(client, page):
+            self.pool.touch(client, page, now)
+            self.hits[client] = self.hits.get(client, 0) + 1
+            return True
+        self.faults[client] = self.faults.get(client, 0) + 1
+        if self.pool.free_count() == 0:
+            victim_frame = self.policy.choose_victim(self.pool, now)
+            victim_client, _ = self.pool.evict(victim_frame)
+            self.evictions[victim_client] = self.evictions.get(victim_client, 0) + 1
+        self.pool.load(client, page, now)
+        return False
+
+    # -- statistics ------------------------------------------------------------------
+
+    def fault_rate(self, client: str) -> float:
+        """Faults / references for one client."""
+        faults = self.faults.get(client, 0)
+        hits = self.hits.get(client, 0)
+        total = faults + hits
+        return faults / total if total else 0.0
+
+    def eviction_share(self, client: str) -> float:
+        """Fraction of all evictions that victimized this client."""
+        total = sum(self.evictions.values())
+        if total == 0:
+            return 0.0
+        return self.evictions.get(client, 0) / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MemoryManager policy={self.policy.name}"
+            f" refs={self.total_references} pool={self.pool!r}>"
+        )

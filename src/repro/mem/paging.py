@@ -1,0 +1,110 @@
+"""Paged workloads: memory policy integrated with the CPU scheduler.
+
+:mod:`repro.mem` chooses eviction victims; this module closes the loop
+by making page faults cost the faulting thread *time*: a
+:class:`PagedWorkload` thread interleaves computation with virtual-page
+references against a shared :class:`~repro.mem.manager.MemoryManager`,
+and every miss stalls it for the fault-service latency (a disk read).
+
+This is what turns section 6.2's "who loses a page" into the thing
+users feel -- "whose *program* runs slower under memory pressure" --
+and what the paging-runtime experiment measures: under inverse-lottery
+replacement, a well-funded client keeps both its pages *and* its
+throughput, while ticket-blind LRU lets an unfunded scanner trash
+everyone equally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.kernel.syscalls import Compute, Sleep, Syscall
+from repro.kernel.thread import ThreadContext
+from repro.mem.manager import MemoryManager
+from repro.metrics.counters import WindowedCounter
+
+__all__ = ["PagedWorkload", "DEFAULT_FAULT_SERVICE_MS"]
+
+#: Virtual ms to service one page fault (a disk read, early-90s scale).
+DEFAULT_FAULT_SERVICE_MS = 20.0
+
+
+class PagedWorkload:
+    """A compute loop touching virtual memory through the fault handler.
+
+    Parameters
+    ----------
+    name:
+        Client name charged in the :class:`MemoryManager`'s accounting.
+    manager:
+        The shared fault handler / frame pool.
+    working_set:
+        Number of distinct virtual pages this client cycles over.
+    pattern:
+        "uniform" (random page each step) or "sequential" (cyclic scan
+        -- the classic LRU-killer access pattern).
+    step_ms:
+        CPU consumed between references.
+    references_per_step:
+        Pages touched per compute step.
+    fault_service_ms:
+        Stall per miss (the thread sleeps; the CPU goes to others).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        manager: MemoryManager,
+        working_set: int,
+        pattern: str = "uniform",
+        step_ms: float = 5.0,
+        references_per_step: int = 1,
+        fault_service_ms: float = DEFAULT_FAULT_SERVICE_MS,
+        seed: int = 1,
+    ) -> None:
+        if working_set <= 0:
+            raise ReproError("working_set must be positive")
+        if pattern not in ("uniform", "sequential"):
+            raise ReproError(f"unknown reference pattern {pattern!r}")
+        if step_ms <= 0 or references_per_step <= 0 or fault_service_ms < 0:
+            raise ReproError("invalid paging workload timing parameters")
+        self.name = name
+        self.manager = manager
+        self.working_set = working_set
+        self.pattern = pattern
+        self.step_ms = step_ms
+        self.references_per_step = references_per_step
+        self.fault_service_ms = fault_service_ms
+        self._prng = ParkMillerPRNG(seed)
+        self._cursor = 0
+        #: Completed compute steps against virtual time.
+        self.counter = WindowedCounter(f"paged:{name}")
+        self.faults_taken = 0
+
+    def _next_page(self) -> int:
+        if self.pattern == "sequential":
+            page = self._cursor
+            self._cursor = (self._cursor + 1) % self.working_set
+            return page
+        return self._prng.randrange(self.working_set)
+
+    @property
+    def steps(self) -> float:
+        """Compute steps completed."""
+        return self.counter.total
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
+        """Thread body: compute, touch pages, stall on faults."""
+        while True:
+            yield Compute(self.step_ms)
+            for _ in range(self.references_per_step):
+                hit = self.manager.reference(
+                    self.name, self._next_page(), now=ctx.now
+                )
+                if not hit:
+                    self.faults_taken += 1
+                    if self.fault_service_ms > 0:
+                        yield Sleep(self.fault_service_ms)
+            self.counter.add(ctx.now, 1)

@@ -1,0 +1,119 @@
+"""Page-replacement policies: inverse lottery and classical baselines.
+
+The paper (section 6.2) proposes choosing the *client* from which to
+steal a page by an inverse lottery weighted by both ticket holdings and
+memory usage: a client is victimized with probability proportional to
+``(1 - t_i / T) * usage_i``, so poorly funded memory hogs lose pages
+first while well-funded clients are insulated.  Within the chosen
+client, the oldest resident page is evicted (FIFO within owner).
+
+Baselines: global LRU, global FIFO, and uniformly random -- none of
+which respect ticket allocations, which is exactly the contrast the
+inverse-memory experiment (E10) draws.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional
+
+from repro.core.inverse import weighted_inverse_lottery
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.mem.frames import Frame, FramePool
+
+__all__ = [
+    "ReplacementPolicy",
+    "InverseLotteryReplacement",
+    "LRUReplacement",
+    "FIFOReplacement",
+    "RandomReplacement",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses the frame to evict when memory is full."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose_victim(self, pool: FramePool, now: float) -> Frame:
+        """Return the resident frame to evict (pool is full)."""
+
+
+class InverseLotteryReplacement(ReplacementPolicy):
+    """Proportional-share victim selection (paper section 6.2).
+
+    Parameters
+    ----------
+    tickets_of:
+        Maps a client name to its ticket count.
+    prng:
+        Randomness for the inverse lottery.
+    """
+
+    name = "inverse-lottery"
+
+    def __init__(self, tickets_of: Callable[[str], float],
+                 prng: Optional[ParkMillerPRNG] = None) -> None:
+        self._tickets_of = tickets_of
+        self.prng = prng if prng is not None else ParkMillerPRNG(1)
+        #: client -> times victimized (distribution checks).
+        self.victim_counts: Dict[str, int] = {}
+
+    def choose_victim(self, pool: FramePool, now: float) -> Frame:
+        clients = pool.clients()
+        if not clients:
+            raise ReproError("no resident pages to evict")
+        if len(clients) == 1:
+            victim_client = clients[0]
+        else:
+            entries = [
+                (c, self._tickets_of(c), pool.usage_fraction(c)) for c in clients
+            ]
+            victim_client = weighted_inverse_lottery(entries, self.prng)
+        self.victim_counts[victim_client] = (
+            self.victim_counts.get(victim_client, 0) + 1
+        )
+        # FIFO within the victim client: evict its oldest-loaded page.
+        frames = pool.frames_of(victim_client)
+        return min(frames, key=lambda f: (f.loaded_at, f.index))
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Global least-recently-used baseline (ticket-blind)."""
+
+    name = "lru"
+
+    def choose_victim(self, pool: FramePool, now: float) -> Frame:
+        occupied = [f for f in pool.frames if not f.free]
+        if not occupied:
+            raise ReproError("no resident pages to evict")
+        return min(occupied, key=lambda f: (f.last_used, f.index))
+
+
+class FIFOReplacement(ReplacementPolicy):
+    """Global first-in-first-out baseline (ticket-blind)."""
+
+    name = "fifo"
+
+    def choose_victim(self, pool: FramePool, now: float) -> Frame:
+        occupied = [f for f in pool.frames if not f.free]
+        if not occupied:
+            raise ReproError("no resident pages to evict")
+        return min(occupied, key=lambda f: (f.loaded_at, f.index))
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniformly random victim baseline (ticket-blind)."""
+
+    name = "random"
+
+    def __init__(self, prng: Optional[ParkMillerPRNG] = None) -> None:
+        self.prng = prng if prng is not None else ParkMillerPRNG(1)
+
+    def choose_victim(self, pool: FramePool, now: float) -> Frame:
+        occupied = [f for f in pool.frames if not f.free]
+        if not occupied:
+            raise ReproError("no resident pages to evict")
+        return occupied[self.prng.randrange(len(occupied))]

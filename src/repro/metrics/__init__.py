@@ -1,0 +1,32 @@
+"""Measurement utilities: counters, histograms, statistics, recorders."""
+
+from repro.metrics.counters import WindowedCounter
+from repro.metrics.histogram import Histogram
+from repro.metrics.recorder import KernelRecorder, NullRecorder
+from repro.metrics.stats import (
+    binomial_expected_wins,
+    binomial_variance,
+    geometric_mean_wait,
+    geometric_variance,
+    mean,
+    observed_ratio,
+    ratio_error,
+    stdev,
+    win_proportion_cv,
+)
+
+__all__ = [
+    "Histogram",
+    "KernelRecorder",
+    "NullRecorder",
+    "WindowedCounter",
+    "binomial_expected_wins",
+    "binomial_variance",
+    "geometric_mean_wait",
+    "geometric_variance",
+    "mean",
+    "observed_ratio",
+    "ratio_error",
+    "stdev",
+    "win_proportion_cv",
+]

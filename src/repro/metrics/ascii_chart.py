@@ -1,0 +1,142 @@
+"""Terminal charts for experiment output.
+
+The paper's evaluation is all figures; the experiment drivers print
+their data as tables, and this module adds lightweight ASCII renderings
+so `python -m repro.experiments.<figure>` shows the *shape* of each
+figure directly in the terminal -- cumulative progress curves (Figures
+6-9), scatter plots (Figure 4), and bar charts -- with no plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["line_chart", "scatter_chart", "bar_chart"]
+
+#: Glyphs assigned to series, in order.
+_GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(int(position * steps), steps - 1)
+
+
+def _render_grid(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int,
+    height: int,
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> str:
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ReproError("nothing to plot")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(min(ys), 0.0), max(ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    margin = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(margin)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (f"{' ' * margin}  {x_low:.3g}"
+              + f"{x_high:.6g}".rjust(width - len(f"{x_low:.3g}")))
+    lines.append(x_axis)
+    if x_label or y_label:
+        lines.append(f"{' ' * margin}  x: {x_label}   y: {y_label}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * margin}  {legend}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "time (s)",
+    y_label: str = "",
+) -> str:
+    """Plot named (x, y) series on one grid (progress-curve style)."""
+    if width < 8 or height < 4:
+        raise ReproError("chart area too small")
+    normalized = {name: list(points) for name, points in series.items()
+                  if points}
+    if not normalized:
+        raise ReproError("nothing to plot")
+    return _render_grid(normalized, width, height, title, x_label, y_label)
+
+
+def scatter_chart(
+    points: Sequence[Tuple[float, float]],
+    width: int = 48,
+    height: int = 14,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    diagonal: bool = False,
+) -> str:
+    """Scatter one series; ``diagonal`` overlays the y=x ideal line
+    (Figure 4's 'ideal' reference)."""
+    series: Dict[str, List[Tuple[float, float]]] = {"observed": list(points)}
+    if diagonal and points:
+        xs = [x for x, _ in points]
+        low, high = min(xs), max(xs)
+        steps = max(width, 2)
+        series["ideal"] = [
+            (low + (high - low) * i / (steps - 1),) * 2 for i in range(steps)
+        ]
+    return _render_grid(series, width, height, title, x_label, y_label)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars, labelled with their values."""
+    if not values:
+        raise ReproError("nothing to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(name) for name in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(int(value / peak * width), 0)
+        lines.append(f"{name.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

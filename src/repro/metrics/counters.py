@@ -1,0 +1,94 @@
+"""Time-stamped counters and windowed rate series.
+
+The paper's figures report work done over time windows (Figure 5:
+average iterations/sec over 8-second windows; Figures 6-9: cumulative
+progress curves).  :class:`WindowedCounter` records increments against
+virtual time and can be reduced to either view.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["WindowedCounter"]
+
+
+class WindowedCounter:
+    """Monotone event counter with virtual-time bucketing."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._cumulative: List[float] = []
+        self._total = 0.0
+
+    def add(self, time: float, count: float = 1.0) -> None:
+        """Record ``count`` events at virtual ``time`` (non-decreasing)."""
+        if count < 0:
+            raise ReproError(f"counter increments must be non-negative: {count}")
+        if self._times and time < self._times[-1] - 1e-9:
+            raise ReproError(
+                f"counter {self.name!r}: time went backwards "
+                f"({self._times[-1]} -> {time})"
+            )
+        self._total += count
+        self._times.append(time)
+        self._cumulative.append(self._total)
+
+    @property
+    def total(self) -> float:
+        """Total events recorded."""
+        return self._total
+
+    def total_until(self, time: float) -> float:
+        """Events recorded at or before virtual ``time``."""
+        index = bisect.bisect_right(self._times, time + 1e-9)
+        if index == 0:
+            return 0.0
+        return self._cumulative[index - 1]
+
+    def count_between(self, start: float, end: float) -> float:
+        """Events recorded in the half-open window (start, end]."""
+        return self.total_until(end) - self.total_until(start)
+
+    def window_rates(
+        self, window: float, horizon: float, unit: float = 1000.0
+    ) -> List[Tuple[float, float]]:
+        """Per-window rates: [(window_start, events per ``unit`` ms)].
+
+        With ``unit=1000`` the rates are events/second of virtual time,
+        the unit Figure 5 plots.
+        """
+        if window <= 0:
+            raise ReproError(f"window must be positive: {window}")
+        rates = []
+        start = 0.0
+        while start < horizon - 1e-9:
+            end = min(start + window, horizon)
+            count = self.count_between(start, end)
+            span = end - start
+            rates.append((start, count / span * unit if span > 0 else 0.0))
+            start = end
+        return rates
+
+    def cumulative_series(
+        self, sample_every: float, horizon: float
+    ) -> List[Tuple[float, float]]:
+        """Cumulative totals sampled on a regular grid (progress curves)."""
+        if sample_every <= 0:
+            raise ReproError(f"sample_every must be positive: {sample_every}")
+        series = []
+        t = 0.0
+        while t <= horizon + 1e-9:
+            series.append((t, self.total_until(t)))
+            t += sample_every
+        return series
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WindowedCounter {self.name!r} total={self._total:g}>"

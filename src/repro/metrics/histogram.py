@@ -1,0 +1,83 @@
+"""Fixed-bin histograms for waiting-time distributions (Figure 11)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Histogram"]
+
+
+class Histogram:
+    """Histogram over fixed-width bins with summary statistics."""
+
+    def __init__(self, bin_width: float, name: str = "histogram") -> None:
+        if bin_width <= 0:
+            raise ReproError(f"bin width must be positive: {bin_width}")
+        self.bin_width = bin_width
+        self.name = name
+        self._bins: Dict[int, int] = {}
+        self._values: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one observation (must be non-negative)."""
+        if value < 0:
+            raise ReproError(f"histogram values must be non-negative: {value}")
+        index = int(value // self.bin_width)
+        self._bins[index] = self._bins.get(index, 0) + 1
+        self._values.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def stdev(self) -> float:
+        """Population standard deviation (0 when fewer than 2 samples)."""
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values) / n)
+
+    def bins(self) -> List[Tuple[float, float, int]]:
+        """Sorted (bin_start, bin_end, count) triples, empty bins omitted."""
+        return [
+            (i * self.bin_width, (i + 1) * self.bin_width, self._bins[i])
+            for i in sorted(self._bins)
+        ]
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0 <= q <= 100) by nearest-rank."""
+        if not 0 <= q <= 100:
+            raise ReproError(f"percentile must be in [0, 100]: {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, math.ceil(q / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def render(self, width: int = 50) -> str:
+        """ASCII rendering, one row per bin (for experiment printouts)."""
+        rows = []
+        peak = max(self._bins.values(), default=1)
+        for start, end, count in self.bins():
+            bar = "#" * max(1, int(count / peak * width))
+            rows.append(f"{start:8.0f}-{end:<8.0f} {count:6d} {bar}")
+        return "\n".join(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name!r} n={self.count} mean={self.mean():.1f}>"

@@ -1,0 +1,106 @@
+"""Kernel activity recorder: per-thread CPU accounting over time.
+
+An optional sink the kernel reports dispatch/CPU/block/wake/exit events
+to.  Experiments that only need workload-level counters skip it; the
+fairness and overhead analyses use it to reconstruct CPU shares per
+window without instrumenting thread bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.metrics.counters import WindowedCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import Thread
+
+__all__ = ["KernelRecorder", "NullRecorder"]
+
+
+class NullRecorder:
+    """A recorder that ignores everything (explicit no-op sink)."""
+
+    def on_dispatch(self, thread: "Thread", time: float) -> None:
+        pass
+
+    def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        pass
+
+    def on_block(self, thread: "Thread", time: float) -> None:
+        pass
+
+    def on_wake(self, thread: "Thread", time: float) -> None:
+        pass
+
+    def on_exit(self, thread: "Thread", time: float) -> None:
+        pass
+
+
+class KernelRecorder:
+    """Accumulates per-thread CPU time series and scheduling latencies."""
+
+    def __init__(self) -> None:
+        #: tid -> CPU-milliseconds counter indexed by virtual time.
+        self.cpu: Dict[int, WindowedCounter] = {}
+        #: tid -> dispatch count.
+        self.dispatches: Dict[int, int] = {}
+        #: (time, tid) dispatch log (bounded use: fairness analyses).
+        self.dispatch_log: List[Tuple[float, int]] = []
+        #: tid -> scheduling latencies (runnable -> dispatched), ms.
+        self.latencies: Dict[int, List[float]] = {}
+        self.blocks: Dict[int, int] = {}
+        self.wakes: Dict[int, int] = {}
+        self.exits: Dict[int, float] = {}
+
+    # -- kernel hooks ------------------------------------------------------------
+
+    def on_dispatch(self, thread: "Thread", time: float) -> None:
+        self.dispatches[thread.tid] = self.dispatches.get(thread.tid, 0) + 1
+        self.dispatch_log.append((time, thread.tid))
+        if thread.runnable_since is not None:
+            self.latencies.setdefault(thread.tid, []).append(
+                time - thread.runnable_since
+            )
+
+    def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        counter = self.cpu.get(thread.tid)
+        if counter is None:
+            counter = WindowedCounter(f"cpu:{thread.name}")
+            self.cpu[thread.tid] = counter
+        counter.add(start + duration, duration)
+
+    def on_block(self, thread: "Thread", time: float) -> None:
+        self.blocks[thread.tid] = self.blocks.get(thread.tid, 0) + 1
+
+    def on_wake(self, thread: "Thread", time: float) -> None:
+        self.wakes[thread.tid] = self.wakes.get(thread.tid, 0) + 1
+
+    def on_exit(self, thread: "Thread", time: float) -> None:
+        self.exits[thread.tid] = time
+
+    # -- queries ---------------------------------------------------------------------
+
+    def cpu_time(self, thread: "Thread",
+                 until: Optional[float] = None) -> float:
+        """Total CPU ms charged to the thread (optionally up to a time)."""
+        counter = self.cpu.get(thread.tid)
+        if counter is None:
+            return 0.0
+        if until is None:
+            return counter.total
+        return counter.total_until(until)
+
+    def cpu_share(self, thread: "Thread", start: float, end: float) -> float:
+        """Fraction of the [start, end) window the thread held the CPU."""
+        counter = self.cpu.get(thread.tid)
+        if counter is None or end <= start:
+            return 0.0
+        return counter.count_between(start, end) / (end - start)
+
+    def mean_latency(self, thread: "Thread") -> float:
+        """Average runnable-to-dispatch latency (response-time proxy)."""
+        values = self.latencies.get(thread.tid, [])
+        if not values:
+            return 0.0
+        return sum(values) / len(values)

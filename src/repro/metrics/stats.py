@@ -1,0 +1,125 @@
+"""Statistical laws from the paper's analysis (section 2.2) and helpers.
+
+Section 2.2 derives the fairness properties of lottery scheduling from
+first principles: the number of lotteries won by a client holding a
+fraction ``p`` of the tickets is binomial B(n, p); the number of
+lotteries until its first win is geometric with mean 1/p; and the
+coefficient of variation of the observed win proportion is
+``sqrt((1-p)/(n p))``, which shrinks as 1/sqrt(n) -- the quantitative
+basis for "accuracy improves with sqrt(n_allocations)".  These
+functions are the oracles the property-based tests check the simulator
+against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "binomial_expected_wins",
+    "binomial_variance",
+    "win_proportion_cv",
+    "geometric_mean_wait",
+    "geometric_variance",
+    "mean",
+    "stdev",
+    "observed_ratio",
+    "ratio_error",
+]
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 < p <= 1.0:
+        raise ReproError(f"win probability must be in (0, 1]: {p}")
+
+
+def binomial_expected_wins(n: int, p: float) -> float:
+    """E[wins] = n*p after n identical lotteries (section 2.2)."""
+    _check_probability(p)
+    if n < 0:
+        raise ReproError(f"lottery count must be non-negative: {n}")
+    return n * p
+
+
+def binomial_variance(n: int, p: float) -> float:
+    """Var[wins] = n*p*(1-p) (section 2.2)."""
+    _check_probability(p)
+    if n < 0:
+        raise ReproError(f"lottery count must be non-negative: {n}")
+    return n * p * (1.0 - p)
+
+
+def win_proportion_cv(n: int, p: float) -> float:
+    """Coefficient of variation of the observed win fraction.
+
+    sigma/mu = sqrt(n p (1-p)) / (n p) = sqrt((1-p)/(n p)); the paper
+    states the accuracy of proportional shares improves with sqrt(n).
+    """
+    _check_probability(p)
+    if n <= 0:
+        raise ReproError(f"lottery count must be positive: {n}")
+    return math.sqrt((1.0 - p) / (n * p))
+
+
+def geometric_mean_wait(p: float) -> float:
+    """Expected lotteries before the first win: E = 1/p (section 2.2)."""
+    _check_probability(p)
+    return 1.0 / p
+
+
+def geometric_variance(p: float) -> float:
+    """Variance of the first-win wait: (1-p)/p**2 (section 2.2)."""
+    _check_probability(p)
+    return (1.0 - p) / p**2
+
+
+# -- plain summary helpers (no numpy dependency in the core) --------------------
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0 below two samples."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / n)
+
+
+def observed_ratio(counts: Sequence[float]) -> Tuple[float, ...]:
+    """Normalize counts so the smallest positive entry is 1.0.
+
+    Turns raw progress counts into the "a : b : c" ratio form the
+    paper's figures caption (e.g. "1.92 : 1 : 1.00").
+    """
+    positive = [c for c in counts if c > 0]
+    if not positive:
+        return tuple(0.0 for _ in counts)
+    smallest = min(positive)
+    return tuple(c / smallest for c in counts)
+
+
+def ratio_error(observed: Sequence[float], allocated: Sequence[float]) -> float:
+    """Mean relative error between observed and allocated share vectors."""
+    if len(observed) != len(allocated):
+        raise ReproError("observed and allocated vectors differ in length")
+    total_obs = sum(observed)
+    total_alloc = sum(allocated)
+    if total_obs <= 0 or total_alloc <= 0:
+        raise ReproError("share vectors must have positive totals")
+    errors = []
+    for obs, alloc in zip(observed, allocated):
+        share_obs = obs / total_obs
+        share_alloc = alloc / total_alloc
+        if share_alloc > 0:
+            errors.append(abs(share_obs - share_alloc) / share_alloc)
+    return mean(errors)

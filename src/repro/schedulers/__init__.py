@@ -1,0 +1,20 @@
+"""Scheduling policies: the lottery and the baselines it is compared to."""
+
+from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.fair_share import FairSharePolicy
+from repro.schedulers.lottery_policy import LotteryPolicy
+from repro.schedulers.priority import FixedPriorityPolicy
+from repro.schedulers.round_robin import RoundRobinPolicy
+from repro.schedulers.stride import STRIDE1, StridePolicy
+from repro.schedulers.timesharing import TimesharingPolicy
+
+__all__ = [
+    "FairSharePolicy",
+    "FixedPriorityPolicy",
+    "LotteryPolicy",
+    "RoundRobinPolicy",
+    "STRIDE1",
+    "SchedulingPolicy",
+    "StridePolicy",
+    "TimesharingPolicy",
+]

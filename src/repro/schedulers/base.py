@@ -1,0 +1,64 @@
+"""Scheduling-policy interface the simulated kernel dispatches through.
+
+The kernel is policy-agnostic: it calls ``enqueue`` when a thread
+becomes runnable, ``select`` to choose the next thread to run (the
+selected thread is *removed* from the policy's structure for the
+duration of its quantum, matching Mach's run-queue behaviour -- which is
+also what deactivates a lottery thread's tickets while it runs), and
+``quantum_end`` when the thread comes off the CPU, reporting how much
+of its quantum it used.  Policies that need the clock or an event
+engine (decay-usage recomputation) get them via ``attach``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["SchedulingPolicy"]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Abstract base for all scheduling policies."""
+
+    #: Human-readable policy name, used in experiment reports.
+    name: str = "abstract"
+
+    def attach(self, kernel: "Kernel") -> None:
+        """Called once when the kernel adopts this policy.
+
+        Policies needing periodic work (priority decay) schedule their
+        timers here.  The default does nothing.
+        """
+
+    @abc.abstractmethod
+    def enqueue(self, thread: "Thread") -> None:
+        """A thread became runnable; admit it to the run queue."""
+
+    @abc.abstractmethod
+    def dequeue(self, thread: "Thread") -> None:
+        """A runnable (not running) thread left the queue (blocked/exited)."""
+
+    @abc.abstractmethod
+    def select(self) -> Optional["Thread"]:
+        """Choose and remove the next thread to run; None leaves the CPU idle."""
+
+    def quantum_end(self, thread: "Thread", used: float, quantum: float,
+                    still_runnable: bool) -> None:
+        """The thread came off the CPU after consuming ``used`` of ``quantum``.
+
+        Called *after* the kernel has re-enqueued a still-runnable
+        thread, so ticket-activation state is settled when policies
+        (e.g. compensation) inspect funding.  The default does nothing.
+        """
+
+    def thread_exited(self, thread: "Thread") -> None:
+        """The thread terminated; release any per-thread policy state."""
+
+    def runnable_count(self) -> int:
+        """Number of threads currently admitted (diagnostics)."""
+        return 0

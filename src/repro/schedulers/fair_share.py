@@ -1,0 +1,143 @@
+"""Fair-share scheduler baseline ([Hen84], [Kay88]).
+
+Classical fair-share schedulers grant users/groups *machine shares*
+honoured over long periods: a feedback loop periodically compares each
+party's actual CPU consumption against its entitlement and adjusts
+conventional priorities to push usage toward the shares.  The paper's
+critique (sections 1 and 7) is that the feedback operates at a time
+scale of minutes -- far too coarse for interactive control -- which is
+exactly the behaviour this model exhibits when compared against the
+lottery in the ablation benchmarks.
+
+Model: each thread belongs to a share **group** with a configured
+share.  Every ``adjust_period`` ms the scheduler recomputes a per-group
+priority from the (exponentially decayed) usage-to-share ratio; between
+adjustments, selection is strict priority with round-robin ties --
+i.e. the feedback is only as responsive as the adjustment period.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.schedulers.base import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["FairSharePolicy"]
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Group fair-share with periodic priority adjustment.
+
+    Parameters
+    ----------
+    adjust_period:
+        Virtual ms between feedback adjustments (fair-share schedulers
+        historically used seconds-to-minutes; default 1000 ms).
+    decay:
+        Exponential decay applied to group usage at each adjustment.
+    """
+
+    name = "fair-share"
+
+    def __init__(self, adjust_period: float = 1000.0, decay: float = 0.9) -> None:
+        if adjust_period <= 0:
+            raise SchedulerError("adjust_period must be positive")
+        self.adjust_period = adjust_period
+        self.decay = decay
+        self._shares: Dict[str, float] = {}
+        self._usage: Dict[str, float] = {}
+        self._group_priority: Dict[str, float] = {}
+        self._group_of: Dict[int, str] = {}
+        self._queue: List[Tuple["Thread", int]] = []
+        self._seq = itertools.count()
+        self._kernel: Optional["Kernel"] = None
+        self.adjustments = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    def set_share(self, group: str, share: float) -> None:
+        """Declare a group's machine share (relative weight)."""
+        if share <= 0:
+            raise SchedulerError(f"share must be positive, got {share}")
+        self._shares[group] = share
+        self._usage.setdefault(group, 0.0)
+        self._group_priority.setdefault(group, 0.0)
+
+    def assign(self, thread: "Thread", group: str) -> None:
+        """Place a thread in a share group (must exist)."""
+        if group not in self._shares:
+            raise SchedulerError(f"unknown share group {group!r}")
+        self._group_of[thread.tid] = group
+
+    # -- policy interface ------------------------------------------------------------
+
+    def attach(self, kernel: "Kernel") -> None:
+        self._kernel = kernel
+        kernel.engine.call_after(self.adjust_period, self._adjust_tick,
+                                 label="fair-share-adjust")
+
+    def enqueue(self, thread: "Thread") -> None:
+        if any(t is thread for t, _ in self._queue):
+            raise SchedulerError(f"thread {thread.name!r} already queued")
+        if thread.tid not in self._group_of:
+            # Unassigned threads get a default group with unit share.
+            if "_default" not in self._shares:
+                self.set_share("_default", 1.0)
+            self._group_of[thread.tid] = "_default"
+        self._queue.append((thread, next(self._seq)))
+
+    def dequeue(self, thread: "Thread") -> None:
+        for index, (queued, _) in enumerate(self._queue):
+            if queued is thread:
+                del self._queue[index]
+                return
+        raise SchedulerError(f"thread {thread.name!r} not queued")
+
+    def select(self) -> Optional["Thread"]:
+        if not self._queue:
+            return None
+        best_index = 0
+        best_key = self._sort_key(*self._queue[0])
+        for index in range(1, len(self._queue)):
+            key = self._sort_key(*self._queue[index])
+            if key > best_key:
+                best_key = key
+                best_index = index
+        thread, _ = self._queue.pop(best_index)
+        return thread
+
+    def quantum_end(self, thread: "Thread", used: float, quantum: float,
+                    still_runnable: bool) -> None:
+        group = self._group_of.get(thread.tid, "_default")
+        self._usage[group] = self._usage.get(group, 0.0) + used
+
+    def thread_exited(self, thread: "Thread") -> None:
+        self._group_of.pop(thread.tid, None)
+
+    def runnable_count(self) -> int:
+        return len(self._queue)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _sort_key(self, thread: "Thread", seq: int) -> Tuple[float, int]:
+        group = self._group_of.get(thread.tid, "_default")
+        return (self._group_priority.get(group, 0.0), -seq)
+
+    def _adjust_tick(self) -> None:
+        """The feedback step: usage/share ratio becomes (negated) priority."""
+        total_share = sum(self._shares.values()) or 1.0
+        for group, share in self._shares.items():
+            entitled = share / total_share
+            ratio = self._usage.get(group, 0.0) / max(entitled, 1e-9)
+            self._group_priority[group] = -ratio
+            self._usage[group] = self._usage.get(group, 0.0) * self.decay
+        self.adjustments += 1
+        assert self._kernel is not None
+        self._kernel.engine.call_after(self.adjust_period, self._adjust_tick,
+                                       label="fair-share-adjust")

@@ -1,0 +1,165 @@
+"""The lottery scheduling policy (the paper's contribution, section 4).
+
+Wires the core mechanisms into the kernel's policy interface:
+
+* the run queue is a :class:`~repro.core.lottery.ListLottery` with the
+  prototype's move-to-front heuristic (or an O(log n)
+  :class:`~repro.core.lottery.TreeLottery`);
+* run-queue entry/exit activates/deactivates the thread's tickets,
+  propagating through the currency graph (section 4.4);
+* each ``select`` holds one lottery over the runnable threads' current
+  base-unit funding;
+* quantum accounting grants compensation tickets to threads that
+  under-use their quanta (section 4.5).
+
+Threads whose funding is zero cannot win (the paper's guarantee is for
+clients holding tickets); by default a zero-funding run queue falls
+back to FIFO order so simulations without any funded thread still make
+progress -- disable with ``zero_funding_fallback=False`` to get the
+strict starve-the-unfunded semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.compensation import CompensationManager
+from repro.core.lottery import ListLottery, TreeLottery
+from repro.core.prng import ParkMillerPRNG
+from repro.core.tickets import Ledger
+from repro.errors import EmptyLotteryError
+from repro.schedulers.base import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["LotteryPolicy"]
+
+
+class LotteryPolicy(SchedulingPolicy):
+    """Proportional-share scheduling by lottery.
+
+    Parameters
+    ----------
+    ledger:
+        The ticket/currency registry funding the threads.
+    prng:
+        Winning-ticket source; defaults to a fresh Park-Miller stream.
+    move_to_front:
+        Apply the prototype's move-to-front heuristic (section 4.2).
+    use_tree:
+        Use the O(log n) partial-sum tree instead of the list.  Values
+        are refreshed from thread funding at each select unless
+        ``static_funding`` promises they never change off-queue.
+    compensation:
+        Grant compensation tickets (section 4.5).  The ablation
+        experiment turns this off to reproduce the 1:5 distortion.
+    zero_funding_fallback:
+        Run unfunded threads FIFO instead of starving them.
+    """
+
+    name = "lottery"
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        prng: Optional[ParkMillerPRNG] = None,
+        move_to_front: bool = True,
+        use_tree: bool = False,
+        static_funding: bool = False,
+        compensation: bool = True,
+        zero_funding_fallback: bool = True,
+    ) -> None:
+        self.ledger = ledger
+        self.prng = prng if prng is not None else ParkMillerPRNG(1)
+        self._use_tree = use_tree
+        self._static_funding = static_funding
+        self._zero_funding_fallback = zero_funding_fallback
+        self.compensation: Optional[CompensationManager] = (
+            CompensationManager(ledger) if compensation else None
+        )
+        if use_tree:
+            self._tree: Optional[TreeLottery["Thread"]] = TreeLottery()
+            self._list: Optional[ListLottery["Thread"]] = None
+            self._members: list = []
+        else:
+            self._tree = None
+            self._list = ListLottery(
+                value_of=lambda t: t.funding(), move_to_front=move_to_front
+            )
+        #: Lotteries actually held (overhead accounting).
+        self.lotteries_held = 0
+        #: Times the zero-funding FIFO fallback fired.
+        self.fallback_selections = 0
+
+    # -- policy interface -----------------------------------------------------
+
+    def enqueue(self, thread: "Thread") -> None:
+        thread.start_competing()
+        if self._tree is not None:
+            self._tree.add(thread, thread.funding())
+            self._members.append(thread)
+        else:
+            assert self._list is not None
+            self._list.add(thread)
+
+    def dequeue(self, thread: "Thread") -> None:
+        if self._tree is not None:
+            self._tree.remove(thread)
+            self._members.remove(thread)
+        else:
+            assert self._list is not None
+            self._list.remove(thread)
+        thread.stop_competing()
+
+    def select(self) -> Optional["Thread"]:
+        structure = self._tree if self._tree is not None else self._list
+        assert structure is not None
+        if len(structure) == 0:
+            return None
+        if self._tree is not None and not self._static_funding:
+            for member in self._members:
+                self._tree.set_value(member, member.funding())
+        try:
+            winner = structure.draw(self.prng)
+            self.lotteries_held += 1
+        except EmptyLotteryError:
+            if not self._zero_funding_fallback:
+                return None
+            winner = self._first_member()
+            self.fallback_selections += 1
+        self.dequeue(winner)
+        if self.compensation is not None:
+            # A fresh quantum begins: outstanding compensation expires
+            # (section 4.5: "until the thread starts its next quantum").
+            self.compensation.on_quantum_start(winner)
+        return winner
+
+    def quantum_end(self, thread: "Thread", used: float, quantum: float,
+                    still_runnable: bool) -> None:
+        if self.compensation is not None:
+            self.compensation.on_quantum_end(thread, used, quantum)
+
+    def thread_exited(self, thread: "Thread") -> None:
+        if self.compensation is not None:
+            self.compensation.on_holder_removed(thread)
+
+    def runnable_count(self) -> int:
+        structure = self._tree if self._tree is not None else self._list
+        assert structure is not None
+        return len(structure)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _first_member(self) -> "Thread":
+        if self._tree is not None:
+            return self._members[0]
+        assert self._list is not None
+        return self._list.clients()[0]
+
+    def draw_stats(self):
+        """Search-length statistics of the underlying structure."""
+        structure = self._tree if self._tree is not None else self._list
+        assert structure is not None
+        return structure.stats

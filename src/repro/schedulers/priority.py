@@ -1,0 +1,55 @@
+"""Fixed-priority baseline policy.
+
+A task with higher priority gets *absolute* precedence over lower
+priority (the conventional scheme the paper's introduction criticizes:
+no encapsulation, no proportional control, starvation of the low end).
+Equal-priority threads are served round-robin, as in Mach's
+fixed-priority class (paper footnote 9).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.schedulers.base import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import Thread
+
+__all__ = ["FixedPriorityPolicy"]
+
+
+class FixedPriorityPolicy(SchedulingPolicy):
+    """Strict priority levels; higher ``thread.priority`` wins."""
+
+    name = "fixed-priority"
+
+    def __init__(self) -> None:
+        self._levels: Dict[int, Deque["Thread"]] = {}
+
+    def enqueue(self, thread: "Thread") -> None:
+        level = self._levels.setdefault(thread.priority, deque())
+        if thread in level:
+            raise SchedulerError(f"thread {thread.name!r} already queued")
+        level.append(thread)
+
+    def dequeue(self, thread: "Thread") -> None:
+        level = self._levels.get(thread.priority)
+        if level is None:
+            raise SchedulerError(f"thread {thread.name!r} not queued")
+        try:
+            level.remove(thread)
+        except ValueError:
+            raise SchedulerError(f"thread {thread.name!r} not queued") from None
+
+    def select(self) -> Optional["Thread"]:
+        for priority in sorted(self._levels, reverse=True):
+            level = self._levels[priority]
+            if level:
+                return level.popleft()
+        return None
+
+    def runnable_count(self) -> int:
+        return sum(len(level) for level in self._levels.values())

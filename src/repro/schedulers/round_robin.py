@@ -1,0 +1,48 @@
+"""Round-robin baseline policy.
+
+The simplest time-sharing discipline: runnable threads form a FIFO
+queue; each runs for one quantum and rejoins the tail.  Equal service
+regardless of importance -- the behaviour the paper's Figure 7 clients
+suffer when the X server round-robins their requests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.schedulers.base import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import Thread
+
+__all__ = ["RoundRobinPolicy"]
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """FIFO circular run queue."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._queue: Deque["Thread"] = deque()
+
+    def enqueue(self, thread: "Thread") -> None:
+        if thread in self._queue:
+            raise SchedulerError(f"thread {thread.name!r} already queued")
+        self._queue.append(thread)
+
+    def dequeue(self, thread: "Thread") -> None:
+        try:
+            self._queue.remove(thread)
+        except ValueError:
+            raise SchedulerError(f"thread {thread.name!r} not queued") from None
+
+    def select(self) -> Optional["Thread"]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def runnable_count(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,140 @@
+"""Stride scheduling: the deterministic proportional-share counterpart.
+
+The paper's related/future work points toward deterministic
+proportional-share mechanisms; stride scheduling is the authors' own
+follow-up (Waldspurger & Weihl, 1995) and is included here both as an
+extension and as the variance ablation A3: a lottery's absolute error
+over ``n`` allocations is O(sqrt(n)) while stride's is O(1).
+
+Mechanism: each client has ``stride = STRIDE1 / tickets`` and a
+``pass`` value; the client with the minimum pass runs, then its pass
+advances by its stride (scaled by the fraction of the quantum actually
+used, so partial quanta are charged fairly).  Global pass/stride
+bookkeeping lets clients leave and rejoin without gaming the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.schedulers.base import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import Thread
+
+__all__ = ["StridePolicy", "STRIDE1"]
+
+#: Fixed-point stride constant (large so integer-ish strides stay precise).
+STRIDE1 = float(1 << 20)
+
+
+class StridePolicy(SchedulingPolicy):
+    """Deterministic proportional share via per-client pass values.
+
+    Parameters
+    ----------
+    tickets_of:
+        Callable giving a thread's ticket count.  Defaults to the
+        thread's nominal funding (so the same funding used for lottery
+        experiments drives stride), falling back to 1 when unfunded.
+    """
+
+    name = "stride"
+
+    def __init__(self, tickets_of: Optional[Callable[["Thread"], float]] = None) -> None:
+        self._tickets_of = tickets_of or self._default_tickets
+        self._heap: List[Tuple[float, int, "Thread"]] = []
+        self._entries: Dict[int, Tuple[float, int]] = {}  # tid -> (pass, seq)
+        self._removed: Dict[int, bool] = {}
+        self._seq = itertools.count()
+        # Global virtual time bookkeeping.
+        self._global_tickets = 0.0
+        self._global_pass = 0.0
+        #: tid -> remaining pass offset saved when a client leaves.
+        self._remain: Dict[int, float] = {}
+        self._strides: Dict[int, float] = {}
+        #: Pass value of the most recently selected client (the base the
+        #: post-quantum charge is applied to).
+        self._pending_pass = 0.0
+
+    @staticmethod
+    def _default_tickets(thread: "Thread") -> float:
+        funding = thread.nominal_funding()
+        return funding if funding > 0 else 1.0
+
+    # -- policy interface ------------------------------------------------------------
+
+    def enqueue(self, thread: "Thread") -> None:
+        if thread.tid in self._entries:
+            raise SchedulerError(f"thread {thread.name!r} already queued")
+        tickets = self._tickets_of(thread)
+        if tickets <= 0:
+            tickets = 1.0
+        stride = STRIDE1 / tickets
+        self._strides[thread.tid] = stride
+        offset = self._remain.pop(thread.tid, stride)
+        pass_value = self._global_pass + offset
+        seq = next(self._seq)
+        self._entries[thread.tid] = (pass_value, seq)
+        heapq.heappush(self._heap, (pass_value, seq, thread))
+        self._global_tickets += tickets
+
+    def dequeue(self, thread: "Thread") -> None:
+        entry = self._entries.pop(thread.tid, None)
+        if entry is None:
+            raise SchedulerError(f"thread {thread.name!r} not queued")
+        pass_value, _ = entry
+        # Save how far ahead of global pass the client was, so a rejoin
+        # cannot reset its debt (standard stride leave/join rule).
+        self._remain[thread.tid] = max(pass_value - self._global_pass, 0.0)
+        tickets = STRIDE1 / self._strides[thread.tid]
+        self._global_tickets = max(self._global_tickets - tickets, 0.0)
+        # Lazy heap deletion: stale entries are skipped in select().
+
+    def select(self) -> Optional["Thread"]:
+        while self._heap:
+            pass_value, seq, thread = heapq.heappop(self._heap)
+            current = self._entries.get(thread.tid)
+            if current is None or current != (pass_value, seq):
+                continue  # stale
+            del self._entries[thread.tid]
+            tickets = STRIDE1 / self._strides[thread.tid]
+            self._global_tickets = max(self._global_tickets - tickets, 0.0)
+            self._remain[thread.tid] = max(pass_value - self._global_pass, 0.0)
+            self._pending_pass = pass_value
+            return thread
+        return None
+
+    def quantum_end(self, thread: "Thread", used: float, quantum: float,
+                    still_runnable: bool) -> None:
+        """Advance the client's pass by its stride, scaled by usage.
+
+        The kernel re-enqueues a still-runnable thread *before* this
+        hook, so we adjust the freshly queued entry's pass.
+        """
+        fraction = min(max(used / quantum, 0.0), 1.0) if quantum > 0 else 1.0
+        charge = self._strides.get(thread.tid, STRIDE1) * fraction
+        if self._global_tickets > 0:
+            self._global_pass += (STRIDE1 / self._global_tickets) * fraction
+        if thread.tid in self._entries:
+            old_pass, _ = self._entries[thread.tid]
+            base = getattr(self, "_pending_pass", old_pass)
+            new_pass = base + charge
+            seq = next(self._seq)
+            self._entries[thread.tid] = (new_pass, seq)
+            heapq.heappush(self._heap, (new_pass, seq, thread))
+        else:
+            # Blocked: bank the advanced pass for the rejoin.
+            base = getattr(self, "_pending_pass", self._global_pass)
+            self._remain[thread.tid] = max(base + charge - self._global_pass, 0.0)
+
+    def thread_exited(self, thread: "Thread") -> None:
+        self._entries.pop(thread.tid, None)
+        self._remain.pop(thread.tid, None)
+        self._strides.pop(thread.tid, None)
+
+    def runnable_count(self) -> int:
+        return len(self._entries)

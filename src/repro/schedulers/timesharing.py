@@ -1,0 +1,130 @@
+"""Decay-usage timesharing baseline (the Mach/Unix standard policy).
+
+This is the "standard Mach timesharing policy" the prototype's overhead
+is compared against in section 5.6, and the decay-usage scheme the
+introduction cites as poorly understood ([Hel93]): each thread carries a
+CPU-usage estimate that recent execution raises and an exponential
+decay lowers; effective priority worsens with usage, so interactive
+threads bubble up and compute-bound hogs sink.
+
+Model (classic 4.3BSD-flavoured):
+
+* ``usage`` accumulates CPU milliseconds consumed;
+* every ``decay_period`` ms, ``usage *= decay`` for all threads;
+* effective priority = ``base_priority - usage_weight * usage`` (higher
+  is better here, consistent with :mod:`repro.schedulers.priority`);
+* ``select`` picks the best effective priority, round-robin among ties
+  (insertion order breaks ties deterministically).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.schedulers.base import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["TimesharingPolicy"]
+
+
+class TimesharingPolicy(SchedulingPolicy):
+    """Multilevel-feedback decay-usage scheduler.
+
+    Parameters
+    ----------
+    decay_period:
+        Virtual ms between global usage decays (Unix: 1000).
+    decay:
+        Multiplier applied to every thread's usage each period.
+    usage_weight:
+        Priority penalty per accumulated CPU millisecond.
+    """
+
+    name = "timesharing"
+
+    def __init__(
+        self,
+        decay_period: float = 1000.0,
+        decay: float = 0.5,
+        usage_weight: float = 0.01,
+    ) -> None:
+        if decay_period <= 0:
+            raise SchedulerError("decay_period must be positive")
+        if not 0.0 <= decay <= 1.0:
+            raise SchedulerError("decay must lie in [0, 1]")
+        self.decay_period = decay_period
+        self.decay = decay
+        self.usage_weight = usage_weight
+        self._usage: Dict[int, float] = {}
+        self._queue: List[Tuple["Thread", int]] = []
+        self._seq = itertools.count()
+        self._kernel: Optional["Kernel"] = None
+        #: Number of global decay sweeps performed.
+        self.decay_sweeps = 0
+
+    # -- policy interface -----------------------------------------------------
+
+    def attach(self, kernel: "Kernel") -> None:
+        self._kernel = kernel
+        kernel.engine.call_after(self.decay_period, self._decay_tick,
+                                 label="usage-decay")
+
+    def enqueue(self, thread: "Thread") -> None:
+        if any(t is thread for t, _ in self._queue):
+            raise SchedulerError(f"thread {thread.name!r} already queued")
+        self._usage.setdefault(thread.tid, 0.0)
+        self._queue.append((thread, next(self._seq)))
+
+    def dequeue(self, thread: "Thread") -> None:
+        for index, (queued, _) in enumerate(self._queue):
+            if queued is thread:
+                del self._queue[index]
+                return
+        raise SchedulerError(f"thread {thread.name!r} not queued")
+
+    def select(self) -> Optional["Thread"]:
+        if not self._queue:
+            return None
+        best_index = 0
+        best_key = self._sort_key(*self._queue[0])
+        for index in range(1, len(self._queue)):
+            key = self._sort_key(*self._queue[index])
+            if key > best_key:
+                best_key = key
+                best_index = index
+        thread, _ = self._queue.pop(best_index)
+        return thread
+
+    def quantum_end(self, thread: "Thread", used: float, quantum: float,
+                    still_runnable: bool) -> None:
+        self._usage[thread.tid] = self._usage.get(thread.tid, 0.0) + used
+
+    def thread_exited(self, thread: "Thread") -> None:
+        self._usage.pop(thread.tid, None)
+
+    def runnable_count(self) -> int:
+        return len(self._queue)
+
+    # -- internals ----------------------------------------------------------------
+
+    def effective_priority(self, thread: "Thread") -> float:
+        """Base priority minus the decay-usage penalty (higher runs first)."""
+        return thread.priority - self.usage_weight * self._usage.get(thread.tid, 0.0)
+
+    def _sort_key(self, thread: "Thread", seq: int) -> Tuple[float, int]:
+        # Higher priority first; older queue entries break ties (the -seq
+        # makes earlier arrivals compare greater).
+        return (self.effective_priority(thread), -seq)
+
+    def _decay_tick(self) -> None:
+        for tid in self._usage:
+            self._usage[tid] *= self.decay
+        self.decay_sweeps += 1
+        assert self._kernel is not None
+        self._kernel.engine.call_after(self.decay_period, self._decay_tick,
+                                       label="usage-decay")

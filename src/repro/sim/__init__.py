@@ -1,0 +1,7 @@
+"""Discrete-event simulation substrate (virtual clock, events, engine)."""
+
+from repro.sim.clock import MS, SECONDS, VirtualClock
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Engine", "Event", "EventQueue", "MS", "SECONDS", "VirtualClock"]

@@ -1,0 +1,94 @@
+"""Priority event queue with stable ordering and cancellation.
+
+Events fire in (time, sequence) order: two events scheduled for the
+same instant fire in the order they were scheduled.  That determinism
+matters -- the experiments assert exact reproducibility for a given
+PRNG seed, which a tie-broken-by-hash heap would silently destroy.
+
+Cancellation is O(1) lazy: a cancelled event stays in the heap but is
+skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback; hold the reference to be able to cancel."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[[], None], label: str = ""
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: Diagnostic tag shown in traces ("dispatch", "wakeup", ...).
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (idempotent)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.3f} {self.label or self.callback!r} {state}>"
+
+
+class EventQueue:
+    """Binary-heap event queue keyed by (time, sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = Event(time, next(self._seq), callback, label)
+        heapq.heappush(self._heap, (time, event.seq, event))
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap:
+            time, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return max(self._live, 0)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,7 @@
+"""Synchronization primitives: standard and lottery-scheduled."""
+
+from repro.sync.condition import Condition
+from repro.sync.mutex import LotteryMutex, Mutex, MutexBase
+from repro.sync.semaphore import Semaphore
+
+__all__ = ["Condition", "LotteryMutex", "Mutex", "MutexBase", "Semaphore"]

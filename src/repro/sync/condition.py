@@ -1,0 +1,79 @@
+"""Condition variables layered on the simulated mutexes.
+
+POSIX-style semantics: ``wait`` atomically releases the associated
+mutex and blocks; ``signal``/``broadcast`` move waiters to the mutex's
+acquisition queue, so a signalled thread resumes *holding the lock*.
+With a :class:`~repro.sync.mutex.LotteryMutex` underneath, a signalled
+waiter's funding transfers to the mutex currency while it re-acquires,
+preserving the section 6.1 inheritance behaviour end-to-end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, TYPE_CHECKING
+
+from repro.errors import KernelError
+from repro.sync.mutex import MutexBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["Condition"]
+
+
+class Condition:
+    """A condition variable bound to a mutex."""
+
+    def __init__(self, kernel: "Kernel", mutex: MutexBase, name: str = "cond") -> None:
+        self.kernel = kernel
+        self.mutex = mutex
+        self.name = name
+        self._waiters: Deque["Thread"] = deque()
+        self.signals = 0
+        self.broadcasts = 0
+
+    def wait(self, thread: "Thread") -> Any:
+        """Release the mutex and block until signalled (kernel hook)."""
+        from repro.kernel.kernel import BLOCK  # local import: cycle guard
+
+        if self.mutex.owner is not thread:
+            raise KernelError(
+                f"thread {thread.name!r} waited on {self.name!r} without "
+                f"holding mutex {self.mutex.name!r}"
+            )
+        self.mutex.release(thread)
+        self._waiters.append(thread)
+        return BLOCK
+
+    def signal(self, _signaller: "Thread" = None) -> None:
+        """Wake one waiter; it re-contends for the mutex before resuming."""
+        self.signals += 1
+        if not self._waiters:
+            return
+        waiter = self._waiters.popleft()
+        self._hand_to_mutex(waiter)
+
+    def broadcast(self, _signaller: "Thread" = None) -> None:
+        """Wake every waiter; each re-contends for the mutex."""
+        self.broadcasts += 1
+        while self._waiters:
+            self._hand_to_mutex(self._waiters.popleft())
+
+    def waiting(self) -> int:
+        """Number of threads blocked in wait()."""
+        return len(self._waiters)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _hand_to_mutex(self, waiter: "Thread") -> None:
+        """Move a signalled waiter into the mutex acquisition path."""
+        if self.mutex.owner is None and not self.mutex._has_waiters():
+            # Lock is free: grant immediately and wake the thread.
+            self.mutex._grant(waiter, waited=0.0)
+            self.kernel.wake(waiter)
+        else:
+            # Lock is contended: join the waiter queue; the release path
+            # will wake the thread when it wins the lock.
+            self.mutex._enqueue_waiter(waiter)

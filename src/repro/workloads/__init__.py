@@ -1,0 +1,49 @@
+"""The paper's application workloads, rebuilt on the simulated kernel."""
+
+from repro.workloads.corpus import (
+    DEFAULT_SEARCH_STRING,
+    count_occurrences,
+    generate_corpus,
+)
+from repro.workloads.database import DatabaseClient, DatabaseServer
+from repro.workloads.dhrystone import ITERATION_MS, DhrystoneTask
+from repro.workloads.montecarlo import (
+    MonteCarloEstimator,
+    MonteCarloTask,
+    quarter_circle,
+)
+from repro.workloads.mpeg import MpegViewer
+from repro.workloads.trace_replay import (
+    JobSpec,
+    TraceReplayer,
+    WorkloadTrace,
+    generate_poisson_trace,
+)
+from repro.workloads.synthetic import (
+    Bursty,
+    CpuBound,
+    FractionalQuantum,
+    MutexContender,
+)
+
+__all__ = [
+    "Bursty",
+    "CpuBound",
+    "DEFAULT_SEARCH_STRING",
+    "DatabaseClient",
+    "DatabaseServer",
+    "DhrystoneTask",
+    "FractionalQuantum",
+    "ITERATION_MS",
+    "JobSpec",
+    "MonteCarloEstimator",
+    "MonteCarloTask",
+    "MpegViewer",
+    "MutexContender",
+    "TraceReplayer",
+    "WorkloadTrace",
+    "count_occurrences",
+    "generate_corpus",
+    "generate_poisson_trace",
+    "quarter_circle",
+]

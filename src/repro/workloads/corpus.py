@@ -1,0 +1,95 @@
+"""Deterministic synthetic text corpus (the Shakespeare stand-in).
+
+The paper's database server loads "a 4.6 Mbyte text file database
+containing the complete text to all of William Shakespeare's plays" and
+counts case-insensitive occurrences of a search string; the string
+``lottery`` "incidentally occurs a total of 8 times in Shakespeare's
+plays".  The plays are not shipped here, so this module generates a
+reproducible pseudo-English corpus of any size with a chosen search
+string planted an exact number of times -- preserving the two properties
+the experiment needs: a large body of text to scan, and a known answer
+to validate results against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+
+__all__ = ["generate_corpus", "count_occurrences", "DEFAULT_SEARCH_STRING"]
+
+DEFAULT_SEARCH_STRING = "lottery"
+
+#: Elizabethan-flavoured filler vocabulary (none contain each other or
+#: the default search string, so planted counts are exact).
+_WORDS = [
+    "thou", "art", "more", "temperate", "rough", "winds", "shake",
+    "darling", "buds", "summer", "lease", "hath", "all", "too", "short",
+    "date", "sometime", "hot", "eye", "heaven", "shines", "gold",
+    "complexion", "dimmed", "fair", "from", "declines", "chance",
+    "nature", "changing", "course", "untrimmed", "eternal", "shall",
+    "not", "fade", "lose", "possession", "owest", "death", "brag",
+    "wander", "shade", "when", "lines", "time", "grow", "long", "lives",
+    "this", "gives", "life", "thee", "king", "crown", "sword", "castle",
+    "knight", "forsooth", "prithee", "wherefore", "hence", "anon",
+]
+
+_PUNCTUATION = [".", ",", ";", ":", "!", "?"]
+
+
+def generate_corpus(
+    size_kb: float = 4600.0,
+    search_string: str = DEFAULT_SEARCH_STRING,
+    occurrences: int = 8,
+    seed: int = 1994,
+    line_words: int = 10,
+) -> str:
+    """Build a corpus of roughly ``size_kb`` kilobytes.
+
+    The ``search_string`` is embedded exactly ``occurrences`` times at
+    deterministic pseudo-random positions (case varied to exercise the
+    case-insensitive search).  Raises if the filler vocabulary could
+    collide with the search string.
+    """
+    if size_kb <= 0:
+        raise ReproError(f"corpus size must be positive: {size_kb}")
+    if occurrences < 0:
+        raise ReproError(f"occurrences must be non-negative: {occurrences}")
+    needle = search_string.lower()
+    for word in _WORDS:
+        if needle in word or word in needle:
+            raise ReproError(
+                f"search string {search_string!r} collides with filler word {word!r}"
+            )
+    prng = ParkMillerPRNG(seed)
+    target_chars = int(size_kb * 1024)
+    words: List[str] = []
+    length = 0
+    while length < target_chars:
+        word = _WORDS[prng.randrange(len(_WORDS))]
+        if prng.randrange(8) == 0:
+            word += _PUNCTUATION[prng.randrange(len(_PUNCTUATION))]
+        if len(words) % line_words == line_words - 1:
+            word += "\n"
+        words.append(word)
+        length += len(word) + 1
+
+    if occurrences > 0:
+        if len(words) < occurrences:
+            raise ReproError("corpus too small to plant the occurrences")
+        stride = len(words) // occurrences
+        for k in range(occurrences):
+            position = k * stride + prng.randrange(max(stride // 2, 1))
+            # Vary case so a naive case-sensitive search would miss some.
+            planted = search_string.capitalize() if k % 3 == 0 else needle
+            words[min(position, len(words) - 1)] = planted
+    return " ".join(words)
+
+
+def count_occurrences(corpus: str, search_string: str) -> int:
+    """Case-insensitive substring count (the server's query operation)."""
+    if not search_string:
+        raise ReproError("search string must be non-empty")
+    return corpus.lower().count(search_string.lower())

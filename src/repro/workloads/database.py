@@ -1,0 +1,177 @@
+"""Multithreaded text-search client-server workload (Figure 7, §5.3).
+
+The paper's server loads the Shakespeare corpus, forks worker threads,
+and services case-insensitive substring-count queries from clients over
+synchronous RPC.  Crucially, **the server holds no tickets of its own**:
+it relies entirely on the tickets transferred from blocked clients, so
+server CPU is consumed at each client's funded rate and both throughput
+and response time track the 8:3:1 allocation.
+
+This module wires the same structure onto the simulated kernel:
+
+* :class:`DatabaseServer` -- owns the corpus, a request port, and N
+  worker threads that loop ``Receive -> Compute(scan) -> Reply``.  The
+  scan cost is proportional to corpus size; the *result* is a real
+  substring count over the real generated corpus.
+* :class:`DatabaseClient` -- issues back-to-back queries via ``Call``
+  (which transfers its tickets) and records per-query response times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.errors import ReproError
+from repro.kernel.ipc import Port, Request
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import Call, Compute, Receive, Reply, Syscall
+from repro.kernel.thread import Thread, ThreadContext
+from repro.metrics.counters import WindowedCounter
+from repro.workloads.corpus import count_occurrences, generate_corpus
+
+__all__ = ["DatabaseServer", "DatabaseClient"]
+
+#: Virtual CPU ms to scan 1 KB of corpus (25 MHz-era string search).
+DEFAULT_SCAN_MS_PER_KB = 0.4
+
+
+class DatabaseServer:
+    """The ticketless multithreaded search server.
+
+    Parameters
+    ----------
+    kernel:
+        The simulated machine to run on.
+    workers:
+        Worker thread count (the paper "forks off several").
+    corpus_kb:
+        Size of the generated corpus (paper: 4600 KB).
+    scan_ms_per_kb:
+        Virtual CPU cost per KB scanned per query.
+    use_server_currency:
+        Fund a server currency from client transfers (footnote-4 mode)
+        instead of funding the receiving thread directly.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        workers: int = 3,
+        corpus_kb: float = 4600.0,
+        scan_ms_per_kb: float = DEFAULT_SCAN_MS_PER_KB,
+        corpus_seed: int = 1994,
+        search_occurrences: int = 8,
+        use_server_currency: bool = False,
+    ) -> None:
+        if workers <= 0:
+            raise ReproError("server needs at least one worker thread")
+        self.kernel = kernel
+        self.corpus = generate_corpus(
+            size_kb=corpus_kb, occurrences=search_occurrences, seed=corpus_seed
+        )
+        self.corpus_kb = len(self.corpus) / 1024.0
+        self.scan_ms_per_kb = scan_ms_per_kb
+        self.task = kernel.create_task("db-server")
+        currency = None
+        if use_server_currency:
+            currency = kernel.ledger.create_currency("db-server")
+            self.task.currency = currency
+        self.port = Port(kernel, "db-requests", currency=currency)
+        self.queries_served = 0
+        self._result_cache: dict = {}
+        # The server holds (essentially) no tickets of its own (paper
+        # section 5.3) and runs on transferred client rights.  Each
+        # worker gets one token base ticket so it can reach its first
+        # Receive -- the analogue of the startup funding the real server
+        # briefly had from the shell that launched it.
+        self.worker_threads: List[Thread] = [
+            kernel.spawn(
+                self._worker_body, f"db-worker-{i}", task=self.task, tickets=1
+            )
+            for i in range(workers)
+        ]
+        if use_server_currency:
+            # Threads in footnote-4 mode are backed by the server
+            # currency so a transfer accelerates all of them.
+            for thread in self.worker_threads:
+                thread.fund_from(kernel.ledger, 100, currency=currency)
+
+    # -- query execution ------------------------------------------------------------
+
+    def _scan_cost(self) -> float:
+        return self.corpus_kb * self.scan_ms_per_kb
+
+    def _execute(self, search_string: str) -> int:
+        """The real query: case-insensitive occurrence count (cached)."""
+        key = search_string.lower()
+        if key not in self._result_cache:
+            self._result_cache[key] = count_occurrences(self.corpus, search_string)
+        return self._result_cache[key]
+
+    def _worker_body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
+        while True:
+            request: Request = yield Receive(self.port)
+            # The scan burns CPU proportional to corpus size while the
+            # worker runs on the client's transferred funding.
+            yield Compute(self._scan_cost())
+            result = self._execute(str(request.message))
+            self.queries_served += 1
+            yield Reply(request, result)
+
+
+class DatabaseClient:
+    """A funded client issuing back-to-back substring-count queries."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        server: DatabaseServer,
+        name: str,
+        tickets: float,
+        search_string: str = "lottery",
+        max_queries: Optional[int] = None,
+        think_ms: float = 1.0,
+    ) -> None:
+        if think_ms < 0:
+            raise ReproError("think_ms must be non-negative")
+        self.kernel = kernel
+        self.server = server
+        self.name = name
+        self.search_string = search_string
+        self.max_queries = max_queries
+        self.think_ms = think_ms
+        self.counter = WindowedCounter(f"queries:{name}")
+        self.response_times: List[float] = []
+        #: (completion virtual time, response time) per query.
+        self.completions: List[tuple] = []
+        self.results: List[int] = []
+        task = kernel.create_task(f"client:{name}", create_currency=True)
+        kernel.ledger.create_ticket(tickets, fund=task.currency)
+        self.thread = kernel.spawn(
+            self._body, name, task=task, tickets=100
+        )
+
+    @property
+    def completed(self) -> int:
+        """Queries answered so far."""
+        return len(self.response_times)
+
+    def mean_response_time(self) -> float:
+        """Average per-query response time (ms)."""
+        if not self.response_times:
+            return 0.0
+        return sum(self.response_times) / len(self.response_times)
+
+    def _body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
+        issued = 0
+        while self.max_queries is None or issued < self.max_queries:
+            if self.think_ms > 0:
+                yield Compute(self.think_ms)
+            started = ctx.now
+            result = yield Call(self.server.port, self.search_string)
+            elapsed = ctx.now - started
+            self.response_times.append(elapsed)
+            self.completions.append((ctx.now, elapsed))
+            self.results.append(int(result))
+            self.counter.add(ctx.now, 1)
+            issued += 1

@@ -1,0 +1,70 @@
+"""Dhrystone-style compute-bound workload (Figures 4, 5, 9).
+
+The paper measures relative execution rates with the Dhrystone
+benchmark [Wei84]: a pure CPU loop whose iteration count is the
+progress metric.  Here a Dhrystone task is a thread that alternates
+``Compute`` chunks with progress recording; its iteration *rate* is
+therefore exactly proportional to the CPU share the scheduler grants
+it, which is the quantity Figures 4/5/9 plot.
+
+The default calibration (0.05 ms/iteration, i.e. 20k iterations/sec of
+dedicated CPU) is in the ballpark of the paper's 25 MHz DECStation;
+only ratios matter to the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.kernel.syscalls import Compute, Syscall
+from repro.kernel.thread import ThreadContext
+from repro.metrics.counters import WindowedCounter
+
+__all__ = ["DhrystoneTask", "ITERATION_MS"]
+
+#: Virtual CPU milliseconds per Dhrystone iteration.
+ITERATION_MS = 0.05
+
+
+class DhrystoneTask:
+    """A compute-bound iteration counter.
+
+    Parameters
+    ----------
+    chunk_iterations:
+        Iterations per Compute chunk.  The default (200 iterations =
+        10 ms) keeps event counts low while staying much finer than the
+        100 ms quantum.
+    iteration_ms:
+        Virtual CPU cost per iteration.
+    """
+
+    def __init__(self, name: str, chunk_iterations: int = 200,
+                 iteration_ms: float = ITERATION_MS) -> None:
+        if chunk_iterations <= 0:
+            raise ReproError("chunk_iterations must be positive")
+        if iteration_ms <= 0:
+            raise ReproError("iteration_ms must be positive")
+        self.name = name
+        self.chunk_iterations = chunk_iterations
+        self.iteration_ms = iteration_ms
+        self.counter = WindowedCounter(f"dhrystone:{name}")
+
+    @property
+    def iterations(self) -> float:
+        """Total iterations completed."""
+        return self.counter.total
+
+    def rate_per_second(self, start: float, end: float) -> float:
+        """Average iterations/sec over a virtual-time window."""
+        if end <= start:
+            return 0.0
+        return self.counter.count_between(start, end) / (end - start) * 1000.0
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, None, None]:
+        """Thread body: compute forever, recording progress per chunk."""
+        chunk_ms = self.chunk_iterations * self.iteration_ms
+        while True:
+            yield Compute(chunk_ms)
+            self.counter.add(ctx.now, self.chunk_iterations)

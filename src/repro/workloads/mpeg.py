@@ -1,0 +1,81 @@
+"""MPEG viewer workload (Figure 8, section 5.4).
+
+The paper runs three ``mpeg_play`` viewers displaying the same music
+video and controls their relative frame rates purely through ticket
+allocations (3:2:1, changed to 3:1:2 mid-run).  Decoding dominates when
+run with ``-no_display``, so a viewer's frame rate is proportional to
+its CPU share.  The simulated viewer decodes frames of configurable CPU
+cost in a loop, recording each displayed frame against virtual time;
+an optional target frame rate adds the sleep-until-deadline pacing a
+real viewer performs when it is *not* CPU-starved.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import ReproError
+from repro.kernel.syscalls import Compute, Sleep, Syscall
+from repro.kernel.thread import ThreadContext
+from repro.metrics.counters import WindowedCounter
+
+__all__ = ["MpegViewer"]
+
+
+class MpegViewer:
+    """A frame-decoding loop whose rate tracks its CPU share.
+
+    Parameters
+    ----------
+    decode_ms:
+        Virtual CPU cost to decode one frame.  The paper's observed
+        rates of a few frames/sec on a shared CPU correspond to
+        ~100 ms+ decode times on that hardware; the default of 100 ms
+        reproduces per-second rates of the same magnitude.
+    target_fps:
+        Optional display deadline pacing: a viewer ahead of schedule
+        sleeps until its next frame is due (only matters when its CPU
+        share exceeds what the target rate needs).
+    """
+
+    def __init__(self, name: str, decode_ms: float = 100.0,
+                 target_fps: Optional[float] = None) -> None:
+        if decode_ms <= 0:
+            raise ReproError("decode_ms must be positive")
+        if target_fps is not None and target_fps <= 0:
+            raise ReproError("target_fps must be positive when given")
+        self.name = name
+        self.decode_ms = decode_ms
+        self.target_fps = target_fps
+        self.counter = WindowedCounter(f"mpeg:{name}")
+
+    @property
+    def frames(self) -> float:
+        """Total frames decoded and displayed."""
+        return self.counter.total
+
+    def frame_rate(self, start: float, end: float) -> float:
+        """Average frames/sec over a virtual-time window."""
+        if end <= start:
+            return 0.0
+        return self.counter.count_between(start, end) / (end - start) * 1000.0
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, None, None]:
+        """Thread body: decode frames forever, pacing to target_fps if set."""
+        frame_interval = (
+            1000.0 / self.target_fps if self.target_fps is not None else None
+        )
+        next_deadline = ctx.now
+        while True:
+            yield Compute(self.decode_ms)
+            self.counter.add(ctx.now, 1)
+            if frame_interval is not None:
+                next_deadline += frame_interval
+                slack = next_deadline - ctx.now
+                if slack > 0:
+                    yield Sleep(slack)
+                else:
+                    # Behind schedule: drop the debt rather than racing
+                    # (mpeg_play skips frames; the progress metric here
+                    # is decoded frames either way).
+                    next_deadline = ctx.now

@@ -1,0 +1,133 @@
+"""Parametric synthetic workloads (ablation and stress substrates).
+
+Generic thread-body factories used by tests, ablation benchmarks, and
+examples: pure CPU spinners, I/O-bound loops that use a fixed fraction
+of each quantum (the compensation-ticket scenario of section 4.5),
+bursty on/off tasks, and the mutex contenders of section 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.kernel.syscalls import (
+    AcquireMutex,
+    Compute,
+    ReleaseMutex,
+    Sleep,
+    Syscall,
+    YieldCPU,
+)
+from repro.kernel.thread import ThreadContext
+from repro.metrics.counters import WindowedCounter
+from repro.sync.mutex import MutexBase
+
+__all__ = ["CpuBound", "FractionalQuantum", "Bursty", "MutexContender"]
+
+
+class CpuBound:
+    """Compute forever in fixed chunks, counting chunks completed."""
+
+    def __init__(self, name: str, chunk_ms: float = 10.0) -> None:
+        if chunk_ms <= 0:
+            raise ReproError("chunk_ms must be positive")
+        self.name = name
+        self.chunk_ms = chunk_ms
+        self.counter = WindowedCounter(f"cpu:{name}")
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
+        while True:
+            yield Compute(self.chunk_ms)
+            self.counter.add(ctx.now, 1)
+
+
+class FractionalQuantum:
+    """Use a fixed fraction of each quantum, then yield (section 4.5).
+
+    The paper's thread B computes for 20 ms of each 100 ms quantum and
+    yields; with compensation tickets its CPU *rate while running*
+    drops but its lottery win rate rises by 5x, preserving its share.
+    """
+
+    def __init__(self, name: str, burst_ms: float = 20.0) -> None:
+        if burst_ms <= 0:
+            raise ReproError("burst_ms must be positive")
+        self.name = name
+        self.burst_ms = burst_ms
+        self.counter = WindowedCounter(f"frac:{name}")
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
+        while True:
+            yield Compute(self.burst_ms)
+            self.counter.add(ctx.now, 1)
+            yield YieldCPU()
+
+
+class Bursty:
+    """Alternate CPU bursts with off-CPU sleeps (interactive-ish load)."""
+
+    def __init__(self, name: str, burst_ms: float = 5.0,
+                 sleep_ms: float = 50.0) -> None:
+        if burst_ms <= 0 or sleep_ms < 0:
+            raise ReproError("burst_ms must be positive, sleep_ms non-negative")
+        self.name = name
+        self.burst_ms = burst_ms
+        self.sleep_ms = sleep_ms
+        self.counter = WindowedCounter(f"bursty:{name}")
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
+        while True:
+            yield Compute(self.burst_ms)
+            self.counter.add(ctx.now, 1)
+            if self.sleep_ms > 0:
+                yield Sleep(self.sleep_ms)
+
+
+class MutexContender:
+    """The section 6.1 loop: acquire, hold h ms, release, compute t ms.
+
+    "Each thread repeatedly acquires the mutex, holds it for h
+    milliseconds, releases the mutex, and computes for another t
+    milliseconds."  Acquisition counts and waiting times are recorded
+    by the mutex itself; the contender counts complete cycles.
+
+    ``jitter`` varies each hold/compute burst by up to that fraction
+    (real section times are never exact): without it, a 50+50 ms cycle
+    aligns perfectly with a 100 ms quantum and the lock would never be
+    observed held -- an artifact of idealized simulation, not of the
+    mechanism under test.
+    """
+
+    def __init__(self, name: str, mutex: MutexBase, hold_ms: float = 50.0,
+                 compute_ms: float = 50.0, jitter: float = 0.2,
+                 seed: int = 1, max_cycles: Optional[int] = None) -> None:
+        if hold_ms <= 0 or compute_ms < 0:
+            raise ReproError("hold_ms must be positive, compute_ms non-negative")
+        if not 0.0 <= jitter < 1.0:
+            raise ReproError("jitter must lie in [0, 1)")
+        self.name = name
+        self.mutex = mutex
+        self.hold_ms = hold_ms
+        self.compute_ms = compute_ms
+        self.jitter = jitter
+        self.max_cycles = max_cycles
+        self.counter = WindowedCounter(f"mutex:{name}")
+        self._prng = ParkMillerPRNG(seed)
+
+    def _jittered(self, base: float) -> float:
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * self._prng.uniform() - 1.0))
+
+    def body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
+        cycles = 0
+        while self.max_cycles is None or cycles < self.max_cycles:
+            yield AcquireMutex(self.mutex)
+            yield Compute(self._jittered(self.hold_ms))
+            yield ReleaseMutex(self.mutex)
+            self.counter.add(ctx.now, 1)
+            if self.compute_ms > 0:
+                yield Compute(self._jittered(self.compute_ms))
+            cycles += 1

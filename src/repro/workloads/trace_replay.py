@@ -1,0 +1,215 @@
+"""Trace-driven workloads: record, generate, and replay job streams.
+
+The paper's experiments use steady synthetic applications; real systems
+see *job streams* -- arrivals over time, each with its own CPU demand,
+I/O pattern, and importance.  This module provides the substrate for
+trace-driven evaluation:
+
+* :class:`JobSpec` -- one job: arrival time, ticket funding, and a list
+  of (cpu_ms, sleep_ms) phases;
+* :class:`WorkloadTrace` -- an ordered collection of jobs with CSV
+  round-tripping, so traces can be versioned alongside experiments;
+* :func:`generate_poisson_trace` -- a synthetic open-arrival generator
+  (Poisson arrivals, exponential service) driven by the reproducible
+  Park-Miller stream;
+* :class:`TraceReplayer` -- spawns each job on a kernel at its arrival
+  time and records per-job response times (completion - arrival), the
+  metric batch/interactive studies care about.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import Compute, Sleep
+from repro.kernel.thread import Thread
+
+__all__ = [
+    "JobSpec",
+    "WorkloadTrace",
+    "TraceReplayer",
+    "generate_poisson_trace",
+]
+
+
+@dataclass
+class JobSpec:
+    """One job in a trace."""
+
+    name: str
+    arrival_ms: float
+    tickets: float
+    #: Alternating (cpu_ms, sleep_ms) phases; sleep 0 = pure compute.
+    phases: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.arrival_ms < 0:
+            raise ReproError(f"job {self.name!r}: negative arrival time")
+        if self.tickets < 0:
+            raise ReproError(f"job {self.name!r}: negative tickets")
+        for cpu_ms, sleep_ms in self.phases:
+            if cpu_ms < 0 or sleep_ms < 0:
+                raise ReproError(f"job {self.name!r}: negative phase time")
+
+    @property
+    def total_cpu_ms(self) -> float:
+        """CPU demand of the whole job."""
+        return sum(cpu for cpu, _ in self.phases)
+
+
+class WorkloadTrace:
+    """An arrival-ordered list of jobs, serializable to CSV."""
+
+    def __init__(self, jobs: Optional[Sequence[JobSpec]] = None) -> None:
+        self.jobs: List[JobSpec] = sorted(
+            jobs or [], key=lambda j: j.arrival_ms
+        )
+
+    def add(self, job: JobSpec) -> None:
+        """Insert a job, keeping arrival order."""
+        self.jobs.append(job)
+        self.jobs.sort(key=lambda j: j.arrival_ms)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    def total_cpu_ms(self) -> float:
+        """Aggregate CPU demand of the trace."""
+        return sum(job.total_cpu_ms for job in self.jobs)
+
+    # -- CSV round-trip --------------------------------------------------------
+    # Format: name,arrival_ms,tickets,cpu0,sleep0,cpu1,sleep1,...
+
+    def to_csv(self) -> str:
+        """Serialize (header + one row per job)."""
+        out = io.StringIO()
+        out.write("name,arrival_ms,tickets,phases...\n")
+        for job in self.jobs:
+            cells = [job.name, f"{job.arrival_ms:g}", f"{job.tickets:g}"]
+            for cpu_ms, sleep_ms in job.phases:
+                cells.append(f"{cpu_ms:g}")
+                cells.append(f"{sleep_ms:g}")
+            out.write(",".join(cells) + "\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "WorkloadTrace":
+        """Parse the format written by :meth:`to_csv`."""
+        jobs = []
+        lines = [line for line in text.splitlines() if line.strip()]
+        for line in lines[1:]:  # skip header
+            cells = line.split(",")
+            if len(cells) < 3 or (len(cells) - 3) % 2 != 0:
+                raise ReproError(f"malformed trace row: {line!r}")
+            phases = [
+                (float(cells[i]), float(cells[i + 1]))
+                for i in range(3, len(cells), 2)
+            ]
+            jobs.append(
+                JobSpec(cells[0], float(cells[1]), float(cells[2]), phases)
+            )
+        return cls(jobs)
+
+
+def generate_poisson_trace(
+    count: int,
+    arrival_rate_per_s: float = 1.0,
+    mean_cpu_ms: float = 200.0,
+    mean_sleep_ms: float = 0.0,
+    phases_per_job: int = 2,
+    tickets_choices: Sequence[float] = (100.0,),
+    seed: int = 1,
+) -> WorkloadTrace:
+    """Synthetic open-arrival trace (Poisson/exponential)."""
+    if count <= 0:
+        raise ReproError("trace must contain at least one job")
+    if arrival_rate_per_s <= 0 or mean_cpu_ms <= 0:
+        raise ReproError("rates and demands must be positive")
+    prng = ParkMillerPRNG(seed)
+    jobs = []
+    clock = 0.0
+    for index in range(count):
+        clock += prng.expovariate(arrival_rate_per_s / 1000.0)
+        phases = []
+        for _ in range(phases_per_job):
+            cpu = prng.expovariate(1.0 / mean_cpu_ms)
+            sleep = (prng.expovariate(1.0 / mean_sleep_ms)
+                     if mean_sleep_ms > 0 else 0.0)
+            phases.append((cpu, sleep))
+        tickets = tickets_choices[prng.randrange(len(tickets_choices))]
+        jobs.append(JobSpec(f"job{index}", clock, tickets, phases))
+    return WorkloadTrace(jobs)
+
+
+class TraceReplayer:
+    """Spawns a trace's jobs on a kernel and collects response times."""
+
+    def __init__(self, kernel: Kernel, trace: WorkloadTrace) -> None:
+        self.kernel = kernel
+        self.trace = trace
+        #: job name -> (arrival, completion) once finished.
+        self.completions: Dict[str, Tuple[float, float]] = {}
+        self.threads: Dict[str, Thread] = {}
+
+    def start(self) -> None:
+        """Schedule every job's spawn at its arrival time."""
+        for job in self.trace:
+            self.kernel.engine.call_at(
+                job.arrival_ms,
+                lambda j=job: self._spawn(j),
+                label=f"arrive:{job.name}",
+            )
+
+    def _spawn(self, job: JobSpec) -> None:
+        def body(ctx):
+            for cpu_ms, sleep_ms in job.phases:
+                if cpu_ms > 0:
+                    yield Compute(cpu_ms)
+                if sleep_ms > 0:
+                    yield Sleep(sleep_ms)
+            self.completions[job.name] = (job.arrival_ms, ctx.now)
+
+        self.threads[job.name] = self.kernel.spawn(
+            body, job.name, tickets=job.tickets or None
+        )
+
+    # -- results ------------------------------------------------------------------
+
+    def response_times(self) -> Dict[str, float]:
+        """Completion - arrival per finished job (ms)."""
+        return {
+            name: done - arrived
+            for name, (arrived, done) in self.completions.items()
+        }
+
+    def completed(self) -> int:
+        """Jobs finished so far."""
+        return len(self.completions)
+
+    def mean_response_time(self) -> float:
+        """Average response time of finished jobs (0 if none)."""
+        times = list(self.response_times().values())
+        if not times:
+            return 0.0
+        return sum(times) / len(times)
+
+    def slowdowns(self) -> Dict[str, float]:
+        """Response time over ideal (unloaded) duration per job."""
+        ideal = {
+            job.name: max(
+                job.total_cpu_ms + sum(s for _, s in job.phases), 1e-9
+            )
+            for job in self.trace
+        }
+        return {
+            name: elapsed / ideal[name]
+            for name, elapsed in self.response_times().items()
+        }

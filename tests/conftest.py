@@ -1,0 +1,57 @@
+"""Shared pytest fixtures and helpers for the lottery-scheduling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prng import ParkMillerPRNG
+from repro.core.tickets import Ledger
+from repro.kernel.kernel import Kernel
+from repro.schedulers.lottery_policy import LotteryPolicy
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def ledger():
+    """A fresh ticket/currency ledger."""
+    return Ledger()
+
+
+@pytest.fixture
+def prng():
+    """A deterministic Park-Miller stream."""
+    return ParkMillerPRNG(12345)
+
+
+@pytest.fixture
+def engine():
+    """A fresh discrete-event engine at t=0."""
+    return Engine()
+
+
+def make_lottery_kernel(seed: int = 1, quantum: float = 100.0,
+                        **policy_kwargs):
+    """Engine + ledger + lottery kernel, wired together."""
+    engine = Engine()
+    ledger = Ledger()
+    policy = LotteryPolicy(ledger, prng=ParkMillerPRNG(seed), **policy_kwargs)
+    kernel = Kernel(engine, policy, ledger=ledger, quantum=quantum)
+    return kernel
+
+
+@pytest.fixture
+def lottery_kernel():
+    """A ready-to-use kernel with the lottery policy."""
+    return make_lottery_kernel()
+
+
+def spin_body(chunk_ms: float = 10.0):
+    """A compute-forever thread body factory."""
+
+    def body(ctx):
+        from repro.kernel.syscalls import Compute
+
+        while True:
+            yield Compute(chunk_ms)
+
+    return body

@@ -1,0 +1,120 @@
+"""Tests for compensation tickets (paper sections 3.4 / 4.5)."""
+
+import pytest
+
+from repro.core.compensation import CompensationManager, MIN_FRACTION
+from repro.core.tickets import TicketHolder
+from repro.errors import SchedulerError
+
+
+@pytest.fixture
+def manager(ledger):
+    return CompensationManager(ledger)
+
+
+def competing_holder(ledger, amount=400.0):
+    holder = TicketHolder("h")
+    ledger.create_ticket(amount, fund=holder)
+    holder.start_competing()
+    return holder
+
+
+class TestGrants:
+    def test_paper_worked_example(self, ledger, manager):
+        # Section 4.5: 400-unit thread using 1/5 of its quantum gets a
+        # compensation ticket worth 1600 base units -> total 2000.
+        holder = competing_holder(ledger, 400)
+        manager.on_quantum_end(holder, used=20.0, quantum=100.0)
+        assert manager.compensation_value(holder) == pytest.approx(1600)
+        assert holder.funding() == pytest.approx(2000)
+
+    def test_full_quantum_grants_nothing(self, ledger, manager):
+        holder = competing_holder(ledger)
+        manager.on_quantum_end(holder, used=100.0, quantum=100.0)
+        assert manager.compensation_value(holder) == 0.0
+
+    def test_overshoot_grants_nothing(self, ledger, manager):
+        holder = competing_holder(ledger)
+        manager.on_quantum_end(holder, used=120.0, quantum=100.0)
+        assert manager.compensation_value(holder) == 0.0
+
+    def test_zero_use_grants_nothing(self, ledger, manager):
+        # Below clock granularity: no compensation is defined.
+        holder = competing_holder(ledger)
+        manager.on_quantum_end(holder, used=0.0, quantum=100.0)
+        assert manager.compensation_value(holder) == 0.0
+
+    def test_tiny_use_clamped(self, ledger, manager):
+        holder = competing_holder(ledger, 100)
+        manager.on_quantum_end(holder, used=1e-5, quantum=100.0)
+        # Clamped at MIN_FRACTION: bonus = 100 * (1/MIN_FRACTION - 1).
+        expected = 100 * (1.0 / MIN_FRACTION - 1.0)
+        assert manager.compensation_value(holder) == pytest.approx(expected)
+
+    def test_unfunded_holder_gets_nothing(self, ledger, manager):
+        holder = TicketHolder("poor")
+        holder.start_competing()
+        manager.on_quantum_end(holder, used=10.0, quantum=100.0)
+        assert manager.compensation_value(holder) == 0.0
+
+    def test_grant_counts(self, ledger, manager):
+        holder = competing_holder(ledger)
+        manager.on_quantum_end(holder, used=50.0, quantum=100.0)
+        manager.on_quantum_end(holder, used=50.0, quantum=100.0)
+        assert manager.grants_issued == 2
+        assert manager.outstanding() == 1
+
+
+class TestRevocation:
+    def test_quantum_start_revokes(self, ledger, manager):
+        holder = competing_holder(ledger, 400)
+        manager.on_quantum_end(holder, used=20.0, quantum=100.0)
+        manager.on_quantum_start(holder)
+        assert manager.compensation_value(holder) == 0.0
+        assert holder.funding() == pytest.approx(400)
+
+    def test_regrant_replaces_not_stacks(self, ledger, manager):
+        holder = competing_holder(ledger, 400)
+        manager.on_quantum_end(holder, used=20.0, quantum=100.0)
+        manager.on_quantum_end(holder, used=50.0, quantum=100.0)
+        # Second grant computed from base funding 400, not 2000.
+        assert manager.compensation_value(holder) == pytest.approx(400)
+        assert manager.outstanding() == 1
+
+    def test_holder_removal_cleans_up(self, ledger, manager):
+        holder = competing_holder(ledger)
+        manager.on_quantum_end(holder, used=20.0, quantum=100.0)
+        manager.on_holder_removed(holder)
+        assert manager.outstanding() == 0
+        assert holder.funding() == pytest.approx(400)
+
+
+class TestValidation:
+    def test_bad_quantum_rejected(self, ledger, manager):
+        holder = competing_holder(ledger)
+        with pytest.raises(SchedulerError):
+            manager.on_quantum_end(holder, used=10.0, quantum=0.0)
+
+    def test_negative_usage_rejected(self, ledger, manager):
+        holder = competing_holder(ledger)
+        with pytest.raises(SchedulerError):
+            manager.on_quantum_end(holder, used=-1.0, quantum=100.0)
+
+
+class TestShareRestoration:
+    def test_compensation_restores_proportional_share(self, ledger, manager,
+                                                      prng):
+        """The section 4.5 equilibrium: B (1/5 quantum user) wins five
+        times as often as equally funded A once compensated."""
+        from repro.core.lottery import hold_lottery
+
+        a = competing_holder(ledger, 400)
+        b = competing_holder(ledger, 400)
+        manager.on_quantum_end(b, used=20.0, quantum=100.0)
+        wins_b = 0
+        n = 20_000
+        for _ in range(n):
+            entries = [(1, a.funding()), (2, b.funding())]
+            if hold_lottery(entries, prng) == 2:
+                wins_b += 1
+        assert wins_b / n == pytest.approx(2000 / 2400, abs=0.02)

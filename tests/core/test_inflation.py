@@ -1,0 +1,114 @@
+"""Tests for ticket inflation and the error-driven controller (§3.2, §5.2)."""
+
+import pytest
+
+from repro.core.inflation import (
+    ErrorDrivenInflator,
+    deflate,
+    inflate,
+    set_share,
+)
+from repro.core.tickets import TicketHolder
+from repro.errors import InsufficientTicketsError, TicketError
+
+
+@pytest.fixture
+def funded(ledger):
+    currency = ledger.create_currency("group")
+    ledger.create_ticket(1000, fund=currency)
+    holder = TicketHolder("h")
+    ledger.create_ticket(100, currency=currency, fund=holder)
+    holder.start_competing()
+    return currency, holder
+
+
+class TestPrimitives:
+    def test_set_share(self, ledger, funded):
+        currency, holder = funded
+        set_share(holder, currency, 250)
+        assert holder.tickets[0].amount == 250
+
+    def test_inflate_and_deflate(self, ledger, funded):
+        currency, holder = funded
+        inflate(holder, currency, 50)
+        assert holder.tickets[0].amount == 150
+        deflate(holder, currency, 100)
+        assert holder.tickets[0].amount == 50
+
+    def test_inflation_immediately_visible_in_funding(self, ledger, funded):
+        currency, holder = funded
+        other = TicketHolder("other")
+        ledger.create_ticket(100, currency=currency, fund=other)
+        other.start_competing()
+        assert holder.funding() == pytest.approx(500)
+        inflate(holder, currency, 200)
+        assert holder.funding() == pytest.approx(750)
+
+    def test_deflate_below_zero_rejected(self, ledger, funded):
+        currency, holder = funded
+        with pytest.raises(InsufficientTicketsError):
+            deflate(holder, currency, 200)
+
+    def test_negative_deltas_rejected(self, ledger, funded):
+        currency, holder = funded
+        with pytest.raises(TicketError):
+            inflate(holder, currency, -5)
+        with pytest.raises(TicketError):
+            deflate(holder, currency, -5)
+
+    def test_missing_ticket_rejected(self, ledger):
+        currency = ledger.create_currency("c")
+        with pytest.raises(TicketError):
+            set_share(TicketHolder("stranger"), currency, 10)
+
+    def test_compensation_tickets_ignored(self, ledger, funded):
+        currency, holder = funded
+        comp = ledger.create_ticket(999, currency=currency, tag="compensation")
+        comp.fund(holder)
+        # set_share must adjust the real ticket, not the compensation.
+        set_share(holder, currency, 42)
+        amounts = sorted(t.amount for t in holder.tickets)
+        assert amounts == [42, 999]
+
+
+class TestErrorDrivenInflator:
+    def test_quadratic_mapping(self, ledger, funded):
+        currency, holder = funded
+        inflator = ErrorDrivenInflator(currency, scale=1000, exponent=2.0,
+                                       floor=0.0)
+        assert inflator.update(holder, 0.5) == pytest.approx(250)
+        assert inflator.update(holder, 1.0) == pytest.approx(1000)
+
+    def test_error_clamped_to_unit_interval(self, ledger, funded):
+        currency, holder = funded
+        inflator = ErrorDrivenInflator(currency, scale=1000, floor=0.0)
+        assert inflator.update(holder, 5.0) == pytest.approx(1000)
+        assert inflator.update(holder, -1.0) == 0.0
+
+    def test_floor_applies(self, ledger, funded):
+        currency, holder = funded
+        inflator = ErrorDrivenInflator(currency, scale=1000, floor=7.0)
+        assert inflator.update(holder, 0.0) == pytest.approx(7.0)
+
+    def test_exponent_choice(self, ledger, funded):
+        currency, holder = funded
+        linear = ErrorDrivenInflator(currency, scale=1000, exponent=1.0,
+                                     floor=0.0)
+        assert linear.update(holder, 0.5) == pytest.approx(500)
+        cubic = ErrorDrivenInflator(currency, scale=1000, exponent=3.0,
+                                    floor=0.0)
+        assert cubic.update(holder, 0.5) == pytest.approx(125)
+
+    def test_last_error_tracked(self, ledger, funded):
+        currency, holder = funded
+        inflator = ErrorDrivenInflator(currency, scale=100)
+        assert inflator.last_error(holder) is None
+        inflator.update(holder, 0.25)
+        assert inflator.last_error(holder) == pytest.approx(0.25)
+
+    def test_invalid_parameters_rejected(self, ledger, funded):
+        currency, _ = funded
+        with pytest.raises(TicketError):
+            ErrorDrivenInflator(currency, scale=0)
+        with pytest.raises(TicketError):
+            ErrorDrivenInflator(currency, scale=10, floor=-1)

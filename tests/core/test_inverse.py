@@ -1,0 +1,99 @@
+"""Tests for inverse lotteries (paper section 6.2)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.inverse import (
+    inverse_lottery,
+    inverse_probabilities,
+    weighted_inverse_lottery,
+)
+from repro.errors import EmptyLotteryError, SchedulerError
+
+
+class TestInverseProbabilities:
+    def test_formula(self):
+        entries = [("a", 3.0), ("b", 1.0)]
+        probs = dict(inverse_probabilities(entries))
+        # P[i] = (1/(n-1)) * (1 - t_i/T), n=2, T=4.
+        assert probs["a"] == pytest.approx(1.0 * (1 - 3 / 4))
+        assert probs["b"] == pytest.approx(1.0 * (1 - 1 / 4))
+
+    def test_probabilities_sum_to_one(self):
+        entries = [("a", 5.0), ("b", 3.0), ("c", 2.0), ("d", 0.0)]
+        probs = inverse_probabilities(entries)
+        assert sum(p for _, p in probs) == pytest.approx(1.0)
+
+    def test_monotone_in_tickets(self):
+        entries = [("rich", 70.0), ("mid", 20.0), ("poor", 10.0)]
+        probs = dict(inverse_probabilities(entries))
+        assert probs["rich"] < probs["mid"] < probs["poor"]
+
+    def test_requires_two_clients(self):
+        with pytest.raises(SchedulerError):
+            inverse_probabilities([("only", 1.0)])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(EmptyLotteryError):
+            inverse_probabilities([("a", 0.0), ("b", 0.0)])
+
+    def test_negative_tickets_rejected(self):
+        with pytest.raises(SchedulerError):
+            inverse_probabilities([("a", -1.0), ("b", 2.0)])
+
+
+class TestInverseLottery:
+    def test_distribution_matches_formula(self, prng):
+        entries = [("a", 6.0), ("b", 3.0), ("c", 1.0)]
+        expected = dict(inverse_probabilities(entries))
+        n = 30_000
+        losses = Counter(inverse_lottery(entries, prng) for _ in range(n))
+        for client, probability in expected.items():
+            assert losses[client] / n == pytest.approx(probability, abs=0.02)
+
+    def test_sole_ticket_holder_never_loses_among_two(self, prng):
+        entries = [("rich", 10.0), ("poor", 0.0)]
+        losses = Counter(inverse_lottery(entries, prng) for _ in range(2000))
+        assert losses["rich"] == 0
+
+
+class TestWeightedInverseLottery:
+    def test_usage_weighting(self, prng):
+        # Equal tickets: loss probability proportional to usage.
+        entries = [("a", 1.0, 0.9), ("b", 1.0, 0.1)]
+        n = 20_000
+        losses = Counter(
+            weighted_inverse_lottery(entries, prng) for _ in range(n)
+        )
+        assert losses["a"] / n == pytest.approx(0.9, abs=0.02)
+
+    def test_zero_usage_client_never_loses(self, prng):
+        entries = [("user", 1.0, 0.5), ("idle", 1.0, 0.0)]
+        losses = Counter(
+            weighted_inverse_lottery(entries, prng) for _ in range(2000)
+        )
+        assert losses["idle"] == 0
+
+    def test_degenerate_monopoly_falls_back_to_usage(self, prng):
+        # One client holds ALL tickets and all usage: someone must still
+        # be chosen, so selection falls back to usage-proportional.
+        entries = [("hog", 10.0, 1.0), ("idle", 0.0, 0.0)]
+        losses = Counter(
+            weighted_inverse_lottery(entries, prng) for _ in range(500)
+        )
+        assert losses["hog"] == 500
+
+    def test_requires_two_clients(self, prng):
+        with pytest.raises(SchedulerError):
+            weighted_inverse_lottery([("only", 1.0, 1.0)], prng)
+
+    def test_negative_inputs_rejected(self, prng):
+        with pytest.raises(SchedulerError):
+            weighted_inverse_lottery(
+                [("a", -1.0, 0.5), ("b", 1.0, 0.5)], prng
+            )
+        with pytest.raises(SchedulerError):
+            weighted_inverse_lottery(
+                [("a", 1.0, -0.5), ("b", 1.0, 0.5)], prng
+            )

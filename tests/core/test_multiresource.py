@@ -1,0 +1,143 @@
+"""Tests for multi-resource budgets and manager threads (§6.3)."""
+
+import pytest
+
+from repro.core.multiresource import (
+    BottleneckManager,
+    ResourceBudget,
+    proportional_decide,
+)
+from repro.errors import ReproError
+from repro.kernel.syscalls import Compute
+from tests.conftest import make_lottery_kernel
+
+
+class TestResourceBudget:
+    def test_allocations_follow_weights(self):
+        budget = ResourceBudget(1000.0, manager_share=0.0)
+        applied = {}
+        budget.attach("cpu", lambda v: applied.__setitem__("cpu", v),
+                      weight=3.0)
+        budget.attach("disk", lambda v: applied.__setitem__("disk", v),
+                      weight=1.0)
+        assert budget.allocation("cpu") == pytest.approx(750.0)
+        assert budget.allocation("disk") == pytest.approx(250.0)
+
+    def test_manager_share_reserved(self):
+        budget = ResourceBudget(1000.0, manager_share=0.02)
+        budget.attach("cpu", lambda v: None)
+        assert budget.manager_funding == pytest.approx(20.0)
+        assert budget.spendable == pytest.approx(980.0)
+        assert budget.allocation("cpu") == pytest.approx(980.0)
+
+    def test_rebalance_applies_amounts(self):
+        budget = ResourceBudget(100.0, manager_share=0.0)
+        applied = {}
+        budget.attach("a", lambda v: applied.__setitem__("a", v))
+        budget.attach("b", lambda v: applied.__setitem__("b", v))
+        amounts = budget.rebalance({"a": 1.0, "b": 4.0}, now=5.0)
+        assert applied == amounts
+        assert applied["a"] == pytest.approx(20.0)
+        assert applied["b"] == pytest.approx(80.0)
+        assert budget.history == [(5.0, amounts)]
+
+    def test_missing_resource_defunded(self):
+        budget = ResourceBudget(100.0, manager_share=0.0)
+        applied = {}
+        budget.attach("a", lambda v: applied.__setitem__("a", v))
+        budget.attach("b", lambda v: applied.__setitem__("b", v))
+        budget.rebalance({"a": 1.0})
+        assert applied["b"] == 0.0
+        assert applied["a"] == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ResourceBudget(0.0)
+        with pytest.raises(ReproError):
+            ResourceBudget(100.0, manager_share=1.0)
+        budget = ResourceBudget(100.0)
+        budget.attach("a", lambda v: None)
+        with pytest.raises(ReproError):
+            budget.attach("a", lambda v: None)
+        with pytest.raises(ReproError):
+            budget.attach("neg", lambda v: None, weight=-1.0)
+        with pytest.raises(ReproError):
+            budget.rebalance({"ghost": 1.0})
+        with pytest.raises(ReproError):
+            budget.rebalance({"a": 0.0})
+        with pytest.raises(ReproError):
+            budget.allocation("ghost")
+
+
+class TestProportionalDecide:
+    def test_tracks_pressures(self):
+        weights = proportional_decide({"cpu": 9.0, "disk": 1.0})
+        assert weights["cpu"] > weights["disk"]
+
+    def test_floor_keeps_idle_resource_funded(self):
+        weights = proportional_decide({"cpu": 100.0, "disk": 0.0})
+        assert weights["disk"] > 0.0
+
+
+class TestBottleneckManager:
+    def test_sensor_validation(self):
+        budget = ResourceBudget(100.0)
+        budget.attach("cpu", lambda v: None)
+        with pytest.raises(ReproError):
+            BottleneckManager(budget, sensors={"ghost": lambda: 0.0})
+        with pytest.raises(ReproError):
+            BottleneckManager(budget, sensors={}, period_ms=0.0)
+
+    def test_manager_rebalances_toward_pressure(self):
+        kernel = make_lottery_kernel(seed=3)
+        budget = ResourceBudget(1000.0, manager_share=0.01)
+        applied = {}
+        budget.attach("cpu", lambda v: applied.__setitem__("cpu", v))
+        budget.attach("disk", lambda v: applied.__setitem__("disk", v))
+        pressure = {"cpu": 1.0, "disk": 9.0}
+        manager = BottleneckManager(
+            budget,
+            sensors={"cpu": lambda: pressure["cpu"],
+                     "disk": lambda: pressure["disk"]},
+            period_ms=500.0,
+        )
+        kernel.spawn(manager.body, "manager",
+                     tickets=budget.manager_funding)
+        kernel.run_until(2_000.0)
+        assert manager.decisions >= 2
+        assert applied["disk"] > applied["cpu"]
+        # Pressure flips: the split must follow.
+        pressure["cpu"], pressure["disk"] = 9.0, 1.0
+        kernel.run_until(4_000.0)
+        assert applied["cpu"] > applied["disk"]
+
+    def test_all_zero_pressure_holds_allocation(self):
+        kernel = make_lottery_kernel(seed=4)
+        budget = ResourceBudget(100.0, manager_share=0.05)
+        budget.attach("cpu", lambda v: None)
+        manager = BottleneckManager(budget, sensors={"cpu": lambda: 0.0},
+                                    period_ms=200.0)
+        kernel.spawn(manager.body, "manager",
+                     tickets=budget.manager_funding)
+        kernel.run_until(2_000.0)
+        assert manager.decisions == 0
+        assert budget.history == []
+
+    def test_manager_runs_on_its_reserved_share(self):
+        # Even with heavily funded competition, the manager's carved-out
+        # funding keeps it deciding periodically.
+        kernel = make_lottery_kernel(seed=5)
+        budget = ResourceBudget(1000.0, manager_share=0.01)
+        budget.attach("cpu", lambda v: None)
+        manager = BottleneckManager(budget, sensors={"cpu": lambda: 1.0},
+                                    period_ms=500.0)
+
+        def hog(ctx):
+            while True:
+                yield Compute(100.0)
+
+        kernel.spawn(hog, "hog", tickets=1000)
+        kernel.spawn(manager.body, "manager",
+                     tickets=budget.manager_funding)
+        kernel.run_until(60_000.0)
+        assert manager.decisions >= 20

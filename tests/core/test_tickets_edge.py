@@ -1,0 +1,115 @@
+"""Edge-case tests for the ticket/currency object model."""
+
+import pytest
+
+from repro.core.tickets import Ledger, TicketHolder
+from repro.errors import TicketError
+
+
+class TestDestroyedTickets:
+    def test_destroyed_ticket_cannot_be_refunded(self, ledger):
+        ticket = ledger.create_ticket(10)
+        ticket.destroy()
+        with pytest.raises(TicketError):
+            ticket.fund(TicketHolder("h"))
+
+    def test_destroy_active_ticket_deactivates(self, ledger):
+        holder = TicketHolder("h")
+        ticket = ledger.create_ticket(100, fund=holder)
+        holder.start_competing()
+        assert ledger.base.active_amount == 100
+        ticket.destroy()
+        assert ledger.base.active_amount == 0
+        assert ticket not in holder.tickets
+
+    def test_double_destroy_harmless(self, ledger):
+        ticket = ledger.create_ticket(10)
+        ticket.destroy()
+        ticket.destroy()
+
+
+class TestZeroAmountTickets:
+    def test_zero_ticket_is_legal_but_worthless(self, ledger):
+        holder = TicketHolder("h")
+        ticket = ledger.create_ticket(0, fund=holder)
+        holder.start_competing()
+        assert ticket.active
+        assert holder.funding() == 0.0
+
+    def test_zero_ticket_can_be_inflated_later(self, ledger):
+        holder = TicketHolder("h")
+        ticket = ledger.create_ticket(0, fund=holder)
+        holder.start_competing()
+        ticket.set_amount(75)
+        assert holder.funding() == pytest.approx(75)
+        assert ledger.base.active_amount == pytest.approx(75)
+
+
+class TestRefunding:
+    def test_ticket_can_move_between_holders(self, ledger):
+        a, b = TicketHolder("a"), TicketHolder("b")
+        a.start_competing()
+        b.start_competing()
+        ticket = ledger.create_ticket(60, fund=a)
+        assert a.funding() == 60
+        ticket.unfund()
+        ticket.fund(b)
+        assert a.funding() == 0
+        assert b.funding() == 60
+
+    def test_ticket_can_move_from_holder_to_currency(self, ledger):
+        holder = TicketHolder("h")
+        group = ledger.create_currency("group")
+        member = TicketHolder("member")
+        ledger.create_ticket(10, currency=group, fund=member)
+        member.start_competing()
+        ticket = ledger.create_ticket(40, fund=holder)
+        ticket.unfund()
+        ticket.fund(group)
+        assert member.funding() == pytest.approx(40)
+
+
+class TestHolderLifecycle:
+    def test_double_start_competing_is_idempotent(self, ledger):
+        holder = TicketHolder("h")
+        ledger.create_ticket(30, fund=holder)
+        holder.start_competing()
+        holder.start_competing()
+        assert ledger.base.active_amount == 30
+        holder.stop_competing()
+        holder.stop_competing()
+        assert ledger.base.active_amount == 0
+
+    def test_detach_inactive_ticket(self, ledger):
+        holder = TicketHolder("h")
+        ticket = ledger.create_ticket(10, fund=holder)
+        # Never competed: detach must not underflow active amounts.
+        ticket.unfund()
+        assert ledger.base.active_amount == 0
+
+    def test_funding_currency_value_with_multiple_backers(self, ledger):
+        group = ledger.create_currency("group")
+        ledger.create_ticket(100, fund=group)
+        ledger.create_ticket(50, fund=group)
+        third = ledger.create_ticket(25, fund=group)
+        holder = TicketHolder("h")
+        ledger.create_ticket(1, currency=group, fund=holder)
+        holder.start_competing()
+        assert holder.funding() == pytest.approx(175)
+        third.unfund()
+        assert holder.funding() == pytest.approx(150)
+
+
+class TestLedgerSnapshot:
+    def test_snapshot_reflects_activity(self, ledger):
+        group = ledger.create_currency("group")
+        ledger.create_ticket(200, fund=group)
+        holder = TicketHolder("h")
+        ledger.create_ticket(20, currency=group, fund=holder)
+        holder.start_competing()
+        snapshot = ledger.snapshot()
+        assert snapshot["group"]["active_amount"] == 20
+        assert snapshot["group"]["base_value"] == pytest.approx(200)
+        assert snapshot["base"]["active_amount"] == 200
+        assert snapshot["group"]["backing_tickets"] == 1
+        assert snapshot["group"]["issued_tickets"] == 1

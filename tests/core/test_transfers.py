@@ -1,0 +1,145 @@
+"""Tests for ticket transfers (paper sections 3.1 / 4.6)."""
+
+import pytest
+
+from repro.core.tickets import TicketHolder
+from repro.core.transfers import split_transfer, transfer_funding
+from repro.errors import TicketError
+
+
+def make_client_with_currency(ledger, base_amount=800.0, issue=100.0):
+    """A client funded the way kernel tasks are: base -> currency -> client."""
+    currency = ledger.create_currency(f"client-{base_amount:g}")
+    ledger.create_ticket(base_amount, fund=currency)
+    client = TicketHolder("client")
+    client.funding_currency = currency
+    ledger.create_ticket(issue, currency=currency, fund=client)
+    return client, currency
+
+
+class TestTransferFunding:
+    def test_base_denominated_transfer(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(500, fund=source)
+        server = TicketHolder("server")
+        server.start_competing()
+        handle = transfer_funding(ledger, source, server)
+        assert handle.amount == pytest.approx(500)
+        assert server.funding() == pytest.approx(500)
+
+    def test_currency_transfer_captures_whole_currency(self, ledger):
+        # The paper's elegance: the blocked client's own ticket is
+        # inactive, so the minted transfer ticket is the currency's only
+        # active issue and captures its entire value.
+        client, currency = make_client_with_currency(ledger, 800)
+        server = TicketHolder("server")
+        server.start_competing()
+        handle = transfer_funding(ledger, client, server)
+        assert server.funding() == pytest.approx(800)
+        # ... and tracks later changes to the client's funding.
+        currency.backing[0].set_amount(1200)
+        assert server.funding() == pytest.approx(1200)
+        handle.revoke()
+
+    def test_revoke_restores_rights(self, ledger):
+        client, _ = make_client_with_currency(ledger, 800)
+        server = TicketHolder("server")
+        server.start_competing()
+        handle = transfer_funding(ledger, client, server)
+        handle.revoke()
+        assert server.funding() == 0.0
+        assert not handle.active
+        client.start_competing()
+        assert client.funding() == pytest.approx(800)
+
+    def test_revoke_is_idempotent(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(100, fund=source)
+        server = TicketHolder("server")
+        handle = transfer_funding(ledger, source, server)
+        handle.revoke()
+        handle.revoke()
+        assert handle.base_value() == 0.0
+
+    def test_retarget_moves_funding(self, ledger):
+        client, _ = make_client_with_currency(ledger, 600)
+        s1, s2 = TicketHolder("s1"), TicketHolder("s2")
+        s1.start_competing()
+        s2.start_competing()
+        handle = transfer_funding(ledger, client, s1)
+        assert s1.funding() == pytest.approx(600)
+        handle.retarget(s2)
+        assert s1.funding() == 0.0
+        assert s2.funding() == pytest.approx(600)
+
+    def test_retarget_after_revoke_rejected(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(100, fund=source)
+        handle = transfer_funding(ledger, source, TicketHolder("s"))
+        handle.revoke()
+        with pytest.raises(TicketError):
+            handle.retarget(TicketHolder("other"))
+
+    def test_fractional_transfer(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(400, fund=source)
+        server = TicketHolder("server")
+        server.start_competing()
+        handle = transfer_funding(ledger, source, server, fraction=0.25)
+        assert handle.amount == pytest.approx(100)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_bad_fraction_rejected(self, ledger, bad):
+        source = TicketHolder("src")
+        ledger.create_ticket(100, fund=source)
+        with pytest.raises(TicketError):
+            transfer_funding(ledger, source, TicketHolder("s"), fraction=bad)
+
+    def test_transfer_can_fund_currency(self, ledger):
+        # Mutex currencies are funded exactly this way (section 6.1).
+        source = TicketHolder("src")
+        ledger.create_ticket(300, fund=source)
+        lock_currency = ledger.create_currency("lock")
+        owner = TicketHolder("owner")
+        ledger.create_ticket(1, currency=lock_currency, fund=owner)
+        owner.start_competing()
+        transfer_funding(ledger, source, lock_currency)
+        assert owner.funding() == pytest.approx(300)
+
+
+class TestSplitTransfer:
+    def test_weights_divide_amount(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(900, fund=source)
+        servers = [TicketHolder(f"s{i}") for i in range(3)]
+        for server in servers:
+            server.start_competing()
+        handles = split_transfer(
+            ledger, source, [(servers[0], 2.0), (servers[1], 1.0),
+                             (servers[2], 0.0)]
+        )
+        assert len(handles) == 2  # zero-weight target skipped
+        assert servers[0].funding() == pytest.approx(600)
+        assert servers[1].funding() == pytest.approx(300)
+        assert servers[2].funding() == 0.0
+
+    def test_empty_targets_rejected(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(100, fund=source)
+        with pytest.raises(TicketError):
+            split_transfer(ledger, source, [])
+
+    def test_zero_total_weight_rejected(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(100, fund=source)
+        with pytest.raises(TicketError):
+            split_transfer(ledger, source, [(TicketHolder("s"), 0.0)])
+
+    def test_negative_weight_rejected(self, ledger):
+        source = TicketHolder("src")
+        ledger.create_ticket(100, fund=source)
+        with pytest.raises(TicketError):
+            split_transfer(
+                ledger, source,
+                [(TicketHolder("a"), 2.0), (TicketHolder("b"), -1.0)],
+            )

@@ -1,0 +1,145 @@
+"""Tests for the distributed lottery scheduler extension."""
+
+import pytest
+
+from repro.distributed.cluster import Cluster
+from repro.errors import ReproError
+from repro.kernel.syscalls import Compute, Sleep
+from repro.kernel.thread import ThreadState
+
+
+def spinner(chunk_ms=50.0):
+    def body(ctx):
+        while True:
+            yield Compute(chunk_ms)
+
+    return body
+
+
+class TestClusterBasics:
+    def test_nodes_share_one_clock(self):
+        cluster = Cluster(nodes=3, rebalance_period=None)
+        for node in cluster.nodes:
+            assert node.kernel.engine is cluster.engine
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Cluster(nodes=0)
+        with pytest.raises(ReproError):
+            Cluster(nodes=2, rebalance_period=0.0)
+
+    def test_spawn_places_on_least_funded_node(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        first = cluster.spawn(spinner(), "heavy", tickets=500)
+        second = cluster.spawn(spinner(), "light", tickets=100)
+        assert cluster.node_of(first) is not cluster.node_of(second)
+
+    def test_unplaced_thread_lookup_rejected(self):
+        cluster = Cluster(nodes=1, rebalance_period=None)
+        other = Cluster(nodes=1, rebalance_period=None)
+        stray = other.spawn(spinner(), "stray", tickets=1)
+        with pytest.raises(ReproError):
+            cluster.node_of(stray)
+
+    def test_nodes_run_in_parallel(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        a = cluster.spawn(spinner(), "a", tickets=100)
+        b = cluster.spawn(spinner(), "b", tickets=100)
+        cluster.run_until(10_000)
+        # Two CPUs: both threads got (nearly) the whole 10 s each.
+        assert a.cpu_time == pytest.approx(10_000, rel=0.01)
+        assert b.cpu_time == pytest.approx(10_000, rel=0.01)
+
+
+class TestMigration:
+    def test_migrate_moves_runnable_thread(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        node0, node1 = cluster.nodes
+        moved = cluster.spawn(spinner(), "mover", tickets=100, node=node0)
+        cluster.spawn(spinner(), "stayer", tickets=100, node=node0)
+        cluster.run_until(50)  # let dispatching settle
+        # Whichever of the two is currently runnable can migrate.
+        candidate = moved if moved.state is ThreadState.RUNNABLE else None
+        if candidate is None:
+            candidate = next(
+                t for t in node0.threads if t.state is ThreadState.RUNNABLE
+            )
+        assert cluster.migrate(candidate, node1)
+        assert cluster.node_of(candidate) is node1
+        assert candidate.kernel is node1.kernel
+        cluster.run_until(10_000)
+        assert candidate.cpu_time > 4000  # runs on its new node
+
+    def test_migrate_refuses_running_and_pinned(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        node0, node1 = cluster.nodes
+        pinned = cluster.spawn(spinner(), "pinned", tickets=100,
+                               node=node0, pinned=True)
+        cluster.run_until(50)
+        assert not cluster.migrate(pinned, node1)
+        running = node0.kernel.running
+        if running is not None:
+            assert not cluster.migrate(running, node1)
+
+    def test_migrate_to_same_node_is_noop(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        thread = cluster.spawn(spinner(), "t", tickets=100)
+        assert not cluster.migrate(thread, cluster.node_of(thread))
+
+    def test_sleeping_thread_wakes_on_new_node(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        node0, node1 = cluster.nodes
+
+        def napper(ctx):
+            yield Sleep(1_000.0)
+            while True:
+                yield Compute(50.0)
+
+        thread = cluster.spawn(napper, "napper", tickets=100, node=node0)
+        cluster.run_until(10)
+        # Blocked threads cannot migrate...
+        assert not cluster.migrate(thread, node1)
+        # ...but after waking (runnable) they can, and the sleep wake-up
+        # found the thread on whatever kernel it belongs to.
+        cluster.run_until(1_100)
+        assert thread.alive
+
+
+class TestRebalancing:
+    def test_rebalancer_fixes_skewed_placement(self):
+        skewed = Cluster(nodes=2, rebalance_period=None, seed=7)
+        balanced = Cluster(nodes=2, rebalance_period=500.0, seed=7)
+        for cluster in (skewed, balanced):
+            node0 = cluster.nodes[0]
+            for index, funding in enumerate((300.0, 300.0, 200.0, 200.0)):
+                cluster.spawn(spinner(), f"t{index}", tickets=funding,
+                              node=node0)
+        skewed.run_until(60_000)
+        balanced.run_until(60_000)
+        assert balanced.migrations > 0
+        assert (balanced.max_relative_error(60_000)
+                < skewed.max_relative_error(60_000))
+        # With 1000 tickets split 500/500, errors should be small.
+        assert balanced.max_relative_error(60_000) < 0.2
+
+    def test_balanced_cluster_stays_put(self):
+        cluster = Cluster(nodes=2, rebalance_period=500.0, seed=9)
+        cluster.spawn(spinner(), "a", tickets=100)
+        cluster.spawn(spinner(), "b", tickets=100)
+        cluster.run_until(30_000)
+        assert cluster.migrations == 0
+
+    def test_water_filling_caps_heavy_thread(self):
+        cluster = Cluster(nodes=2, rebalance_period=500.0, seed=11)
+        heavy = cluster.spawn(spinner(), "heavy", tickets=10_000)
+        light_a = cluster.spawn(spinner(), "la", tickets=100)
+        light_b = cluster.spawn(spinner(), "lb", tickets=100)
+        cluster.run_until(60_000)
+        report = {r["thread"]: r for r in cluster.fairness_report(60_000)}
+        # Heavy cannot use more than one CPU; the lights split the other.
+        assert report["heavy"]["entitled_ms"] == pytest.approx(60_000)
+        assert report["la"]["entitled_ms"] == pytest.approx(30_000)
+        assert report["heavy"]["cpu_ms"] == pytest.approx(60_000, rel=0.02)
+        assert light_a.cpu_time + light_b.cpu_time == pytest.approx(
+            60_000, rel=0.02
+        )

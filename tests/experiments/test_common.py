@@ -1,0 +1,76 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    ExperimentResult,
+    Machine,
+    build_machine,
+    format_table,
+)
+from tests.conftest import spin_body
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_columns_union_preserves_first_seen_order(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}]
+        table = format_table(rows)
+        header = table.splitlines()[0]
+        assert header.index("a") < header.index("b") < header.index("c")
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"b": 2}]
+        table = format_table(rows)
+        assert "1" in table and "2" in table
+
+    def test_float_precision(self):
+        table = format_table([{"x": 1.23456}], precision=2)
+        assert "1.23" in table
+        assert "1.235" not in table
+
+    def test_alignment_width(self):
+        rows = [{"name": "long-name-here", "v": 1}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[0]) == len(lines[1])  # header matches separator
+
+
+class TestBuildMachine:
+    def test_quantum_and_cost_forwarded(self):
+        machine = build_machine(quantum=50.0, context_switch_cost=2.0)
+        assert machine.kernel.quantum == 50.0
+        assert machine.kernel.context_switch_cost == 2.0
+
+    def test_machine_facade(self):
+        machine = build_machine()
+        machine.kernel.spawn(spin_body(), "t", tickets=10)
+        machine.run_until(500)
+        assert machine.now == 500.0
+
+    def test_policy_registry_errors(self):
+        with pytest.raises(ExperimentError):
+            build_machine(policy="nope")
+
+
+class TestExperimentResult:
+    def test_report_without_rows(self, capsys):
+        ExperimentResult("bare").print_report()
+        out = capsys.readouterr().out
+        assert "bare" in out
+        assert "(no rows)" not in out  # rows section skipped entirely
+
+    def test_report_includes_everything(self, capsys):
+        result = ExperimentResult(
+            "full",
+            params={"seed": 1},
+            rows=[{"x": 1}],
+            summary={"answer": 42},
+        )
+        result.print_report()
+        out = capsys.readouterr().out
+        assert "seed=1" in out
+        assert "answer: 42" in out
+        assert "x" in out

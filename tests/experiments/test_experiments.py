@@ -1,0 +1,193 @@
+"""Shape tests for every experiment driver (reduced-scale runs).
+
+Each test runs the corresponding figure's driver at a fraction of the
+paper's duration and asserts the *shape* the paper reports: who wins,
+by roughly what factor, and which invariants hold.  The full-scale
+parameters live in the benchmarks.
+"""
+
+import pytest
+
+import repro.experiments as ex
+from repro.experiments.common import ExperimentResult, build_machine
+from repro.errors import ExperimentError
+
+
+class TestCommon:
+    def test_build_machine_policies(self):
+        for policy in ("lottery", "round-robin", "timesharing", "stride",
+                       "fair-share", "fixed-priority", "lottery-tree",
+                       "lottery-no-compensation"):
+            machine = build_machine(policy=policy)
+            assert machine.kernel.policy is machine.policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_machine(policy="galactic")
+
+    def test_result_report_prints(self, capsys):
+        result = ExperimentResult("demo", params={"x": 1},
+                                  rows=[{"a": 1, "b": 2.5}],
+                                  summary={"verdict": "ok"})
+        result.print_report()
+        output = capsys.readouterr().out
+        assert "demo" in output
+        assert "verdict" in output
+        assert "2.500" in output
+
+
+class TestFig4:
+    def test_observed_tracks_allocated(self):
+        result = ex.fig4_rate_accuracy.run(
+            ratios=[1, 3, 7], runs=2, duration_ms=60_000
+        )
+        for row in result.rows:
+            assert row["observed"] == pytest.approx(row["allocated"],
+                                                    rel=0.25)
+
+    def test_single_run_helper(self):
+        ratio = ex.fig4_rate_accuracy.run_single(5.0, duration_ms=60_000,
+                                                 seed=77)
+        assert ratio == pytest.approx(5.0, rel=0.25)
+
+
+class TestFig5:
+    def test_windows_scatter_around_two_to_one(self):
+        result = ex.fig5_fairness_over_time.run(duration_ms=100_000,
+                                                window_ms=8_000)
+        ratios = [row["ratio"] for row in result.rows]
+        assert sum(ratios) / len(ratios) == pytest.approx(2.0, rel=0.2)
+        # Randomized allocation: windows must actually vary.
+        assert max(ratios) != min(ratios)
+
+
+class TestFig6:
+    def test_staggered_tasks_converge(self):
+        result = ex.fig6_montecarlo.run(
+            duration_ms=240_000, stagger_ms=40_000, sample_every_ms=40_000
+        )
+        finals = [
+            value for key, value in result.summary.items()
+            if key.endswith("final trials")
+        ]
+        assert len(finals) == 3
+        # Later-started tasks caught most of the way up.
+        assert min(finals) > 0.5 * max(finals)
+        # All estimates converge to pi/4.
+        for key, value in result.summary.items():
+            if key.endswith("estimate"):
+                assert "0.78" in str(value)
+
+
+class TestFig7:
+    def test_throughput_and_response_shapes(self):
+        result = ex.fig7_query_rates.run(
+            duration_ms=300_000, corpus_kb=1000, scan_ms_per_kb=2.0
+        )
+        ratio_text = result.summary["B:C throughput ratio"]
+        ratio = float(ratio_text.split(":")[0])
+        assert ratio == pytest.approx(3.0, rel=0.35)
+        # Query results are the true planted count.
+        assert "[8]" in result.summary["query result (occurrences)"]
+
+
+class TestFig8:
+    def test_reallocation_changes_rates(self):
+        result = ex.fig8_video_rates.run(duration_ms=200_000)
+        before = result.summary["frame-rate ratio before"]
+        after = result.summary["frame-rate ratio after"]
+        b = [float(x) for x in before.split("(")[0].split(":")]
+        a = [float(x) for x in after.split("(")[0].split(":")]
+        # Before: A > B > C; after: A > C > B (3:1:2).
+        assert b[0] > b[1] > b[2]
+        assert a[0] > a[2] > a[1]
+
+
+class TestFig9:
+    def test_insulation(self):
+        result = ex.fig9_load_insulation.run(duration_ms=160_000)
+        aggregate = result.summary["aggregate A:B iterations"]
+        value = float(aggregate.split(":")[0])
+        assert value == pytest.approx(1.0, abs=0.15)
+        # B tasks slow to about half after B3 starts; A tasks do not.
+        b2 = result.summary["B2 rate (before -> after B3)"]
+        factor = float(b2.split("(")[1].split("x")[0])
+        assert factor == pytest.approx(0.5, abs=0.15)
+        a2 = result.summary["A2 rate (before -> after B3)"]
+        factor_a = float(a2.split("(")[1].split("x")[0])
+        assert factor_a == pytest.approx(1.0, abs=0.2)
+
+
+class TestFig11:
+    def test_mutex_ratios(self):
+        result = ex.fig11_mutex.run(duration_ms=120_000)
+        acq = result.summary["acquisition ratio A:B"]
+        ratio = float(acq.split(":")[0])
+        assert 1.4 < ratio < 2.6  # paper: 1.80
+        wait = result.summary["waiting time ratio A:B"]
+        wait_ratio = float(wait.split(":")[1].split("(")[0])
+        assert 1.4 < wait_ratio < 3.0  # paper: 2.11
+        assert result.summary["release lotteries"] > 0
+
+
+class TestOverhead:
+    def test_lottery_cost_comparable_to_timesharing(self):
+        result = ex.overhead.run(duration_ms=30_000)
+        text = result.summary["lottery/timesharing dispatch cost"]
+        factor = float(text.split("x")[0])
+        # "Comparable": within 5x either way on the host.
+        assert 0.2 < factor < 5.0
+
+
+class TestInverseMemory:
+    def test_eviction_shares_track_prediction(self):
+        result = ex.inverse_memory.run(references=15_000)
+        for row in result.rows:
+            assert row["observed_share"] == pytest.approx(
+                row["predicted_share"], abs=0.06
+            )
+        observed = {row["client"]: row["observed_share"]
+                    for row in result.rows}
+        assert observed["A"] < observed["B"] < observed["C"]
+
+
+class TestDiverseResources:
+    def test_disk_and_link_shares(self):
+        result = ex.diverse_resources.run()
+        disk = result.summary["disk lottery A:B"]
+        assert float(disk.split(":")[0]) == pytest.approx(3.0, rel=0.2)
+        link = result.summary["link lottery X:Y:Z"]
+        x_over_z = float(link.split(":")[0])
+        assert x_over_z == pytest.approx(4.0, rel=0.2)
+        # Round-robin baselines split evenly.
+        rr_rows = [r for r in result.rows
+                   if r.get("scheduler") == "round-robin"
+                   and r["resource"] == "disk"]
+        assert rr_rows[0]["A_share"] == pytest.approx(0.5, abs=0.05)
+
+
+class TestAblations:
+    def test_cv_law(self):
+        result = ex.ablations.run_quantum_accuracy(
+            lottery_counts=(100, 400), trials=80
+        )
+        for row in result.rows:
+            assert 0.5 < row["ratio"] < 2.0
+
+    def test_lottery_vs_stride(self):
+        result = ex.ablations.run_lottery_vs_stride(
+            checkpoints_ms=(5_000, 50_000)
+        )
+        stride_rows = [r for r in result.rows if r["policy"] == "stride"]
+        lottery_rows = [r for r in result.rows if r["policy"] == "lottery"]
+        assert max(r["max_error_quanta"] for r in stride_rows) <= 1.5
+        assert (lottery_rows[-1]["max_error_quanta"]
+                > stride_rows[-1]["max_error_quanta"])
+
+    def test_compensation_ablation(self):
+        result = ex.ablations.run_compensation(duration_ms=150_000)
+        with_comp = next(r for r in result.rows if r["policy"] == "lottery")
+        without = next(r for r in result.rows
+                       if r["policy"] == "lottery-no-compensation")
+        assert with_comp["cpu_ratio"] == pytest.approx(1.0, rel=0.2)
+        assert without["cpu_ratio"] == pytest.approx(5.0, rel=0.25)

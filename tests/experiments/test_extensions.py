@@ -1,0 +1,62 @@
+"""Shape tests for the extension experiments (reduced scale)."""
+
+import pytest
+
+from repro.experiments import cluster_fairness, multiresource, responsiveness
+
+
+class TestResponsiveness:
+    def test_compensation_dominates_no_compensation(self):
+        result = responsiveness.run(duration_ms=60_000)
+        rows = {row["policy"]: row for row in result.rows}
+        assert (rows["lottery"]["mean_latency_ms"]
+                < rows["lottery-no-compensation"]["mean_latency_ms"] / 3)
+        assert rows["fixed-priority"]["bursts_completed"] == 0
+        assert rows["lottery"]["bursts_completed"] > 100
+
+    def test_single_policy_runner(self):
+        row = responsiveness.run_policy("round-robin",
+                                        duration_ms=30_000, hogs=3)
+        # Round-robin: the waking interactive thread queues behind the
+        # hogs ahead of it -- roughly two full quanta on average.
+        assert 150 < row["mean_latency_ms"] < 305
+        assert row["bursts_completed"] > 50
+
+
+class TestMultiresource:
+    def test_manager_tracks_phase(self):
+        result = multiresource.run(duration_ms=200_000)
+        items = {row["policy"]: row["items"] for row in result.rows}
+        assert items["manager"] >= 0.9 * max(items.values())
+        manager_row = next(r for r in result.rows
+                           if r["policy"] == "manager")
+        assert manager_row["rebalances"] > 5
+
+    def test_variant_diagnostics(self):
+        outcome = multiresource.run_variant("static-50",
+                                            duration_ms=60_000)
+        assert outcome["items"] > 0
+        assert outcome["rebalances"] == 1  # only the initial split
+        assert set(outcome["final_allocation"]) == {"cpu", "disk"}
+
+
+class TestClusterFairness:
+    def test_migration_beats_static(self):
+        result = cluster_fairness.run(duration_ms=100_000)
+        static = float(
+            result.summary["max relative error (static placement)"]
+        )
+        balanced = float(
+            result.summary["max relative error (rebalancing)"]
+        )
+        assert balanced < static
+        assert result.summary["migrations (rebalancing)"] > 0
+        assert result.summary["migrations (static placement)"] == 0
+
+    def test_report_rows_cover_both_variants(self):
+        result = cluster_fairness.run(duration_ms=50_000)
+        variants = {row["variant"] for row in result.rows}
+        assert variants == {"static placement", "rebalancing"}
+        for row in result.rows:
+            assert row["cpu_ms"] >= 0
+            assert row["entitled_ms"] >= 0

@@ -1,0 +1,90 @@
+"""Integration: driving a live kernel through the §4.7 command shell."""
+
+import pytest
+
+from repro.cli.shell import Shell
+from repro.cli.state import CommandState
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+@pytest.fixture
+def live_machine():
+    """A kernel plus a shell bound to the same ledger."""
+    kernel = make_lottery_kernel(seed=41)
+    shell = Shell(CommandState(ledger=kernel.ledger))
+    return kernel, shell
+
+
+class TestShellOverLiveKernel:
+    def test_fundx_changes_running_shares(self, live_machine):
+        kernel, shell = live_machine
+        a = kernel.spawn(spin_body(), "a", tickets=100)
+        b = kernel.spawn(spin_body(), "b", tickets=100)
+        shell.state.register_holder("a", a)
+        kernel.run_until(50_000)
+        first_a = a.cpu_time
+        # The administrator boosts thread a by 300 base mid-run.
+        output = shell.execute("fundx 300 base a")
+        assert not output.startswith("error:")
+        kernel.run_until(100_000)
+        gain_a = a.cpu_time - first_a
+        gain_b = b.cpu_time - (50_000 - first_a)
+        # Second half: a holds 400 of 500 active tickets.
+        assert gain_a / gain_b == pytest.approx(4.0, rel=0.25)
+
+    def test_mkcur_fund_visible_to_scheduler(self, live_machine):
+        kernel, shell = live_machine
+        shell.run_script(
+            """
+            mkcur team
+            mktkt 900 base backing
+            fund backing team
+            """
+        )
+        team = kernel.ledger.currency("team")
+        task = kernel.create_task("member-task")
+        task.currency = team
+        member = kernel.spawn(spin_body(), "member", task=task,
+                              tickets=100, currency=team)
+        rival = kernel.spawn(spin_body(), "rival", tickets=100)
+        kernel.run_until(100_000)
+        # Team currency worth 900 vs rival's 100: 9:1.
+        assert member.cpu_time / rival.cpu_time == pytest.approx(9.0,
+                                                                 rel=0.2)
+
+    def test_unfund_starves_currency_members(self, live_machine):
+        kernel, shell = live_machine
+        shell.run_script(
+            """
+            mkcur team
+            mktkt 500 base backing
+            fund backing team
+            """
+        )
+        team = kernel.ledger.currency("team")
+        task = kernel.create_task("member-task")
+        task.currency = team
+        member = kernel.spawn(spin_body(), "member", task=task,
+                              tickets=100, currency=team)
+        rival = kernel.spawn(spin_body(), "rival", tickets=100)
+        kernel.run_until(30_000)
+        mid_member = member.cpu_time
+        mid_rival = rival.cpu_time
+        shell.execute("unfund backing")
+        kernel.run_until(60_000)
+        member_gain = member.cpu_time - mid_member
+        rival_gain = rival.cpu_time - mid_rival
+        # Unfunded currency: the member's tickets are worthless, so the
+        # rival takes (essentially) the whole second half.
+        assert member_gain < 2_000
+        assert rival_gain > 28_000
+
+    def test_lstkt_reflects_live_values(self, live_machine):
+        kernel, shell = live_machine
+        thread = kernel.spawn(spin_body(), "t", tickets=100, start=False)
+        shell.state.register_holder("t", thread)
+        shell.execute("fundx 250 base t")
+        kernel.start_thread(thread)
+        kernel.run_until(150)
+        listing = shell.execute("lstkt")
+        assert "250" in listing

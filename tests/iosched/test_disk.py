@@ -1,0 +1,110 @@
+"""Tests for the lottery-scheduled disk (paper section 6, footnote 7)."""
+
+import pytest
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.iosched.disk import Disk, FIFO, LOTTERY, ROUND_ROBIN
+from repro.sim.engine import Engine
+
+
+def saturate(disk, clients, requests=200, seed=4):
+    stream = ParkMillerPRNG(seed)
+    for client in clients:
+        for _ in range(requests):
+            disk.submit(client, stream.randrange(10_000), size_kb=64)
+
+
+class TestDiskBasics:
+    def test_single_request_completes(self, engine):
+        disk = Disk(engine)
+        done = []
+        request = disk.submit("a", 100, 64, on_complete=done.append)
+        engine.run()
+        assert done == [request]
+        assert request.response_time > 0
+        assert disk.throughput_kb("a") == 64
+
+    def test_service_time_model(self, engine):
+        disk = Disk(engine, seek_ms_per_1000_sectors=4.0, rotational_ms=4.0,
+                    transfer_kb_per_ms=20.0)
+        request = disk.submit("a", 1000, 40)
+        engine.run()
+        # seek 4ms + rotation 4ms + transfer 2ms.
+        assert request.response_time == pytest.approx(10.0)
+
+    def test_invalid_parameters(self, engine):
+        disk = Disk(engine)
+        with pytest.raises(ReproError):
+            disk.submit("a", -1, 64)
+        with pytest.raises(ReproError):
+            disk.submit("a", 0, 0)
+        with pytest.raises(ReproError):
+            Disk(engine, scheduler="elevator")
+        with pytest.raises(ReproError):
+            disk.set_tickets("a", -1)
+
+    def test_pending_count(self, engine):
+        disk = Disk(engine)
+        disk.submit("a", 0, 64)
+        disk.submit("a", 10, 64)
+        assert disk.pending() == 2
+        engine.run()
+        assert disk.pending() == 0
+
+    def test_requests_complete_under_all_schedulers(self):
+        for scheduler in (LOTTERY, FIFO, ROUND_ROBIN):
+            engine = Engine()
+            disk = Disk(engine, scheduler=scheduler)
+            saturate(disk, ["a", "b"], requests=50)
+            engine.run()
+            assert len(disk.completed["a"]) == 50
+            assert len(disk.completed["b"]) == 50
+
+
+class TestProportionalService:
+    def test_lottery_shares_track_tickets(self):
+        engine = Engine()
+        disk = Disk(engine, scheduler=LOTTERY,
+                    tickets={"rich": 300.0, "poor": 100.0},
+                    prng=ParkMillerPRNG(6))
+        saturate(disk, ["rich", "poor"], requests=2000)
+        engine.run(until=40_000)  # stop while both stay backlogged
+        ratio = disk.throughput_kb("rich") / disk.throughput_kb("poor")
+        assert ratio == pytest.approx(3.0, rel=0.2)
+
+    def test_round_robin_ignores_tickets(self):
+        engine = Engine()
+        disk = Disk(engine, scheduler=ROUND_ROBIN,
+                    tickets={"rich": 300.0, "poor": 100.0})
+        saturate(disk, ["rich", "poor"], requests=2000)
+        engine.run(until=40_000)
+        ratio = disk.throughput_kb("rich") / disk.throughput_kb("poor")
+        assert ratio == pytest.approx(1.0, rel=0.1)
+
+    def test_fifo_serves_in_arrival_order(self, engine):
+        disk = Disk(engine, scheduler=FIFO)
+        order = []
+        for i, client in enumerate(["a", "b", "a", "b"]):
+            disk.submit(client, i * 10, 64,
+                        on_complete=lambda r: order.append(r.client))
+        engine.run()
+        assert order == ["a", "b", "a", "b"]
+
+    def test_lottery_response_times_favour_funded(self):
+        engine = Engine()
+        disk = Disk(engine, scheduler=LOTTERY,
+                    tickets={"rich": 500.0, "poor": 100.0},
+                    prng=ParkMillerPRNG(9))
+        saturate(disk, ["rich", "poor"], requests=500)
+        engine.run(until=60_000)
+        assert (disk.mean_response_time("rich")
+                < disk.mean_response_time("poor"))
+
+    def test_unknown_client_defaults_to_one_ticket(self):
+        engine = Engine()
+        disk = Disk(engine, scheduler=LOTTERY, tickets={"known": 99.0},
+                    prng=ParkMillerPRNG(10))
+        saturate(disk, ["known", "unknown"], requests=1000)
+        engine.run(until=15_000)
+        assert disk.throughput_kb("known") > disk.throughput_kb("unknown") * 5

@@ -1,0 +1,88 @@
+"""Tests for the virtual-circuit link scheduler (paper section 6)."""
+
+import pytest
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.iosched.netport import LinkScheduler
+from repro.sim.engine import Engine
+
+
+class TestLinkBasics:
+    def test_open_and_lookup(self, engine):
+        link = LinkScheduler(engine)
+        circuit = link.open_circuit("x", 10.0)
+        assert link.circuit("x") is circuit
+        with pytest.raises(ReproError):
+            link.circuit("ghost")
+        with pytest.raises(ReproError):
+            link.open_circuit("x", 5.0)
+
+    def test_parameter_validation(self, engine):
+        with pytest.raises(ReproError):
+            LinkScheduler(engine, cell_time=0)
+        with pytest.raises(ReproError):
+            LinkScheduler(engine, mode="weird")
+        link = LinkScheduler(engine)
+        with pytest.raises(ReproError):
+            link.open_circuit("neg", -1.0)
+
+    def test_cells_forward_at_cell_rate(self, engine):
+        link = LinkScheduler(engine, cell_time=2.0)
+        link.open_circuit("x", 1.0)
+        link.arrive("x", 5)
+        engine.run()
+        assert link.circuit("x").cells_forwarded == 5
+        assert engine.now == pytest.approx(10.0)
+
+    def test_queue_limit_drops(self, engine):
+        link = LinkScheduler(engine, queue_limit=3)
+        link.open_circuit("x", 1.0)
+        link.arrive("x", 10)
+        circuit = link.circuit("x")
+        # One cell may already be in service; queue holds <= 3.
+        assert circuit.cells_dropped >= 6
+
+    def test_delays_recorded(self, engine):
+        link = LinkScheduler(engine, cell_time=1.0)
+        link.open_circuit("x", 1.0)
+        link.arrive("x", 3)
+        engine.run()
+        assert link.circuit("x").mean_delay() > 0
+
+
+class TestProportionalForwarding:
+    def test_lottery_shares_track_tickets(self):
+        engine = Engine()
+        link = LinkScheduler(engine, cell_time=0.01, mode="lottery",
+                             queue_limit=100_000,
+                             prng=ParkMillerPRNG(3))
+        for name, tickets in (("x", 400.0), ("y", 200.0), ("z", 100.0)):
+            link.open_circuit(name, tickets)
+            link.arrive(name, 60_000)
+        engine.run(until=0.01 * 60_000)  # one-third of the backlog
+        shares = link.shares()
+        assert shares["x"] / shares["z"] == pytest.approx(4.0, rel=0.15)
+        assert shares["y"] / shares["z"] == pytest.approx(2.0, rel=0.15)
+
+    def test_round_robin_splits_evenly(self):
+        engine = Engine()
+        link = LinkScheduler(engine, cell_time=0.01, mode="round-robin",
+                             queue_limit=100_000)
+        for name, tickets in (("x", 400.0), ("y", 100.0)):
+            link.open_circuit(name, tickets)
+            link.arrive(name, 50_000)
+        engine.run(until=0.01 * 50_000)
+        shares = link.shares()
+        assert shares["x"] == pytest.approx(shares["y"], rel=0.02)
+
+    def test_idle_circuit_gets_no_cells_charged(self):
+        engine = Engine()
+        link = LinkScheduler(engine, mode="lottery",
+                             prng=ParkMillerPRNG(4))
+        link.open_circuit("busy", 1.0)
+        link.open_circuit("idle", 1000.0)
+        link.arrive("busy", 100)
+        engine.run()
+        assert link.circuit("busy").cells_forwarded == 100
+        assert link.circuit("idle").cells_forwarded == 0

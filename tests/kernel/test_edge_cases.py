@@ -1,0 +1,224 @@
+"""Edge-case and documented-behaviour tests for the kernel."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.ipc import Port
+from repro.kernel.syscalls import (
+    AcquireMutex,
+    Call,
+    Compute,
+    Exit,
+    Receive,
+    ReleaseMutex,
+    Send,
+    Sleep,
+)
+from repro.kernel.thread import ThreadState
+from repro.sync.mutex import LotteryMutex, Mutex
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+class TestSpawnDynamics:
+    def test_spawn_while_running(self):
+        """Threads created mid-simulation join the very next lottery."""
+        kernel = make_lottery_kernel(seed=3)
+        first = kernel.spawn(spin_body(), "first", tickets=100)
+        late_holder = {}
+
+        def spawn_late():
+            late_holder["thread"] = kernel.spawn(
+                spin_body(), "late", tickets=100
+            )
+
+        kernel.engine.call_at(5_000.0, spawn_late)
+        kernel.run_until(60_000)
+        late = late_holder["thread"]
+        # The late thread got roughly half the CPU after its arrival.
+        assert late.cpu_time == pytest.approx((60_000 - 5_000) / 2,
+                                              rel=0.15)
+        assert first.cpu_time == pytest.approx(
+            5_000 + (60_000 - 5_000) / 2, rel=0.15
+        )
+
+    def test_task_grouping_optional(self):
+        kernel = make_lottery_kernel()
+        task = kernel.create_task("shared")
+        a = kernel.spawn(spin_body(), "a", task=task, tickets=10)
+        b = kernel.spawn(spin_body(), "b", task=task, tickets=10)
+        assert a.task is b.task
+        assert task.threads == [a, b]
+
+    def test_create_task_currency_modes(self):
+        kernel = make_lottery_kernel()
+        plain = kernel.create_task("plain")
+        assert plain.currency is None
+        minted = kernel.create_task("minted", create_currency=True)
+        assert minted.currency is kernel.ledger.currency("minted")
+        with pytest.raises(KernelError):
+            kernel.create_task("bad", currency=minted.currency,
+                               create_currency=True)
+
+
+class TestExitPaths:
+    def test_exit_while_holding_mutex_leaks_lock(self):
+        """Documented behaviour: like a real kernel, exiting while
+        holding a lock leaves it held; later waiters block forever."""
+        kernel = make_lottery_kernel(seed=5)
+        mutex = Mutex(kernel, "m")
+
+        def holder_then_exit(ctx):
+            yield AcquireMutex(mutex)
+            yield Compute(10.0)
+            yield Exit()
+
+        def victim(ctx):
+            yield Compute(50.0)
+            yield AcquireMutex(mutex)
+            yield ReleaseMutex(mutex)
+
+        owner = kernel.spawn(holder_then_exit, "owner", tickets=100)
+        blocked = kernel.spawn(victim, "victim", tickets=100)
+        kernel.run_until(10_000)
+        assert owner.state is ThreadState.EXITED
+        assert mutex.owner is owner  # lock leaked with the corpse
+        assert blocked.state is ThreadState.BLOCKED
+
+    def test_exit_deactivates_tickets(self):
+        kernel = make_lottery_kernel()
+
+        def short(ctx):
+            yield Compute(30.0)
+
+        thread = kernel.spawn(short, "short", tickets=500)
+        survivor = kernel.spawn(spin_body(), "survivor", tickets=100)
+        kernel.run_until(10_000)
+        assert thread.state is ThreadState.EXITED
+        # The corpse's tickets are deactivated forever...
+        assert thread.funding() == 0.0
+        assert not any(t.active for t in thread.tickets)
+        # ...(the survivor's own ticket is also inactive *right now*
+        # because it is running, per the Mach run-queue rule)...
+        assert kernel.ledger.total_active_base() <= 100
+        # ...and the survivor owns the machine after the exit.
+        assert survivor.cpu_time > 9_000
+
+    def test_all_threads_exit_idles_cpu(self):
+        kernel = make_lottery_kernel()
+
+        def short(ctx):
+            yield Compute(100.0)
+
+        kernel.spawn(short, "a", tickets=10)
+        kernel.spawn(short, "b", tickets=10)
+        kernel.run_until(10_000)
+        assert kernel.running is None
+        assert kernel.cpu_utilization() == pytest.approx(0.02, abs=0.005)
+
+
+class TestIpcEdges:
+    def test_exited_client_request_still_serviceable(self):
+        """A Send-origin message outlives its sender."""
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        got = []
+
+        def sender(ctx):
+            yield Send(port, "parting gift")
+
+        def receiver(ctx):
+            yield Compute(200.0)
+            request = yield Receive(port)
+            got.append(request.message)
+
+        kernel.spawn(sender, "tx", tickets=10)
+        kernel.spawn(receiver, "rx", tickets=10)
+        kernel.run_until(5_000)
+        assert got == ["parting gift"]
+
+    def test_fractional_call_transfer(self):
+        """Call with transfer_fraction moves only part of the rights."""
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        seen = []
+
+        def server(ctx):
+            from repro.kernel.syscalls import Reply
+
+            request = yield Receive(port)
+            seen.append(request.transfer.amount)
+            yield Reply(request, "ok")
+
+        def client(ctx):
+            yield Compute(1.0)
+            yield Call(port, "q", transfer_fraction=0.25)
+
+        kernel.spawn(server, "server", tickets=1)
+        kernel.spawn(client, "client", tickets=400)
+        kernel.run_until(5_000)
+        assert seen and seen[0] == pytest.approx(100.0)
+
+    def test_two_ports_independent(self):
+        kernel = make_lottery_kernel()
+        port_a = Port(kernel, "a")
+        port_b = Port(kernel, "b")
+        got = []
+
+        def receiver(port, tag):
+            def body(ctx):
+                request = yield Receive(port)
+                got.append((tag, request.message))
+
+            return body
+
+        def sender(ctx):
+            yield Send(port_b, "to-b")
+            yield Send(port_a, "to-a")
+            yield Compute(1.0)
+
+        kernel.spawn(receiver(port_a, "A"), "ra", tickets=10)
+        kernel.spawn(receiver(port_b, "B"), "rb", tickets=10)
+        kernel.spawn(sender, "tx", tickets=10)
+        kernel.run_until(5_000)
+        assert sorted(got) == [("A", "to-a"), ("B", "to-b")]
+
+
+class TestLotteryMutexEdges:
+    def test_reacquire_after_release_by_same_thread(self):
+        kernel = make_lottery_kernel(seed=17)
+        mutex = LotteryMutex(kernel, "m")
+        count = []
+
+        def body(ctx):
+            for _ in range(3):
+                yield AcquireMutex(mutex)
+                yield Compute(5.0)
+                yield ReleaseMutex(mutex)
+                count.append(ctx.now)
+
+        kernel.spawn(body, "solo", tickets=10)
+        kernel.run_until(1_000)
+        assert len(count) == 3
+        assert mutex.owner is None
+        assert mutex.inheritance_ticket.target is None
+
+    def test_sleeping_never_blocks_lottery(self):
+        """A sleeping (not waiting) thread contributes nothing to the
+        mutex currency, so the owner's funding stays its own."""
+        kernel = make_lottery_kernel(seed=19)
+        mutex = LotteryMutex(kernel, "m")
+        observed = []
+
+        def owner(ctx):
+            yield AcquireMutex(mutex)
+            yield Compute(100.0)
+            observed.append(mutex.waiter_funding())
+            yield ReleaseMutex(mutex)
+
+        def sleeper(ctx):
+            yield Sleep(10_000.0)
+
+        kernel.spawn(owner, "owner", tickets=10)
+        kernel.spawn(sleeper, "sleeper", tickets=990)
+        kernel.run_until(5_000)
+        assert observed == [0.0]

@@ -1,0 +1,281 @@
+"""Tests for ports, RPC, and ticket transfers (paper section 4.6)."""
+
+import pytest
+
+from repro.errors import IpcError
+from repro.kernel.ipc import Port
+from repro.kernel.syscalls import Call, Compute, Receive, Reply, Send
+from repro.kernel.thread import ThreadState
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+def echo_server_body(port, records=None):
+    def body(ctx):
+        while True:
+            request = yield Receive(port)
+            if records is not None:
+                records.append(request.message)
+            yield Compute(10.0)
+            yield Reply(request, f"echo:{request.message}")
+
+    return body
+
+
+class TestSendReceive:
+    def test_send_then_receive(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        got = []
+
+        def receiver(ctx):
+            request = yield Receive(port)
+            got.append(request.message)
+
+        def sender(ctx):
+            yield Compute(1.0)
+            yield Send(port, "hello")
+
+        kernel.spawn(receiver, "rx", tickets=10)
+        kernel.spawn(sender, "tx", tickets=10)
+        kernel.run_until(1000)
+        assert got == ["hello"]
+
+    def test_receive_blocks_until_message(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        times = []
+
+        def receiver(ctx):
+            request = yield Receive(port)
+            times.append((ctx.now, request.message))
+
+        def sender(ctx):
+            yield Compute(300.0)
+            yield Send(port, "late")
+
+        kernel.spawn(receiver, "rx", tickets=10)
+        kernel.spawn(sender, "tx", tickets=10)
+        kernel.run_until(1000)
+        assert times and times[0][0] >= 300.0
+
+    def test_queued_messages_fifo(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        got = []
+
+        def sender(ctx):
+            yield Send(port, 1)
+            yield Send(port, 2)
+            yield Send(port, 3)
+            yield Compute(1.0)
+
+        def receiver(ctx):
+            for _ in range(3):
+                request = yield Receive(port)
+                got.append(request.message)
+
+        kernel.spawn(sender, "tx", tickets=10)
+        kernel.spawn(receiver, "rx", tickets=10)
+        kernel.run_until(1000)
+        assert got == [1, 2, 3]
+
+    def test_queue_depth(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+
+        def sender(ctx):
+            yield Send(port, "a")
+            yield Send(port, "b")
+            yield Compute(1.0)
+
+        kernel.spawn(sender, "tx", tickets=10)
+        kernel.run_until(100)
+        assert port.queue_depth() == 2
+
+
+class TestCallReply:
+    def test_roundtrip_value(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        replies = []
+
+        def client(ctx):
+            reply = yield Call(port, "ping")
+            replies.append(reply)
+
+        kernel.spawn(echo_server_body(port), "server", tickets=1)
+        kernel.spawn(client, "client", tickets=100)
+        kernel.run_until(5000)
+        assert replies == ["echo:ping"]
+
+    def test_client_blocked_during_call(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+
+        def client(ctx):
+            yield Call(port, "q")
+
+        client_thread = kernel.spawn(client, "client", tickets=100)
+        kernel.run_until(100)
+        # No server: the client stays blocked forever.
+        assert client_thread.state is ThreadState.BLOCKED
+
+    def test_transfer_funds_server_during_call(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        measured = []
+
+        def server(ctx):
+            request = yield Receive(port)
+            measured.append(ctx.thread.nominal_funding())
+            yield Compute(10.0)
+            yield Reply(request, "ok")
+            measured.append(ctx.thread.nominal_funding())
+
+        def client(ctx):
+            yield Compute(1.0)
+            yield Call(port, "q")
+
+        server_thread = kernel.spawn(server, "server", tickets=1)
+        kernel.spawn(client, "client", tickets=500)
+        kernel.run_until(5000)
+        # While serving: own 1 + transferred 500; after reply: 1.
+        # (nominal view: a running thread's tickets are deactivated
+        # because Mach removes it from the run queue, section 4.4.)
+        assert measured[0] == pytest.approx(501)
+        assert measured[1] == pytest.approx(1)
+        assert server_thread.state is ThreadState.EXITED  # one-shot body
+
+    def test_pending_transfer_claimed_at_receive(self):
+        # Call arrives before any server is waiting: the transfer rides
+        # on the queued request and is claimed at receive time.
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        funding_seen = []
+
+        def client(ctx):
+            yield Call(port, "early")
+
+        def late_server(ctx):
+            yield Compute(50.0)
+            request = yield Receive(port)
+            funding_seen.append(ctx.thread.nominal_funding())
+            yield Reply(request, "done")
+
+        kernel.spawn(client, "client", tickets=400)
+        kernel.spawn(late_server, "server", tickets=2)
+        kernel.run_until(5000)
+        assert funding_seen and funding_seen[0] == pytest.approx(402)
+
+    def test_response_times_recorded(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+
+        def client(ctx):
+            for _ in range(3):
+                yield Call(port, "q")
+
+        kernel.spawn(echo_server_body(port), "server", tickets=1)
+        kernel.spawn(client, "client", tickets=100)
+        kernel.run_until(10_000)
+        assert port.replies_sent == 3
+        assert port.mean_response_time() > 0
+
+    def test_double_reply_rejected(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        errors = []
+
+        def server(ctx):
+            request = yield Receive(port)
+            yield Reply(request, "one")
+            try:
+                request.reply("two")
+            except IpcError as exc:
+                errors.append(exc)
+
+        def client(ctx):
+            yield Call(port, "q")
+
+        kernel.spawn(server, "server", tickets=1)
+        kernel.spawn(client, "client", tickets=10)
+        kernel.run_until(1000)
+        assert errors
+
+    def test_reply_to_send_rejected(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        errors = []
+
+        def server(ctx):
+            request = yield Receive(port)
+            try:
+                request.reply("nope")
+            except IpcError as exc:
+                errors.append(exc)
+
+        def sender(ctx):
+            yield Send(port, "oneway")
+            yield Compute(1.0)
+
+        kernel.spawn(server, "server", tickets=1)
+        kernel.spawn(sender, "tx", tickets=10)
+        kernel.run_until(1000)
+        assert errors
+
+
+class TestServerCurrencyMode:
+    def test_transfers_fund_the_currency(self):
+        kernel = make_lottery_kernel()
+        server_currency = kernel.ledger.create_currency("server")
+        port = Port(kernel, "p", currency=server_currency)
+        during = []
+
+        def worker(ctx):
+            while True:
+                request = yield Receive(port)
+                during.append(server_currency.nominal_base_value())
+                yield Compute(10.0)
+                yield Reply(request, "ok")
+
+        def client(ctx):
+            yield Compute(1.0)
+            yield Call(port, "q")
+
+        worker_thread = kernel.spawn(worker, "w", tickets=None)
+        worker_thread.fund_from(kernel.ledger, 10, currency=server_currency)
+        kernel.spawn(client, "c", tickets=600)
+        kernel.run_until(5000)
+        # The client's 600 base flowed into the server currency.
+        assert during and during[0] == pytest.approx(600)
+        assert server_currency.nominal_base_value() == pytest.approx(0.0, abs=1e-6)
+
+    def test_throughput_follows_transfer_ratio(self):
+        # End-to-end: two clients with 3:1 tickets calling a shared
+        # ticketless server complete queries ~3:1.
+        kernel = make_lottery_kernel(seed=77)
+        port = Port(kernel, "p")
+        counts = {"rich": 0, "poor": 0}
+
+        def worker(ctx):
+            while True:
+                request = yield Receive(port)
+                yield Compute(50.0)
+                yield Reply(request, "ok")
+
+        def client(name):
+            def body(ctx):
+                while True:
+                    yield Compute(1.0)
+                    yield Call(port, name)
+                    counts[name] += 1
+
+            return body
+
+        for i in range(2):
+            kernel.spawn(worker, f"w{i}", tickets=1)
+        kernel.spawn(client("rich"), "rich", tickets=300)
+        kernel.spawn(client("poor"), "poor", tickets=100)
+        kernel.run_until(120_000)
+        assert counts["poor"] > 0
+        assert counts["rich"] / counts["poor"] == pytest.approx(3.0, rel=0.25)

@@ -1,0 +1,112 @@
+"""Tests for the scheduler trace recorder and timeline renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kernel.syscalls import Compute, Sleep
+from repro.kernel.trace import SchedulerTrace, TraceEvent
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+def traced_kernel(seed=3):
+    kernel = make_lottery_kernel(seed=seed)
+    trace = SchedulerTrace()
+    kernel.recorder = trace
+    return kernel, trace
+
+
+class TestEventCollection:
+    def test_dispatch_events_carry_funding(self):
+        kernel, trace = traced_kernel()
+        kernel.spawn(spin_body(), "t", tickets=250)
+        kernel.run_until(1000)
+        dispatches = trace.of_kind("dispatch")
+        assert dispatches
+        assert all(e.value == pytest.approx(250) for e in dispatches)
+
+    def test_cpu_events_sum_to_thread_time(self):
+        kernel, trace = traced_kernel()
+        thread = kernel.spawn(spin_body(25.0), "t", tickets=10)
+        kernel.run_until(5000)
+        total = sum(e.value for e in trace.for_thread(thread.tid)
+                    if e.kind == "cpu")
+        assert total == pytest.approx(thread.cpu_time)
+
+    def test_block_wake_exit_recorded(self):
+        kernel, trace = traced_kernel()
+
+        def napper(ctx):
+            yield Compute(10.0)
+            yield Sleep(100.0)
+            yield Compute(10.0)
+
+        kernel.spawn(napper, "n", tickets=10)
+        kernel.run_until(1000)
+        kinds = {e.kind for e in trace.events}
+        assert {"dispatch", "cpu", "block", "wake", "exit"} <= kinds
+
+    def test_dispatch_counts(self):
+        kernel, trace = traced_kernel()
+        kernel.spawn(spin_body(), "a", tickets=100)
+        kernel.spawn(spin_body(), "b", tickets=100)
+        kernel.run_until(2000)
+        counts = trace.dispatch_counts()
+        assert counts["a"] + counts["b"] >= 20
+
+    def test_cpu_by_thread_windows(self):
+        kernel, trace = traced_kernel()
+        kernel.spawn(spin_body(), "only", tickets=10)
+        kernel.run_until(4000)
+        first = trace.cpu_by_thread(0, 2000)["only"]
+        second = trace.cpu_by_thread(2000, 4000)["only"]
+        assert first == pytest.approx(2000)
+        assert second == pytest.approx(2000)
+
+    def test_event_cap_enforced(self):
+        trace = SchedulerTrace(max_events=3)
+        kernel = make_lottery_kernel()
+        kernel.recorder = trace
+        kernel.spawn(spin_body(1.0), "t", tickets=10)
+        with pytest.raises(ReproError):
+            kernel.run_until(1000)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ReproError):
+            SchedulerTrace(max_events=0)
+
+
+class TestTimeline:
+    def test_alternating_threads_render(self):
+        kernel, trace = traced_kernel(seed=9)
+        kernel.spawn(spin_body(100.0), "aa", tickets=100)
+        kernel.spawn(spin_body(100.0), "bb", tickets=100)
+        kernel.run_until(2000)
+        timeline = trace.render_timeline(0, 2000, bucket_ms=100)
+        lines = timeline.splitlines()
+        assert len(lines) == 3  # header + two threads
+        assert "aa" in timeline and "bb" in timeline
+        # Exactly one thread occupies each full bucket.
+        for col in range(20):
+            cells = [line.split("|")[1][col] for line in lines[1:]]
+            assert sorted(cells) == ["#", "."]  # '#' sorts before '.'
+
+    def test_empty_interval_renders_placeholder(self):
+        trace = SchedulerTrace()
+        assert "no CPU activity" in trace.render_timeline(0, 100)
+
+    def test_invalid_intervals_rejected(self):
+        trace = SchedulerTrace()
+        with pytest.raises(ReproError):
+            trace.render_timeline(100, 100)
+        with pytest.raises(ReproError):
+            trace.render_timeline(0, 10, bucket_ms=0)
+        trace._append(TraceEvent(0.0, "cpu", 1, "t", 5.0))
+        with pytest.raises(ReproError):
+            trace.render_timeline(0, 1_000_000, bucket_ms=1)
+
+    def test_partial_buckets_marked(self):
+        trace = SchedulerTrace()
+        trace._append(TraceEvent(0.0, "cpu", 1, "t", 30.0))  # 30 of 100
+        timeline = trace.render_timeline(0, 200, bucket_ms=100)
+        row = timeline.splitlines()[1].split("|")[1]
+        assert row == "+."

@@ -1,0 +1,88 @@
+"""Tests for the physical frame pool."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mem.frames import FramePool
+
+
+class TestFramePool:
+    def test_initially_all_free(self):
+        pool = FramePool(8)
+        assert pool.capacity == 8
+        assert pool.free_count() == 8
+        assert pool.clients() == []
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ReproError):
+            FramePool(0)
+
+    def test_load_binds_page(self):
+        pool = FramePool(4)
+        frame = pool.load("a", 7, now=1.0)
+        assert pool.resident("a", 7)
+        assert frame.binding == ("a", 7)
+        assert pool.usage("a") == 1
+        assert pool.free_count() == 3
+
+    def test_duplicate_load_rejected(self):
+        pool = FramePool(4)
+        pool.load("a", 7, now=1.0)
+        with pytest.raises(ReproError):
+            pool.load("a", 7, now=2.0)
+
+    def test_load_into_full_pool_rejected(self):
+        pool = FramePool(1)
+        pool.load("a", 0, now=0.0)
+        with pytest.raises(ReproError):
+            pool.load("a", 1, now=1.0)
+
+    def test_evict_frees_frame(self):
+        pool = FramePool(2)
+        frame = pool.load("a", 3, now=0.0)
+        binding = pool.evict(frame)
+        assert binding == ("a", 3)
+        assert not pool.resident("a", 3)
+        assert pool.free_count() == 2
+        assert pool.usage("a") == 0
+
+    def test_double_evict_rejected(self):
+        pool = FramePool(2)
+        frame = pool.load("a", 3, now=0.0)
+        pool.evict(frame)
+        with pytest.raises(ReproError):
+            pool.evict(frame)
+
+    def test_touch_updates_recency(self):
+        pool = FramePool(2)
+        frame = pool.load("a", 3, now=0.0)
+        pool.touch("a", 3, now=9.0)
+        assert frame.last_used == 9.0
+
+    def test_touch_nonresident_rejected(self):
+        pool = FramePool(2)
+        with pytest.raises(ReproError):
+            pool.touch("a", 3, now=1.0)
+
+    def test_usage_fraction(self):
+        pool = FramePool(10)
+        for page in range(4):
+            pool.load("a", page, now=0.0)
+        assert pool.usage_fraction("a") == pytest.approx(0.4)
+        assert pool.usage_fraction("unknown") == 0.0
+
+    def test_frames_of(self):
+        pool = FramePool(5)
+        pool.load("a", 1, now=0.0)
+        pool.load("b", 2, now=0.0)
+        pool.load("a", 3, now=0.0)
+        assert len(pool.frames_of("a")) == 2
+        assert len(pool.frames_of("b")) == 1
+
+    def test_frame_reuse_after_eviction(self):
+        pool = FramePool(1)
+        frame = pool.load("a", 0, now=0.0)
+        pool.evict(frame)
+        frame2 = pool.load("b", 5, now=1.0)
+        assert frame2.index == frame.index
+        assert pool.resident("b", 5)

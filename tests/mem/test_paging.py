@@ -1,0 +1,92 @@
+"""Tests for paged workloads (memory integrated with the scheduler)."""
+
+import pytest
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.mem.frames import FramePool
+from repro.mem.manager import MemoryManager
+from repro.mem.paging import PagedWorkload
+from repro.mem.policies import InverseLotteryReplacement, LRUReplacement
+from tests.conftest import make_lottery_kernel
+
+
+def make_manager(frames=16, policy=None):
+    pool = FramePool(frames)
+    return MemoryManager(pool, policy or LRUReplacement()), pool
+
+
+class TestPagedWorkload:
+    def test_validation(self):
+        manager, _ = make_manager()
+        with pytest.raises(ReproError):
+            PagedWorkload("w", manager, working_set=0)
+        with pytest.raises(ReproError):
+            PagedWorkload("w", manager, working_set=4, pattern="zigzag")
+        with pytest.raises(ReproError):
+            PagedWorkload("w", manager, working_set=4, step_ms=0)
+
+    def test_fitting_working_set_faults_only_cold(self):
+        manager, pool = make_manager(frames=16)
+        kernel = make_lottery_kernel(seed=3)
+        workload = PagedWorkload("w", manager, working_set=8, seed=4)
+        kernel.spawn(workload.body, "w", tickets=10)
+        kernel.run_until(30_000)
+        # Cold faults only: 8 pages, then pure hits.
+        assert workload.faults_taken == 8
+        assert manager.fault_rate("w") < 0.05
+        assert pool.usage("w") == 8
+
+    def test_oversized_working_set_thrashes(self):
+        manager, _ = make_manager(frames=8)
+        kernel = make_lottery_kernel(seed=5)
+        workload = PagedWorkload("w", manager, working_set=64,
+                                 pattern="sequential", seed=6)
+        kernel.spawn(workload.body, "w", tickets=10)
+        kernel.run_until(30_000)
+        # Sequential over 64 pages with 8 frames: every touch misses.
+        assert manager.fault_rate("w") == pytest.approx(1.0, abs=0.01)
+
+    def test_fault_stall_slows_progress(self):
+        kernel = make_lottery_kernel(seed=7)
+        manager_small, _ = make_manager(frames=4)
+        manager_big, _ = make_manager(frames=64)
+        thrasher = PagedWorkload("w", manager_small, working_set=32,
+                                 pattern="sequential",
+                                 fault_service_ms=50.0, seed=8)
+        cruiser = PagedWorkload("c", manager_big, working_set=32,
+                                pattern="sequential",
+                                fault_service_ms=50.0, seed=9)
+        kernel.spawn(thrasher.body, "w", tickets=10)
+        kernel2 = make_lottery_kernel(seed=7)
+        kernel2.spawn(cruiser.body, "c", tickets=10)
+        kernel.run_until(30_000)
+        kernel2.run_until(30_000)
+        assert cruiser.steps > 2 * thrasher.steps
+
+    def test_sequential_pattern_cycles(self):
+        manager, _ = make_manager(frames=16)
+        workload = PagedWorkload("w", manager, working_set=3,
+                                 pattern="sequential")
+        pages = [workload._next_page() for _ in range(7)]
+        assert pages == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_inverse_lottery_protects_funded_working_set(self):
+        tickets = {"rich": 900.0, "poor": 100.0}
+        pool = FramePool(24)
+        manager = MemoryManager(
+            pool,
+            InverseLotteryReplacement(tickets_of=tickets.__getitem__,
+                                      prng=ParkMillerPRNG(11)),
+        )
+        kernel = make_lottery_kernel(seed=12)
+        rich = PagedWorkload("rich", manager, working_set=16, seed=13)
+        poor = PagedWorkload("poor", manager, working_set=64,
+                             pattern="sequential", step_ms=2.0,
+                             references_per_step=4,
+                             fault_service_ms=2.0, seed=14)
+        kernel.spawn(rich.body, "rich", tickets=900)
+        kernel.spawn(poor.body, "poor", tickets=100)
+        kernel.run_until(60_000)
+        assert pool.usage("rich") > pool.usage("poor")
+        assert manager.fault_rate("rich") < 0.4

@@ -1,0 +1,136 @@
+"""Tests for page-replacement policies and the fault manager (§6.2)."""
+
+import pytest
+
+from repro.core.prng import ParkMillerPRNG
+from repro.errors import ReproError
+from repro.mem.frames import FramePool
+from repro.mem.manager import MemoryManager
+from repro.mem.policies import (
+    FIFOReplacement,
+    InverseLotteryReplacement,
+    LRUReplacement,
+    RandomReplacement,
+)
+
+
+class TestBaselinePolicies:
+    def test_lru_evicts_least_recent(self):
+        pool = FramePool(2)
+        manager = MemoryManager(pool, LRUReplacement())
+        manager.reference("a", 0, now=0.0)
+        manager.reference("a", 1, now=1.0)
+        manager.reference("a", 0, now=2.0)  # refresh page 0
+        manager.reference("a", 2, now=3.0)  # must evict page 1
+        assert pool.resident("a", 0)
+        assert pool.resident("a", 2)
+        assert not pool.resident("a", 1)
+
+    def test_fifo_evicts_oldest_load(self):
+        pool = FramePool(2)
+        manager = MemoryManager(pool, FIFOReplacement())
+        manager.reference("a", 0, now=0.0)
+        manager.reference("a", 1, now=1.0)
+        manager.reference("a", 0, now=2.0)  # touch does NOT matter for FIFO
+        manager.reference("a", 2, now=3.0)  # evicts page 0 (oldest load)
+        assert not pool.resident("a", 0)
+        assert pool.resident("a", 1)
+
+    def test_random_eviction_roughly_uniform(self):
+        prng = ParkMillerPRNG(8)
+        evicted = {"x": 0, "y": 0}
+        for _ in range(300):
+            pool = FramePool(2)
+            manager = MemoryManager(pool, RandomReplacement(prng))
+            manager.reference("x", 0)
+            manager.reference("y", 0)
+            manager.reference("z", 0)
+            for client in evicted:
+                if not pool.resident(client, 0):
+                    evicted[client] += 1
+        assert evicted["x"] == pytest.approx(150, abs=45)
+
+    def test_victim_requires_resident_pages(self):
+        pool = FramePool(2)
+        policy = LRUReplacement()
+        with pytest.raises(ReproError):
+            policy.choose_victim(pool, now=0.0)
+
+
+class TestInverseLotteryReplacement:
+    def test_single_client_victimized_by_necessity(self):
+        pool = FramePool(1)
+        policy = InverseLotteryReplacement(tickets_of=lambda c: 100.0,
+                                           prng=ParkMillerPRNG(5))
+        manager = MemoryManager(pool, policy)
+        manager.reference("only", 0)
+        manager.reference("only", 1)
+        assert manager.evictions["only"] == 1
+
+    def test_within_client_fifo(self):
+        pool = FramePool(2)
+        policy = InverseLotteryReplacement(tickets_of=lambda c: 1.0,
+                                           prng=ParkMillerPRNG(5))
+        manager = MemoryManager(pool, policy)
+        manager.reference("a", 0, now=0.0)
+        manager.reference("a", 1, now=1.0)
+        manager.reference("a", 2, now=2.0)
+        assert not pool.resident("a", 0)  # oldest load evicted first
+
+    def test_rich_client_protected(self):
+        # A 9:1 ticket split with equal usage: the poor client should
+        # lose far more pages.
+        prng = ParkMillerPRNG(77)
+        tickets = {"rich": 900.0, "poor": 100.0}
+        pool = FramePool(20)
+        policy = InverseLotteryReplacement(tickets_of=tickets.__getitem__,
+                                           prng=prng)
+        manager = MemoryManager(pool, policy)
+        stream = ParkMillerPRNG(78)
+        for step in range(20_000):
+            client = "rich" if step % 2 == 0 else "poor"
+            manager.reference(client, stream.randrange(30), now=float(step))
+        assert manager.evictions["poor"] > manager.evictions["rich"]
+
+    def test_victim_counts_recorded(self):
+        policy = InverseLotteryReplacement(tickets_of=lambda c: 1.0,
+                                           prng=ParkMillerPRNG(5))
+        pool = FramePool(1)
+        manager = MemoryManager(pool, policy)
+        manager.reference("a", 0)
+        manager.reference("a", 1)
+        assert policy.victim_counts == {"a": 1}
+
+
+class TestMemoryManager:
+    def test_hit_and_fault_accounting(self):
+        pool = FramePool(4)
+        manager = MemoryManager(pool, LRUReplacement())
+        assert manager.reference("a", 0) is False  # cold fault
+        assert manager.reference("a", 0) is True  # hit
+        assert manager.faults["a"] == 1
+        assert manager.hits["a"] == 1
+        assert manager.fault_rate("a") == pytest.approx(0.5)
+        assert manager.total_references == 2
+
+    def test_negative_page_rejected(self):
+        manager = MemoryManager(FramePool(2), LRUReplacement())
+        with pytest.raises(ReproError):
+            manager.reference("a", -1)
+
+    def test_eviction_share(self):
+        pool = FramePool(1)
+        manager = MemoryManager(pool, FIFOReplacement())
+        manager.reference("a", 0)
+        manager.reference("b", 0)  # evicts a
+        manager.reference("a", 0)  # evicts b
+        assert manager.eviction_share("a") == pytest.approx(0.5)
+        assert manager.eviction_share("b") == pytest.approx(0.5)
+
+    def test_eviction_share_empty(self):
+        manager = MemoryManager(FramePool(2), LRUReplacement())
+        assert manager.eviction_share("nobody") == 0.0
+
+    def test_fault_rate_unknown_client(self):
+        manager = MemoryManager(FramePool(2), LRUReplacement())
+        assert manager.fault_rate("ghost") == 0.0

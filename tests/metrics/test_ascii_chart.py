@@ -1,0 +1,86 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.ascii_chart import bar_chart, line_chart, scatter_chart
+
+
+class TestLineChart:
+    def test_renders_series_and_legend(self):
+        chart = line_chart(
+            {"A": [(0, 0), (10, 100)], "B": [(0, 0), (10, 50)]},
+            width=32, height=8, title="progress",
+        )
+        assert "progress" in chart
+        assert "* A" in chart
+        assert "o B" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_y_extremes_labelled(self):
+        chart = line_chart({"A": [(0, 0), (5, 200)]}, width=16, height=6)
+        assert "200" in chart
+        assert "0" in chart
+
+    def test_monotone_series_rises_left_to_right(self):
+        chart = line_chart({"A": [(0, 0), (1, 1), (2, 2), (3, 3)]},
+                           width=20, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_hit = {}
+        for row_index, row in enumerate(rows):
+            body = row.split("|", 1)[1]
+            for col, ch in enumerate(body):
+                if ch == "*" and col not in first_hit:
+                    first_hit[col] = row_index
+        columns = sorted(first_hit)
+        # Higher x (later column) -> higher y (smaller row index).
+        assert first_hit[columns[0]] > first_hit[columns[-1]]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+        with pytest.raises(ReproError):
+            line_chart({"A": []})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({"A": [(0, 1)]}, width=4, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"A": [(0, 5), (10, 5)]}, width=16, height=5)
+        assert "*" in chart
+
+
+class TestScatterChart:
+    def test_diagonal_reference(self):
+        chart = scatter_chart([(1, 1.1), (5, 4.9), (10, 10.4)],
+                              diagonal=True, title="fig4")
+        assert "observed" in chart
+        assert "ideal" in chart
+
+    def test_without_diagonal(self):
+        chart = scatter_chart([(1, 2), (2, 4)])
+        assert "ideal" not in chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"A": 100.0, "B": 50.0}, width=20)
+        rows = chart.splitlines()
+        bar_a = rows[0].count("#")
+        bar_b = rows[1].count("#")
+        assert bar_a == 20
+        assert bar_b == 10
+
+    def test_labels_and_units(self):
+        chart = bar_chart({"tasks": 3.0}, unit=" q/s", title="rates")
+        assert "rates" in chart
+        assert "3 q/s" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+
+    def test_zero_values_do_not_crash(self):
+        chart = bar_chart({"A": 0.0, "B": 0.0})
+        assert "A" in chart

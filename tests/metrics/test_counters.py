@@ -1,0 +1,72 @@
+"""Tests for windowed counters."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.counters import WindowedCounter
+
+
+class TestWindowedCounter:
+    def test_totals(self):
+        counter = WindowedCounter()
+        counter.add(1.0, 5)
+        counter.add(2.0, 3)
+        assert counter.total == 8
+        assert len(counter) == 2
+
+    def test_total_until(self):
+        counter = WindowedCounter()
+        counter.add(10.0, 1)
+        counter.add(20.0, 2)
+        counter.add(30.0, 3)
+        assert counter.total_until(5.0) == 0
+        assert counter.total_until(20.0) == 3
+        assert counter.total_until(1000.0) == 6
+
+    def test_count_between(self):
+        counter = WindowedCounter()
+        for t in range(10):
+            counter.add(float(t), 1)
+        assert counter.count_between(2.0, 5.0) == 3
+
+    def test_window_rates(self):
+        counter = WindowedCounter()
+        for t in range(100):
+            counter.add(float(t * 10), 1)  # 1 event per 10 ms
+        rates = counter.window_rates(window=100.0, horizon=1000.0)
+        assert len(rates) == 10
+        for _, rate in rates:
+            assert rate == pytest.approx(100.0, rel=0.11)  # events/sec
+
+    def test_window_rates_partial_last_window(self):
+        counter = WindowedCounter()
+        counter.add(140.0, 7)
+        rates = counter.window_rates(window=100.0, horizon=150.0)
+        assert len(rates) == 2
+        start, rate = rates[1]
+        assert start == 100.0
+        assert rate == pytest.approx(7 / 50.0 * 1000.0)
+
+    def test_cumulative_series(self):
+        counter = WindowedCounter()
+        counter.add(5.0, 1)
+        counter.add(15.0, 1)
+        series = counter.cumulative_series(sample_every=10.0, horizon=20.0)
+        assert series == [(0.0, 0.0), (10.0, 1.0), (20.0, 2.0)]
+
+    def test_time_monotonicity_enforced(self):
+        counter = WindowedCounter()
+        counter.add(5.0, 1)
+        with pytest.raises(ReproError):
+            counter.add(4.0, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ReproError):
+            WindowedCounter().add(0.0, -1)
+
+    def test_invalid_window_parameters(self):
+        counter = WindowedCounter()
+        with pytest.raises(ReproError):
+            counter.window_rates(window=0, horizon=10)
+        with pytest.raises(ReproError):
+            counter.cumulative_series(sample_every=0, horizon=10)

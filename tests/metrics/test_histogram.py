@@ -1,0 +1,51 @@
+"""Tests for fixed-bin histograms."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.histogram import Histogram
+
+
+class TestHistogram:
+    def test_binning(self):
+        histogram = Histogram(10.0)
+        histogram.extend([0.0, 5.0, 9.9, 10.0, 25.0])
+        bins = histogram.bins()
+        assert bins == [(0.0, 10.0, 3), (10.0, 20.0, 1), (20.0, 30.0, 1)]
+
+    def test_mean_and_stdev(self):
+        histogram = Histogram(1.0)
+        histogram.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert histogram.mean() == pytest.approx(5.0)
+        assert histogram.stdev() == pytest.approx(2.0)
+
+    def test_empty_statistics(self):
+        histogram = Histogram(1.0)
+        assert histogram.mean() == 0.0
+        assert histogram.stdev() == 0.0
+        assert histogram.count == 0
+        assert histogram.percentile(50) == 0.0
+
+    def test_percentiles(self):
+        histogram = Histogram(1.0)
+        histogram.extend(float(v) for v in range(1, 101))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(90) == 90.0
+        assert histogram.percentile(100) == 100.0
+        assert histogram.percentile(0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            Histogram(0.0)
+        histogram = Histogram(1.0)
+        with pytest.raises(ReproError):
+            histogram.add(-1.0)
+        with pytest.raises(ReproError):
+            histogram.percentile(101)
+
+    def test_render_produces_rows(self):
+        histogram = Histogram(10.0)
+        histogram.extend([5.0, 15.0, 15.0])
+        rendered = histogram.render()
+        assert len(rendered.splitlines()) == 2
+        assert "#" in rendered

@@ -1,0 +1,69 @@
+"""Direct tests for the kernel recorders."""
+
+import pytest
+
+from repro.kernel.syscalls import Compute, Sleep
+from repro.metrics.recorder import KernelRecorder, NullRecorder
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+class TestNullRecorder:
+    def test_accepts_all_hooks_silently(self):
+        kernel = make_lottery_kernel()
+        kernel.recorder = NullRecorder()
+        kernel.spawn(spin_body(), "t", tickets=10)
+        kernel.run_until(1000)  # must simply not crash
+
+
+class TestKernelRecorder:
+    def test_dispatch_log_ordered(self):
+        kernel = make_lottery_kernel(seed=3)
+        recorder = KernelRecorder()
+        kernel.recorder = recorder
+        kernel.spawn(spin_body(), "a", tickets=10)
+        kernel.spawn(spin_body(), "b", tickets=10)
+        kernel.run_until(3000)
+        times = [t for t, _ in recorder.dispatch_log]
+        assert times == sorted(times)
+        assert len(times) >= 30
+
+    def test_mean_latency_for_sleeper(self):
+        kernel = make_lottery_kernel(seed=5)
+        recorder = KernelRecorder()
+        kernel.recorder = recorder
+
+        def napper(ctx):
+            while True:
+                yield Sleep(100.0)
+                yield Compute(10.0)
+
+        thread = kernel.spawn(napper, "n", tickets=100)
+        kernel.spawn(spin_body(), "hog", tickets=100)
+        kernel.run_until(30_000)
+        latency = recorder.mean_latency(thread)
+        assert latency > 0
+        # With equal funding vs one hog, the wake-up wait is around one
+        # quantum on average (compensation accelerates re-dispatch).
+        assert latency < 300
+
+    def test_mean_latency_unknown_thread_zero(self):
+        kernel = make_lottery_kernel()
+        recorder = KernelRecorder()
+        thread = kernel.spawn(spin_body(), "t", tickets=1)
+        assert recorder.mean_latency(thread) == 0.0
+
+    def test_cpu_time_until(self):
+        kernel = make_lottery_kernel()
+        recorder = KernelRecorder()
+        kernel.recorder = recorder
+        thread = kernel.spawn(spin_body(), "t", tickets=10)
+        kernel.run_until(2000)
+        assert recorder.cpu_time(thread, until=1000) == pytest.approx(1000)
+        assert recorder.cpu_time(thread) == pytest.approx(2000)
+
+    def test_cpu_time_unrecorded_thread(self):
+        kernel = make_lottery_kernel()
+        recorder = KernelRecorder()
+        thread = kernel.spawn(spin_body(), "t", tickets=10, start=False)
+        assert recorder.cpu_time(thread) == 0.0
+        assert recorder.cpu_share(thread, 0, 100) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the section 2.2 statistical laws and summary helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.stats import (
+    binomial_expected_wins,
+    binomial_variance,
+    geometric_mean_wait,
+    geometric_variance,
+    mean,
+    observed_ratio,
+    ratio_error,
+    stdev,
+    win_proportion_cv,
+)
+
+
+class TestPaperLaws:
+    def test_expected_wins(self):
+        assert binomial_expected_wins(100, 0.25) == 25.0
+
+    def test_variance(self):
+        assert binomial_variance(100, 0.25) == pytest.approx(18.75)
+
+    def test_cv_formula(self):
+        # sigma/mu = sqrt((1-p)/(n p)).
+        assert win_proportion_cv(100, 0.25) == pytest.approx(
+            math.sqrt(0.75 / 25)
+        )
+
+    def test_cv_improves_with_sqrt_n(self):
+        cv_100 = win_proportion_cv(100, 0.2)
+        cv_400 = win_proportion_cv(400, 0.2)
+        assert cv_100 / cv_400 == pytest.approx(2.0)
+
+    def test_geometric_laws(self):
+        assert geometric_mean_wait(0.1) == pytest.approx(10.0)
+        assert geometric_variance(0.1) == pytest.approx(0.9 / 0.01)
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.1])
+    def test_invalid_probability_rejected(self, p):
+        with pytest.raises(ReproError):
+            binomial_expected_wins(10, p)
+        with pytest.raises(ReproError):
+            geometric_mean_wait(p)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ReproError):
+            binomial_expected_wins(-1, 0.5)
+        with pytest.raises(ReproError):
+            win_proportion_cv(0, 0.5)
+
+    def test_empirical_agreement(self, prng):
+        # The simulator's own lottery must obey the binomial law.
+        from repro.core.lottery import hold_lottery
+
+        p = 0.3
+        n = 5000
+        wins = sum(
+            1
+            for _ in range(n)
+            if hold_lottery([("t", p), ("rest", 1 - p)], prng) == "t"
+        )
+        expected = binomial_expected_wins(n, p)
+        sigma = math.sqrt(binomial_variance(n, p))
+        assert abs(wins - expected) < 4 * sigma
+
+
+class TestSummaryHelpers:
+    def test_mean_and_stdev(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+        assert stdev([2.0, 4.0]) == 1.0
+        assert stdev([5.0]) == 0.0
+
+    def test_observed_ratio(self):
+        assert observed_ratio([400, 100, 200]) == (4.0, 1.0, 2.0)
+        assert observed_ratio([0, 0]) == (0.0, 0.0)
+
+    def test_ratio_error_zero_when_exact(self):
+        assert ratio_error([2, 1], [2, 1]) == 0.0
+
+    def test_ratio_error_positive_when_off(self):
+        assert ratio_error([3, 1], [2, 2]) > 0
+
+    def test_ratio_error_validation(self):
+        with pytest.raises(ReproError):
+            ratio_error([1], [1, 2])
+        with pytest.raises(ReproError):
+            ratio_error([0, 0], [1, 1])

@@ -1,0 +1,242 @@
+"""Tests for the baseline scheduling policies."""
+
+import pytest
+
+from repro.core.prng import ParkMillerPRNG
+from repro.core.tickets import Ledger
+from repro.errors import SchedulerError
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import Compute, Sleep
+from repro.schedulers.fair_share import FairSharePolicy
+from repro.schedulers.priority import FixedPriorityPolicy
+from repro.schedulers.round_robin import RoundRobinPolicy
+from repro.schedulers.stride import StridePolicy
+from repro.schedulers.timesharing import TimesharingPolicy
+from repro.sim.engine import Engine
+from tests.conftest import spin_body
+
+
+def make_kernel(policy, quantum=100.0):
+    engine = Engine()
+    ledger = Ledger()
+    return Kernel(engine, policy, ledger=ledger, quantum=quantum)
+
+
+class TestRoundRobin:
+    def test_equal_shares_regardless_of_tickets(self):
+        kernel = make_kernel(RoundRobinPolicy())
+        a = kernel.spawn(spin_body(), "a", tickets=1000)
+        b = kernel.spawn(spin_body(), "b", tickets=1)
+        kernel.run_until(100_000)
+        assert a.cpu_time == pytest.approx(b.cpu_time, rel=0.01)
+
+    def test_strict_rotation(self):
+        kernel = make_kernel(RoundRobinPolicy())
+        order = []
+
+        def tracker(name):
+            def body(ctx):
+                while True:
+                    yield Compute(100.0)
+                    order.append(name)
+
+            return body
+
+        kernel.spawn(tracker("a"), "a")
+        kernel.spawn(tracker("b"), "b")
+        kernel.spawn(tracker("c"), "c")
+        kernel.run_until(1200)
+        # (A thread's post-compute statement runs at its *next* dispatch,
+        # so the log lags by one round; the rotation itself is strict.)
+        assert order[:9] == ["a", "b", "c"] * 3
+
+    def test_double_enqueue_rejected(self):
+        policy = RoundRobinPolicy()
+        kernel = make_kernel(policy)
+        thread = kernel.spawn(spin_body(), "t", start=False)
+        policy.enqueue(thread)
+        with pytest.raises(SchedulerError):
+            policy.enqueue(thread)
+
+    def test_dequeue_unknown_rejected(self):
+        policy = RoundRobinPolicy()
+        kernel = make_kernel(policy)
+        thread = kernel.spawn(spin_body(), "t", start=False)
+        with pytest.raises(SchedulerError):
+            policy.dequeue(thread)
+
+    def test_empty_select_returns_none(self):
+        assert RoundRobinPolicy().select() is None
+
+
+class TestFixedPriority:
+    def test_higher_priority_monopolizes(self):
+        kernel = make_kernel(FixedPriorityPolicy())
+        high = kernel.spawn(spin_body(), "high", priority=10)
+        low = kernel.spawn(spin_body(), "low", priority=1)
+        kernel.run_until(50_000)
+        assert high.cpu_time == pytest.approx(50_000)
+        assert low.cpu_time == 0.0  # absolute starvation
+
+    def test_equal_priority_round_robin(self):
+        kernel = make_kernel(FixedPriorityPolicy())
+        a = kernel.spawn(spin_body(), "a", priority=5)
+        b = kernel.spawn(spin_body(), "b", priority=5)
+        kernel.run_until(10_000)
+        assert a.cpu_time == pytest.approx(b.cpu_time, rel=0.05)
+
+    def test_low_runs_when_high_blocks(self):
+        kernel = make_kernel(FixedPriorityPolicy())
+
+        def intermittent(ctx):
+            while True:
+                yield Compute(10.0)
+                yield Sleep(90.0)
+
+        kernel.spawn(intermittent, "high", priority=10)
+        low = kernel.spawn(spin_body(), "low", priority=1)
+        kernel.run_until(10_000)
+        assert low.cpu_time > 8000
+
+    def test_runnable_count(self):
+        policy = FixedPriorityPolicy()
+        kernel = make_kernel(policy)
+        kernel.spawn(spin_body(), "a", priority=1)
+        kernel.spawn(spin_body(), "b", priority=2)
+        assert policy.runnable_count() == 2
+
+
+class TestTimesharing:
+    def test_equal_loads_share_equally(self):
+        kernel = make_kernel(TimesharingPolicy())
+        a = kernel.spawn(spin_body(), "a")
+        b = kernel.spawn(spin_body(), "b")
+        kernel.run_until(100_000)
+        assert a.cpu_time == pytest.approx(b.cpu_time, rel=0.05)
+
+    def test_interactive_thread_gets_priority_boost(self):
+        # A thread that sleeps accumulates little usage, so its decayed
+        # priority stays high and its scheduling latency stays low.
+        kernel = make_kernel(TimesharingPolicy())
+        latencies = []
+
+        def interactive(ctx):
+            while True:
+                yield Sleep(400.0)
+                start = ctx.now
+                yield Compute(10.0)
+                latencies.append(ctx.now - start - 10.0)
+
+        kernel.spawn(spin_body(), "hog1")
+        kernel.spawn(spin_body(), "hog2")
+        kernel.spawn(interactive, "ui")
+        kernel.run_until(100_000)
+        # The interactive thread must not wait many quanta on average.
+        assert sum(latencies) / len(latencies) < 150.0
+
+    def test_decay_sweeps_run(self):
+        policy = TimesharingPolicy(decay_period=500.0)
+        kernel = make_kernel(policy)
+        kernel.spawn(spin_body(), "t")
+        kernel.run_until(5000)
+        assert policy.decay_sweeps >= 9
+
+    def test_no_ticket_proportionality(self):
+        # The §5.6 baseline ignores tickets entirely.
+        kernel = make_kernel(TimesharingPolicy())
+        a = kernel.spawn(spin_body(), "a", tickets=900)
+        b = kernel.spawn(spin_body(), "b", tickets=100)
+        kernel.run_until(100_000)
+        assert a.cpu_time == pytest.approx(b.cpu_time, rel=0.1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SchedulerError):
+            TimesharingPolicy(decay_period=0)
+        with pytest.raises(SchedulerError):
+            TimesharingPolicy(decay=1.5)
+
+
+class TestFairShare:
+    def test_groups_converge_to_shares(self):
+        policy = FairSharePolicy(adjust_period=1000.0)
+        kernel = make_kernel(policy)
+        policy.set_share("research", 3.0)
+        policy.set_share("admin", 1.0)
+        threads = []
+        for index in range(2):
+            thread = kernel.spawn(spin_body(), f"r{index}", start=False)
+            policy.assign(thread, "research")
+            kernel.start_thread(thread)
+            threads.append(thread)
+        admin = kernel.spawn(spin_body(), "a0", start=False)
+        policy.assign(admin, "admin")
+        kernel.start_thread(admin)
+        kernel.run_until(300_000)
+        research_cpu = sum(t.cpu_time for t in threads)
+        ratio = research_cpu / admin.cpu_time
+        # Coarse convergence over minutes (the paper's critique): the
+        # 3:1 share is honoured within a generous tolerance.
+        assert ratio == pytest.approx(3.0, rel=0.25)
+
+    def test_unassigned_threads_get_default_group(self):
+        policy = FairSharePolicy()
+        kernel = make_kernel(policy)
+        thread = kernel.spawn(spin_body(), "stray")
+        kernel.run_until(5000)
+        assert thread.cpu_time > 0
+
+    def test_share_validation(self):
+        policy = FairSharePolicy()
+        with pytest.raises(SchedulerError):
+            policy.set_share("g", 0.0)
+        kernel = make_kernel(policy)
+        thread = kernel.spawn(spin_body(), "t", start=False)
+        with pytest.raises(SchedulerError):
+            policy.assign(thread, "nonexistent")
+
+
+class TestStride:
+    def test_exact_proportions_deterministically(self):
+        kernel = make_kernel(StridePolicy())
+        a = kernel.spawn(spin_body(), "a", tickets=300)
+        b = kernel.spawn(spin_body(), "b", tickets=100)
+        kernel.run_until(100_000)
+        # Stride is deterministic: 3:1 within one quantum of error.
+        assert abs(a.cpu_time - 75_000) <= 200.0
+        assert abs(b.cpu_time - 25_000) <= 200.0
+
+    def test_three_way_deterministic(self):
+        kernel = make_kernel(StridePolicy())
+        threads = {
+            name: kernel.spawn(spin_body(), name, tickets=amount)
+            for name, amount in (("a", 500), ("b", 300), ("c", 200))
+        }
+        kernel.run_until(100_000)
+        assert abs(threads["a"].cpu_time - 50_000) <= 300
+        assert abs(threads["b"].cpu_time - 30_000) <= 300
+        assert abs(threads["c"].cpu_time - 20_000) <= 300
+
+    def test_blocked_thread_does_not_bank_credit(self):
+        # A thread that sleeps must not later monopolize the CPU to
+        # "catch up" past service it never queued for.
+        kernel = make_kernel(StridePolicy())
+
+        def sleeper(ctx):
+            yield Sleep(50_000.0)
+            while True:
+                yield Compute(100.0)
+
+        spinner = kernel.spawn(spin_body(), "spin", tickets=100)
+        napper = kernel.spawn(sleeper, "nap", tickets=100)
+        kernel.run_until(100_000)
+        # After waking at 50 s, the napper gets ~50% of the second half,
+        # not 100% of it.
+        assert napper.cpu_time == pytest.approx(25_000, rel=0.1)
+        assert spinner.cpu_time == pytest.approx(75_000, rel=0.1)
+
+    def test_unfunded_thread_defaults_to_one_ticket(self):
+        kernel = make_kernel(StridePolicy())
+        funded = kernel.spawn(spin_body(), "funded", tickets=99)
+        poor = kernel.spawn(spin_body(), "poor")
+        kernel.run_until(100_000)
+        assert funded.cpu_time / poor.cpu_time == pytest.approx(99, rel=0.1)

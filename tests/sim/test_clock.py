@@ -1,0 +1,42 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import MS, SECONDS, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(50.0).now == 50.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1.0)
+
+    def test_advance_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.0)
+
+    def test_tiny_backwards_tolerated(self):
+        # Floating-point slop within 1e-9 must not crash the engine.
+        clock = VirtualClock(10.0)
+        clock.advance_to(10.0 - 1e-12)
+        assert clock.now == 10.0
+
+    def test_units(self):
+        assert SECONDS == 1000 * MS

@@ -1,0 +1,143 @@
+"""Tests for condition variables over simulated mutexes."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.syscalls import (
+    AcquireMutex,
+    BroadcastCondition,
+    Compute,
+    ReleaseMutex,
+    SignalCondition,
+    WaitCondition,
+)
+from repro.sync.condition import Condition
+from repro.sync.mutex import LotteryMutex, Mutex
+from tests.conftest import make_lottery_kernel
+
+
+class TestConditionBasics:
+    def test_wait_requires_mutex_ownership(self):
+        kernel = make_lottery_kernel()
+        mutex = Mutex(kernel, "m")
+        cond = Condition(kernel, mutex)
+        errors = []
+
+        def body(ctx):
+            try:
+                cond.wait(ctx.thread)
+            except KernelError as exc:
+                errors.append(exc)
+            yield Compute(1.0)
+
+        kernel.spawn(body, "t", tickets=10)
+        kernel.run_until(100)
+        assert errors
+
+    def test_signal_with_no_waiters_is_noop(self):
+        kernel = make_lottery_kernel()
+        mutex = Mutex(kernel, "m")
+        cond = Condition(kernel, mutex)
+        cond.signal()
+        assert cond.signals == 1
+
+    def test_wait_releases_mutex_and_reacquires_on_signal(self):
+        kernel = make_lottery_kernel()
+        mutex = Mutex(kernel, "m")
+        cond = Condition(kernel, mutex)
+        log = []
+
+        def waiter(ctx):
+            yield AcquireMutex(mutex)
+            log.append(("wait-start", mutex.owner is ctx.thread))
+            yield WaitCondition(cond)
+            log.append(("woken-holding", mutex.owner is ctx.thread))
+            yield ReleaseMutex(mutex)
+
+        def signaller(ctx):
+            yield Compute(50.0)
+            yield AcquireMutex(mutex)  # must succeed: waiter released it
+            log.append(("signaller-got-lock", True))
+            yield SignalCondition(cond)
+            yield ReleaseMutex(mutex)
+
+        kernel.spawn(waiter, "w", tickets=10)
+        kernel.spawn(signaller, "s", tickets=10)
+        kernel.run_until(10_000)
+        assert ("wait-start", True) in log
+        assert ("signaller-got-lock", True) in log
+        assert ("woken-holding", True) in log
+
+    def test_broadcast_wakes_everyone(self):
+        kernel = make_lottery_kernel(seed=3)
+        mutex = Mutex(kernel, "m")
+        cond = Condition(kernel, mutex)
+        woken = []
+
+        def waiter(name):
+            def body(ctx):
+                yield AcquireMutex(mutex)
+                yield WaitCondition(cond)
+                woken.append(name)
+                yield ReleaseMutex(mutex)
+
+            return body
+
+        def broadcaster(ctx):
+            yield Compute(100.0)
+            yield BroadcastCondition(cond)
+
+        for i in range(4):
+            kernel.spawn(waiter(f"w{i}"), f"w{i}", tickets=10)
+        kernel.spawn(broadcaster, "b", tickets=10)
+        kernel.run_until(10_000)
+        assert sorted(woken) == ["w0", "w1", "w2", "w3"]
+
+    def test_signal_wakes_exactly_one(self):
+        kernel = make_lottery_kernel(seed=5)
+        mutex = Mutex(kernel, "m")
+        cond = Condition(kernel, mutex)
+        woken = []
+
+        def waiter(name):
+            def body(ctx):
+                yield AcquireMutex(mutex)
+                yield WaitCondition(cond)
+                woken.append(name)
+                yield ReleaseMutex(mutex)
+
+            return body
+
+        def signaller(ctx):
+            yield Compute(100.0)
+            yield SignalCondition(cond)
+            yield Compute(500.0)
+
+        kernel.spawn(waiter("w0"), "w0", tickets=10)
+        kernel.spawn(waiter("w1"), "w1", tickets=10)
+        kernel.spawn(signaller, "s", tickets=10)
+        kernel.run_until(10_000)
+        assert len(woken) == 1
+        assert cond.waiting() == 1
+
+    def test_works_over_lottery_mutex(self):
+        kernel = make_lottery_kernel(seed=7)
+        mutex = LotteryMutex(kernel, "lm")
+        cond = Condition(kernel, mutex)
+        done = []
+
+        def waiter(ctx):
+            yield AcquireMutex(mutex)
+            yield WaitCondition(cond)
+            done.append(ctx.now)
+            yield ReleaseMutex(mutex)
+
+        def signaller(ctx):
+            yield Compute(100.0)
+            yield SignalCondition(cond)
+
+        kernel.spawn(waiter, "w", tickets=100)
+        kernel.spawn(signaller, "s", tickets=100)
+        kernel.run_until(10_000)
+        assert done
+        assert mutex.owner is None

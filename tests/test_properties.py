@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin down the algebraic laws the paper's mechanisms rest on:
+value conservation through currency graphs, exact agreement between the
+O(n) list lottery and the O(log n) Fenwick-tree lottery, event-queue
+ordering, inverse-lottery normalization, PRNG range discipline, and
+counter monotonicity.
+"""
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.inverse import inverse_probabilities
+from repro.core.lottery import ListLottery, TreeLottery
+from repro.core.prng import MODULUS, ParkMillerPRNG, fastrand
+from repro.core.tickets import Ledger, TicketHolder
+from repro.metrics.counters import WindowedCounter
+from repro.metrics.stats import win_proportion_cv
+from repro.sim.events import EventQueue
+
+amounts = st.floats(min_value=0.001, max_value=1e6, allow_nan=False,
+                    allow_infinity=False)
+seeds = st.integers(min_value=1, max_value=MODULUS - 1)
+
+
+class TestPrngProperties:
+    @given(seeds)
+    def test_fastrand_stays_in_range(self, seed):
+        value = fastrand(seed)
+        assert 0 < value < MODULUS
+
+    @given(seeds)
+    def test_fastrand_is_multiplicative_congruence(self, seed):
+        assert fastrand(seed) == (16807 * seed) % MODULUS
+
+    @given(seeds, st.integers(min_value=1, max_value=10_000))
+    def test_randrange_within_bound(self, seed, bound):
+        prng = ParkMillerPRNG(seed)
+        for _ in range(10):
+            assert 0 <= prng.randrange(bound) < bound
+
+    @given(seeds)
+    def test_uniform_in_unit_interval(self, seed):
+        prng = ParkMillerPRNG(seed)
+        for _ in range(10):
+            value = prng.uniform()
+            assert 0.0 <= value < 1.0
+
+
+class TestCurrencyConservation:
+    @given(st.lists(amounts, min_size=1, max_size=8),
+           st.lists(amounts, min_size=1, max_size=8))
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_group_funding_equals_backing(self, backings, issues):
+        """Sum of member funding == sum of backing ticket values, for
+        any currency funded by any backing and issuing any tickets."""
+        ledger = Ledger()
+        group = ledger.create_currency("group")
+        for amount in backings:
+            ledger.create_ticket(amount, fund=group)
+        holders = []
+        for amount in issues:
+            holder = TicketHolder("h")
+            ledger.create_ticket(amount, currency=group, fund=holder)
+            holder.start_competing()
+            holders.append(holder)
+        total_funding = sum(h.funding() for h in holders)
+        assert math.isclose(total_funding, sum(backings), rel_tol=1e-9)
+
+    @given(st.lists(amounts, min_size=2, max_size=6), st.data())
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_deactivation_redistributes_not_destroys(self, issues, data):
+        """Deactivating one member hands its share to siblings: the
+        currency's total delivered value is invariant while at least
+        one member competes."""
+        ledger = Ledger()
+        group = ledger.create_currency("group")
+        ledger.create_ticket(1000.0, fund=group)
+        holders = []
+        for amount in issues:
+            holder = TicketHolder("h")
+            ledger.create_ticket(amount, currency=group, fund=holder)
+            holder.start_competing()
+            holders.append(holder)
+        victim = data.draw(st.integers(min_value=0,
+                                       max_value=len(holders) - 1))
+        holders[victim].stop_competing()
+        remaining = [h for i, h in enumerate(holders) if i != victim]
+        total = sum(h.funding() for h in remaining)
+        # The active-amount bookkeeping is incremental, so subtractive
+        # cancellation with extreme amount ratios (1e6 vs 1e-3) costs a
+        # few ulps: conservation holds to ~1e-6 relative, not exactly.
+        assert math.isclose(total, 1000.0, rel_tol=1e-6)
+
+    @given(st.lists(amounts, min_size=1, max_size=5))
+    @settings(deadline=None)
+    def test_base_active_amount_equals_active_issue(self, values):
+        ledger = Ledger()
+        holders = []
+        for amount in values:
+            holder = TicketHolder("h")
+            ledger.create_ticket(amount, fund=holder)
+            holder.start_competing()
+            holders.append(holder)
+        assert math.isclose(
+            ledger.total_active_base(), sum(values), rel_tol=1e-9
+        )
+
+
+class TestLotteryEquivalence:
+    @given(
+        st.lists(amounts, min_size=1, max_size=20),
+        seeds,
+    )
+    @settings(deadline=None)
+    def test_tree_and_list_pick_same_winner_for_same_randomness(
+        self, values, seed
+    ):
+        """With identical PRNG streams and client order, the Fenwick
+        tree and the plain list walk must select the same winner."""
+        clients = {f"c{i}": v for i, v in enumerate(values)}
+        tree = TreeLottery()
+        plain = ListLottery(value_of=clients.__getitem__,
+                            move_to_front=False)
+        for name, value in clients.items():
+            tree.add(name, value)
+            plain.add(name)
+        prng_a = ParkMillerPRNG(seed)
+        prng_b = ParkMillerPRNG(seed)
+        for _ in range(20):
+            assert tree.draw(prng_a) == plain.draw(prng_b)
+
+    @given(st.lists(amounts, min_size=1, max_size=15), seeds)
+    @settings(deadline=None)
+    def test_tree_total_matches_sum(self, values, seed):
+        tree = TreeLottery()
+        for index, value in enumerate(values):
+            tree.add(index, value)
+        assert math.isclose(tree.total(), sum(values), rel_tol=1e-9)
+
+    @given(st.lists(amounts, min_size=2, max_size=15), st.data())
+    @settings(deadline=None)
+    def test_tree_total_after_removals(self, values, data):
+        tree = TreeLottery()
+        for index, value in enumerate(values):
+            tree.add(index, value)
+        removed = data.draw(
+            st.sets(st.integers(0, len(values) - 1), max_size=len(values) - 1)
+        )
+        for index in removed:
+            tree.remove(index)
+        expected = sum(v for i, v in enumerate(values) if i not in removed)
+        assert math.isclose(tree.total(), expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestInverseLotteryProperties:
+    @given(st.lists(amounts, min_size=2, max_size=12))
+    @settings(deadline=None)
+    def test_probabilities_normalized(self, tickets):
+        entries = [(i, t) for i, t in enumerate(tickets)]
+        probabilities = inverse_probabilities(entries)
+        assert math.isclose(sum(p for _, p in probabilities), 1.0,
+                            rel_tol=1e-9)
+        assert all(p >= 0 for _, p in probabilities)
+
+    @given(st.lists(amounts, min_size=2, max_size=12))
+    @settings(deadline=None)
+    def test_more_tickets_never_increases_loss_probability(self, tickets):
+        entries = sorted(
+            ((i, t) for i, t in enumerate(tickets)), key=lambda e: e[1]
+        )
+        probabilities = [p for _, p in inverse_probabilities(entries)]
+        # Entries sorted by ascending tickets: probabilities must be
+        # non-increasing.
+        for earlier, later in zip(probabilities, probabilities[1:]):
+            assert later <= earlier + 1e-12
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(deadline=None)
+    def test_pop_order_is_sorted_and_stable(self, times):
+        queue = EventQueue()
+        for index, time in enumerate(times):
+            queue.push(time, lambda: None, label=str(index))
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append((event.time, int(event.label)))
+        assert popped == sorted(
+            popped, key=lambda pair: (pair[0], pair[1])
+        )
+        assert len(popped) == len(times)
+
+
+class TestCounterProperties:
+    @given(st.lists(st.tuples(st.floats(0, 1e5, allow_nan=False),
+                              st.floats(0, 1e3, allow_nan=False)),
+                    min_size=1, max_size=40))
+    @settings(deadline=None)
+    def test_cumulative_monotone(self, increments):
+        counter = WindowedCounter()
+        for delta_t, count in sorted(increments):
+            counter.add(delta_t, count)
+        series = counter.cumulative_series(sample_every=1000.0,
+                                           horizon=1e5)
+        values = [value for _, value in series]
+        assert values == sorted(values)
+        assert math.isclose(
+            counter.total, sum(c for _, c in increments), rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+
+
+class TestFairnessLaw:
+    @given(st.floats(min_value=0.05, max_value=0.95), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_empirical_cv_tracks_formula(self, share, seed):
+        """Section 2.2's CV law holds for the simulator's own lottery."""
+        from repro.core.lottery import hold_lottery
+
+        prng = ParkMillerPRNG(seed)
+        lotteries = 400
+        trials = 60
+        proportions = []
+        for _ in range(trials):
+            wins = sum(
+                1
+                for _ in range(lotteries)
+                if hold_lottery(
+                    [("t", share), ("rest", 1.0 - share)], prng
+                ) == "t"
+            )
+            proportions.append(wins / lotteries)
+        mu = sum(proportions) / trials
+        sigma = math.sqrt(
+            sum((p - mu) ** 2 for p in proportions) / trials
+        )
+        observed_cv = sigma / mu
+        predicted = win_proportion_cv(lotteries, share)
+        # Loose envelope: the empirical CV lies within 2.5x of the law.
+        assert observed_cv < predicted * 2.5
+        assert observed_cv > predicted / 2.5

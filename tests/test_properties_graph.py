@@ -1,0 +1,139 @@
+"""Property-based tests over randomly generated currency graphs.
+
+Hypothesis builds random acyclic funding graphs (layered DAGs of
+currencies with random ticket amounts and random active/inactive
+leaves) and checks the global valuation laws: conservation from base to
+leaves, cycle rejection for every back edge, and insulation (mutating
+one subtree never changes a disjoint subtree's value).
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.tickets import Ledger, TicketHolder
+from repro.errors import CurrencyCycleError
+
+amounts = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False)
+
+# A layered DAG spec: layer sizes plus per-edge amounts chosen by data.
+layer_sizes = st.lists(st.integers(min_value=1, max_value=3),
+                       min_size=1, max_size=3)
+
+
+def build_layered_graph(ledger, sizes, data):
+    """Base -> layer0 -> layer1 -> ... -> holders; returns (layers, holders)."""
+    layers = []
+    previous = [None]  # None denotes base
+    for depth, width in enumerate(sizes):
+        layer = []
+        for index in range(width):
+            currency = ledger.create_currency(f"L{depth}C{index}")
+            # Fund from 1..len(previous) random parents.
+            parent_count = data.draw(
+                st.integers(min_value=1, max_value=len(previous))
+            )
+            for p in range(parent_count):
+                parent = previous[(index + p) % len(previous)]
+                amount = data.draw(amounts)
+                if parent is None:
+                    ledger.create_ticket(amount, fund=currency)
+                else:
+                    ledger.create_ticket(amount, currency=parent,
+                                         fund=currency)
+            layer.append(currency)
+        layers.append(layer)
+        previous = layer
+    holders = []
+    for index, currency in enumerate(layers[-1]):
+        for h in range(data.draw(st.integers(min_value=1, max_value=2))):
+            holder = TicketHolder(f"h{index}.{h}")
+            ledger.create_ticket(data.draw(amounts), currency=currency,
+                                 fund=holder)
+            holders.append(holder)
+    return layers, holders
+
+
+class TestRandomGraphs:
+    @given(layer_sizes, st.data())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_conservation_base_to_leaves(self, sizes, data):
+        """With every holder active, total holder funding equals the
+        total base issue that is transitively consumed."""
+        ledger = Ledger()
+        _, holders = build_layered_graph(ledger, sizes, data)
+        for holder in holders:
+            holder.start_competing()
+        total_funding = sum(h.funding() for h in holders)
+        # Every base ticket funds a currency that (transitively) has
+        # active consumers, so all base issue is active and delivered.
+        assert math.isclose(total_funding, ledger.base.active_amount,
+                            rel_tol=1e-6)
+        assert ledger.base.active_amount > 0
+
+    @given(layer_sizes, st.data())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_back_edge_rejected(self, sizes, data):
+        """Funding any ancestor with a descendant's tickets must raise."""
+        ledger = Ledger()
+        layers, holders = build_layered_graph(ledger, sizes, data)
+        for holder in holders:
+            holder.start_competing()
+        if len(layers) < 2:
+            return
+        descendant = layers[-1][0]
+        ancestor = layers[0][0]
+        back_edge = ledger.create_ticket(10.0, currency=descendant)
+        with pytest.raises(CurrencyCycleError):
+            back_edge.fund(ancestor)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_disjoint_subtree_insulation(self, data):
+        """Arbitrary inflation inside subtree B never changes subtree
+        A's delivered value (the Figure 9 property, generalized)."""
+        ledger = Ledger()
+        values = {}
+        holders = {}
+        for side in ("A", "B"):
+            currency = ledger.create_currency(side)
+            ledger.create_ticket(data.draw(amounts), fund=currency)
+            side_holders = []
+            for index in range(data.draw(st.integers(1, 3))):
+                holder = TicketHolder(f"{side}{index}")
+                ledger.create_ticket(data.draw(amounts),
+                                     currency=currency, fund=holder)
+                holder.start_competing()
+                side_holders.append(holder)
+            holders[side] = side_holders
+            values[side] = sum(h.funding() for h in side_holders)
+        # Random mutations inside B only.
+        b_currency = ledger.currency("B")
+        for _ in range(data.draw(st.integers(1, 4))):
+            action = data.draw(st.sampled_from(["inflate", "join", "leave"]))
+            if action == "inflate":
+                target = holders["B"][
+                    data.draw(st.integers(0, len(holders["B"]) - 1))
+                ]
+                target.tickets[0].set_amount(data.draw(amounts))
+            elif action == "join":
+                newcomer = TicketHolder("Bnew")
+                ledger.create_ticket(data.draw(amounts),
+                                     currency=b_currency, fund=newcomer)
+                newcomer.start_competing()
+                holders["B"].append(newcomer)
+            else:
+                victim = holders["B"][
+                    data.draw(st.integers(0, len(holders["B"]) - 1))
+                ]
+                victim.stop_competing()
+        # A's delivered value is untouched if anyone in B still competes;
+        # in every case each individual A holder's value follows only A.
+        a_total = sum(h.funding() for h in holders["A"])
+        assert math.isclose(a_total, values["A"], rel_tol=1e-6)

@@ -1,0 +1,87 @@
+"""Property-based tests on IPC invariants under random RPC topologies."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.ipc import Port
+from repro.kernel.syscalls import Call, Compute, Receive, Reply
+from tests.conftest import make_lottery_kernel
+
+topologies = st.tuples(
+    st.integers(min_value=1, max_value=4),  # workers
+    st.integers(min_value=1, max_value=5),  # clients
+    st.integers(min_value=1, max_value=6),  # queries per client
+    st.integers(min_value=1, max_value=10_000),  # seed
+)
+
+
+def build_rpc_system(workers, clients, queries_each, seed):
+    kernel = make_lottery_kernel(seed=seed)
+    port = Port(kernel, "svc")
+    answered = []
+    received_totals = {"count": 0}
+
+    def worker(ctx):
+        while True:
+            request = yield Receive(port)
+            received_totals["count"] += 1
+            yield Compute(10.0)
+            yield Reply(request, request.message * 2)
+
+    for index in range(workers):
+        kernel.spawn(worker, f"w{index}", tickets=1)
+
+    def client(base):
+        def body(ctx):
+            for query_index in range(queries_each):
+                yield Compute(1.0)
+                reply = yield Call(port, base + query_index)
+                answered.append((base + query_index, reply))
+
+        return body
+
+    for index in range(clients):
+        kernel.spawn(client(index * 1000), f"c{index}",
+                     tickets=100 * (index + 1))
+    return kernel, port, answered, received_totals
+
+
+class TestRpcConservation:
+    @given(topologies)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_query_answered_exactly_once_and_correctly(self, topo):
+        workers, clients, queries_each, seed = topo
+        kernel, port, answered, received = build_rpc_system(
+            workers, clients, queries_each, seed
+        )
+        kernel.run_until(600_000)
+        expected = clients * queries_each
+        assert len(answered) == expected
+        assert received["count"] == expected
+        assert port.replies_sent == expected
+        assert port.calls_made == expected
+        # Replies routed to the right callers with the right values.
+        for query, reply in answered:
+            assert reply == query * 2
+        # No duplicate answers.
+        assert len({q for q, _ in answered}) == expected
+
+    @given(topologies)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_no_transfer_leaks_after_drain(self, topo):
+        """Once all RPCs complete, no transfer tickets remain anywhere:
+        the base currency's issue is exactly the threads' own tickets
+        plus any outstanding compensation."""
+        workers, clients, queries_each, seed = topo
+        kernel, port, answered, _ = build_rpc_system(
+            workers, clients, queries_each, seed
+        )
+        kernel.run_until(600_000)
+        assert len(answered) == clients * queries_each
+        leftovers = [
+            t for t in kernel.ledger.base.issued if t.tag == "transfer"
+        ]
+        assert leftovers == []
+        assert port.queue_depth() == 0

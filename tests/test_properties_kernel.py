@@ -1,0 +1,136 @@
+"""Property-based tests on whole-kernel invariants.
+
+Hypothesis generates random ticket allocations, quanta, and workload
+mixes; the properties are the paper's global guarantees: CPU-time
+conservation, proportional sharing within statistical bounds, exact
+determinism for fixed seeds, and stride's deterministic error bound.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.prng import ParkMillerPRNG
+from repro.core.tickets import Ledger
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import Compute, Sleep, YieldCPU
+from repro.schedulers.lottery_policy import LotteryPolicy
+from repro.schedulers.stride import StridePolicy
+from repro.sim.engine import Engine
+from tests.conftest import make_lottery_kernel, spin_body
+
+allocations = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=2, max_size=6
+)
+seeds = st.integers(min_value=1, max_value=2**31 - 2)
+
+
+def make_stride_kernel(quantum=100.0):
+    engine = Engine()
+    ledger = Ledger()
+    return Kernel(engine, StridePolicy(), ledger=ledger, quantum=quantum)
+
+
+class TestConservation:
+    @given(allocations, seeds)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cpu_time_conserved_under_full_load(self, tickets, seed):
+        """With always-runnable threads, delivered CPU == elapsed time,
+        no matter the allocation or seed."""
+        kernel = make_lottery_kernel(seed=seed)
+        threads = [
+            kernel.spawn(spin_body(50.0), f"t{i}", tickets=float(amount))
+            for i, amount in enumerate(tickets)
+        ]
+        horizon = 20_000.0
+        kernel.run_until(horizon)
+        total = sum(t.cpu_time for t in threads)
+        assert math.isclose(total, horizon, rel_tol=1e-9)
+
+    @given(allocations, seeds)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_mixed_workload_never_overcommits(self, tickets, seed):
+        """CPU handed out never exceeds elapsed time, even with
+        blocking/yielding threads leaving the CPU idle."""
+        kernel = make_lottery_kernel(seed=seed)
+
+        def mixed(period):
+            def body(ctx):
+                while True:
+                    yield Compute(period)
+                    yield Sleep(period)
+                    yield Compute(period / 2)
+                    yield YieldCPU()
+
+            return body
+
+        threads = [
+            kernel.spawn(mixed(10.0 + 7 * i), f"m{i}", tickets=float(amount))
+            for i, amount in enumerate(tickets)
+        ]
+        horizon = 15_000.0
+        kernel.run_until(horizon)
+        total = sum(t.cpu_time for t in threads)
+        assert total <= horizon + 1e-6
+
+
+class TestProportionality:
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=9),
+        seeds,
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_two_thread_shares_within_binomial_bounds(self, a, b, seed):
+        """Observed shares stay within ~4 sigma of the binomial law."""
+        kernel = make_lottery_kernel(seed=seed)
+        thread_a = kernel.spawn(spin_body(100.0), "a", tickets=float(a * 10))
+        kernel.spawn(spin_body(100.0), "b", tickets=float(b * 10))
+        lotteries = 1500
+        kernel.run_until(lotteries * 100.0)
+        p = a / (a + b)
+        expected = lotteries * p
+        sigma = math.sqrt(lotteries * p * (1 - p))
+        observed_quanta = thread_a.cpu_time / 100.0
+        assert abs(observed_quanta - expected) < 4 * sigma + 2
+
+    @given(allocations)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_stride_error_bounded_by_constant(self, tickets):
+        """Stride scheduling: every thread within a few quanta of its
+        exact entitlement, independent of horizon."""
+        kernel = make_stride_kernel()
+        threads = [
+            kernel.spawn(spin_body(100.0), f"s{i}", tickets=float(amount))
+            for i, amount in enumerate(tickets)
+        ]
+        horizon = 50_000.0
+        kernel.run_until(horizon)
+        total_tickets = sum(tickets)
+        for thread, amount in zip(threads, tickets):
+            entitled = horizon * amount / total_tickets
+            assert abs(thread.cpu_time - entitled) <= 100.0 * (
+                len(tickets) + 1
+            )
+
+
+class TestDeterminism:
+    @given(allocations, seeds)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_identical_runs_identical_cpu(self, tickets, seed):
+        def run_once():
+            kernel = make_lottery_kernel(seed=seed)
+            threads = [
+                kernel.spawn(spin_body(30.0), f"t{i}", tickets=float(amount))
+                for i, amount in enumerate(tickets)
+            ]
+            kernel.run_until(5_000.0)
+            return [t.cpu_time for t in threads]
+
+        assert run_once() == run_once()

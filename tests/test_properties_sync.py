@@ -1,0 +1,94 @@
+"""Property-based tests on synchronization invariants.
+
+Random contender populations and timings; the invariants: mutual
+exclusion always holds, acquisitions balance releases, waiting times
+are non-negative, and the mutex currency drains when uncontended.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.prng import ParkMillerPRNG
+from repro.kernel.syscalls import AcquireMutex, Compute, ReleaseMutex
+from repro.sync.mutex import LotteryMutex, Mutex
+from tests.conftest import make_lottery_kernel
+
+contender_configs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=500),  # tickets
+        st.floats(min_value=5.0, max_value=80.0),  # hold ms
+        st.floats(min_value=0.0, max_value=80.0),  # gap ms
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+
+def build_contenders(kernel, mutex, configs, monitor):
+    for index, (tickets, hold_ms, gap_ms) in enumerate(configs):
+        def body(ctx, hold=hold_ms, gap=gap_ms, name=f"c{index}"):
+            while True:
+                yield AcquireMutex(mutex)
+                monitor["active"] += 1
+                assert monitor["active"] == 1, "mutual exclusion violated"
+                yield Compute(hold)
+                monitor["active"] -= 1
+                yield ReleaseMutex(mutex)
+                if gap > 0:
+                    yield Compute(gap)
+
+        kernel.spawn(body, f"c{index}", tickets=float(tickets))
+
+
+class TestMutexInvariants:
+    @given(contender_configs, st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lottery_mutex_safety(self, configs, seed):
+        kernel = make_lottery_kernel(seed=seed)
+        mutex = LotteryMutex(kernel, "m", prng=ParkMillerPRNG(seed + 1))
+        monitor = {"active": 0}
+        build_contenders(kernel, mutex, configs, monitor)
+        kernel.run_until(30_000)
+        # Safety held throughout (asserted inside bodies); accounting:
+        assert monitor["active"] in (0, 1)
+        total = mutex.total_acquisitions()
+        assert total > 0
+        for waits in mutex.waiting_times.values():
+            assert all(w >= 0 for w in waits)
+        # Inheritance ticket either parked or funding the current owner.
+        target = mutex.inheritance_ticket.target
+        assert target is None or target is mutex.owner
+
+    @given(contender_configs, st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_standard_mutex_safety(self, configs, seed):
+        kernel = make_lottery_kernel(seed=seed)
+        mutex = Mutex(kernel, "m")
+        monitor = {"active": 0}
+        build_contenders(kernel, mutex, configs, monitor)
+        kernel.run_until(30_000)
+        assert monitor["active"] in (0, 1)
+        assert mutex.total_acquisitions() > 0
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_mutex_currency_drains_when_uncontended(self, seed):
+        kernel = make_lottery_kernel(seed=seed)
+        mutex = LotteryMutex(kernel, "m", prng=ParkMillerPRNG(seed + 1))
+        done = []
+
+        def solo(ctx):
+            for _ in range(5):
+                yield AcquireMutex(mutex)
+                yield Compute(10.0)
+                yield ReleaseMutex(mutex)
+            done.append(ctx.now)
+
+        kernel.spawn(solo, "solo", tickets=100)
+        kernel.run_until(10_000)
+        assert done
+        # No waiters ever: the mutex currency holds no backing transfers.
+        assert mutex.currency.backing == []
+        assert mutex.owner is None

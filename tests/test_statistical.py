@@ -1,0 +1,174 @@
+"""Statistical validation with scipy: formal goodness-of-fit tests.
+
+The distribution tests elsewhere use generous tolerance bands; these
+use proper hypothesis tests (chi-square, Kolmogorov-Smirnov) at a very
+conservative significance level so they are simultaneously meaningful
+and non-flaky: all randomness comes from fixed Park-Miller seeds, so a
+pass today is a pass forever.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.lottery import ListLottery, TreeLottery, hold_lottery
+from repro.core.inverse import inverse_lottery, inverse_probabilities
+from repro.core.prng import ParkMillerPRNG
+
+ALPHA = 1e-4  # reject only on overwhelming evidence
+
+
+class TestPrngQuality:
+    def test_uniform_ks(self):
+        prng = ParkMillerPRNG(123)
+        sample = np.array([prng.uniform() for _ in range(50_000)])
+        _, p_value = scipy_stats.kstest(sample, "uniform")
+        assert p_value > ALPHA
+
+    def test_randrange_chi_square(self):
+        prng = ParkMillerPRNG(456)
+        bins = 16
+        counts = np.zeros(bins)
+        n = 64_000
+        for _ in range(n):
+            counts[prng.randrange(bins)] += 1
+        _, p_value = scipy_stats.chisquare(counts)
+        assert p_value > ALPHA
+
+    def test_expovariate_ks(self):
+        prng = ParkMillerPRNG(789)
+        rate = 0.5
+        sample = np.array([prng.expovariate(rate) for _ in range(30_000)])
+        _, p_value = scipy_stats.kstest(sample, "expon",
+                                        args=(0, 1.0 / rate))
+        assert p_value > ALPHA
+
+    def test_lagged_correlation_negligible(self):
+        prng = ParkMillerPRNG(321)
+        sample = np.array([prng.uniform() for _ in range(50_000)])
+        for lag in (1, 2, 7):
+            corr = np.corrcoef(sample[:-lag], sample[lag:])[0, 1]
+            assert abs(corr) < 0.02
+
+
+class TestLotteryDistributions:
+    def test_win_counts_chi_square(self):
+        """Lottery wins over unequal tickets pass a chi-square test
+        against the exact multinomial expectation (section 2.2)."""
+        tickets = {"a": 10.0, "b": 7.0, "c": 2.0, "d": 1.0}
+        entries = list(tickets.items())
+        prng = ParkMillerPRNG(2718)
+        n = 60_000
+        wins = {name: 0 for name in tickets}
+        for _ in range(n):
+            wins[hold_lottery(entries, prng)] += 1
+        total = sum(tickets.values())
+        observed = np.array([wins[name] for name in tickets])
+        expected = np.array(
+            [n * tickets[name] / total for name in tickets]
+        )
+        _, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > ALPHA
+
+    def test_tree_lottery_chi_square(self):
+        tickets = {f"c{i}": float(i + 1) for i in range(8)}
+        tree = TreeLottery()
+        for name, value in tickets.items():
+            tree.add(name, value)
+        prng = ParkMillerPRNG(1618)
+        n = 72_000
+        wins = {name: 0 for name in tickets}
+        for _ in range(n):
+            wins[tree.draw(prng)] += 1
+        total = sum(tickets.values())
+        observed = np.array([wins[name] for name in tickets])
+        expected = np.array(
+            [n * tickets[name] / total for name in tickets]
+        )
+        _, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > ALPHA
+
+    def test_first_win_wait_is_geometric(self):
+        """Lotteries until first win ~ Geometric(p) (section 2.2)."""
+        p = 0.2
+        prng = ParkMillerPRNG(555)
+        entries = [("target", p), ("rest", 1 - p)]
+        waits = []
+        for _ in range(20_000):
+            count = 1
+            while hold_lottery(entries, prng) != "target":
+                count += 1
+            waits.append(count)
+        waits = np.array(waits)
+        # Mean and variance against the law...
+        assert waits.mean() == pytest.approx(1 / p, rel=0.03)
+        assert waits.var() == pytest.approx((1 - p) / p**2, rel=0.06)
+        # ...and a chi-square over the head of the distribution.
+        max_k = 25
+        observed = np.array(
+            [(waits == k).sum() for k in range(1, max_k)]
+            + [(waits >= max_k).sum()]
+        )
+        probabilities = np.array(
+            [(1 - p) ** (k - 1) * p for k in range(1, max_k)]
+            + [(1 - p) ** (max_k - 1)]
+        )
+        _, p_value = scipy_stats.chisquare(
+            observed, probabilities * len(waits)
+        )
+        assert p_value > ALPHA
+
+    def test_win_counts_binomial_variance(self):
+        """Across many independent blocks, the win count's variance
+        matches np(1-p), not just its mean."""
+        p = 0.3
+        prng = ParkMillerPRNG(9090)
+        entries = [("t", p), ("rest", 1 - p)]
+        block = 200
+        blocks = 600
+        counts = []
+        for _ in range(blocks):
+            wins = sum(
+                1 for _ in range(block)
+                if hold_lottery(entries, prng) == "t"
+            )
+            counts.append(wins)
+        counts = np.array(counts)
+        assert counts.mean() == pytest.approx(block * p, rel=0.02)
+        assert counts.var() == pytest.approx(
+            block * p * (1 - p), rel=0.15
+        )
+
+
+class TestInverseLotteryDistribution:
+    def test_loss_counts_chi_square(self):
+        entries = [("a", 6.0), ("b", 3.0), ("c", 1.0)]
+        expected_probabilities = dict(inverse_probabilities(entries))
+        prng = ParkMillerPRNG(777)
+        n = 45_000
+        losses = {name: 0 for name, _ in entries}
+        for _ in range(n):
+            losses[inverse_lottery(entries, prng)] += 1
+        observed = np.array([losses[name] for name, _ in entries])
+        expected = np.array(
+            [n * expected_probabilities[name] for name, _ in entries]
+        )
+        _, p_value = scipy_stats.chisquare(observed, expected)
+        assert p_value > ALPHA
+
+
+class TestSchedulerDistribution:
+    def test_kernel_dispatches_are_binomial(self):
+        """End-to-end: a thread's dispatch count over N quanta passes a
+        binomial z-test at its ticket share."""
+        from tests.conftest import make_lottery_kernel, spin_body
+
+        kernel = make_lottery_kernel(seed=31415)
+        a = kernel.spawn(spin_body(100.0), "a", tickets=300)
+        kernel.spawn(spin_body(100.0), "b", tickets=100)
+        lotteries = 4000
+        kernel.run_until(lotteries * 100.0)
+        p = 0.75
+        wins = a.dispatches
+        z = (wins - lotteries * p) / np.sqrt(lotteries * p * (1 - p))
+        assert abs(z) < 4.0

@@ -1,0 +1,54 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.corpus import count_occurrences, generate_corpus
+
+
+class TestGenerateCorpus:
+    def test_size_close_to_target(self):
+        corpus = generate_corpus(size_kb=100, occurrences=4)
+        assert len(corpus) == pytest.approx(100 * 1024, rel=0.05)
+
+    def test_exact_occurrence_count(self):
+        corpus = generate_corpus(size_kb=50, search_string="lottery",
+                                 occurrences=8)
+        assert count_occurrences(corpus, "lottery") == 8
+
+    def test_zero_occurrences(self):
+        corpus = generate_corpus(size_kb=20, occurrences=0)
+        assert count_occurrences(corpus, "lottery") == 0
+
+    def test_case_insensitivity_matters(self):
+        # Some plantings are capitalized: a case-sensitive count misses
+        # them, the server's case-insensitive count does not.
+        corpus = generate_corpus(size_kb=50, occurrences=9)
+        assert corpus.count("lottery") < 9
+        assert count_occurrences(corpus, "LOTTERY") == 9
+
+    def test_deterministic_given_seed(self):
+        a = generate_corpus(size_kb=30, seed=7)
+        b = generate_corpus(size_kb=30, seed=7)
+        c = generate_corpus(size_kb=30, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_custom_search_string(self):
+        corpus = generate_corpus(size_kb=30, search_string="microkernel",
+                                 occurrences=5)
+        assert count_occurrences(corpus, "microkernel") == 5
+
+    def test_colliding_search_string_rejected(self):
+        with pytest.raises(ReproError):
+            generate_corpus(size_kb=10, search_string="king")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            generate_corpus(size_kb=0)
+        with pytest.raises(ReproError):
+            generate_corpus(size_kb=10, occurrences=-1)
+
+    def test_count_occurrences_empty_needle_rejected(self):
+        with pytest.raises(ReproError):
+            count_occurrences("text", "")

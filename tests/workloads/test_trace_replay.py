@@ -1,0 +1,144 @@
+"""Tests for trace-driven workloads."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.trace_replay import (
+    JobSpec,
+    TraceReplayer,
+    WorkloadTrace,
+    generate_poisson_trace,
+)
+from tests.conftest import make_lottery_kernel
+
+
+class TestJobSpec:
+    def test_total_cpu(self):
+        job = JobSpec("j", 0.0, 100.0, [(50.0, 10.0), (25.0, 0.0)])
+        assert job.total_cpu_ms == 75.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            JobSpec("j", -1.0, 100.0)
+        with pytest.raises(ReproError):
+            JobSpec("j", 0.0, -5.0)
+        with pytest.raises(ReproError):
+            JobSpec("j", 0.0, 1.0, [(-1.0, 0.0)])
+
+
+class TestWorkloadTrace:
+    def test_jobs_kept_in_arrival_order(self):
+        trace = WorkloadTrace()
+        trace.add(JobSpec("late", 100.0, 1.0, [(10.0, 0.0)]))
+        trace.add(JobSpec("early", 5.0, 1.0, [(10.0, 0.0)]))
+        assert [j.name for j in trace] == ["early", "late"]
+
+    def test_csv_round_trip(self):
+        original = WorkloadTrace(
+            [
+                JobSpec("a", 0.0, 100.0, [(50.0, 10.0), (25.0, 5.0)]),
+                JobSpec("b", 42.5, 200.0, [(30.0, 0.0)]),
+            ]
+        )
+        restored = WorkloadTrace.from_csv(original.to_csv())
+        assert len(restored) == 2
+        assert restored.jobs[0].name == "a"
+        assert restored.jobs[0].phases == [(50.0, 10.0), (25.0, 5.0)]
+        assert restored.jobs[1].tickets == 200.0
+        assert restored.total_cpu_ms() == original.total_cpu_ms()
+
+    def test_malformed_csv_rejected(self):
+        with pytest.raises(ReproError):
+            WorkloadTrace.from_csv("header\nname,1.0\n")
+        with pytest.raises(ReproError):
+            WorkloadTrace.from_csv("header\na,0,1,10\n")  # odd phase cells
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_poisson_trace(20, seed=5)
+        b = generate_poisson_trace(20, seed=5)
+        assert a.to_csv() == b.to_csv()
+        c = generate_poisson_trace(20, seed=6)
+        assert a.to_csv() != c.to_csv()
+
+    def test_mean_interarrival_and_service(self):
+        trace = generate_poisson_trace(
+            2000, arrival_rate_per_s=2.0, mean_cpu_ms=100.0,
+            phases_per_job=1, seed=11,
+        )
+        last = trace.jobs[-1].arrival_ms
+        # 2 arrivals/sec: 2000 jobs in ~1000 s.
+        assert last == pytest.approx(1_000_000.0, rel=0.1)
+        mean_cpu = trace.total_cpu_ms() / len(trace)
+        assert mean_cpu == pytest.approx(100.0, rel=0.1)
+
+    def test_ticket_choices_used(self):
+        trace = generate_poisson_trace(
+            200, tickets_choices=(100.0, 300.0), seed=3
+        )
+        values = {job.tickets for job in trace}
+        assert values == {100.0, 300.0}
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            generate_poisson_trace(0)
+        with pytest.raises(ReproError):
+            generate_poisson_trace(5, arrival_rate_per_s=0)
+
+
+class TestReplayer:
+    def test_jobs_arrive_and_complete(self):
+        kernel = make_lottery_kernel(seed=21)
+        trace = WorkloadTrace(
+            [
+                JobSpec("first", 0.0, 100.0, [(200.0, 0.0)]),
+                JobSpec("second", 1_000.0, 100.0, [(200.0, 0.0)]),
+            ]
+        )
+        replayer = TraceReplayer(kernel, trace)
+        replayer.start()
+        kernel.run_until(5_000)
+        assert replayer.completed() == 2
+        responses = replayer.response_times()
+        # Unloaded: each job takes its own CPU demand.
+        assert responses["first"] == pytest.approx(200.0)
+        assert responses["second"] == pytest.approx(200.0)
+
+    def test_contention_inflates_response_time(self):
+        kernel = make_lottery_kernel(seed=23)
+        jobs = [
+            JobSpec(f"j{i}", 0.0, 100.0, [(500.0, 0.0)]) for i in range(4)
+        ]
+        replayer = TraceReplayer(kernel, WorkloadTrace(jobs))
+        replayer.start()
+        kernel.run_until(10_000)
+        assert replayer.completed() == 4
+        slowdowns = replayer.slowdowns()
+        assert all(s >= 1.0 for s in slowdowns.values())
+        assert replayer.mean_response_time() > 500.0
+
+    def test_funded_job_finishes_sooner(self):
+        kernel = make_lottery_kernel(seed=25)
+        trace = WorkloadTrace(
+            [
+                JobSpec("vip", 0.0, 900.0, [(1_000.0, 0.0)]),
+                JobSpec("pleb", 0.0, 100.0, [(1_000.0, 0.0)]),
+            ]
+        )
+        replayer = TraceReplayer(kernel, trace)
+        replayer.start()
+        kernel.run_until(60_000)
+        responses = replayer.response_times()
+        assert responses["vip"] < responses["pleb"]
+
+    def test_phases_with_sleep(self):
+        kernel = make_lottery_kernel(seed=27)
+        trace = WorkloadTrace(
+            [JobSpec("io", 0.0, 100.0, [(50.0, 300.0), (50.0, 0.0)])]
+        )
+        replayer = TraceReplayer(kernel, trace)
+        replayer.start()
+        kernel.run_until(5_000)
+        response = replayer.response_times()["io"]
+        assert response == pytest.approx(400.0)

@@ -1,0 +1,194 @@
+"""Tests for the paper's workload models."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.database import DatabaseClient, DatabaseServer
+from repro.workloads.dhrystone import DhrystoneTask
+from repro.workloads.montecarlo import (
+    MonteCarloEstimator,
+    MonteCarloTask,
+    quarter_circle,
+)
+from repro.workloads.mpeg import MpegViewer
+from repro.workloads.synthetic import Bursty, CpuBound, FractionalQuantum
+from tests.conftest import make_lottery_kernel
+
+
+class TestDhrystone:
+    def test_iteration_rate_proportional_to_cpu(self):
+        kernel = make_lottery_kernel(seed=41)
+        fast = DhrystoneTask("fast")
+        slow = DhrystoneTask("slow")
+        kernel.spawn(fast.body, "fast", tickets=300)
+        kernel.spawn(slow.body, "slow", tickets=100)
+        kernel.run_until(120_000)
+        assert fast.iterations / slow.iterations == pytest.approx(3.0,
+                                                                  rel=0.2)
+
+    def test_rate_per_second(self):
+        kernel = make_lottery_kernel()
+        task = DhrystoneTask("solo", chunk_iterations=100,
+                             iteration_ms=0.1)
+        kernel.spawn(task.body, "solo", tickets=10)
+        kernel.run_until(10_000)
+        # Dedicated CPU at 0.1 ms/iteration: 10k iterations/sec.
+        assert task.rate_per_second(0, 10_000) == pytest.approx(10_000,
+                                                                rel=0.02)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            DhrystoneTask("bad", chunk_iterations=0)
+        with pytest.raises(ReproError):
+            DhrystoneTask("bad", iteration_ms=0)
+
+
+class TestMonteCarloEstimator:
+    def test_converges_to_pi_over_four(self):
+        estimator = MonteCarloEstimator(quarter_circle, seed=99)
+        estimator.sample(200_000)
+        assert estimator.estimate == pytest.approx(0.785398, abs=0.005)
+
+    def test_error_shrinks_with_samples(self):
+        estimator = MonteCarloEstimator(quarter_circle, seed=7)
+        estimator.sample(100)
+        early = estimator.relative_error()
+        estimator.sample(100_000)
+        late = estimator.relative_error()
+        assert late < early / 10
+
+    def test_fresh_estimator_reports_max_error(self):
+        estimator = MonteCarloEstimator(quarter_circle)
+        assert estimator.relative_error() == 1.0
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ReproError):
+            MonteCarloEstimator(quarter_circle).sample(0)
+
+    def test_error_scaling_is_sqrt_n(self):
+        estimator = MonteCarloEstimator(quarter_circle, seed=13)
+        estimator.sample(10_000)
+        error_10k = estimator.standard_error()
+        estimator.sample(30_000)  # total 40k = 4x
+        assert estimator.standard_error() == pytest.approx(error_10k / 2,
+                                                           rel=0.15)
+
+
+class TestMonteCarloTask:
+    def test_counts_trials_against_time(self):
+        kernel = make_lottery_kernel()
+        task = MonteCarloTask("mc", seed=3, trials_per_batch=100,
+                              batch_ms=10.0)
+        kernel.spawn(task.body, "mc", tickets=10)
+        kernel.run_until(10_000)
+        # 1000 batches of 100 trials on a dedicated CPU.
+        assert task.trials == 100 * 1000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            MonteCarloTask("bad", trials_per_batch=0)
+        with pytest.raises(ReproError):
+            MonteCarloTask("bad", batch_ms=0)
+
+
+class TestMpegViewer:
+    def test_frame_rate_tracks_cpu_share(self):
+        kernel = make_lottery_kernel(seed=88)
+        fast = MpegViewer("fast", decode_ms=50)
+        slow = MpegViewer("slow", decode_ms=50)
+        kernel.spawn(fast.body, "fast", tickets=300)
+        kernel.spawn(slow.body, "slow", tickets=100)
+        kernel.run_until(120_000)
+        assert fast.frames / slow.frames == pytest.approx(3.0, rel=0.2)
+
+    def test_target_fps_caps_rate(self):
+        kernel = make_lottery_kernel()
+        paced = MpegViewer("paced", decode_ms=10, target_fps=10)
+        kernel.spawn(paced.body, "paced", tickets=10)
+        kernel.run_until(10_000)
+        # Plenty of CPU but pacing caps at 10 fps.
+        assert paced.frame_rate(0, 10_000) == pytest.approx(10.0, rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            MpegViewer("bad", decode_ms=0)
+        with pytest.raises(ReproError):
+            MpegViewer("bad", target_fps=0)
+
+
+class TestSyntheticWorkloads:
+    def test_cpu_bound_counts_chunks(self):
+        kernel = make_lottery_kernel()
+        workload = CpuBound("w", chunk_ms=10)
+        kernel.spawn(workload.body, "w", tickets=10)
+        kernel.run_until(1000)
+        assert workload.counter.total >= 99
+
+    def test_fractional_quantum_yields(self):
+        kernel = make_lottery_kernel()
+        workload = FractionalQuantum("w", burst_ms=20)
+        thread = kernel.spawn(workload.body, "w", tickets=10)
+        kernel.run_until(1000)
+        assert thread.voluntary_yields > 0
+
+    def test_bursty_sleeps_between_bursts(self):
+        kernel = make_lottery_kernel()
+        workload = Bursty("w", burst_ms=5, sleep_ms=45)
+        thread = kernel.spawn(workload.body, "w", tickets=10)
+        kernel.run_until(10_000)
+        # Duty cycle 10%: ~1000 ms of CPU would mean no sleeping.
+        assert thread.cpu_time == pytest.approx(1000, rel=0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            CpuBound("bad", chunk_ms=0)
+        with pytest.raises(ReproError):
+            FractionalQuantum("bad", burst_ms=0)
+        with pytest.raises(ReproError):
+            Bursty("bad", burst_ms=0)
+
+
+class TestDatabase:
+    def test_query_returns_true_count(self):
+        kernel = make_lottery_kernel(seed=14)
+        server = DatabaseServer(kernel, workers=2, corpus_kb=50,
+                                search_occurrences=8)
+        client = DatabaseClient(kernel, server, "c", tickets=100,
+                                max_queries=3)
+        kernel.run_until(60_000)
+        assert client.completed == 3
+        assert set(client.results) == {8}
+
+    def test_throughput_tracks_tickets(self):
+        kernel = make_lottery_kernel(seed=15)
+        server = DatabaseServer(kernel, workers=3, corpus_kb=100)
+        rich = DatabaseClient(kernel, server, "rich", tickets=300)
+        poor = DatabaseClient(kernel, server, "poor", tickets=100)
+        kernel.run_until(300_000)
+        assert rich.completed / poor.completed == pytest.approx(3.0,
+                                                                rel=0.3)
+
+    def test_response_time_accounting(self):
+        kernel = make_lottery_kernel(seed=16)
+        server = DatabaseServer(kernel, workers=1, corpus_kb=50)
+        client = DatabaseClient(kernel, server, "c", tickets=100,
+                                max_queries=2)
+        kernel.run_until(60_000)
+        assert client.mean_response_time() > 0
+        assert len(client.completions) == 2
+        assert server.queries_served == 2
+
+    def test_worker_count_validated(self):
+        kernel = make_lottery_kernel()
+        with pytest.raises(ReproError):
+            DatabaseServer(kernel, workers=0, corpus_kb=10)
+
+    def test_server_currency_mode(self):
+        kernel = make_lottery_kernel(seed=17)
+        server = DatabaseServer(kernel, workers=2, corpus_kb=50,
+                                use_server_currency=True)
+        client = DatabaseClient(kernel, server, "c", tickets=100,
+                                max_queries=2)
+        kernel.run_until(60_000)
+        assert client.completed == 2
+        assert server.port.currency is not None
