@@ -1,0 +1,35 @@
+"""Correctness tooling for the reproduction (``repro.analysis``).
+
+Two halves keep the simulation honest:
+
+* :mod:`repro.analysis.lint` -- an AST-based determinism lint with
+  repo-specific rules (``RPR001``..``RPR005``) flagging nondeterminism
+  hazards: stdlib RNGs, wall-clock reads, unordered iteration in
+  scheduling paths, float hazards on ticket amounts, and mutable
+  default arguments.
+* :mod:`repro.analysis.sanitizer` -- an ASan-style runtime invariant
+  checker that re-derives ticket conservation, currency-graph
+  consistency, run-queue membership, and compensation-ticket lifetime
+  after every scheduling quantum.
+
+Command-line front end: ``python -m repro.analysis {lint,sanitize,rules}``.
+See ``docs/ANALYSIS.md`` for the full rule and invariant reference.
+"""
+
+from repro.analysis.lint import Finding, RULES, Rule, lint_file, lint_paths, \
+    lint_source
+from repro.analysis.sanitizer import InvariantSanitizer, \
+    install_autosanitize, sanitize_ledger, uninstall_autosanitize
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "InvariantSanitizer",
+    "install_autosanitize",
+    "sanitize_ledger",
+    "uninstall_autosanitize",
+]

@@ -1,0 +1,431 @@
+"""Determinism lint: repo-specific AST rules for the reproduction.
+
+Every claim this reproduction makes -- bit-for-bit Park-Miller streams,
+exact proportional-share ratios, ticket conservation across currencies
+-- depends on the simulation staying deterministic.  This module walks
+Python sources under ``src/repro`` and flags constructs that threaten
+that property:
+
+========  ==============================================================
+Rule      Hazard
+========  ==============================================================
+RPR001    ``random``/``secrets`` imported instead of ``repro.core.prng``
+RPR002    wall-clock reads (``time.time``, ``datetime.now``, ...) inside
+          the deterministic zones (``sim``, ``kernel``, ``schedulers``,
+          ``core``)
+RPR003    iteration over unordered collections (``set`` literals,
+          ``set()``/``frozenset()`` results, dict views) in scheduling
+          decision paths
+RPR004    float hazards on ticket quantities (``float()`` casts and
+          ``==``/``!=`` comparisons on amount/ticket/funding values)
+RPR005    mutable default arguments in kernel/scheduler/core/sim APIs
+========  ==============================================================
+
+A finding on a line can be suppressed with an inline comment::
+
+    import random  # repro: noqa[RPR001] -- justification goes here
+
+Several IDs may be listed (``# repro: noqa[RPR001,RPR003]``); a bare
+``# repro: noqa`` suppresses every rule on the line.  Suppressions are
+expected to carry a justification after the bracket.
+
+The linter is purely syntactic (no type inference): rules are scoped to
+the subpackages ("zones") where the hazard matters, and RPR003 exempts
+iteration feeding order-insensitive reductions (``sum``, ``min``,
+``max``, ``any``, ``all``, ``sorted``, ``set``, ``frozenset``, ``len``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Rule", "RULES", "Finding", "lint_source", "lint_file", "lint_paths",
+           "zone_of"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A lint rule: identifier, human summary, and fix-it guidance."""
+
+    id: str
+    slug: str
+    summary: str
+    fixit: str
+    #: Subpackages of ``repro`` the rule applies to; None means everywhere.
+    zones: Optional[Tuple[str, ...]]
+
+
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "RPR000",
+            "unparseable-source",
+            "file could not be read or parsed",
+            "fix the syntax error (or path) so the file can be linted",
+            None,
+        ),
+        Rule(
+            "RPR001",
+            "nondeterministic-rng",
+            "stdlib 'random'/'secrets' used instead of repro.core.prng",
+            "draw from repro.core.prng.ParkMillerPRNG (seeded) so streams "
+            "replay bit-for-bit",
+            None,
+        ),
+        Rule(
+            "RPR002",
+            "wall-clock-read",
+            "wall-clock read inside a deterministic zone",
+            "use the simulated clock (engine.now / kernel.now); wall time "
+            "differs across runs and hosts",
+            ("sim", "kernel", "schedulers", "core"),
+        ),
+        Rule(
+            "RPR003",
+            "unordered-iteration",
+            "iteration over an unordered collection in a scheduling "
+            "decision path",
+            "iterate a list/deque or wrap in sorted(); set/dict-view order "
+            "may vary across runs and interpreters",
+            ("sim", "kernel", "schedulers", "core"),
+        ),
+        Rule(
+            "RPR004",
+            "float-ticket-arithmetic",
+            "float hazard on a ticket quantity",
+            "keep ticket amounts integral (or tolerance-compare); exact "
+            "float equality and lossy casts skew proportional shares",
+            ("kernel", "schedulers", "core"),
+        ),
+        Rule(
+            "RPR005",
+            "mutable-default-argument",
+            "mutable default argument in a kernel/scheduler API",
+            "default to None and create the container in the body; shared "
+            "defaults leak state between simulations",
+            ("sim", "kernel", "schedulers", "core"),
+        ),
+    )
+}
+
+#: Canonical dotted names whose *call* constitutes a wall-clock read.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Imports of these top-level modules trigger RPR001.
+_FORBIDDEN_RNG_MODULES = frozenset({"random", "secrets"})
+
+#: Calls whose result is order-insensitive, exempting inner iteration.
+_ORDER_INSENSITIVE_REDUCERS = frozenset({
+    "sum", "min", "max", "any", "all", "len", "sorted", "set", "frozenset",
+})
+
+#: Identifier stems that mark an expression as a ticket quantity.
+_AMOUNT_STEMS = ("amount", "ticket", "funding", "bonus")
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?")
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        rule = RULES[self.rule_id]
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+                f"{self.message} (fix: {rule.fixit})")
+
+
+def zone_of(path: Union[str, Path]) -> Optional[str]:
+    """The ``repro`` subpackage a path belongs to (None if outside).
+
+    ``src/repro/kernel/kernel.py`` -> ``"kernel"``; a module directly
+    under ``repro/`` maps to ``""`` (the package root).  Works on any
+    path containing a ``repro`` directory segment, so test fixtures can
+    fabricate paths like ``repro/schedulers/fixture.py``.
+    """
+    parts = Path(path).parts
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro":
+            nxt = parts[index + 1]
+            return "" if nxt.endswith(".py") else nxt
+    return None
+
+
+def _suppressed(lines: Sequence[str], finding: Finding) -> bool:
+    """True when the finding's physical line carries a matching noqa."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _NOQA_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group(1)
+    if codes is None:
+        return True
+    wanted = {code.strip().upper() for code in codes.split(",")}
+    return finding.rule_id in wanted
+
+
+def _mentions_amount(node: ast.AST) -> Optional[str]:
+    """The first identifier in ``node`` naming a ticket quantity.
+
+    A ``Name`` that only serves as the object of an attribute access
+    (the ``ticket`` in ``ticket.tag``) does not itself denote a
+    quantity and is skipped; the accessed attribute still counts.
+    """
+    attribute_bases = {
+        id(sub.value) for sub in ast.walk(node)
+        if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name)
+    }
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            if id(sub) in attribute_bases:
+                continue
+            ident = sub.id
+        elif isinstance(sub, ast.Attribute):
+            ident = sub.attr
+        else:
+            continue
+        lowered = ident.lower()
+        if any(stem in lowered for stem in _AMOUNT_STEMS):
+            return ident
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass rule engine over one module's AST."""
+
+    def __init__(self, path: str, zone: Optional[str]) -> None:
+        self.path = path
+        self.zone = zone
+        self.findings: List[Finding] = []
+        #: local alias -> imported module ("t" -> "time").
+        self._module_aliases: Dict[str, str] = {}
+        #: local name -> fully qualified origin ("datetime" ->
+        #: "datetime.datetime" after ``from datetime import datetime``).
+        self._name_origins: Dict[str, str] = {}
+        #: id() of comprehension nodes feeding order-insensitive reducers.
+        self._exempt_comprehensions: set = set()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _applies(self, rule_id: str) -> bool:
+        zones = RULES[rule_id].zones
+        return zones is None or (self.zone is not None and self.zone in zones)
+
+    def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if self._applies(rule_id):
+            self.findings.append(Finding(
+                self.path, getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0), rule_id, message,
+            ))
+
+    def _qualified(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of an expression, through import aliases."""
+        if isinstance(node, ast.Name):
+            if node.id in self._name_origins:
+                return self._name_origins[node.id]
+            if node.id in self._module_aliases:
+                return self._module_aliases[node.id]
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = self._qualified(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    # -- RPR001: nondeterministic RNG --------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            self._module_aliases[alias.asname or alias.name.split(".")[0]] = \
+                alias.name
+            if root in _FORBIDDEN_RNG_MODULES:
+                self._report(
+                    "RPR001", node,
+                    f"import of nondeterministic module {alias.name!r}",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.level == 0:
+            root = node.module.split(".")[0]
+            if root in _FORBIDDEN_RNG_MODULES:
+                self._report(
+                    "RPR001", node,
+                    f"import from nondeterministic module {node.module!r}",
+                )
+            for alias in node.names:
+                self._name_origins[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- RPR002 / RPR004 call sites ----------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self._qualified(node.func)
+        if qualified in _WALL_CLOCK_CALLS:
+            self._report(
+                "RPR002", node,
+                f"wall-clock call {qualified}() in zone "
+                f"{self.zone or 'repro'!r}",
+            )
+        if isinstance(node.func, ast.Name) and node.func.id == "float" \
+                and node.args:
+            ident = _mentions_amount(node.args[0])
+            if ident is not None:
+                self._report(
+                    "RPR004", node,
+                    f"float() cast on ticket quantity {ident!r}",
+                )
+        if qualified is not None:
+            tail = qualified.rsplit(".", 1)[-1]
+            if tail in _ORDER_INSENSITIVE_REDUCERS and node.args and \
+                    isinstance(node.args[0], _COMPREHENSIONS):
+                self._exempt_comprehensions.add(id(node.args[0]))
+        self.generic_visit(node)
+
+    # -- RPR003: unordered iteration ---------------------------------------
+
+    def _unordered_reason(self, expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Set):
+            return "a set literal"
+        if isinstance(expr, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Name) and \
+                    expr.func.id in ("set", "frozenset"):
+                return f"a {expr.func.id}() result"
+            if isinstance(expr.func, ast.Attribute) and \
+                    expr.func.attr in ("keys", "values", "items"):
+                return f"a .{expr.func.attr}() view"
+        return None
+
+    def _check_iteration(self, expr: ast.AST, node: ast.AST) -> None:
+        reason = self._unordered_reason(expr)
+        if reason is not None:
+            self._report(
+                "RPR003", node,
+                f"iteration over {reason} in a scheduling decision path",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        if id(node) not in self._exempt_comprehensions:
+            for generator in node.generators:  # type: ignore[attr-defined]
+                self._check_iteration(generator.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- RPR004: float equality on ticket quantities -----------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            for side in [node.left, *node.comparators]:
+                ident = _mentions_amount(side)
+                if ident is not None:
+                    self._report(
+                        "RPR004", node,
+                        f"exact ==/!= comparison on ticket quantity "
+                        f"{ident!r}",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- RPR005: mutable default arguments ---------------------------------
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                self._report(
+                    "RPR005", default,
+                    f"mutable default argument in {node.name}()",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: Union[str, Path]) -> List[Finding]:
+    """Lint one module's source text; ``path`` supplies the zone."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(str(path), exc.lineno or 1, (exc.offset or 1) - 1,
+                        "RPR000", f"syntax error: {exc.msg}")]
+    visitor = _Visitor(str(path), zone_of(path))
+    visitor.visit(tree)
+    lines = source.splitlines()
+    findings = [f for f in visitor.findings if not _suppressed(lines, f)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_file(path: Union[str, Path]) -> List[Finding]:
+    """Lint one file on disk."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(str(path), 1, 0, "RPR000",
+                        f"cannot read file: {exc}")]
+    return lint_source(text, path)
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:
+    """Lint files and (recursively) directories of ``*.py`` sources."""
+    findings: List[Finding] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for file in sorted(entry.rglob("*.py")):
+                findings.extend(lint_file(file))
+        else:
+            findings.extend(lint_file(entry))
+    return findings

@@ -8,13 +8,16 @@ command with specified funding (fundx)."
 Each command is a plain function taking a :class:`CommandState` and
 string arguments, returning its output as a string -- so the same
 implementations serve the interactive shell, scripts, and tests.
+
+Beyond the paper's command set, ``lint`` and ``sanitize`` expose the
+:mod:`repro.analysis` correctness tooling: the determinism lint over
+Python sources and a one-shot invariant audit of the live ledger.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
-from repro.core.tickets import Currency
 from repro.errors import ReproError, TicketError
 from repro.cli.state import CommandState, ROOT_USER
 
@@ -28,6 +31,8 @@ __all__ = [
     "lstkt",
     "lscur",
     "fundx",
+    "lint",
+    "sanitize",
     "COMMANDS",
 ]
 
@@ -153,6 +158,36 @@ def fundx(state: CommandState, args: Sequence[str]) -> str:
     return f"client {args[2]} funded with {amount:g}.{currency.name} ({name})"
 
 
+def lint(state: CommandState, args: Sequence[str]) -> str:
+    """lint [path ...] -- run the determinism lint (default: src/repro)."""
+    from repro.analysis.lint import lint_paths
+
+    paths = list(args) if args else ["src/repro"]
+    findings = lint_paths(paths)
+    if not findings:
+        return f"lint: clean ({', '.join(paths)})"
+    lines = [finding.format() for finding in findings]
+    lines.append(f"lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def sanitize(state: CommandState, args: Sequence[str]) -> str:
+    """sanitize -- audit the ledger's ticket/currency invariants now."""
+    if args:
+        raise ReproError("usage: sanitize")
+    from repro.analysis.sanitizer import sanitize_ledger
+
+    violations = sanitize_ledger(state.ledger)
+    currencies = len(state.ledger.currencies())
+    tickets = sum(len(c.issued) for c in state.ledger.currencies())
+    if not violations:
+        return (f"sanitize: ledger invariants OK "
+                f"({currencies} currencies, {tickets} tickets)")
+    lines = list(violations)
+    lines.append(f"sanitize: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
 COMMANDS: Dict[str, Callable[[CommandState, Sequence[str]], str]] = {
     "mktkt": mktkt,
     "rmtkt": rmtkt,
@@ -163,4 +198,6 @@ COMMANDS: Dict[str, Callable[[CommandState, Sequence[str]], str]] = {
     "lstkt": lstkt,
     "lscur": lscur,
     "fundx": fundx,
+    "lint": lint,
+    "sanitize": sanitize,
 }

@@ -21,7 +21,7 @@ currencies, transfers, and the run-queue activation rules.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.tickets import Ledger, Ticket, TicketHolder
 from repro.errors import SchedulerError
@@ -115,6 +115,17 @@ class CompensationManager:
     def outstanding(self) -> int:
         """Number of clients currently holding a compensation ticket."""
         return len(self._grants)
+
+    def grants(self) -> List[Tuple[TicketHolder, Ticket]]:
+        """Current (holder, compensation ticket) pairs, grant order.
+
+        Exposed for the invariant sanitizer, which audits that every
+        tracked grant still funds a live, non-running holder.
+        """
+        # Dict views preserve insertion (= grant) order and the
+        # consumer is order-insensitive, so the iteration is safe.
+        return [(self._holders[key], ticket)  # repro: noqa[RPR003] -- insertion order
+                for key, ticket in self._grants.items()]
 
     # -- internals ----------------------------------------------------------------
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.core.tickets import Currency, Ledger, Ticket, TicketHolder
+from repro.core.tickets import Currency, Ticket, TicketHolder
 from repro.errors import InsufficientTicketsError, TicketError
 
 __all__ = ["set_share", "inflate", "deflate", "ErrorDrivenInflator"]

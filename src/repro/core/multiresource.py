@@ -129,7 +129,7 @@ class ResourceBudget:
         for name in self._applicators:
             self._weights[name] = max(float(weights.get(name, 0.0)), 0.0)
         amounts = self.allocations()
-        for name, amount in amounts.items():
+        for name, amount in sorted(amounts.items()):
             self._applicators[name](amount)
         self.history.append((now, dict(amounts)))
         return amounts
@@ -143,7 +143,8 @@ def proportional_decide(pressures: Mapping[str, float]) -> Dict[str, float]:
     idle and never recover).
     """
     floor = 0.05 * (sum(pressures.values()) or 1.0) / max(len(pressures), 1)
-    return {name: max(value, floor) for name, value in pressures.items()}
+    return {name: max(value, floor)
+            for name, value in sorted(pressures.items())}
 
 
 class BottleneckManager:
@@ -193,7 +194,7 @@ class BottleneckManager:
             if self.think_ms > 0:
                 yield Compute(self.think_ms)
             pressures = {name: max(sensor(), 0.0)
-                         for name, sensor in self.sensors.items()}
+                         for name, sensor in sorted(self.sensors.items())}
             if any(value > 0 for value in pressures.values()):
                 weights = self.decide(pressures)
                 self.budget.rebalance(weights, now=ctx.now)

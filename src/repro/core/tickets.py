@@ -137,7 +137,9 @@ class Ticket:
         if amount < 0:
             raise TicketError(f"ticket amount must be non-negative, got {amount}")
         self.currency = currency
-        self._amount = float(amount)
+        # Amounts are real-valued by design (fractional transfers and
+        # inflation); the sanitizer checks conservation with tolerances.
+        self._amount = float(amount)  # repro: noqa[RPR004] -- real-valued by design
         self.target: Optional[FundingTarget] = None
         self._active = False
         #: Free-form label ("transfer", "compensation", ...) for tracing.
@@ -160,7 +162,9 @@ class Ticket:
         """
         if amount < 0:
             raise TicketError(f"ticket amount must be non-negative, got {amount}")
-        amount = float(amount)
+        # See __init__: amounts are real-valued, conservation is
+        # tolerance-checked by the sanitizer.
+        amount = float(amount)  # repro: noqa[RPR004] -- real-valued by design
         if self._active:
             self.currency._adjust_active(amount - self._amount)
         self._amount = amount
@@ -519,7 +523,7 @@ class Ledger:
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Per-currency view for diagnostics and the CLI ``lscur``."""
         report: Dict[str, Dict[str, float]] = {}
-        for currency in self._currencies.values():
+        for currency in self.currencies():
             report[currency.name] = {
                 "active_amount": currency.active_amount,
                 "base_value": currency.base_value(),

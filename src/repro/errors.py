@@ -59,3 +59,13 @@ class SchedulerError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured with invalid parameters."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant of the ticket/scheduling machinery failed.
+
+    Raised by :mod:`repro.analysis.sanitizer` when ticket conservation,
+    currency-graph consistency, run-queue membership, or the
+    compensation-ticket lifetime is violated; the message names the
+    offending thread, ticket, or currency.
+    """

@@ -15,7 +15,6 @@
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.lottery import ListLottery

@@ -16,7 +16,6 @@ that stands in for the distributed tree:
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.distributed.cluster import Cluster
 from repro.experiments.common import ExperimentResult

@@ -8,7 +8,7 @@ common plumbing so each experiment stays focused on its scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence
 
 from repro.core.prng import ParkMillerPRNG
 from repro.core.tickets import Ledger

@@ -12,7 +12,7 @@ funding.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.core.prng import ParkMillerPRNG
 from repro.experiments.common import ExperimentResult

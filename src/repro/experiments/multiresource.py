@@ -22,7 +22,7 @@ or beats every static split on total items completed.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator
 
 from repro.core.multiresource import BottleneckManager, ResourceBudget
 from repro.core.prng import ParkMillerPRNG

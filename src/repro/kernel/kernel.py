@@ -26,7 +26,26 @@ from repro.kernel.thread import Task, Thread, ThreadBody, ThreadState
 from repro.schedulers.base import SchedulingPolicy
 from repro.sim.engine import Engine
 
-__all__ = ["Kernel", "BLOCK"]
+__all__ = ["Kernel", "BLOCK", "add_construction_hook",
+           "remove_construction_hook"]
+
+#: Process-wide hooks invoked with every newly constructed kernel.
+#: Used by :func:`repro.analysis.sanitizer.install_autosanitize` to
+#: instrument whole test suites without touching call sites.
+_construction_hooks: List[Callable[["Kernel"], None]] = []
+
+
+def add_construction_hook(hook: Callable[["Kernel"], None]) -> None:
+    """Register a callable invoked with each new :class:`Kernel`."""
+    _construction_hooks.append(hook)
+
+
+def remove_construction_hook(hook: Callable[["Kernel"], None]) -> None:
+    """Deregister a construction hook (no-op if absent)."""
+    try:
+        _construction_hooks.remove(hook)
+    except ValueError:
+        pass
 
 #: Sentinel returned by syscall handlers that blocked the thread.
 BLOCK = object()
@@ -89,7 +108,14 @@ class Kernel:
         self.idle_time = 0.0
         self._idle_since: Optional[float] = engine.now
 
+        #: Post-quantum hooks ``fn(kernel, thread, outcome)`` run after
+        #: every dispatch fully settles (state transition, re-enqueue,
+        #: policy ``quantum_end``); the invariant sanitizer plugs in here.
+        self.invariant_hooks: List[Callable[["Kernel", Thread, str], None]] = []
+
         policy.attach(self)
+        for hook in list(_construction_hooks):
+            hook(self)
 
     # -- time ------------------------------------------------------------------
 
@@ -279,6 +305,8 @@ class Kernel:
         else:  # pragma: no cover - defensive
             raise KernelError(f"unknown dispatch outcome {outcome!r}")
         self._schedule_dispatch()
+        for hook in self.invariant_hooks:
+            hook(self, thread, outcome)
 
     # -- instantaneous syscall handlers ----------------------------------------------------
 

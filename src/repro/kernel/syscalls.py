@@ -19,7 +19,7 @@ Example body::
 
 from __future__ import annotations
 
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Any, TYPE_CHECKING
 
 from repro.errors import KernelError
 

@@ -10,7 +10,7 @@ formula.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.errors import ReproError
 from repro.mem.frames import FramePool

@@ -16,7 +16,7 @@ everyone equally.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from repro.core.prng import ParkMillerPRNG
 from repro.errors import ReproError

@@ -9,7 +9,7 @@ virtual time and can be reduced to either view.
 from __future__ import annotations
 
 import bisect
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.errors import ReproError
 

@@ -13,7 +13,7 @@ engine (decay-usage recomputation) get them via ``attach``.
 from __future__ import annotations
 
 import abc
-from typing import Optional, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -27,6 +27,11 @@ class SchedulingPolicy(abc.ABC):
 
     #: Human-readable policy name, used in experiment reports.
     name: str = "abstract"
+
+    #: True for policies that drive ticket (de)activation through
+    #: run-queue membership; lets the invariant sanitizer know whether
+    #: ``thread.competing`` must mirror queue membership.
+    uses_tickets: bool = False
 
     def attach(self, kernel: "Kernel") -> None:
         """Called once when the kernel adopts this policy.
@@ -61,4 +66,13 @@ class SchedulingPolicy(abc.ABC):
 
     def runnable_count(self) -> int:
         """Number of threads currently admitted (diagnostics)."""
-        return 0
+        return len(self.runnable_threads())
+
+    def runnable_threads(self) -> List["Thread"]:
+        """The threads currently admitted, in a deterministic order.
+
+        Consumed by the invariant sanitizer to cross-check run-queue
+        membership against thread state and ticket activation.  The
+        default (no structure to report) is an empty list.
+        """
+        return []

@@ -123,6 +123,9 @@ class FairSharePolicy(SchedulingPolicy):
     def runnable_count(self) -> int:
         return len(self._queue)
 
+    def runnable_threads(self) -> List["Thread"]:
+        return [thread for thread, _ in self._queue]
+
     # -- internals ----------------------------------------------------------------------
 
     def _sort_key(self, thread: "Thread", seq: int) -> Tuple[float, int]:
@@ -132,7 +135,7 @@ class FairSharePolicy(SchedulingPolicy):
     def _adjust_tick(self) -> None:
         """The feedback step: usage/share ratio becomes (negated) priority."""
         total_share = sum(self._shares.values()) or 1.0
-        for group, share in self._shares.items():
+        for group, share in sorted(self._shares.items()):
             entitled = share / total_share
             ratio = self._usage.get(group, 0.0) / max(entitled, 1e-9)
             self._group_priority[group] = -ratio

@@ -31,7 +31,6 @@ from repro.errors import EmptyLotteryError
 from repro.schedulers.base import SchedulingPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.kernel.kernel import Kernel
     from repro.kernel.thread import Thread
 
 __all__ = ["LotteryPolicy"]
@@ -60,6 +59,7 @@ class LotteryPolicy(SchedulingPolicy):
     """
 
     name = "lottery"
+    uses_tickets = True
 
     def __init__(
         self,
@@ -149,6 +149,12 @@ class LotteryPolicy(SchedulingPolicy):
         structure = self._tree if self._tree is not None else self._list
         assert structure is not None
         return len(structure)
+
+    def runnable_threads(self) -> list:
+        if self._tree is not None:
+            return list(self._members)
+        assert self._list is not None
+        return self._list.clients()
 
     # -- internals ----------------------------------------------------------------
 

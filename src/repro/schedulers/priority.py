@@ -10,7 +10,7 @@ fixed-priority class (paper footnote 9).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import SchedulerError
 from repro.schedulers.base import SchedulingPolicy
@@ -53,3 +53,8 @@ class FixedPriorityPolicy(SchedulingPolicy):
 
     def runnable_count(self) -> int:
         return sum(len(level) for level in self._levels.values())
+
+    def runnable_threads(self) -> List["Thread"]:
+        return [thread
+                for priority in sorted(self._levels, reverse=True)
+                for thread in self._levels[priority]]

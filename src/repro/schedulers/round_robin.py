@@ -9,7 +9,7 @@ suffer when the X server round-robins their requests.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, TYPE_CHECKING
+from typing import Deque, List, Optional, TYPE_CHECKING
 
 from repro.errors import SchedulerError
 from repro.schedulers.base import SchedulingPolicy
@@ -46,3 +46,6 @@ class RoundRobinPolicy(SchedulingPolicy):
 
     def runnable_count(self) -> int:
         return len(self._queue)
+
+    def runnable_threads(self) -> List["Thread"]:
+        return list(self._queue)

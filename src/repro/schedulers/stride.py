@@ -138,3 +138,13 @@ class StridePolicy(SchedulingPolicy):
 
     def runnable_count(self) -> int:
         return len(self._entries)
+
+    def runnable_threads(self) -> List["Thread"]:
+        # Filter lazy-deleted heap entries; sort on (pass, seq) so the
+        # unique seq settles ties before Thread would be compared.
+        live: List["Thread"] = []
+        for pass_value, seq, thread in sorted(self._heap,
+                                              key=lambda e: (e[0], e[1])):
+            if self._entries.get(thread.tid) == (pass_value, seq):
+                live.append(thread)
+        return live

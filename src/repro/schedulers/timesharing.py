@@ -110,6 +110,9 @@ class TimesharingPolicy(SchedulingPolicy):
     def runnable_count(self) -> int:
         return len(self._queue)
 
+    def runnable_threads(self) -> List["Thread"]:
+        return [thread for thread, _ in self._queue]
+
     # -- internals ----------------------------------------------------------------
 
     def effective_priority(self, thread: "Thread") -> float:

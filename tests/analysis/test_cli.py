@@ -1,0 +1,101 @@
+"""Tests for the analysis entry points: ``python -m repro.analysis`` and
+the interactive-shell ``lint`` / ``sanitize`` commands."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.cli.commands import COMMANDS
+from repro.cli.state import CommandState
+from repro.errors import ReproError
+
+SRC_REPRO = str(Path(__file__).resolve().parents[2] / "src" / "repro")
+
+
+# -- python -m repro.analysis ----------------------------------------------
+
+
+def test_lint_command_clean_on_repo(capsys):
+    assert main(["lint", SRC_REPRO]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+def test_lint_command_reports_findings(tmp_path, capsys):
+    dirty = tmp_path / "repro" / "kernel"
+    dirty.mkdir(parents=True)
+    (dirty / "bad.py").write_text("import random\n")
+    assert main(["lint", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "RPR001" in captured.out
+    assert "1 finding" in captured.err
+
+
+def test_rules_command_lists_every_rule(capsys):
+    assert main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in out
+    assert "noqa" in out
+
+
+def test_sanitize_command_clean_run(capsys):
+    assert main(["sanitize", "--quanta", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "all invariants held" in out
+
+
+def test_sanitize_inject_self_test_detects_corruption(capsys):
+    assert main(["sanitize", "--quanta", "50", "--inject"]) == 0
+    out = capsys.readouterr().out
+    assert "invariant violation detected" in out
+    assert "self-test passed" in out
+
+
+def test_sanitize_runs_are_deterministic(capsys):
+    main(["sanitize", "--quanta", "30", "--seed", "42"])
+    first = capsys.readouterr().out
+    main(["sanitize", "--quanta", "30", "--seed", "42"])
+    assert capsys.readouterr().out == first
+
+
+# -- shell commands ---------------------------------------------------------
+
+
+def test_shell_lint_clean():
+    state = CommandState()
+    out = COMMANDS["lint"](state, [SRC_REPRO])
+    assert out.startswith("lint: clean")
+
+
+def test_shell_lint_findings(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import random\n")
+    out = COMMANDS["lint"](CommandState(), [str(tmp_path)])
+    assert "RPR001" in out and "finding" in out
+
+
+def test_shell_sanitize_reports_ok():
+    state = CommandState()
+    COMMANDS["mkcur"](state, ["team"])
+    COMMANDS["mktkt"](state, ["100", "team"])
+    out = COMMANDS["sanitize"](state, [])
+    assert "invariants OK" in out
+
+
+def test_shell_sanitize_reports_violation():
+    state = CommandState()
+    COMMANDS["mkcur"](state, ["team"])
+    COMMANDS["mktkt"](state, ["100", "team"])
+    state.ledger.currency("team")._active_amount += 5.0
+    out = COMMANDS["sanitize"](state, [])
+    assert "violation" in out
+    assert "team" in out
+
+
+def test_shell_sanitize_rejects_arguments():
+    with pytest.raises(ReproError):
+        COMMANDS["sanitize"](CommandState(), ["extra"])

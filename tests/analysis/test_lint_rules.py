@@ -1,0 +1,320 @@
+"""Unit tests for every determinism-lint rule (RPR001..RPR005).
+
+Each rule gets positive fixtures (the hazard is flagged), negative
+fixtures (clean or out-of-zone code is not), and a noqa-suppressed
+fixture.  The closing test asserts the acceptance criterion: the repo's
+own sources lint clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import RULES, lint_paths, lint_source, zone_of
+
+KERNEL_PATH = "repro/kernel/fixture.py"
+SCHED_PATH = "repro/schedulers/fixture.py"
+CORE_PATH = "repro/core/fixture.py"
+EXPERIMENT_PATH = "repro/experiments/fixture.py"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def ids(source: str, path: str = KERNEL_PATH):
+    """Rule IDs found in a dedented fixture snippet."""
+    return [f.rule_id for f in lint_source(textwrap.dedent(source), path)]
+
+
+# -- zones ------------------------------------------------------------------
+
+
+def test_zone_of_maps_subpackages():
+    assert zone_of("src/repro/kernel/kernel.py") == "kernel"
+    assert zone_of("/tmp/x/repro/schedulers/s.py") == "schedulers"
+    assert zone_of("src/repro/errors.py") == ""
+    assert zone_of("somewhere/else.py") is None
+
+
+# -- RPR001: nondeterministic RNG ------------------------------------------
+
+
+def test_rpr001_flags_random_import():
+    assert ids("import random\n") == ["RPR001"]
+
+
+def test_rpr001_flags_secrets_from_import():
+    assert ids("from secrets import token_bytes\n") == ["RPR001"]
+
+
+def test_rpr001_applies_outside_deterministic_zones():
+    assert ids("import random\n", EXPERIMENT_PATH) == ["RPR001"]
+
+
+def test_rpr001_clean_on_park_miller():
+    assert ids("from repro.core.prng import ParkMillerPRNG\n") == []
+
+
+def test_rpr001_noqa_suppresses():
+    src = "import random  # repro: noqa[RPR001] -- seeding test fixture\n"
+    assert ids(src) == []
+
+
+# -- RPR002: wall-clock reads ----------------------------------------------
+
+
+def test_rpr002_flags_time_time():
+    src = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+    assert ids(src) == ["RPR002"]
+
+
+def test_rpr002_flags_from_import_and_aliases():
+    src = """
+    from time import perf_counter
+    import time as t
+
+    def stamp():
+        return perf_counter() + t.monotonic()
+    """
+    assert ids(src) == ["RPR002", "RPR002"]
+
+
+def test_rpr002_flags_datetime_now():
+    src = """
+    from datetime import datetime
+
+    def stamp():
+        return datetime.now()
+    """
+    assert ids(src) == ["RPR002"]
+
+
+def test_rpr002_exempt_outside_zone():
+    src = """
+    import time
+
+    def stamp():
+        return time.perf_counter()
+    """
+    assert ids(src, EXPERIMENT_PATH) == []
+
+
+def test_rpr002_ignores_non_clock_time_calls():
+    src = """
+    import time
+
+    def pause():
+        time.sleep(1)
+    """
+    assert ids(src) == []
+
+
+def test_rpr002_noqa_suppresses():
+    src = """
+    import time
+
+    def stamp():
+        return time.time()  # repro: noqa[RPR002] -- profiling only
+    """
+    assert ids(src) == []
+
+
+# -- RPR003: unordered iteration -------------------------------------------
+
+
+def test_rpr003_flags_set_literal_loop():
+    src = """
+    def pick(queue):
+        for thread in {1, 2, 3}:
+            queue.append(thread)
+    """
+    assert ids(src, SCHED_PATH) == ["RPR003"]
+
+
+def test_rpr003_flags_dict_view_loop():
+    src = """
+    def pick(levels):
+        for level in levels.values():
+            level.pop()
+    """
+    assert ids(src, SCHED_PATH) == ["RPR003"]
+
+
+def test_rpr003_flags_set_call_in_comprehension():
+    src = "winners = [t for t in set(threads)]\n"
+    assert ids(src, SCHED_PATH) == ["RPR003"]
+
+
+def test_rpr003_sorted_wrapper_is_clean():
+    src = """
+    def pick(levels):
+        for key, level in sorted(levels.items()):
+            level.pop()
+    """
+    assert ids(src, SCHED_PATH) == []
+
+
+def test_rpr003_order_insensitive_reduction_is_clean():
+    src = "total = sum(len(level) for level in levels.values())\n"
+    assert ids(src, SCHED_PATH) == []
+
+
+def test_rpr003_exempt_outside_zone():
+    src = "names = [n for n in results.keys()]\n"
+    assert ids(src, "repro/metrics/fixture.py") == []
+
+
+def test_rpr003_noqa_suppresses():
+    src = ("for k in table.values():  "
+           "# repro: noqa[RPR003] -- insertion order\n    pass\n")
+    assert ids(src, SCHED_PATH) == []
+
+
+# -- RPR004: float hazards on ticket quantities ----------------------------
+
+
+def test_rpr004_flags_float_cast_on_amount():
+    src = """
+    def issue(amount):
+        return float(amount)
+    """
+    assert ids(src, CORE_PATH) == ["RPR004"]
+
+
+def test_rpr004_flags_exact_equality_on_tickets():
+    src = """
+    def same(ticket_amount):
+        return ticket_amount == 400.0
+    """
+    assert ids(src, CORE_PATH) == ["RPR004"]
+
+
+def test_rpr004_attribute_base_name_is_not_a_quantity():
+    src = """
+    def is_compensation(ticket):
+        return ticket.tag != "compensation"
+    """
+    assert ids(src, CORE_PATH) == []
+
+
+def test_rpr004_ordering_comparisons_are_clean():
+    src = """
+    def valid(amount):
+        return amount >= 0
+    """
+    assert ids(src, CORE_PATH) == []
+
+
+def test_rpr004_unrelated_float_cast_is_clean():
+    assert ids("quantum = float(100)\n", CORE_PATH) == []
+
+
+def test_rpr004_noqa_suppresses():
+    src = ("value = float(amount)  "
+           "# repro: noqa[RPR004] -- real-valued by design\n")
+    assert ids(src, CORE_PATH) == []
+
+
+# -- RPR005: mutable default arguments -------------------------------------
+
+
+def test_rpr005_flags_list_and_dict_defaults():
+    src = """
+    def spawn(body, tickets=[], registry={}):
+        pass
+    """
+    assert ids(src) == ["RPR005", "RPR005"]
+
+
+def test_rpr005_flags_constructor_call_default():
+    src = """
+    def spawn(body, owners=dict()):
+        pass
+    """
+    assert ids(src) == ["RPR005"]
+
+
+def test_rpr005_none_default_is_clean():
+    src = """
+    def spawn(body, tickets=None):
+        pass
+    """
+    assert ids(src) == []
+
+
+def test_rpr005_noqa_suppresses():
+    src = ("def spawn(body, tickets=[]):  "
+           "# repro: noqa[RPR005] -- never mutated\n    pass\n")
+    assert ids(src) == []
+
+
+# -- suppression syntax -----------------------------------------------------
+
+
+def test_noqa_with_wrong_id_does_not_suppress():
+    src = "import random  # repro: noqa[RPR002]\n"
+    assert ids(src) == ["RPR001"]
+
+
+def test_bare_noqa_suppresses_every_rule_on_the_line():
+    src = "import random  # repro: noqa\n"
+    assert ids(src) == []
+
+
+def test_noqa_accepts_id_lists():
+    src = ("def f(amount, bad=[]):  "
+           "# repro: noqa[RPR004, RPR005]\n    return float(amount)\n")
+    findings = lint_source(src, CORE_PATH)
+    # Only the float() cast survives: it sits on line 2, away from the noqa.
+    assert [f.rule_id for f in findings] == ["RPR004"]
+
+
+# -- output & acceptance ----------------------------------------------------
+
+
+def test_finding_format_names_location_and_rule():
+    finding = lint_source("import random\n", KERNEL_PATH)[0]
+    text = finding.format()
+    assert KERNEL_PATH in text
+    assert ":1:" in text
+    assert "RPR001" in text
+
+
+def test_every_rule_has_id_summary_and_fixit():
+    assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
+                          "RPR004", "RPR005"}
+    for rule in RULES.values():
+        assert rule.summary and rule.fixit and rule.slug
+
+
+def test_rpr000_reports_syntax_error_as_finding():
+    findings = lint_source("def broken(:\n", KERNEL_PATH)
+    assert [f.rule_id for f in findings] == ["RPR000"]
+    assert "syntax error" in findings[0].message
+
+
+def test_rpr000_reports_unreadable_file(tmp_path):
+    from repro.analysis.lint import lint_file
+
+    findings = lint_file(tmp_path / "missing.py")
+    assert [f.rule_id for f in findings] == ["RPR000"]
+    assert "cannot read file" in findings[0].message
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "repro" / "kernel"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text("import random\n")
+    (pkg / "clean.py").write_text("x = 1\n")
+    findings = lint_paths([tmp_path])
+    assert [f.rule_id for f in findings] == ["RPR001"]
+
+
+def test_repo_sources_lint_clean():
+    """Acceptance: the reproduction's own sources carry no findings."""
+    findings = lint_paths([SRC_REPRO])
+    assert findings == [], "\n".join(f.format() for f in findings)

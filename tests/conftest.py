@@ -1,8 +1,34 @@
-"""Shared pytest fixtures and helpers for the lottery-scheduling tests."""
+"""Shared pytest fixtures and helpers for the lottery-scheduling tests.
+
+When ``REPRO_SANITIZE=1`` (defaulted on under CI), every kernel any
+test constructs is instrumented with the runtime invariant sanitizer
+(:mod:`repro.analysis.sanitizer`): ticket conservation, currency-graph
+consistency, run-queue membership, and compensation-ticket lifetime are
+re-checked after every scheduling quantum, so the property/statistical
+suites double as end-to-end invariant proofs.  Set ``REPRO_SANITIZE=0``
+to force it off; ``REPRO_SANITIZE_STRIDE=N`` checks every Nth quantum.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def _sanitize_enabled() -> bool:
+    value = os.environ.get("REPRO_SANITIZE")
+    if value is None:
+        # On by default in CI so the full suites run instrumented.
+        return bool(os.environ.get("CI"))
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+if _sanitize_enabled():
+    from repro.analysis.sanitizer import install_autosanitize
+
+    install_autosanitize(
+        stride=int(os.environ.get("REPRO_SANITIZE_STRIDE", "1")))
 
 from repro.core.prng import ParkMillerPRNG
 from repro.core.tickets import Ledger

@@ -5,7 +5,6 @@ from collections import Counter
 import pytest
 
 from repro.core.lottery import ListLottery, TreeLottery, hold_lottery
-from repro.core.prng import ParkMillerPRNG
 from repro.errors import EmptyLotteryError, SchedulerError
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.tickets import Ledger, TicketHolder
+from repro.core.tickets import TicketHolder
 from repro.errors import TicketError
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     ExperimentResult,
-    Machine,
     build_machine,
     format_table,
 )

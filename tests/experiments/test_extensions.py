@@ -1,6 +1,5 @@
 """Shape tests for the extension experiments (reduced scale)."""
 
-import pytest
 
 from repro.experiments import cluster_fairness, multiresource, responsiveness
 

@@ -1,6 +1,5 @@
 """Integration: kernel threads blocking on lottery-scheduled disk I/O."""
 
-import pytest
 
 from repro.core.prng import ParkMillerPRNG
 from repro.iosched.disk import Disk, LOTTERY

@@ -6,7 +6,7 @@ from repro.errors import IpcError
 from repro.kernel.ipc import Port
 from repro.kernel.syscalls import Call, Compute, Receive, Reply, Send
 from repro.kernel.thread import ThreadState
-from tests.conftest import make_lottery_kernel, spin_body
+from tests.conftest import make_lottery_kernel
 
 
 def echo_server_body(port, records=None):

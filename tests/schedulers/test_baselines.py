@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.prng import ParkMillerPRNG
 from repro.core.tickets import Ledger
 from repro.errors import SchedulerError
 from repro.kernel.kernel import Kernel

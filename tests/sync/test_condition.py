@@ -1,6 +1,5 @@
 """Tests for condition variables over simulated mutexes."""
 
-import pytest
 
 from repro.errors import KernelError
 from repro.kernel.syscalls import (

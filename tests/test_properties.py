@@ -9,7 +9,7 @@ counter monotonicity.
 
 import math
 
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.inverse import inverse_probabilities

@@ -11,11 +11,9 @@ import math
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.prng import ParkMillerPRNG
 from repro.core.tickets import Ledger
 from repro.kernel.kernel import Kernel
 from repro.kernel.syscalls import Compute, Sleep, YieldCPU
-from repro.schedulers.lottery_policy import LotteryPolicy
 from repro.schedulers.stride import StridePolicy
 from repro.sim.engine import Engine
 from tests.conftest import make_lottery_kernel, spin_body

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 from scipy import stats as scipy_stats
 
-from repro.core.lottery import ListLottery, TreeLottery, hold_lottery
+from repro.core.lottery import TreeLottery, hold_lottery
 from repro.core.inverse import inverse_lottery, inverse_probabilities
 from repro.core.prng import ParkMillerPRNG
 
