@@ -7,9 +7,25 @@ can be compared against the original, and asserts the headline shape.
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+At session end the harness writes ``BENCH_results.json`` (override the
+location with ``BENCH_RESULTS_PATH``): one record per benchmark with
+its wall-clock time and, when the benchmarked callable returned an
+:class:`~repro.experiments.common.ExperimentResult`, the experiment's
+scalar summary metrics.  CI uploads the file as a build artifact so
+runs can be compared across commits.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
 import pytest
+
+#: One record per executed benchmark, drained at session end.
+_RESULTS: List[Dict[str, Any]] = []
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -18,11 +34,48 @@ def run_once(benchmark, fn, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
+def _record(nodeid: str, wall_seconds: float, result: Any) -> None:
+    entry: Dict[str, Any] = {
+        "test": nodeid,
+        "wall_seconds": round(wall_seconds, 4),
+    }
+    name = getattr(result, "name", None)
+    if isinstance(name, str):
+        entry["experiment"] = name
+    summary = getattr(result, "summary", None)
+    if isinstance(summary, dict):
+        entry["summary"] = {
+            key: value for key, value in summary.items()
+            if isinstance(value, (int, float, str, bool))
+        }
+    _RESULTS.append(entry)
+
+
 @pytest.fixture
-def once(benchmark):
-    """Fixture wrapping run_once with the benchmark bound."""
+def once(benchmark, request):
+    """Fixture wrapping run_once with the benchmark bound.
+
+    Also records the benchmark's wall time and summary metrics for the
+    session's ``BENCH_results.json``.
+    """
 
     def runner(fn, *args, **kwargs):
-        return run_once(benchmark, fn, *args, **kwargs)
+        started = time.perf_counter()
+        result = run_once(benchmark, fn, *args, **kwargs)
+        _record(request.node.nodeid, time.perf_counter() - started, result)
+        return result
 
     return runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write collected benchmark records to BENCH_results.json."""
+    if not _RESULTS:
+        return
+    path = Path(os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json"))
+    payload = {
+        "schema": 1,
+        "exit_status": int(exitstatus),
+        "results": sorted(_RESULTS, key=lambda entry: entry["test"]),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

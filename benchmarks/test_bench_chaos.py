@@ -1,0 +1,14 @@
+"""Benchmark: fairness reconvergence under injected node crashes."""
+
+from repro.experiments import chaos_fairness
+
+
+def test_chaos_reconvergence(once):
+    result = once(chaos_fairness.run)
+    result.print_report()
+    # Every crash/restart window must have reconverged below threshold.
+    windows = [value for key, value in result.summary.items()
+               if key.startswith("window @")]
+    assert windows, "no fault windows reported"
+    assert all("reconverged after" in verdict for verdict in windows)
+    assert float(result.summary["final window max relative error"]) < 0.15

@@ -19,6 +19,9 @@ RPR003    iteration over unordered collections (``set`` literals,
 RPR004    float hazards on ticket quantities (``float()`` casts and
           ``==``/``!=`` comparisons on amount/ticket/funding values)
 RPR005    mutable default arguments in kernel/scheduler/core/sim APIs
+RPR006    ``time.sleep`` calls or hand-rolled retry loops (a ``while``
+          whose ``try`` handler ``continue``s) instead of the bounded,
+          virtual-time ``repro.faults.retry`` primitives
 ========  ==============================================================
 
 A finding on a line can be suppressed with an inline comment::
@@ -109,6 +112,15 @@ RULES: Dict[str, Rule] = {
             "default to None and create the container in the body; shared "
             "defaults leak state between simulations",
             ("sim", "kernel", "schedulers", "core"),
+        ),
+        Rule(
+            "RPR006",
+            "ad-hoc-retry",
+            "blocking sleep or hand-rolled retry loop",
+            "use repro.faults.retry (RetryPolicy/execute_with_retry): "
+            "virtual-time backoff replays deterministically, wall-clock "
+            "sleeps and unbounded except-continue loops do not",
+            None,
         ),
     )
 }
@@ -217,6 +229,25 @@ def _mentions_amount(node: ast.AST) -> Optional[str]:
     return None
 
 
+def _continues_loop(statements: Sequence[ast.stmt]) -> bool:
+    """True when the statements ``continue`` the *enclosing* loop.
+
+    ``continue`` inside a nested loop (or function) retries that inner
+    construct, not the loop under inspection, so those subtrees are not
+    descended into.
+    """
+    for statement in statements:
+        if isinstance(statement, ast.Continue):
+            return True
+        if isinstance(statement, (ast.For, ast.While, ast.AsyncFor,
+                                  ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.stmt) and _continues_loop([child]):
+                return True
+    return False
+
+
 class _Visitor(ast.NodeVisitor):
     """Single-pass rule engine over one module's AST."""
 
@@ -231,6 +262,8 @@ class _Visitor(ast.NodeVisitor):
         self._name_origins: Dict[str, str] = {}
         #: id() of comprehension nodes feeding order-insensitive reducers.
         self._exempt_comprehensions: set = set()
+        #: Loop nesting depth (for the RPR006 retry-loop pattern).
+        self._loop_depth = 0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -297,6 +330,12 @@ class _Visitor(ast.NodeVisitor):
                 f"wall-clock call {qualified}() in zone "
                 f"{self.zone or 'repro'!r}",
             )
+        if qualified == "time.sleep":
+            self._report(
+                "RPR006", node,
+                "time.sleep() blocks on wall time instead of virtual-time "
+                "backoff",
+            )
         if isinstance(node.func, ast.Name) and node.func.id == "float" \
                 and node.args:
             ident = _mentions_amount(node.args[0])
@@ -338,7 +377,9 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter, node)
+        self._loop_depth += 1
         self.generic_visit(node)
+        self._loop_depth -= 1
 
     def _visit_comprehension(self, node: ast.AST) -> None:
         if id(node) not in self._exempt_comprehensions:
@@ -350,6 +391,24 @@ class _Visitor(ast.NodeVisitor):
     visit_SetComp = _visit_comprehension
     visit_DictComp = _visit_comprehension
     visit_GeneratorExp = _visit_comprehension
+
+    # -- RPR006: hand-rolled retry loops -----------------------------------
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if self._loop_depth > 0 and any(
+            _continues_loop(handler.body) for handler in node.handlers
+        ):
+            self._report(
+                "RPR006", node,
+                "hand-rolled retry: loop swallows an exception and "
+                "continues",
+            )
+        self.generic_visit(node)
 
     # -- RPR004: float equality on ticket quantities -----------------------
 

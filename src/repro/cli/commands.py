@@ -10,8 +10,9 @@ string arguments, returning its output as a string -- so the same
 implementations serve the interactive shell, scripts, and tests.
 
 Beyond the paper's command set, ``lint`` and ``sanitize`` expose the
-:mod:`repro.analysis` correctness tooling: the determinism lint over
-Python sources and a one-shot invariant audit of the live ledger.
+:mod:`repro.analysis` correctness tooling (the determinism lint over
+Python sources and a one-shot invariant audit of the live ledger), and
+``chaos`` runs the :mod:`repro.faults` fault-injection experiment.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ __all__ = [
     "fundx",
     "lint",
     "sanitize",
+    "chaos",
     "COMMANDS",
 ]
 
@@ -171,6 +173,44 @@ def lint(state: CommandState, args: Sequence[str]) -> str:
     return "\n".join(lines)
 
 
+def chaos(state: CommandState, args: Sequence[str]) -> str:
+    """chaos [seed] [duration_ms] -- fairness reconvergence under faults.
+
+    Runs the :mod:`repro.experiments.chaos_fairness` experiment -- a
+    seeded crash/restart schedule against a lottery-scheduled cluster --
+    and reports, per fault window, how quickly the max relative error
+    dropped back under the reconvergence threshold.
+    """
+    if len(args) > 2:
+        raise ReproError("usage: chaos [seed] [duration_ms]")
+    from repro.experiments import chaos_fairness
+
+    seed = int(args[0]) if len(args) >= 1 else 2718
+    duration = float(args[1]) if len(args) == 2 else 240_000.0
+    data = chaos_fairness.run_variant(seed=seed, duration_ms=duration)
+    cluster = data["cluster"]
+    lines = [f"chaos: seed={seed} duration={duration:g}ms "
+             f"threshold={chaos_fairness.RECONVERGENCE_THRESHOLD:g}"]
+    lines.extend(data["fault_log"])
+    for window in data["windows"]:
+        if window["cause"] == "start":
+            continue
+        reconverged = window["reconverged_at_ms"]
+        verdict = (
+            f"reconverged after {reconverged - window['start_ms']:g} ms"
+            if reconverged is not None else "did not reconverge"
+        )
+        lines.append(
+            f"window @{window['start_ms']:g}ms ({window['cause']}): {verdict}"
+        )
+    lines.append(
+        f"migrations={cluster.migrations} evacuations={cluster.evacuations}"
+        f" killed={cluster.threads_killed}"
+        f" final_window_error={data['final_error']:.3f}"
+    )
+    return "\n".join(lines)
+
+
 def sanitize(state: CommandState, args: Sequence[str]) -> str:
     """sanitize -- audit the ledger's ticket/currency invariants now."""
     if args:
@@ -200,4 +240,5 @@ COMMANDS: Dict[str, Callable[[CommandState, Sequence[str]], str]] = {
     "fundx": fundx,
     "lint": lint,
     "sanitize": sanitize,
+    "chaos": chaos,
 }

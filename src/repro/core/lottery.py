@@ -239,9 +239,8 @@ class TreeLottery(Generic[ClientT]):
             slot = self._free_slots.pop()
             self._clients[slot] = client
             self._slot_of[client] = slot
-            self._values[slot] = 0.0
-            self._fenwick_add(slot, value)
             self._values[slot] = value
+            self._fenwick_refresh(slot)
         else:
             slot = len(self._values)
             self._values.append(0.0)
@@ -249,14 +248,14 @@ class TreeLottery(Generic[ClientT]):
             self._tree.append(0.0)
             self._rebuild_tail(slot)
             self._slot_of[client] = slot
-            self._fenwick_add(slot, value)
             self._values[slot] = value
+            self._fenwick_refresh(slot)
 
     def remove(self, client: ClientT) -> None:
         """Withdraw a client; its slot is recycled."""
         slot = self._require_slot(client)
-        self._fenwick_add(slot, -self._values[slot])
         self._values[slot] = 0.0
+        self._fenwick_refresh(slot)
         self._clients[slot] = None
         del self._slot_of[client]
         self._free_slots.append(slot)
@@ -274,8 +273,8 @@ class TreeLottery(Generic[ClientT]):
         if value < 0:
             raise SchedulerError(f"negative lottery value {value!r}")
         slot = self._require_slot(client)
-        self._fenwick_add(slot, value - self._values[slot])
         self._values[slot] = value
+        self._fenwick_refresh(slot)
 
     def value_of(self, client: ClientT) -> float:
         """Current stored value for a client."""
@@ -314,10 +313,29 @@ class TreeLottery(Generic[ClientT]):
         except KeyError:
             raise SchedulerError(f"client {client!r} not in lottery") from None
 
-    def _fenwick_add(self, slot: int, delta: float) -> None:
+    def _node_sum(self, index: int) -> float:
+        """Exact sum for one Fenwick node: own value + child nodes."""
+        low = index & -index
+        node = self._values[index - 1]
+        step = 1
+        while step < low:
+            node += self._tree[index - step]
+            step <<= 1
+        return node
+
+    def _fenwick_refresh(self, slot: int) -> None:
+        """Recompute the nodes covering ``slot`` from current values.
+
+        Propagating signed deltas (the textbook Fenwick update) leaves
+        float cancellation residue behind once large values are removed
+        -- the tree's total would drift away from the sum of the
+        surviving values.  Recomputing each affected node bottom-up
+        keeps every node a fresh sum of *current* values, at
+        O(log^2 n) per update (draws stay O(log n)).
+        """
         index = slot + 1
         while index < len(self._tree):
-            self._tree[index] += delta
+            self._tree[index] = self._node_sum(index)
             index += index & -index
 
     def _prefix_sum(self, count: int) -> float:
@@ -330,9 +348,7 @@ class TreeLottery(Generic[ClientT]):
 
     def _rebuild_tail(self, slot: int) -> None:
         """Fix the new Fenwick node's partial sum after an append."""
-        index = slot + 1
-        lower = index - (index & -index)
-        self._tree[index] = self._prefix_sum(index - 1) - self._prefix_sum(lower)
+        self._tree[slot + 1] = self._node_sum(slot + 1)
 
     def _find_prefix(self, target: float) -> Tuple[int, int]:
         """Smallest slot whose prefix sum exceeds ``target``.

@@ -21,11 +21,23 @@ gestures at.
 Scope: migration moves *runnable, compute-bound* threads.  Node-local
 objects (ports, mutexes) pin a thread to its node; the rebalancer
 skips threads flagged ``pinned``.
+
+Failure model (see ``docs/FAULTS.md``): :meth:`Cluster.crash_node`
+fails a node -- its running thread is preempted (in-flight work lost),
+unpinned runnable threads are re-placed on the least-funded live node,
+and everything that cannot move (pinned, blocked, created threads)
+dies with the node, its tickets reclaimed from the shared ledger so
+surviving threads' proportions immediately reflect the loss.
+:meth:`Cluster.restart_node` brings the node back; the periodic
+rebalancer repopulates it.  :meth:`Cluster.migrate_with_retry` wraps
+:meth:`Cluster.migrate` in a bounded virtual-time backoff so a
+migration racing a crash re-attempts (or aborts) instead of stranding
+the thread.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.prng import ParkMillerPRNG
 from repro.core.tickets import Ledger
@@ -34,6 +46,9 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.thread import Thread, ThreadBody, ThreadState
 from repro.schedulers.lottery_policy import LotteryPolicy
 from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.retry import RetryPolicy, RetryState
 
 __all__ = ["ClusterNode", "Cluster"]
 
@@ -49,6 +64,11 @@ class ClusterNode:
                              quantum=quantum)
         #: Threads currently placed on this node (owned by the Cluster).
         self.threads: List[Thread] = []
+        #: False while crashed; dead nodes are excluded from placement,
+        #: rebalancing, and entitlement accounting.
+        self.alive = True
+        #: Times this node has crashed (fault accounting).
+        self.crashes = 0
 
     def total_funding(self) -> float:
         """Nominal funding of all live threads placed here."""
@@ -91,6 +111,13 @@ class Cluster:
         ]
         self.rebalance_period = rebalance_period
         self.migrations = 0
+        #: Migrations rolled back after a failed destination enqueue.
+        self.migration_rollbacks = 0
+        # -- fault accounting (see crash_node / restart_node) ---------------
+        self.node_crashes = 0
+        self.node_restarts = 0
+        self.threads_killed = 0
+        self.evacuations = 0
         self._placement: Dict[int, ClusterNode] = {}
         if rebalance_period is not None:
             self.engine.call_after(rebalance_period, self._rebalance_tick,
@@ -109,11 +136,18 @@ class Cluster:
 
     # -- placement -----------------------------------------------------------------
 
+    @property
+    def alive_nodes(self) -> List[ClusterNode]:
+        """Nodes currently up, in declaration order."""
+        return [node for node in self.nodes if node.alive]
+
     def spawn(self, body: ThreadBody, name: str, tickets: float,
               node: Optional[ClusterNode] = None,
               pinned: bool = False) -> Thread:
-        """Create a funded thread, placing it on the least-funded node
-        (or an explicit ``node``)."""
+        """Create a funded thread, placing it on the least-funded live
+        node (or an explicit ``node``, which must be up)."""
+        if node is not None and not node.alive:
+            raise ReproError(f"cannot spawn on crashed node {node.name}")
         target = node if node is not None else self._least_funded_node()
         thread = target.kernel.spawn(body, name, tickets=tickets)
         thread.pinned = pinned
@@ -122,7 +156,16 @@ class Cluster:
         return thread
 
     def node_of(self, thread: Thread) -> ClusterNode:
-        """The node a thread currently runs on."""
+        """The node a thread currently runs on.
+
+        Raises for exited threads: they hold no placement (placement
+        maps are pruned on each rebalance tick and on crashes).
+        """
+        if not thread.alive:
+            raise ReproError(
+                f"thread {thread.name!r} has exited and is no longer "
+                "placed on any node"
+            )
         try:
             return self._placement[thread.tid]
         except KeyError:
@@ -131,50 +174,229 @@ class Cluster:
             ) from None
 
     def _least_funded_node(self) -> ClusterNode:
-        return min(self.nodes, key=lambda n: (n.total_funding(),
+        candidates = self.alive_nodes
+        if not candidates:
+            raise ReproError("no live node available for placement")
+        return min(candidates, key=lambda n: (n.total_funding(),
                                               len(n.threads)))
 
     # -- migration ---------------------------------------------------------------------
 
     def migrate(self, thread: Thread, destination: ClusterNode) -> bool:
-        """Move a runnable, unpinned thread to another node.
+        """Move a runnable, unpinned thread to another live node.
 
         Returns False (without side effects) when the thread cannot be
-        moved right now -- running, blocked, exited, or pinned.
+        moved right now -- running, blocked, exited, pinned, or either
+        endpoint down.  A destination enqueue failure mid-move (the
+        crash-races-migration window) rolls the thread back onto its
+        source node, also returning False.
         """
+        if not thread.alive:
+            return False
         source = self.node_of(thread)
         if destination is source:
+            return False
+        if not source.alive or not destination.alive:
             return False
         if getattr(thread, "pinned", False):
             return False
         if thread.state is not ThreadState.RUNNABLE:
             return False
         source.policy.dequeue(thread)
+        self._expire_compensation(thread, source)
         source.threads.remove(thread)
+        thread.kernel = destination.kernel
+        destination.threads.append(thread)
+        self._placement[thread.tid] = destination
+        try:
+            destination.policy.enqueue(thread)
+        except ReproError:
+            # Destination refused mid-move: undo every step above so
+            # the thread lands back on its source run queue intact.
+            destination.threads.remove(thread)
+            thread.kernel = source.kernel
+            self._placement[thread.tid] = source
+            source.threads.append(thread)
+            source.policy.enqueue(thread)
+            self.migration_rollbacks += 1
+            return False
+        destination.kernel._schedule_dispatch()
+        self.migrations += 1
+        return True
+
+    def migrate_with_retry(self, thread: Thread, destination: ClusterNode,
+                           policy: Optional["RetryPolicy"] = None
+                           ) -> "RetryState":
+        """:meth:`migrate` under bounded virtual-time retry.
+
+        Transient refusals (thread momentarily running, destination
+        down pending restart) are re-attempted with exponential
+        backoff; the retry aborts outright once it can never succeed
+        (thread exited or pinned).  Returns the live
+        :class:`~repro.faults.retry.RetryState`.
+        """
+        from repro.faults.retry import ABORT, execute_with_retry
+
+        def attempt():
+            if not thread.alive or getattr(thread, "pinned", False):
+                return ABORT
+            return self.migrate(thread, destination)
+
+        return execute_with_retry(self.engine, attempt, policy=policy,
+                                  label=f"migrate-retry:{thread.name}")
+
+    def _expire_compensation(self, thread: Thread, source: ClusterNode) -> None:
+        """Revoke source-granted compensation before a thread moves.
+
+        Compensation managers are per-node; a compensation ticket
+        granted by the source policy would never be revoked by the
+        destination's ``on_quantum_start``, permanently inflating the
+        migrated thread (and tripping the sanitizer's lifetime check).
+        """
+        compensation = source.policy.compensation
+        if compensation is not None:
+            compensation.on_holder_removed(thread)
+
+    def _rebalance_tick(self) -> None:
+        """Greedy funding balancing: richest node donates to poorest.
+
+        When no single thread can move without overshooting (every
+        rich-node thread's funding exceeds the gap), a *swap* --
+        exchanging one rich-node thread for a poorer one -- can still
+        shrink it.  Both moves and swaps strictly reduce the
+        richest-poorest spread, so rebalancing never oscillates.
+        """
+        self._prune_exited()
+        alive = self.alive_nodes
+        if len(alive) >= 2:
+            for _ in range(len(alive)):
+                ordered = sorted(alive, key=ClusterNode.total_funding)
+                poorest, richest = ordered[0], ordered[-1]
+                gap = richest.total_funding() - poorest.total_funding()
+                if gap <= 0:
+                    break
+                candidate = self._best_donor(richest, gap)
+                if candidate is not None:
+                    if not self.migrate(candidate, poorest):
+                        break
+                    continue
+                if not self._try_swap(richest, poorest, gap):
+                    break
+        assert self.rebalance_period is not None
+        self.engine.call_after(self.rebalance_period, self._rebalance_tick,
+                               label="cluster-rebalance")
+
+    def _prune_exited(self) -> None:
+        """Drop exited threads from placement maps.
+
+        Threads that exit (or are killed) between ticks would otherwise
+        linger in ``node.threads`` and ``_placement`` forever.
+        """
+        for node in self.nodes:
+            dead = [t for t in node.threads if not t.alive]
+            for thread in dead:
+                node.threads.remove(thread)
+                self._placement.pop(thread.tid, None)
+
+    # -- failures -----------------------------------------------------------------
+
+    def crash_node(self, node: ClusterNode) -> None:
+        """Fail a node, leaving it out of the cluster until restart.
+
+        The running thread is preempted (its in-flight segment is
+        lost); unpinned RUNNABLE threads are re-placed on the
+        least-funded live node; every other thread placed here
+        (pinned, blocked, or not yet started) dies with the node and
+        its tickets are reclaimed from the shared ledger.
+        """
+        if not node.alive:
+            raise ReproError(f"node {node.name} is already down")
+        node.alive = False
+        node.crashes += 1
+        self.node_crashes += 1
+        node.kernel.preempt_running()
+        survivors = self.alive_nodes
+        for thread in list(node.threads):
+            if not thread.alive:
+                node.threads.remove(thread)
+                self._placement.pop(thread.tid, None)
+                continue
+            movable = (thread.state is ThreadState.RUNNABLE
+                       and not getattr(thread, "pinned", False))
+            if movable and survivors:
+                self._evacuate(thread, node)
+            else:
+                node.kernel.kill(thread)
+                node.threads.remove(thread)
+                self._placement.pop(thread.tid, None)
+                self.threads_killed += 1
+
+    def restart_node(self, node: ClusterNode) -> None:
+        """Bring a crashed node back into placement and rebalancing.
+
+        The node returns empty; the periodic rebalancer repopulates it
+        on its next tick (with ``rebalance_period=None`` it only
+        receives newly spawned or explicitly migrated threads).
+        """
+        if node.alive:
+            raise ReproError(f"node {node.name} is already up")
+        node.alive = True
+        self.node_restarts += 1
+
+    def _evacuate(self, thread: Thread, source: ClusterNode) -> None:
+        """Re-place one runnable thread off a crashing node."""
+        source.policy.dequeue(thread)
+        self._expire_compensation(thread, source)
+        source.threads.remove(thread)
+        destination = self._least_funded_node()
         thread.kernel = destination.kernel
         destination.threads.append(thread)
         self._placement[thread.tid] = destination
         destination.policy.enqueue(thread)
         destination.kernel._schedule_dispatch()
-        self.migrations += 1
+        self.evacuations += 1
+
+    def _try_swap(self, richest: ClusterNode, poorest: ClusterNode,
+                  gap: float) -> bool:
+        """Exchange a rich-node thread for a poorer one to shrink the gap.
+
+        Picks the movable pair whose funding difference best halves the
+        gap (``0 < difference < gap`` keeps the reduction strict).  The
+        cheaper thread moves first; if the richer thread then cannot
+        move, the first move is undone so the tick leaves totals no
+        worse than it found them.
+        """
+        best: Optional[Tuple[Thread, Thread]] = None
+        best_score = float("inf")
+        for rich_thread in self._movable_threads(richest):
+            rich_funding = rich_thread.nominal_funding()
+            for poor_thread in self._movable_threads(poorest):
+                difference = rich_funding - poor_thread.nominal_funding()
+                if difference <= 0 or difference >= gap:
+                    continue
+                score = abs(gap / 2 - difference)
+                if score < best_score:
+                    best_score = score
+                    best = (rich_thread, poor_thread)
+        if best is None:
+            return False
+        rich_thread, poor_thread = best
+        if not self.migrate(poor_thread, richest):
+            return False
+        if not self.migrate(rich_thread, poorest):
+            self.migrate(poor_thread, poorest)
+            return False
         return True
 
-    def _rebalance_tick(self) -> None:
-        """Greedy funding balancing: richest node donates to poorest."""
-        for _ in range(len(self.nodes)):
-            ordered = sorted(self.nodes, key=ClusterNode.total_funding)
-            poorest, richest = ordered[0], ordered[-1]
-            gap = richest.total_funding() - poorest.total_funding()
-            if gap <= 0:
-                break
-            candidate = self._best_donor(richest, gap)
-            if candidate is None:
-                break
-            if not self.migrate(candidate, poorest):
-                break
-        assert self.rebalance_period is not None
-        self.engine.call_after(self.rebalance_period, self._rebalance_tick,
-                               label="cluster-rebalance")
+    @staticmethod
+    def _movable_threads(node: ClusterNode) -> List[Thread]:
+        """Runnable, unpinned, positively funded threads on ``node``."""
+        return [
+            thread for thread in node.threads
+            if thread.state is ThreadState.RUNNABLE
+            and not getattr(thread, "pinned", False)
+            and thread.nominal_funding() > 0
+        ]
 
     @staticmethod
     def _best_donor(node: ClusterNode, gap: float) -> Optional[Thread]:
@@ -212,7 +434,7 @@ class Cluster:
         live = [t for node in self.nodes for t in node.threads if t.alive]
         entitled: Dict[int, float] = {}
         remaining = list(live)
-        remaining_cpu = elapsed_ms * len(self.nodes)
+        remaining_cpu = elapsed_ms * len(self.alive_nodes)
         while remaining:
             total = sum(t.nominal_funding() for t in remaining)
             if total <= 0:

@@ -61,6 +61,17 @@ class ExperimentError(ReproError):
     """An experiment was configured with invalid parameters."""
 
 
+class FaultError(ReproError):
+    """A fault plan or injector was misconfigured.
+
+    Raised by :mod:`repro.faults` for malformed fault schedules (bad
+    rates, negative times, unknown fault kinds) and for injector misuse
+    (unknown targets, double arming).  Note that *injected* faults do
+    not raise -- they mutate the simulated system; this error is about
+    the fault-injection machinery itself.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant of the ticket/scheduling machinery failed.
 

@@ -17,6 +17,7 @@ paging_runtime            Section 6.2 end-to-end -- paging policy vs runtime
 quantum_sweep             Section 2.2 -- quantum size vs sub-second fairness
 multiresource             Section 6.3 -- manager threads over CPU+disk budgets
 cluster_fairness          Section 4.2 hint -- distributed lottery scheduling
+chaos_fairness            Extension -- fairness reconvergence under faults
 diverse_resources         Section 6 -- disk and virtual-circuit lotteries
 responsiveness            Sections 1/3.4 -- interactive latency under load
 service_classes           Section 5.4 note -- job-stream service classes
@@ -26,6 +27,7 @@ ablations                 A2 CV law, A3 lottery-vs-stride, A4 compensation
 
 from repro.experiments import (  # noqa: F401 (re-exported driver modules)
     ablations,
+    chaos_fairness,
     cluster_fairness,
     diverse_resources,
     fig1_walkthrough,
@@ -50,6 +52,7 @@ __all__ = [
     "ExperimentResult",
     "Machine",
     "ablations",
+    "chaos_fairness",
     "cluster_fairness",
     "build_machine",
     "diverse_resources",

@@ -1,0 +1,228 @@
+"""Chaos experiment: proportional-share fairness under injected faults.
+
+The paper's evaluation (Figures 4 and 9) shows lottery scheduling
+tracking ticket ratios on a healthy machine.  This experiment asks the
+distributed-extension question: does the guarantee *recover* when nodes
+crash and rejoin?  A cluster runs heterogeneously funded spinners while
+a seeded :class:`~repro.faults.plan.FaultPlan` crashes nodes and
+restarts them; after every transition we restart the fairness clock and
+watch the windowed max relative error reconverge below a threshold.
+
+Mechanics of recovery being measured:
+
+* a crash kills the pinned victim thread on the dead node -- its
+  tickets are reclaimed from the shared ledger, so survivors' global
+  shares grow instantly;
+* unpinned runnable threads are evacuated to the least-funded live
+  node, keeping them schedulable;
+* a restart returns an empty node, and the periodic rebalancer
+  repopulates it, re-equalizing per-node ticket totals.
+
+Because every source of randomness (lotteries, fault schedule,
+injector dice) is a seeded Park-Miller stream driven by the shared
+virtual clock, two runs with the same seed and plan produce identical
+fault logs, migration counts, and fairness rows -- asserted by
+``tests/faults/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.distributed.cluster import Cluster
+from repro.experiments.common import ExperimentResult
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultPlanBuilder
+from repro.kernel.syscalls import Compute
+
+__all__ = ["default_plan", "run", "run_variant", "main"]
+
+#: Reconvergence criterion: windowed max relative error below this.
+RECONVERGENCE_THRESHOLD = 0.15
+
+#: Nominal fundings for the unpinned spinners (base units).  Kept
+#: fine-grained relative to one node's share of the total (~333) so
+#: every node hosts several threads: a node whose sole thread is always
+#: RUNNING could neither donate nor swap, pinning the rebalancer in a
+#: skewed state.
+FUNDINGS = (150.0, 150.0, 150.0, 100.0, 100.0, 100.0, 100.0, 80.0, 70.0)
+
+
+def _spinner(chunk_ms: float = 20.0):
+    def body(ctx):
+        while True:
+            yield Compute(chunk_ms)
+
+    return body
+
+
+def default_plan(seed: int) -> FaultPlan:
+    """Three crash/restart pairs spread over a 240 s run.
+
+    The first and last crash hit ``node1`` -- home of the pinned victim
+    thread on the first hit -- so the schedule exercises both the
+    kill-and-reclaim path and the evacuate-and-rebalance path.
+    """
+    return (
+        FaultPlanBuilder(seed)
+        .crash_node("node1", at=30_000.0, restart_after=30_000.0)
+        .crash_node("node2", at=100_000.0, restart_after=30_000.0)
+        .crash_node("node1", at=170_000.0, restart_after=30_000.0)
+        .build()
+    )
+
+
+def _window_error(cluster: Cluster, baseline: Dict[int, float],
+                  elapsed_ms: float) -> float:
+    """Max relative error of CPU received *since the window opened*."""
+    entitlements = cluster._entitlements(elapsed_ms)
+    worst = 0.0
+    for node in cluster.nodes:
+        for thread in node.threads:
+            if not thread.alive:
+                continue
+            entitled = entitlements.get(thread.tid, 0.0)
+            if entitled <= 0:
+                continue
+            observed = thread.cpu_time - baseline.get(thread.tid, 0.0)
+            worst = max(worst, abs(observed - entitled) / entitled)
+    return worst
+
+
+def _snapshot(cluster: Cluster) -> Dict[int, float]:
+    return {
+        thread.tid: thread.cpu_time
+        for node in cluster.nodes
+        for thread in node.threads
+        if thread.alive
+    }
+
+
+def run_variant(seed: int = 2718, nodes: int = 3,
+                duration_ms: float = 240_000.0,
+                sample_period_ms: float = 5_000.0,
+                plan: Optional[FaultPlan] = None) -> Dict[str, Any]:
+    """One chaos run; returns raw data for tests and :func:`run`.
+
+    The result dict holds the live ``cluster`` and ``injector`` plus:
+    ``rows`` (windowed error samples), ``windows`` (one record per
+    fairness window with its reconvergence time), ``fault_log`` (the
+    injector's stable application log), and the final window error.
+    """
+    if plan is None:
+        plan = default_plan(seed)
+    cluster = Cluster(nodes=nodes, quantum=20.0, rebalance_period=1000.0,
+                      seed=seed)
+    for index, funding in enumerate(FUNDINGS):
+        cluster.spawn(_spinner(), f"w{index}", tickets=funding)
+    # A pinned thread on the first crash target: it cannot be evacuated,
+    # so the crash must kill it and reclaim its tickets.
+    cluster.spawn(_spinner(), "victim", tickets=100.0,
+                  node=cluster.nodes[1 % nodes], pinned=True)
+    injector = FaultInjector(plan, cluster=cluster).arm()
+
+    transition_kinds = (FaultKind.NODE_CRASH, FaultKind.NODE_RESTART)
+    transitions = {
+        event.time: event
+        for event in plan
+        if event.kind in transition_kinds and event.time < duration_ms
+    }
+    samples = [
+        k * sample_period_ms
+        for k in range(1, int(duration_ms / sample_period_ms) + 1)
+    ]
+    checkpoints = sorted(set(samples) | set(transitions) | {duration_ms})
+
+    rows: List[Dict[str, Any]] = []
+    windows: List[Dict[str, Any]] = [
+        {"start_ms": 0.0, "cause": "start", "reconverged_at_ms": None}
+    ]
+    baseline = _snapshot(cluster)
+    for checkpoint in checkpoints:
+        cluster.run_until(checkpoint)
+        if checkpoint in transitions:
+            event = transitions[checkpoint]
+            windows.append({
+                "start_ms": checkpoint,
+                "cause": f"{event.kind} {event.target}",
+                "reconverged_at_ms": None,
+            })
+            baseline = _snapshot(cluster)
+            continue
+        window = windows[-1]
+        elapsed = checkpoint - window["start_ms"]
+        if elapsed <= 0:
+            continue
+        error = _window_error(cluster, baseline, elapsed)
+        rows.append({
+            "t_ms": checkpoint,
+            "window_start_ms": window["start_ms"],
+            "live_nodes": len(cluster.alive_nodes),
+            "max_rel_err": error,
+        })
+        if (window["reconverged_at_ms"] is None
+                and error < RECONVERGENCE_THRESHOLD):
+            window["reconverged_at_ms"] = checkpoint
+    return {
+        "cluster": cluster,
+        "injector": injector,
+        "plan": plan,
+        "rows": rows,
+        "windows": windows,
+        "fault_log": injector.applied_log(),
+        "final_error": rows[-1]["max_rel_err"] if rows else 0.0,
+    }
+
+
+def run(seed: int = 2718, nodes: int = 3, duration_ms: float = 240_000.0,
+        sample_period_ms: float = 5_000.0,
+        plan: Optional[FaultPlan] = None) -> ExperimentResult:
+    """Fairness reconvergence under a seeded crash/restart schedule."""
+    data = run_variant(seed=seed, nodes=nodes, duration_ms=duration_ms,
+                       sample_period_ms=sample_period_ms, plan=plan)
+    cluster: Cluster = data["cluster"]
+    result = ExperimentResult(
+        name="Chaos: fairness reconvergence under node crashes",
+        params={
+            "nodes": nodes,
+            "duration_ms": duration_ms,
+            "sample_period_ms": sample_period_ms,
+            "threshold": RECONVERGENCE_THRESHOLD,
+            "plan": data["plan"].signature().replace("\n", "; "),
+        },
+    )
+    result.rows = list(data["rows"])
+    for line in data["fault_log"]:
+        result.summary.setdefault("faults applied", []).append(line)
+    for window in data["windows"]:
+        if window["cause"] == "start":
+            # The warmup window measures cold-start settling, not fault
+            # recovery; reconvergence is only claimed for fault windows.
+            continue
+        label = f"window @{window['start_ms']:g}ms ({window['cause']})"
+        reconverged = window["reconverged_at_ms"]
+        if reconverged is None:
+            result.summary[label] = "did not reconverge"
+        else:
+            result.summary[label] = (
+                f"reconverged after "
+                f"{reconverged - window['start_ms']:g} ms"
+            )
+    result.summary["migrations"] = cluster.migrations
+    result.summary["evacuations"] = cluster.evacuations
+    result.summary["threads killed"] = cluster.threads_killed
+    result.summary["node crashes/restarts"] = (
+        f"{cluster.node_crashes}/{cluster.node_restarts}"
+    )
+    result.summary["final window max relative error"] = (
+        f"{data['final_error']:.3f}"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    run().print_report()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,44 @@
+"""Deterministic fault injection and recovery (``repro.faults``).
+
+The paper's proportional-share guarantees are exercised on a healthy
+substrate; this subsystem makes them survivable.  Three layers:
+
+* :mod:`repro.faults.plan` -- seeded, immutable fault schedules
+  (:class:`FaultPlan`, :class:`FaultPlanBuilder`): node crash/restart,
+  thread kill, clock skew, timer jitter, IPC drop/delay, disk errors;
+* :mod:`repro.faults.injector` -- :class:`FaultInjector` applies a plan
+  to a live kernel/cluster/disk through explicit seams, at exact
+  virtual times;
+* :mod:`repro.faults.retry` -- bounded, virtual-time exponential
+  backoff (:class:`RetryPolicy`, :func:`execute_with_retry`) wired into
+  IPC retransmission, disk resubmission, and cluster migration.
+
+Everything is driven by the discrete-event engine's clock and
+Park-Miller streams, so a chaos run replays bit-for-bit: same seed and
+plan, same migrations, same fault timestamps, same fairness report.
+See ``docs/FAULTS.md`` for the full taxonomy and determinism contract.
+"""
+
+from repro.faults.injector import FaultInjector, IpcFaultModel
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder
+from repro.faults.retry import (
+    ABORT,
+    RetryPolicy,
+    RetryState,
+    disk_submit_with_retry,
+    execute_with_retry,
+)
+
+__all__ = [
+    "ABORT",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanBuilder",
+    "IpcFaultModel",
+    "RetryPolicy",
+    "RetryState",
+    "disk_submit_with_retry",
+    "execute_with_retry",
+]

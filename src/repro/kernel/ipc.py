@@ -29,6 +29,7 @@ from typing import Any, Deque, List, Optional, TYPE_CHECKING
 from repro.core.tickets import Currency
 from repro.core.transfers import TransferHandle, transfer_funding
 from repro.errors import IpcError
+from repro.kernel.thread import ThreadState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -54,6 +55,7 @@ class Request:
         "created_at",
         "replied_at",
         "reply_value",
+        "delivery_attempts",
     )
 
     def __init__(self, port: "Port", message: Any,
@@ -66,6 +68,9 @@ class Request:
         self.created_at = port.kernel.now
         self.replied_at: Optional[float] = None
         self.reply_value: Any = None
+        #: Delivery attempts so far (> 1 only under an injected
+        #: message-drop window with retransmission).
+        self.delivery_attempts = 0
 
     @property
     def is_rpc(self) -> bool:
@@ -84,7 +89,15 @@ class Request:
             self.transfer.revoke()
             self.transfer = None
         self.port._record_response(self.replied_at - self.created_at)
-        self.port.kernel.wake(self.client, value)
+        if self.client.state is ThreadState.EXITED:
+            # The caller was killed (node crash / injected fault) while
+            # the RPC was in flight: drop the reply on the floor.  The
+            # transfer above is still revoked, so no rights leak.
+            self.port.dead_replies += 1
+            return
+        # Wake via client.kernel (not port.kernel): the client may have
+        # been re-placed on another node while blocked.
+        self.client.kernel.wake(self.client, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "rpc" if self.is_rpc else "send"
@@ -117,6 +130,9 @@ class Port:
         self.messages_sent = 0
         self.calls_made = 0
         self.replies_sent = 0
+        #: Replies whose client had been killed while the RPC was in
+        #: flight (the reply is discarded, the transfer still revoked).
+        self.dead_replies = 0
         self.response_times: List[float] = []
 
     # -- client side --------------------------------------------------------------
@@ -168,10 +184,26 @@ class Port:
     # -- internals -----------------------------------------------------------------------
 
     def _deliver_or_queue(self, request: Request) -> None:
+        """Delivery entry point; the fault seam sits in front of it.
+
+        During an injected drop/delay window the kernel carries an
+        ``ipc_faults`` model whose ``intercept`` may consume the
+        delivery (dropping it, or rescheduling ``_deliver_now`` after
+        a backoff/delay); otherwise delivery happens immediately.
+        """
+        faults = getattr(self.kernel, "ipc_faults", None)
+        if faults is not None and faults.intercept(self, request):
+            return
+        self._deliver_now(request)
+
+    def _deliver_now(self, request: Request) -> None:
+        request.delivery_attempts += 1
         if self._receivers:
             server = self._receivers.popleft()
             self._claim_transfer(request, server)
-            self.kernel.wake(server, request)
+            # Wake via server.kernel (not self.kernel): receivers, like
+            # clients, may have been re-placed while blocked.
+            server.kernel.wake(server, request)
         else:
             # For RPCs with no waiting server and no server currency, the
             # transfer stays latent on the request until a receive claims

@@ -100,12 +100,28 @@ class Kernel:
         self.threads: List[Thread] = []
         self.running: Optional[Thread] = None
         self._quantum_left = 0.0
+        #: The quantum actually granted to the current dispatch (equals
+        #: ``self.quantum`` unless a ``quantum_jitter`` seam adjusts it).
+        self._quantum_size = self.quantum
         self._dispatch_pending = False
         self._instant_syscalls = 0
+        #: The pending engine event of the current dispatch (context
+        #: switch or compute completion); cancelled when the running
+        #: thread is killed or forcibly preempted by a fault.
+        self._inflight: Optional[Any] = None
+
+        # -- fault seams (see repro.faults) ---------------------------------
+        #: Maps the nominal quantum to the one granted this dispatch
+        #: (clock-skew / timer-jitter injection); None means identity.
+        self.quantum_jitter: Optional[Callable[[float], float]] = None
+        #: Consulted by ports before each delivery (message drop/delay
+        #: windows); see :class:`repro.faults.injector.IpcFaultModel`.
+        self.ipc_faults: Optional[Any] = None
 
         # -- accounting -----------------------------------------------------
         self.dispatch_count = 0
         self.idle_time = 0.0
+        self.kills = 0
         self._idle_since: Optional[float] = engine.now
 
         #: Post-quantum hooks ``fn(kernel, thread, outcome)`` run after
@@ -186,11 +202,91 @@ class Kernel:
         if self.recorder is not None:
             self.recorder.on_wake(thread, self.now)
 
+    def timer_wake(self, thread: Thread, value: Any = None) -> None:
+        """Wake from a timer, tolerating threads killed while asleep.
+
+        Sleep wakeups are scheduled far in advance; if a fault kills
+        the sleeper first, the stale timer must fizzle instead of
+        raising (EXITED is terminal, so a non-BLOCKED thread here can
+        only be a killed one).
+        """
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        self.wake(thread, value)
+
     def _make_runnable(self, thread: Thread) -> None:
         thread.transition(ThreadState.RUNNABLE)
         thread.runnable_since = self.now
         self.policy.enqueue(thread)
         self._schedule_dispatch()
+
+    # -- forced termination and preemption (fault paths) ----------------------------
+
+    def kill(self, thread: Thread, reclaim_tickets: bool = True) -> bool:
+        """Forcibly terminate a thread at the current instant.
+
+        Unlike a voluntary exit, ``kill`` may interrupt a RUNNING
+        thread mid-quantum (the in-flight compute completion is
+        cancelled and its partial progress is lost) and, with
+        ``reclaim_tickets`` (the default), destroys the thread's
+        tickets so the ledger immediately reflects the loss -- the
+        crash analogue of ticket revocation.  Returns False when the
+        thread had already exited.
+        """
+        if thread.state is ThreadState.EXITED:
+            return False
+        if thread.kernel is not self:
+            raise KernelError(
+                f"thread {thread.name!r} belongs to another kernel; "
+                "kill it via its owner"
+            )
+        if thread is self.running:
+            self._cancel_inflight()
+            self.running = None
+        elif thread.state is ThreadState.RUNNABLE and thread.competing:
+            self.policy.dequeue(thread)
+        thread.current_syscall = None
+        thread.transition(ThreadState.EXITED)
+        thread.exited_at = self.now
+        thread.stop_competing()
+        self.policy.thread_exited(thread)
+        if reclaim_tickets:
+            for ticket in list(thread.tickets):
+                ticket.destroy()
+        self.kills += 1
+        if self.recorder is not None:
+            self.recorder.on_exit(thread, self.now)
+        self._schedule_dispatch()
+        for hook in self.invariant_hooks:
+            hook(self, thread, "kill")
+        return True
+
+    def preempt_running(self) -> Optional[Thread]:
+        """Yank the running thread off the CPU mid-quantum (crash path).
+
+        The interrupted compute segment's progress is lost (neither
+        CPU time nor syscall progress is credited) and the thread is
+        re-enqueued RUNNABLE; no compensation is granted -- the thread
+        did not underuse its quantum voluntarily, its node failed.
+        Returns the preempted thread, or None when the CPU was idle.
+        """
+        thread = self.running
+        if thread is None:
+            return None
+        self._cancel_inflight()
+        self.running = None
+        thread.transition(ThreadState.RUNNABLE)
+        thread.runnable_since = self.now
+        self.policy.enqueue(thread)
+        self._schedule_dispatch()
+        for hook in self.invariant_hooks:
+            hook(self, thread, "preempt")
+        return thread
+
+    def _cancel_inflight(self) -> None:
+        if self._inflight is not None:
+            self.engine.cancel(self._inflight)
+            self._inflight = None
 
     # -- dispatch loop ------------------------------------------------------------------
 
@@ -214,14 +310,18 @@ class Kernel:
             self._idle_since = None
         thread.transition(ThreadState.RUNNING)
         self.running = thread
-        self._quantum_left = self.quantum
+        quantum = self.quantum
+        if self.quantum_jitter is not None:
+            quantum = max(_EPS, self.quantum_jitter(quantum))
+        self._quantum_size = quantum
+        self._quantum_left = quantum
         self._instant_syscalls = 0
         thread.dispatches += 1
         self.dispatch_count += 1
         if self.recorder is not None:
             self.recorder.on_dispatch(thread, self.now)
         if self.context_switch_cost > 0:
-            self.engine.call_after(
+            self._inflight = self.engine.call_after(
                 self.context_switch_cost,
                 lambda: self._run_segment(thread),
                 label="context-switch",
@@ -231,6 +331,7 @@ class Kernel:
 
     def _run_segment(self, thread: Thread) -> None:
         """Interpret syscalls until the thread computes, blocks, or stops."""
+        self._inflight = None
         while True:
             syscall = thread.current_syscall
             if syscall is None:
@@ -244,7 +345,7 @@ class Kernel:
                     self._end_dispatch(thread, "preempt")
                     return
                 run = min(syscall.remaining, self._quantum_left)
-                self.engine.call_after(
+                self._inflight = self.engine.call_after(
                     run,
                     lambda t=thread, s=syscall, r=run: self._segment_done(t, s, r),
                     label="compute",
@@ -270,6 +371,7 @@ class Kernel:
     def _segment_done(self, thread: Thread, syscall: sc.Compute, run: float) -> None:
         if self.running is not thread:  # pragma: no cover - defensive
             raise SimulationError("compute completion for a non-running thread")
+        self._inflight = None
         syscall.remaining -= run
         self._quantum_left -= run
         thread.cpu_time += run
@@ -283,16 +385,18 @@ class Kernel:
             self._run_segment(thread)
 
     def _end_dispatch(self, thread: Thread, outcome: str) -> None:
-        used = self.quantum - self._quantum_left
+        used = self._quantum_size - self._quantum_left
         self.running = None
         if outcome in ("preempt", "yield"):
             thread.transition(ThreadState.RUNNABLE)
             thread.runnable_since = self.now
             self.policy.enqueue(thread)
-            self.policy.quantum_end(thread, used, self.quantum, still_runnable=True)
+            self.policy.quantum_end(thread, used, self._quantum_size,
+                                    still_runnable=True)
         elif outcome == "block":
             thread.transition(ThreadState.BLOCKED)
-            self.policy.quantum_end(thread, used, self.quantum, still_runnable=False)
+            self.policy.quantum_end(thread, used, self._quantum_size,
+                                    still_runnable=False)
             if self.recorder is not None:
                 self.recorder.on_block(thread, self.now)
         elif outcome == "exit":
@@ -315,9 +419,11 @@ class Kernel:
         if isinstance(syscall, sc.Sleep):
             # Wake via thread.kernel (not self): a cluster rebalancer
             # may migrate the thread to another node while it sleeps.
+            # timer_wake (not wake) so the timer fizzles if a fault
+            # kills the sleeper before it fires.
             self.engine.call_after(
                 syscall.duration,
-                lambda t=thread: t.kernel.wake(t),
+                lambda t=thread: t.kernel.timer_wake(t),
                 label="sleep-wakeup",
             )
             return BLOCK

@@ -17,8 +17,9 @@ Usage::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import ReproError
 
@@ -41,14 +42,31 @@ class TraceEvent:
 
 
 class SchedulerTrace:
-    """Recorder collecting a full typed event log (kernel-pluggable)."""
+    """Recorder collecting a full typed event log (kernel-pluggable).
 
-    def __init__(self, max_events: int = 1_000_000) -> None:
+    By default the trace is a drop-oldest ring buffer: once
+    ``max_events`` is reached, each new event evicts the oldest one and
+    bumps :attr:`dropped_events` -- an observability layer must not
+    crash the system it observes.  Pass ``strict=True`` to get the old
+    fail-fast behaviour (raise at the cap), useful in tests that treat
+    an overflowing trace as a bug.
+    """
+
+    def __init__(self, max_events: int = 1_000_000,
+                 strict: bool = False) -> None:
         if max_events <= 0:
             raise ReproError("max_events must be positive")
-        self.events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque()
         self.max_events = max_events
+        self.strict = strict
+        #: Oldest events evicted by the ring buffer (0 in strict mode).
+        self.dropped_events = 0
         self._names: Dict[int, str] = {}
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (a fresh list)."""
+        return list(self._events)
 
     # -- kernel recorder interface ------------------------------------------
 
@@ -70,12 +88,15 @@ class SchedulerTrace:
         self._append(TraceEvent(time, "exit", thread.tid, thread.name))
 
     def _append(self, event: TraceEvent) -> None:
-        if len(self.events) >= self.max_events:
-            raise ReproError(
-                f"trace exceeded {self.max_events} events; "
-                "narrow the traced interval or raise max_events"
-            )
-        self.events.append(event)
+        if len(self._events) >= self.max_events:
+            if self.strict:
+                raise ReproError(
+                    f"trace exceeded {self.max_events} events; "
+                    "narrow the traced interval or raise max_events"
+                )
+            self._events.popleft()
+            self.dropped_events += 1
+        self._events.append(event)
         self._names[event.tid] = event.thread_name
 
     # -- queries ----------------------------------------------------------------

@@ -36,7 +36,8 @@ def test_lint_command_reports_findings(tmp_path, capsys):
 def test_rules_command_lists_every_rule(capsys):
     assert main(["rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                    "RPR006"):
         assert rule_id in out
     assert "noqa" in out
 

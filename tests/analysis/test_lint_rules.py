@@ -1,4 +1,4 @@
-"""Unit tests for every determinism-lint rule (RPR001..RPR005).
+"""Unit tests for every determinism-lint rule (RPR001..RPR006).
 
 Each rule gets positive fixtures (the hazard is flagged), negative
 fixtures (clean or out-of-zone code is not), and a noqa-suppressed
@@ -110,7 +110,9 @@ def test_rpr002_ignores_non_clock_time_calls():
     def pause():
         time.sleep(1)
     """
-    assert ids(src) == []
+    # time.sleep is not a wall-clock *read*; RPR006 owns it instead.
+    assert "RPR002" not in ids(src)
+    assert ids(src) == ["RPR006"]
 
 
 def test_rpr002_noqa_suppresses():
@@ -252,6 +254,106 @@ def test_rpr005_noqa_suppresses():
     assert ids(src) == []
 
 
+# -- RPR006: blocking sleeps and ad-hoc retry loops -------------------------
+
+
+def test_rpr006_flags_time_sleep_everywhere():
+    src = """
+    import time
+
+    def wait():
+        time.sleep(0.5)
+    """
+    # Applies outside the deterministic zones too (rule has no zone list).
+    assert ids(src, EXPERIMENT_PATH) == ["RPR006"]
+
+
+def test_rpr006_flags_aliased_sleep():
+    src = """
+    import time as t
+
+    def wait():
+        t.sleep(1)
+    """
+    assert ids(src) == ["RPR006"]
+
+
+def test_rpr006_flags_except_continue_retry_loop():
+    src = """
+    def fetch(op):
+        while True:
+            try:
+                return op()
+            except ValueError:
+                continue
+    """
+    assert ids(src) == ["RPR006"]
+
+
+def test_rpr006_flags_for_loop_retry():
+    src = """
+    def fetch(op):
+        for _ in range(3):
+            try:
+                return op()
+            except ValueError:
+                continue
+    """
+    assert ids(src) == ["RPR006"]
+
+
+def test_rpr006_ignores_try_without_continue():
+    src = """
+    def fetch(op):
+        while True:
+            try:
+                return op()
+            except ValueError:
+                return None
+    """
+    assert ids(src) == []
+
+
+def test_rpr006_ignores_continue_outside_handler():
+    src = """
+    def drain(items):
+        for item in items:
+            if item is None:
+                continue
+            try:
+                item.close()
+            except ValueError:
+                pass
+    """
+    assert ids(src) == []
+
+
+def test_rpr006_ignores_continue_of_nested_loop():
+    src = """
+    def fetch(ops):
+        while True:
+            try:
+                return ops.pop()
+            except ValueError:
+                for op in ops:
+                    if op is None:
+                        continue
+                return None
+    """
+    # The continue belongs to the inner for, not the retry while.
+    assert ids(src) == []
+
+
+def test_rpr006_noqa_suppresses():
+    src = """
+    import time
+
+    def wait():
+        time.sleep(1)  # repro: noqa[RPR006] -- host warm-up, not sim
+    """
+    assert ids(src) == []
+
+
 # -- suppression syntax -----------------------------------------------------
 
 
@@ -286,7 +388,7 @@ def test_finding_format_names_location_and_rule():
 
 def test_every_rule_has_id_summary_and_fixit():
     assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
-                          "RPR004", "RPR005"}
+                          "RPR004", "RPR005", "RPR006"}
     for rule in RULES.values():
         assert rule.summary and rule.fixit and rule.slug
 

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.analysis.sanitizer import sanitize_ledger
 from repro.distributed.cluster import Cluster
 from repro.errors import ReproError
+from repro.faults.retry import RetryPolicy
 from repro.kernel.syscalls import Compute, Sleep
 from repro.kernel.thread import ThreadState
 
@@ -129,6 +131,54 @@ class TestRebalancing:
         cluster.run_until(30_000)
         assert cluster.migrations == 0
 
+    def test_pinned_threads_never_move(self):
+        cluster = Cluster(nodes=2, rebalance_period=500.0, seed=13)
+        node0 = cluster.nodes[0]
+        for index in range(4):
+            cluster.spawn(spinner(), f"p{index}", tickets=100.0,
+                          node=node0, pinned=True)
+        cluster.run_until(30_000)
+        # Placement is maximally skewed, but every thread is pinned.
+        assert cluster.migrations == 0
+        assert all(cluster.node_of(t) is node0 for t in node0.threads)
+
+    def test_rebalancing_disabled_with_none_period(self):
+        cluster = Cluster(nodes=2, rebalance_period=None, seed=13)
+        node0 = cluster.nodes[0]
+        for index, funding in enumerate((300.0, 300.0, 200.0, 200.0)):
+            cluster.spawn(spinner(), f"t{index}", tickets=funding, node=node0)
+        cluster.run_until(30_000)
+        assert cluster.migrations == 0
+        assert cluster.nodes[1].threads == []
+
+    def test_over_gap_mega_thread_does_not_oscillate(self):
+        # The only candidate move (800 tickets) exceeds the funding gap;
+        # moving it would overshoot and invite ping-ponging, and no swap
+        # shrinks the gap either, so the rebalancer must leave it alone.
+        cluster = Cluster(nodes=2, rebalance_period=500.0, seed=17)
+        node0, node1 = cluster.nodes
+        cluster.spawn(spinner(), "mega", tickets=800.0, node=node0)
+        cluster.spawn(spinner(), "light", tickets=100.0, node=node1)
+        cluster.spawn(spinner(), "tiny", tickets=50.0, node=node1)
+        cluster.run_until(30_000)
+        assert cluster.migrations == 0
+
+    def test_swap_unsticks_where_single_moves_cannot(self):
+        # 200+200 vs 150+150: gap is 100, every rich-node thread funds
+        # >= the gap, so no single move fires -- but swapping a 200 for
+        # a 150 shrinks the gap to zero.
+        cluster = Cluster(nodes=2, rebalance_period=500.0, seed=19)
+        node0, node1 = cluster.nodes
+        for name, funding, node in (("a", 200.0, node0), ("b", 200.0, node0),
+                                    ("c", 150.0, node1), ("d", 150.0, node1)):
+            cluster.spawn(spinner(), name, tickets=funding, node=node)
+        cluster.run_until(10_000)
+        assert cluster.migrations == 2  # one swap = two coupled moves
+        assert node0.total_funding() == node1.total_funding() == 350.0
+        settled = cluster.migrations
+        cluster.run_until(30_000)
+        assert cluster.migrations == settled  # balanced: no oscillation
+
     def test_water_filling_caps_heavy_thread(self):
         cluster = Cluster(nodes=2, rebalance_period=500.0, seed=11)
         heavy = cluster.spawn(spinner(), "heavy", tickets=10_000)
@@ -143,3 +193,166 @@ class TestRebalancing:
         assert light_a.cpu_time + light_b.cpu_time == pytest.approx(
             60_000, rel=0.02
         )
+
+
+class TestPlacementHygiene:
+    def test_node_of_rejects_exited_thread_with_clear_error(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+
+        def finite(ctx):
+            yield Compute(100.0)
+
+        thread = cluster.spawn(finite, "finite", tickets=100)
+        cluster.run_until(1_000)
+        assert not thread.alive
+        with pytest.raises(ReproError, match="exited"):
+            cluster.node_of(thread)
+
+    def test_rebalance_tick_prunes_exited_threads(self):
+        cluster = Cluster(nodes=2, rebalance_period=500.0)
+
+        def finite(ctx):
+            yield Compute(100.0)
+
+        thread = cluster.spawn(finite, "finite", tickets=100)
+        node = cluster.node_of(thread)
+        cluster.spawn(spinner(), "keeper", tickets=100)
+        cluster.run_until(5_000)
+        assert not thread.alive
+        assert thread not in node.threads
+        assert thread.tid not in cluster._placement
+
+
+class TestCrashRecovery:
+    @staticmethod
+    def napper(ctx):
+        yield Sleep(120_000.0)
+
+    def _populated(self):
+        cluster = Cluster(nodes=2, rebalance_period=None, seed=23)
+        node0 = cluster.nodes[0]
+        threads = {
+            "r1": cluster.spawn(spinner(), "r1", tickets=100, node=node0),
+            "r2": cluster.spawn(spinner(), "r2", tickets=100, node=node0),
+            "pinned": cluster.spawn(spinner(), "pinned", tickets=100,
+                                    node=node0, pinned=True),
+            "napper": cluster.spawn(self.napper, "napper", tickets=100,
+                                    node=node0),
+        }
+        cluster.run_until(2_000)  # let the napper reach its Sleep
+        assert threads["napper"].state is ThreadState.BLOCKED
+        return cluster, threads
+
+    def test_crash_evacuates_runnable_kills_pinned_and_blocked(self):
+        cluster, threads = self._populated()
+        node0, node1 = cluster.nodes
+        cluster.crash_node(node0)
+        assert not node0.alive
+        assert node0.threads == []
+        # Unpinned runnable threads (including the preempted runner)
+        # land on the surviving node; pinned and blocked threads die.
+        for name in ("r1", "r2"):
+            assert threads[name].alive
+            assert cluster.node_of(threads[name]) is node1
+            assert threads[name].kernel is node1.kernel
+        assert not threads["pinned"].alive
+        assert not threads["napper"].alive
+        assert cluster.evacuations == 2
+        assert cluster.threads_killed == 2
+        assert cluster.node_crashes == 1
+        # Killed threads' tickets were reclaimed: books still balance.
+        assert sanitize_ledger(cluster.ledger) == []
+        # Survivors keep making progress on the surviving node.
+        before = threads["r1"].cpu_time + threads["r2"].cpu_time
+        cluster.run_until(10_000)
+        assert threads["r1"].cpu_time + threads["r2"].cpu_time > before
+
+    def test_crash_and_restart_state_machine(self):
+        cluster, _ = self._populated()
+        node0 = cluster.nodes[0]
+        cluster.crash_node(node0)
+        with pytest.raises(ReproError, match="already down"):
+            cluster.crash_node(node0)
+        with pytest.raises(ReproError, match="crashed node"):
+            cluster.spawn(spinner(), "late", tickets=10, node=node0)
+        cluster.restart_node(node0)
+        assert node0.alive and node0.threads == []
+        assert cluster.node_restarts == 1
+        with pytest.raises(ReproError, match="already up"):
+            cluster.restart_node(node0)
+
+    def test_crashing_every_node_leaves_no_placement_target(self):
+        cluster = Cluster(nodes=1, rebalance_period=None)
+        cluster.spawn(spinner(), "only", tickets=100)
+        cluster.run_until(100)
+        cluster.crash_node(cluster.nodes[0])
+        with pytest.raises(ReproError, match="no live node"):
+            cluster.spawn(spinner(), "homeless", tickets=10)
+
+
+class TestMigrationRollback:
+    def test_destination_failure_mid_move_rolls_back(self, monkeypatch):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        node0, node1 = cluster.nodes
+        cluster.spawn(spinner(), "mate", tickets=100, node=node0)
+        mover = cluster.spawn(spinner(), "mover", tickets=100, node=node0)
+        cluster.run_until(50)
+        if mover.state is not ThreadState.RUNNABLE:
+            mover = next(t for t in node0.threads
+                         if t.state is ThreadState.RUNNABLE)
+
+        def refuse(thread):
+            raise ReproError("destination lost mid-migration")
+
+        monkeypatch.setattr(node1.policy, "enqueue", refuse)
+        assert not cluster.migrate(mover, node1)
+        assert cluster.migration_rollbacks == 1
+        assert cluster.migrations == 0
+        # The thread is back on its source, enqueued, and schedulable.
+        assert cluster.node_of(mover) is node0
+        assert mover.kernel is node0.kernel
+        assert mover in node0.threads
+        before = mover.cpu_time
+        cluster.run_until(10_000)
+        assert mover.cpu_time > before
+        assert sanitize_ledger(cluster.ledger) == []
+
+
+class TestMigrateWithRetry:
+    def test_retries_until_destination_restarts(self):
+        cluster = Cluster(nodes=2, rebalance_period=None, seed=29)
+        node0, node1 = cluster.nodes
+        # Low tickets keep the mover off the CPU (runnable) nearly
+        # always, so attempts fail only while the destination is down.
+        mover = cluster.spawn(spinner(), "mover", tickets=10, node=node0)
+        cluster.spawn(spinner(), "hog", tickets=1000, node=node0)
+        cluster.run_until(50)
+        cluster.crash_node(node1)
+        state = cluster.migrate_with_retry(
+            mover, node1,
+            policy=RetryPolicy(max_attempts=8, base_delay_ms=130.0),
+        )
+        assert not state.finished  # destination is down; retrying
+        cluster.engine.call_after(400.0,
+                                  lambda: cluster.restart_node(node1))
+        cluster.run_until(30_000)
+        assert state.succeeded
+        assert state.attempts > 1
+        assert cluster.node_of(mover) is node1
+
+    def test_aborts_for_pinned_thread(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        node0, node1 = cluster.nodes
+        pinned = cluster.spawn(spinner(), "pinned", tickets=100,
+                               node=node0, pinned=True)
+        state = cluster.migrate_with_retry(pinned, node1)
+        assert state.aborted and state.attempts == 1
+
+    def test_aborts_for_dead_thread(self):
+        cluster = Cluster(nodes=2, rebalance_period=None)
+        node0, node1 = cluster.nodes
+        doomed = cluster.spawn(spinner(), "doomed", tickets=100, node=node0)
+        cluster.run_until(50)
+        node0.kernel.kill(doomed)
+        state = cluster.migrate_with_retry(doomed, node1)
+        assert state.aborted and not state.succeeded

@@ -1,0 +1,335 @@
+"""Tests for the fault injector: every seam, plus log determinism."""
+
+import pytest
+
+from repro.analysis.sanitizer import sanitize_ledger
+from repro.distributed.cluster import Cluster
+from repro.errors import FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlanBuilder
+from repro.kernel.ipc import Port
+from repro.kernel.syscalls import Call, Compute, Receive, Reply, Send
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+def make_cluster(nodes=3, **kwargs):
+    kwargs.setdefault("quantum", 50.0)
+    kwargs.setdefault("rebalance_period", 500.0)
+    cluster = Cluster(nodes=nodes, **kwargs)
+    for index in range(nodes * 2):
+        cluster.spawn(spin_body(20.0), f"w{index}", tickets=100.0)
+    return cluster
+
+
+class TestConstructionAndArming:
+    def test_needs_engine_or_cluster(self):
+        plan = FaultPlanBuilder().build()
+        with pytest.raises(FaultError):
+            FaultInjector(plan)
+
+    def test_cluster_nodes_become_kernel_targets(self):
+        cluster = make_cluster(nodes=2)
+        injector = FaultInjector(FaultPlanBuilder().build(), cluster=cluster)
+        assert set(injector.kernels) == {"node0", "node1"}
+        assert injector.engine is cluster.engine
+
+    def test_double_arm_rejected(self):
+        kernel = make_lottery_kernel()
+        injector = FaultInjector(FaultPlanBuilder().build(),
+                                 kernels={"k": kernel},
+                                 engine=kernel.engine)
+        injector.arm()
+        with pytest.raises(FaultError):
+            injector.arm()
+
+    def test_unknown_targets_fail_loud(self):
+        cluster = make_cluster(nodes=2)
+        plan = FaultPlanBuilder().crash_node("node9", at=10.0).build()
+        FaultInjector(plan, cluster=cluster).arm()
+        with pytest.raises(FaultError):
+            cluster.run_until(100.0)
+
+        kernel = make_lottery_kernel()
+        plan = (FaultPlanBuilder()
+                .clock_skew("ghost", at=10.0, factor=2.0, duration=50.0)
+                .build())
+        FaultInjector(plan, kernels={"k": kernel},
+                      engine=kernel.engine).arm()
+        with pytest.raises(FaultError):
+            kernel.run_until(100.0)
+
+    def test_node_fault_without_cluster_fails_loud(self):
+        kernel = make_lottery_kernel()
+        plan = FaultPlanBuilder().crash_node("node0", at=10.0).build()
+        FaultInjector(plan, kernels={"k": kernel},
+                      engine=kernel.engine).arm()
+        with pytest.raises(FaultError):
+            kernel.run_until(100.0)
+
+
+class TestNodeFaults:
+    def test_crash_evacuates_and_restart_rejoins(self):
+        cluster = make_cluster(nodes=3)
+        plan = (FaultPlanBuilder()
+                .crash_node("node1", at=1_000.0, restart_after=2_000.0)
+                .build())
+        injector = FaultInjector(plan, cluster=cluster).arm()
+        cluster.run_until(500.0)
+        assert all(node.alive for node in cluster.nodes)
+        cluster.run_until(1_500.0)
+        assert not cluster.nodes[1].alive
+        assert cluster.nodes[1].threads == []
+        assert cluster.evacuations >= 1
+        cluster.run_until(10_000.0)
+        assert cluster.nodes[1].alive
+        # The periodic rebalancer repopulated the returned node.
+        assert cluster.nodes[1].threads
+        log = injector.applied_log()
+        assert any("node-crash node1" in line for line in log)
+        assert any("node-restart node1 [rejoined]" in line for line in log)
+
+    def test_crash_kills_pinned_thread_and_reclaims_tickets(self):
+        cluster = make_cluster(nodes=3)
+        victim = cluster.spawn(spin_body(20.0), "victim", tickets=250.0,
+                               node=cluster.nodes[1], pinned=True)
+        funding_before = cluster.total_funding()
+        plan = FaultPlanBuilder().crash_node("node1", at=1_000.0).build()
+        FaultInjector(plan, cluster=cluster).arm()
+        cluster.run_until(2_000.0)
+        assert not victim.alive
+        assert cluster.threads_killed == 1
+        assert cluster.total_funding() == funding_before - 250.0
+        # Reclamation kept the shared ledger's books balanced.
+        assert sanitize_ledger(cluster.ledger) == []
+
+    def test_crash_lost_race_is_recorded_not_raised(self):
+        cluster = make_cluster(nodes=2)
+        plan = (FaultPlanBuilder()
+                .crash_node("node0", at=1_000.0)
+                .crash_node("node0", at=1_500.0)  # already down: skipped
+                .build())
+        injector = FaultInjector(plan, cluster=cluster).arm()
+        cluster.run_until(2_000.0)
+        log = injector.applied_log()
+        assert len(log) == 2
+        assert "skipped" in log[1] and "already down" in log[1]
+
+
+class TestThreadKill:
+    def test_kills_named_thread_and_prunes_placement(self):
+        cluster = make_cluster(nodes=2)
+        target = next(t for node in cluster.nodes for t in node.threads
+                      if t.name == "w0")
+        plan = FaultPlanBuilder().kill_thread("w0", at=1_000.0).build()
+        injector = FaultInjector(plan, cluster=cluster).arm()
+        cluster.run_until(2_000.0)
+        assert not target.alive
+        assert all(target not in node.threads for node in cluster.nodes)
+        assert any("[killed]" in line for line in injector.applied_log())
+
+    def test_missing_thread_is_skipped(self):
+        kernel = make_lottery_kernel()
+        kernel.spawn(spin_body(), "real", tickets=10)
+        plan = FaultPlanBuilder().kill_thread("ghost", at=10.0).build()
+        injector = FaultInjector(plan, kernels={"k": kernel},
+                                 engine=kernel.engine).arm()
+        kernel.run_until(100.0)
+        assert any("skipped" in line for line in injector.applied_log())
+
+
+class TestTimerFaults:
+    def test_clock_skew_window_installs_and_clears(self):
+        kernel = make_lottery_kernel()
+        kernel.spawn(spin_body(), "spin", tickets=10)
+        plan = (FaultPlanBuilder()
+                .clock_skew("k", at=100.0, factor=3.0, duration=400.0)
+                .build())
+        FaultInjector(plan, kernels={"k": kernel},
+                      engine=kernel.engine).arm()
+        kernel.run_until(50.0)
+        assert kernel.quantum_jitter is None
+        kernel.run_until(200.0)
+        assert kernel.quantum_jitter is not None
+        assert kernel.quantum_jitter(100.0) == 300.0
+        kernel.run_until(1_000.0)
+        assert kernel.quantum_jitter is None
+
+    def test_timer_jitter_is_seeded_and_bounded(self):
+        def run(seed):
+            kernel = make_lottery_kernel(seed=5)
+            kernel.spawn(spin_body(), "spin", tickets=10)
+            plan = (FaultPlanBuilder(seed)
+                    .timer_jitter("k", at=0.0, amplitude_ms=30.0,
+                                  duration=5_000.0)
+                    .build())
+            FaultInjector(plan, kernels={"k": kernel},
+                          engine=kernel.engine).arm()
+            kernel.run_until(200.0)
+            jitter = kernel.quantum_jitter
+            assert jitter is not None
+            samples = [jitter(100.0) for _ in range(50)]
+            assert all(70.0 <= s <= 130.0 for s in samples)
+            kernel.run_until(10_000.0)
+            assert kernel.quantum_jitter is None
+            return samples
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+
+class TestIpcFaults:
+    def test_async_send_lost_after_retransmissions(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        got = []
+
+        def receiver(ctx):
+            request = yield Receive(port)
+            got.append(request.message)
+
+        def sender(ctx):
+            yield Compute(10.0)
+            yield Send(port, "doomed")
+
+        kernel.spawn(receiver, "rx", tickets=10)
+        kernel.spawn(sender, "tx", tickets=10)
+        plan = (FaultPlanBuilder()
+                .drop_ipc("k", at=0.0, duration=60_000.0, drop_rate=1.0,
+                          max_attempts=2)
+                .build())
+        FaultInjector(plan, kernels={"k": kernel},
+                      engine=kernel.engine).arm()
+        kernel.run_until(30_000.0)
+        model = kernel.ipc_faults
+        assert model is not None
+        assert got == []
+        assert model.dropped == 2  # original + one retransmission
+        assert model.retransmitted == 1
+        assert model.messages_lost == 1
+        kernel.run_until(120_000.0)
+        assert kernel.ipc_faults is None  # window expired
+
+    def test_rpc_is_force_delivered_never_stranded(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        replies = []
+
+        def server(ctx):
+            while True:
+                request = yield Receive(port)
+                yield Reply(request, f"echo:{request.message}")
+
+        def client(ctx):
+            yield Compute(10.0)
+            reply = yield Call(port, "ping")
+            replies.append((ctx.now, reply))
+
+        kernel.spawn(server, "srv", tickets=10)
+        kernel.spawn(client, "cli", tickets=10)
+        plan = (FaultPlanBuilder()
+                .drop_ipc("k", at=0.0, duration=60_000.0, drop_rate=1.0,
+                          max_attempts=2)
+                .build())
+        FaultInjector(plan, kernels={"k": kernel},
+                      engine=kernel.engine).arm()
+        kernel.run_until(30_000.0)
+        model = kernel.ipc_faults
+        assert replies and replies[0][1] == "echo:ping"
+        assert model.forced_deliveries == 1
+
+    def test_delay_window_defers_delivery(self):
+        kernel = make_lottery_kernel()
+        port = Port(kernel, "p")
+        times = []
+
+        def receiver(ctx):
+            request = yield Receive(port)
+            times.append(ctx.now)
+
+        def sender(ctx):
+            yield Compute(10.0)
+            yield Send(port, "slow")
+
+        kernel.spawn(receiver, "rx", tickets=10)
+        kernel.spawn(sender, "tx", tickets=10)
+        plan = (FaultPlanBuilder()
+                .delay_ipc("k", at=0.0, duration=60_000.0, delay_ms=500.0)
+                .build())
+        FaultInjector(plan, kernels={"k": kernel},
+                      engine=kernel.engine).arm()
+        kernel.run_until(30_000.0)
+        assert times and times[0] >= 500.0
+        assert kernel.ipc_faults.delayed == 1
+
+    def test_port_filter_narrows_the_fault(self):
+        kernel = make_lottery_kernel()
+        clean = Port(kernel, "clean")
+        lossy = Port(kernel, "lossy")
+        got = []
+
+        def receiver(port):
+            def body(ctx):
+                request = yield Receive(port)
+                got.append((port.name, request.message))
+            return body
+
+        def sender(ctx):
+            yield Compute(10.0)
+            yield Send(clean, "a")
+            yield Send(lossy, "b")
+
+        kernel.spawn(receiver(clean), "rx1", tickets=10)
+        kernel.spawn(receiver(lossy), "rx2", tickets=10)
+        kernel.spawn(sender, "tx", tickets=10)
+        plan = (FaultPlanBuilder()
+                .drop_ipc("k", at=0.0, duration=60_000.0, drop_rate=1.0,
+                          port="lossy", max_attempts=1)
+                .build())
+        FaultInjector(plan, kernels={"k": kernel},
+                      engine=kernel.engine).arm()
+        kernel.run_until(30_000.0)
+        assert ("clean", "a") in got
+        assert ("lossy", "b") not in got
+
+
+class TestDiskFaults:
+    def test_error_window_fails_then_clears(self, engine):
+        from repro.iosched.disk import Disk
+
+        disk = Disk(engine)
+        plan = (FaultPlanBuilder()
+                .disk_errors("d", at=0.0, duration=1_000.0, error_rate=1.0)
+                .build())
+        FaultInjector(plan, disks={"d": disk}, engine=engine).arm()
+        failed = disk.submit("a", 100, 64)
+        engine.run(until=1_500.0)
+        assert failed.failed
+        assert disk.io_errors["a"] == 1
+        assert disk.fault_policy is None  # window expired
+        ok = disk.submit("a", 200, 64)
+        engine.run()
+        assert not ok.failed
+
+
+class TestDeterminism:
+    @staticmethod
+    def _chaotic_run(seed):
+        cluster = make_cluster(nodes=3, seed=seed)
+        plan = (FaultPlanBuilder(seed)
+                .random_crashes(["node0", "node1", "node2"], count=3,
+                                start=500.0, end=8_000.0,
+                                restart_after=1_000.0)
+                .timer_jitter("node0", at=200.0, amplitude_ms=10.0,
+                              duration=3_000.0)
+                .build())
+        injector = FaultInjector(plan, cluster=cluster).arm()
+        cluster.run_until(12_000.0)
+        cpu = sorted((t.name, t.cpu_time)
+                     for node in cluster.nodes for t in node.threads)
+        return injector.applied_log(), cluster.migrations, cpu
+
+    def test_same_seed_bit_identical_fault_log_and_schedule(self):
+        assert self._chaotic_run(97) == self._chaotic_run(97)
+
+    def test_different_seed_diverges(self):
+        assert self._chaotic_run(97)[0] != self._chaotic_run(98)[0]

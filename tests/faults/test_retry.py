@@ -1,0 +1,137 @@
+"""Tests for the virtual-time retry primitives (repro.faults.retry)."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.retry import (ABORT, RetryPolicy, disk_submit_with_retry,
+                                execute_with_retry)
+from repro.iosched.disk import Disk
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.timeout_ms is None
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay_ms=50.0, backoff_factor=2.0,
+                             max_delay_ms=300.0, max_attempts=10)
+        assert [policy.delay_for(k) for k in range(1, 6)] == \
+            [50.0, 100.0, 200.0, 300.0, 300.0]
+
+    def test_delay_for_is_one_based(self):
+        with pytest.raises(FaultError):
+            RetryPolicy().delay_for(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_ms": 0.0},
+        {"backoff_factor": 0.5},
+        {"base_delay_ms": 100.0, "max_delay_ms": 50.0},
+        {"timeout_ms": 0.0},
+    ])
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(FaultError):
+            RetryPolicy(**kwargs)
+
+
+class TestExecuteWithRetry:
+    def test_immediate_success(self, engine):
+        state = execute_with_retry(engine, lambda: True)
+        assert state.succeeded and state.finished
+        assert state.attempts == 1
+        assert state.finished_at == 0.0
+        assert engine.pending() == 0
+
+    def test_transient_failures_retried_on_virtual_clock(self, engine):
+        outcomes = [False, False, True]
+        state = execute_with_retry(
+            engine, lambda: outcomes.pop(0),
+            policy=RetryPolicy(base_delay_ms=50.0, backoff_factor=2.0),
+        )
+        assert not state.finished  # later attempts are engine events
+        engine.run()
+        assert state.succeeded
+        assert state.attempts == 3
+        # Failure 1 backs off 50ms, failure 2 backs off 100ms.
+        assert state.finished_at == 150.0
+        assert engine.now == 150.0
+
+    def test_abort_stops_immediately(self, engine):
+        state = execute_with_retry(engine, lambda: ABORT)
+        assert state.aborted and state.finished
+        assert not state.succeeded and not state.gave_up
+        assert state.attempts == 1
+        assert engine.pending() == 0
+
+    def test_gives_up_after_max_attempts(self, engine):
+        calls = []
+        state = execute_with_retry(
+            engine, lambda: calls.append(1),  # append returns None: falsy
+            policy=RetryPolicy(max_attempts=3, base_delay_ms=50.0),
+        )
+        engine.run()
+        assert state.gave_up and not state.succeeded
+        assert state.attempts == 3 and len(calls) == 3
+        assert state.finished_at == 150.0  # 50 + 100
+
+    def test_timeout_bounds_total_virtual_time(self, engine):
+        state = execute_with_retry(
+            engine, lambda: False,
+            policy=RetryPolicy(max_attempts=10, base_delay_ms=50.0,
+                               backoff_factor=2.0, timeout_ms=120.0),
+        )
+        engine.run()
+        # Attempt 2 at t=50 would back off 100ms, breaching the 120ms
+        # deadline, so the retry gives up there instead of sleeping.
+        assert state.gave_up
+        assert state.attempts == 2
+        assert state.finished_at == 50.0
+
+    def test_callbacks_fire_with_final_state(self, engine):
+        seen = []
+        execute_with_retry(engine, lambda: True,
+                           on_success=lambda s: seen.append(("ok", s.attempts)))
+        execute_with_retry(engine, lambda: False,
+                           policy=RetryPolicy(max_attempts=1),
+                           on_give_up=lambda s: seen.append(("gave-up",
+                                                             s.attempts)))
+        assert seen == [("ok", 1), ("gave-up", 1)]
+
+
+class TestDiskSubmitWithRetry:
+    def test_resubmits_after_injected_error(self, engine):
+        disk = Disk(engine)
+        remaining = [1]  # fail exactly the first completion
+
+        def fail(request):
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                return True
+            return False
+
+        disk.fault_policy = fail
+        done = []
+        state = disk_submit_with_retry(disk, "a", 100, 64,
+                                       on_complete=done.append)
+        engine.run()
+        assert state.succeeded
+        assert state.attempts == 2
+        assert done and not done[-1].failed
+        assert disk.io_errors.get("a") == 1
+
+    def test_gives_up_when_errors_persist(self, engine):
+        disk = Disk(engine)
+        disk.fault_policy = lambda request: True
+        done = []
+        state = disk_submit_with_retry(
+            disk, "a", 100, 64,
+            policy=RetryPolicy(max_attempts=3, base_delay_ms=10.0),
+            on_complete=done.append,
+        )
+        engine.run()
+        assert state.gave_up and not state.succeeded
+        assert state.attempts == 3
+        assert done and done[-1].failed
+        assert disk.io_errors["a"] == 3

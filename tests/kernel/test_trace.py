@@ -62,13 +62,29 @@ class TestEventCollection:
         assert first == pytest.approx(2000)
         assert second == pytest.approx(2000)
 
-    def test_event_cap_enforced(self):
-        trace = SchedulerTrace(max_events=3)
+    def test_strict_cap_enforced(self):
+        trace = SchedulerTrace(max_events=3, strict=True)
         kernel = make_lottery_kernel()
         kernel.recorder = trace
         kernel.spawn(spin_body(1.0), "t", tickets=10)
         with pytest.raises(ReproError):
             kernel.run_until(1000)
+
+    def test_ring_buffer_drops_oldest_by_default(self):
+        trace = SchedulerTrace(max_events=3)
+        for i in range(5):
+            trace._append(TraceEvent(float(i), "cpu", 1, "t", 1.0))
+        assert trace.dropped_events == 2
+        assert [e.time for e in trace.events] == [2.0, 3.0, 4.0]
+
+    def test_ring_buffer_survives_long_run(self):
+        trace = SchedulerTrace(max_events=8)
+        kernel = make_lottery_kernel()
+        kernel.recorder = trace
+        kernel.spawn(spin_body(1.0), "t", tickets=10)
+        kernel.run_until(1000)  # would raise under strict=True
+        assert trace.dropped_events > 0
+        assert len(trace.events) == 8
 
     def test_invalid_cap_rejected(self):
         with pytest.raises(ReproError):
