@@ -22,6 +22,14 @@ RPR005    mutable default arguments in kernel/scheduler/core/sim APIs
 RPR006    ``time.sleep`` calls or hand-rolled retry loops (a ``while``
           whose ``try`` handler ``continue``s) instead of the bounded,
           virtual-time ``repro.faults.retry`` primitives
+RPR007    checkpoint bypass: ``pickle``/``marshal``/``shelve``/``dill``
+          imports or ``copy.deepcopy`` calls on kernel objects (live
+          objects must go through the typed ``snapshot_state()`` seams,
+          see :mod:`repro.checkpoint`); also audits every class in the
+          snapshot-coverage registry -- a ``self.x`` assignment naming
+          an attribute that is neither covered by the class's seam nor
+          declared transient means mutable state was added without a
+          checkpointing decision
 ========  ==============================================================
 
 A finding on a line can be suppressed with an inline comment::
@@ -47,7 +55,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Rule", "RULES", "Finding", "lint_source", "lint_file", "lint_paths",
-           "zone_of"]
+           "zone_of", "module_of"]
 
 
 @dataclass(frozen=True)
@@ -122,8 +130,23 @@ RULES: Dict[str, Rule] = {
             "sleeps and unbounded except-continue loops do not",
             None,
         ),
+        Rule(
+            "RPR007",
+            "checkpoint-bypass",
+            "serialization of live objects bypassing the snapshot seams",
+            "checkpoint through snapshot_state() and repro.checkpoint: "
+            "pickled/deep-copied kernel objects drag generator frames and "
+            "identity-keyed state along and cannot be verified or "
+            "versioned",
+            None,
+        ),
     )
 }
+
+#: Imports of these modules trigger RPR007 (a): object serialization
+#: that would bypass the typed snapshot seams.
+_FORBIDDEN_SERIALIZERS = frozenset({"pickle", "cPickle", "dill", "marshal",
+                                    "shelve"})
 
 #: Canonical dotted names whose *call* constitutes a wall-clock read.
 _WALL_CLOCK_CALLS = frozenset({
@@ -171,6 +194,55 @@ class Finding:
         rule = RULES[self.rule_id]
         return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
                 f"{self.message} (fix: {rule.fixit})")
+
+
+def _snapshot_coverage() -> Dict[str, Dict[str, Iterable[str]]]:
+    """The checkpoint package's coverage registry (empty if unavailable).
+
+    Imported lazily so the linter stays usable as a standalone tool on
+    arbitrary files even when ``repro.checkpoint`` cannot be imported.
+    """
+    try:
+        from repro.checkpoint.registry import SNAPSHOT_COVERAGE
+    except Exception:  # pragma: no cover - standalone lint usage
+        return {}
+    return SNAPSHOT_COVERAGE
+
+
+def module_of(path: Union[str, Path]) -> Optional[str]:
+    """Dotted module path of a source file (None outside ``repro``).
+
+    ``src/repro/kernel/kernel.py`` -> ``"repro.kernel.kernel"``; used to
+    match class definitions against the snapshot-coverage registry.
+    """
+    parts = Path(path).parts
+    for index, part in enumerate(parts):
+        if part == "repro" and index + 1 < len(parts):
+            tail = list(parts[index:])
+            if tail[-1].endswith(".py"):
+                tail[-1] = tail[-1][:-3]
+            return ".".join(tail)
+    return None
+
+
+def _self_assignments(node: ast.ClassDef) -> Dict[str, ast.AST]:
+    """Instance attributes a class assigns (``self.x = ...``), by name."""
+    assigned: Dict[str, ast.AST] = {}
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(method):
+            targets: List[ast.expr] = []
+            if isinstance(sub, ast.Assign):
+                targets = list(sub.targets)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                targets = [sub.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self":
+                    assigned.setdefault(target.attr, target)
+    return assigned
 
 
 def zone_of(path: Union[str, Path]) -> Optional[str]:
@@ -305,6 +377,11 @@ class _Visitor(ast.NodeVisitor):
                     "RPR001", node,
                     f"import of nondeterministic module {alias.name!r}",
                 )
+            if root in _FORBIDDEN_SERIALIZERS:
+                self._report(
+                    "RPR007", node,
+                    f"import of object serializer {alias.name!r}",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -314,6 +391,11 @@ class _Visitor(ast.NodeVisitor):
                 self._report(
                     "RPR001", node,
                     f"import from nondeterministic module {node.module!r}",
+                )
+            if root in _FORBIDDEN_SERIALIZERS:
+                self._report(
+                    "RPR007", node,
+                    f"import from object serializer {node.module!r}",
                 )
             for alias in node.names:
                 self._name_origins[alias.asname or alias.name] = \
@@ -335,6 +417,12 @@ class _Visitor(ast.NodeVisitor):
                 "RPR006", node,
                 "time.sleep() blocks on wall time instead of virtual-time "
                 "backoff",
+            )
+        if qualified in ("copy.deepcopy", "copy.copy"):
+            self._report(
+                "RPR007", node,
+                f"{qualified}() duplicates live objects instead of going "
+                f"through snapshot_state()",
             )
         if isinstance(node.func, ast.Name) and node.func.id == "float" \
                 and node.args:
@@ -423,6 +511,24 @@ class _Visitor(ast.NodeVisitor):
                         f"{ident!r}",
                     )
                     break
+        self.generic_visit(node)
+
+    # -- RPR007 (b): snapshot-coverage audit -------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        module = module_of(self.path)
+        entry = _snapshot_coverage().get(f"{module}.{node.name}") \
+            if module is not None else None
+        if entry is not None:
+            known = set(entry["covered"]) | set(entry["transient"])
+            for name, attr_node in sorted(_self_assignments(node).items()):
+                if name not in known:
+                    self._report(
+                        "RPR007", attr_node,
+                        f"attribute self.{name} of {node.name} is neither "
+                        f"captured by snapshot_state() nor declared "
+                        f"transient in the snapshot-coverage registry",
+                    )
         self.generic_visit(node)
 
     # -- RPR005: mutable default arguments ---------------------------------

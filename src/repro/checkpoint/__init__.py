@@ -1,0 +1,60 @@
+"""Crash-consistent checkpoint/restore with bit-exact replay.
+
+The determinism contract (``docs/DETERMINISM.md``) makes every run a
+pure function of its seeds.  This package turns that property into a
+robustness tool:
+
+* **capture** (:mod:`repro.checkpoint.capture`) -- walk every
+  subsystem's ``snapshot_state()`` seam into a typed, JSON-serializable
+  state tree; no pickling of live objects, ever;
+* **persist** (:mod:`repro.checkpoint.statetree`) -- versioned,
+  SHA-256-checksummed files written atomically (temp + fsync +
+  rename), so a crash mid-save never leaves a torn checkpoint and a
+  corrupted file is rejected at load;
+* **restore** (:mod:`repro.checkpoint.restore`) -- re-execute the
+  recorded recipe to the checkpoint time, prove the reconstruction by
+  diffing state trees (first mismatched path = divergence), and
+  re-validate scheduler invariants before resuming;
+* **replay** (:mod:`repro.checkpoint.replay`) -- record dispatch
+  streams as (time, thread, draw) triples and diff them event-by-event
+  to the first disagreement.
+
+See ``docs/CHECKPOINT.md`` for the file format, schema versioning
+rules, and the divergence-report format.
+"""
+
+from repro.checkpoint.capture import capture_payload, capture_tree, save
+from repro.checkpoint.registry import (SimHandle, build_recipe,
+                                       recipe_names, register_recipe)
+from repro.checkpoint.replay import (Divergence, ReplayRecorder,
+                                     diff_streams, format_divergence,
+                                     read_stream_file, write_stream_file)
+from repro.checkpoint.restore import restore, restore_payload, verify_against
+from repro.checkpoint.statetree import (SCHEMA_VERSION, canonical_json,
+                                        diff_trees, read_checkpoint_file,
+                                        tree_checksum, write_checkpoint_file)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SimHandle",
+    "register_recipe",
+    "build_recipe",
+    "recipe_names",
+    "capture_tree",
+    "capture_payload",
+    "save",
+    "restore",
+    "restore_payload",
+    "verify_against",
+    "ReplayRecorder",
+    "Divergence",
+    "diff_streams",
+    "format_divergence",
+    "write_stream_file",
+    "read_stream_file",
+    "canonical_json",
+    "tree_checksum",
+    "diff_trees",
+    "read_checkpoint_file",
+    "write_checkpoint_file",
+]

@@ -1,0 +1,72 @@
+"""Capturing and saving checkpoints of a live simulation.
+
+``capture_tree`` walks a :class:`~repro.checkpoint.registry.SimHandle`'s
+components and assembles the typed state tree; ``save`` wraps it in the
+versioned, checksummed file format and writes it crash-consistently.
+
+Capture refuses incoherent states rather than persisting them: the
+kernel seam raises if the dispatch window is torn (a snapshot landing
+mid-dispatch would otherwise bake the inconsistency into the file), and
+the sanitizer families are re-run over every kernel before the tree is
+accepted -- the same gate restore applies before resuming.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.checkpoint.registry import SimHandle
+from repro.checkpoint.statetree import build_payload, write_checkpoint_file
+from repro.errors import CheckpointError, InvariantViolation
+
+__all__ = ["capture_tree", "capture_payload", "save", "sanitize_handle"]
+
+
+def capture_tree(handle: SimHandle) -> Dict[str, Any]:
+    """The full state tree: one subtree per named component."""
+    state: Dict[str, Any] = {}
+    for name, component in handle.components.items():
+        seam = getattr(component, "snapshot_state", None)
+        if seam is None:
+            raise CheckpointError(
+                f"component {name!r} ({type(component).__name__}) has no "
+                f"snapshot_state() seam"
+            )
+        state[name] = seam()
+    return state
+
+
+def sanitize_handle(handle: SimHandle) -> None:
+    """Run the invariant sanitizer over every kernel in the system.
+
+    Used as a gate on both capture and restore: a checkpoint must
+    describe a system whose ticket conservation, currency graph,
+    run-queue membership, and compensation lifetimes all hold.
+    """
+    from repro.analysis.sanitizer import InvariantSanitizer
+
+    checker = InvariantSanitizer(raise_on_violation=False)
+    for kernel in handle.kernels():
+        checker.check(kernel)
+    if checker.violations:
+        raise InvariantViolation(
+            "refusing checkpoint of an invariant-violating system:\n  "
+            + "\n  ".join(checker.violations)
+        )
+
+
+def capture_payload(handle: SimHandle, sanitize: bool = True
+                    ) -> Dict[str, Any]:
+    """Capture the handle into a complete, checksummed payload."""
+    if sanitize:
+        sanitize_handle(handle)
+    return build_payload(handle.recipe, handle.args, handle.now,
+                         capture_tree(handle))
+
+
+def save(handle: SimHandle, path: str, sanitize: bool = True
+         ) -> Dict[str, Any]:
+    """Capture and atomically write a checkpoint file; returns the payload."""
+    payload = capture_payload(handle, sanitize=sanitize)
+    write_checkpoint_file(path, payload)
+    return payload

@@ -1,0 +1,85 @@
+"""Built-in checkpoint recipes.
+
+Importing this module registers the recipes the CLI and the test suite
+use.  Each builder is deterministic (same args, same universe) and its
+arguments round-trip through JSON -- both are requirements of the
+restore-by-re-execution design (see :mod:`repro.checkpoint.registry`).
+
+* ``lottery-mix`` -- one lottery kernel running heterogeneously funded
+  spinners plus a sleeper; the smallest interesting system, used by the
+  round-trip property tests.
+* ``chaos-fairness`` -- the chaos experiment's cluster (spinners,
+  pinned victim, armed fault injector); the system the acceptance
+  criterion crashes, restores, and replays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.checkpoint.registry import SimHandle, register_recipe
+from repro.checkpoint.replay import ReplayRecorder
+
+__all__ = ["lottery_mix", "chaos_fairness"]
+
+
+@register_recipe("lottery-mix")
+def lottery_mix(seed: int = 1, quantum: float = 100.0,
+                fundings: Optional[List[float]] = None,
+                use_tree: bool = False,
+                sleeper: bool = True) -> SimHandle:
+    """A single lottery kernel: spinners at ``fundings``, one sleeper."""
+    from repro.core.prng import ParkMillerPRNG
+    from repro.core.tickets import Ledger
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.syscalls import Compute, Sleep
+    from repro.schedulers.lottery_policy import LotteryPolicy
+    from repro.sim.engine import Engine
+
+    if fundings is None:
+        fundings = [400.0, 200.0, 100.0]
+    engine = Engine()
+    ledger = Ledger()
+    recorder = ReplayRecorder()
+    kernel = Kernel(
+        engine,
+        LotteryPolicy(ledger, prng=ParkMillerPRNG(seed), use_tree=use_tree),
+        ledger=ledger,
+        quantum=quantum,
+        recorder=recorder,
+    )
+
+    def spinner(chunk_ms: float = 20.0):
+        def body(ctx):
+            while True:
+                yield Compute(chunk_ms)
+
+        return body
+
+    def sleeper_body(ctx):
+        while True:
+            yield Compute(5.0)
+            yield Sleep(50.0)
+
+    for index, funding in enumerate(fundings):
+        kernel.spawn(spinner(), f"spin{index}", tickets=float(funding))
+    if sleeper:
+        kernel.spawn(sleeper_body, "sleeper", tickets=150.0)
+    return SimHandle(
+        recipe="lottery-mix",
+        args={"seed": seed, "quantum": quantum,
+              "fundings": [float(f) for f in fundings],
+              "use_tree": use_tree, "sleeper": sleeper},
+        engine=engine,
+        components={"engine": engine, "ledger": kernel.ledger,
+                    "kernel": kernel, "recorder": recorder},
+    )
+
+
+@register_recipe("chaos-fairness")
+def chaos_fairness(seed: int = 2718, nodes: int = 3,
+                   plan: Optional[Dict[str, Any]] = None) -> SimHandle:
+    """The chaos experiment's cluster (see ``experiments.chaos_fairness``)."""
+    from repro.experiments.chaos_fairness import build_sim
+
+    return build_sim(seed=seed, nodes=nodes, plan=plan)

@@ -1,0 +1,239 @@
+"""Recipe and snapshot-coverage registries.
+
+**Recipes** make restore possible without pickling live objects.
+Thread bodies are Python generators -- their frames cannot be
+serialized -- but the whole simulation is a pure function of its seeds
+(see ``docs/DETERMINISM.md``), so a checkpoint stores *how the system
+was built* (a recipe name plus JSON-serializable arguments) alongside
+the captured state tree.  Restore re-executes the recipe to the
+checkpoint time and *proves* the reconstruction by diffing its live
+state tree against the saved one; any mismatch is a divergence, named
+by path.
+
+A recipe is a callable ``build(**args) -> SimHandle`` registered under
+a stable name.  Its arguments must round-trip through JSON, and it must
+be deterministic: same args, same universe.
+
+**Snapshot coverage** is the other registry: for every class with a
+``snapshot_state()`` seam, the sets of instance attributes the seam
+captures and those it deliberately leaves out (transient/derived
+state).  The RPR007 lint rule audits each class's actual ``self.x``
+assignments against this table, so adding mutable state without
+extending the seam fails the lint instead of silently producing
+checkpoints that miss it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "SimHandle",
+    "register_recipe",
+    "build_recipe",
+    "recipe_names",
+    "ensure_builtin_recipes",
+    "SNAPSHOT_COVERAGE",
+]
+
+
+class SimHandle:
+    """A built simulation: engine, named components, how to advance it.
+
+    Parameters
+    ----------
+    recipe:
+        Registered recipe name that built this system.
+    args:
+        The JSON-serializable arguments the recipe was built with
+        (stored verbatim in checkpoints).
+    engine:
+        The discrete-event engine driving the system.
+    components:
+        name -> object exposing ``snapshot_state()``; capture order is
+        the insertion order, so keep it stable within a recipe.
+    advance:
+        Optional override for "run to virtual time T" when plain
+        ``engine.run(until=T)`` is not the right verb.
+    """
+
+    def __init__(self, recipe: str, args: Dict[str, Any], engine: Any,
+                 components: Dict[str, Any],
+                 advance: Optional[Callable[[float], None]] = None) -> None:
+        self.recipe = recipe
+        self.args = dict(args)
+        self.engine = engine
+        self.components = dict(components)
+        self._advance = advance
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (ms)."""
+        return self.engine.now
+
+    def advance(self, until: float) -> None:
+        """Run the simulation forward to virtual time ``until``."""
+        if until < self.now:
+            raise CheckpointError(
+                f"cannot advance backwards: now={self.now:g}ms, "
+                f"asked for {until:g}ms"
+            )
+        if self._advance is not None:
+            self._advance(until)
+        else:
+            self.engine.run(until=until)
+
+    def kernels(self) -> List[Any]:
+        """Every kernel in the system (for the sanitizer gate)."""
+        from repro.distributed.cluster import Cluster
+        from repro.kernel.kernel import Kernel
+
+        found: List[Any] = []
+        for component in self.components.values():
+            if isinstance(component, Kernel):
+                found.append(component)
+            elif isinstance(component, Cluster):
+                found.extend(node.kernel for node in component.nodes)
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimHandle recipe={self.recipe!r} t={self.now:g}ms "
+                f"components={sorted(self.components)}>")
+
+
+# -- recipe registry ----------------------------------------------------------
+
+_RECIPES: Dict[str, Callable[..., SimHandle]] = {}
+
+
+def register_recipe(name: str) -> Callable[[Callable[..., SimHandle]],
+                                           Callable[..., SimHandle]]:
+    """Decorator registering a recipe builder under ``name``."""
+
+    def decorate(builder: Callable[..., SimHandle]) -> Callable[..., SimHandle]:
+        if name in _RECIPES:
+            raise CheckpointError(f"recipe {name!r} is already registered")
+        _RECIPES[name] = builder
+        return builder
+
+    return decorate
+
+
+def ensure_builtin_recipes() -> None:
+    """Import the built-in recipe module (idempotent)."""
+    import repro.checkpoint.recipes  # noqa: F401  (registers on import)
+
+
+def recipe_names() -> List[str]:
+    """Registered recipe names, sorted."""
+    ensure_builtin_recipes()
+    return sorted(_RECIPES)
+
+
+def build_recipe(name: str, args: Dict[str, Any]) -> SimHandle:
+    """Build a fresh simulation from a registered recipe."""
+    ensure_builtin_recipes()
+    try:
+        builder = _RECIPES[name]
+    except KeyError:
+        raise CheckpointError(
+            f"unknown recipe {name!r}; registered: {sorted(_RECIPES)}"
+        ) from None
+    handle = builder(**args)
+    if not isinstance(handle, SimHandle):
+        raise CheckpointError(
+            f"recipe {name!r} returned {type(handle).__name__}, "
+            f"expected SimHandle"
+        )
+    return handle
+
+
+# -- snapshot-coverage registry ----------------------------------------------
+
+#: dotted class path -> {"covered": attrs the seam captures,
+#:                       "transient": attrs deliberately left out}.
+#: Audited by lint rule RPR007 (b) against the classes' actual ``self.x``
+#: assignments: an attribute in neither set means mutable state was
+#: added without a decision about checkpointing it.
+SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
+    "repro.sim.engine.Engine": {
+        "covered": {"events_processed", "_next_tid"},
+        # clock/_queue are captured through their own seams; trace_hook
+        # is an observer, not state.
+        "transient": {"clock", "_queue", "trace_hook", "_running"},
+    },
+    "repro.sim.events.EventQueue": {
+        "covered": {"_seq", "_heap"},
+        "transient": {"_live"},
+    },
+    "repro.core.prng.ParkMillerPRNG": {
+        "covered": {"_state", "_initial_seed"},
+        "transient": {"draws"},
+    },
+    "repro.kernel.kernel.Kernel": {
+        "covered": {"quantum", "context_switch_cost", "running",
+                    "_quantum_left", "_quantum_size", "_dispatch_pending",
+                    "_instant_syscalls", "_inflight", "dispatch_count",
+                    "idle_time", "kills", "_idle_since", "tasks", "threads",
+                    "ports", "policy", "ledger", "engine"},
+        # Observers, fault seams, and hooks are re-wired by the recipe,
+        # not restored from data.
+        "transient": {"recorder", "quantum_jitter", "ipc_faults",
+                      "invariant_hooks"},
+    },
+    "repro.kernel.thread.Thread": {
+        "covered": {"tid", "task", "state", "priority", "funding_currency",
+                    "_started", "current_syscall", "cpu_time", "dispatches",
+                    "voluntary_yields", "created_at", "exited_at",
+                    "runnable_since"},
+        # The generator frame is the one thing a checkpoint cannot hold;
+        # restore re-executes the recipe instead of restoring frames.
+        # _context wraps the kernel; _pending_send is consumed within
+        # the same dispatch it is set in.
+        "transient": {"kernel", "_generator", "_context", "_pending_send"},
+    },
+    "repro.schedulers.stride.StridePolicy": {
+        "covered": {"_seq", "_global_tickets", "_global_pass",
+                    "_pending_pass", "_entries", "_remain", "_strides",
+                    "_tickets_of"},
+        # _heap/_removed are the lazy-deletion pair over _entries; the
+        # snapshot captures the canonical (pass, seq) table instead.
+        "transient": {"kernel", "_heap", "_removed"},
+    },
+    "repro.schedulers.lottery_policy.LotteryPolicy": {
+        "covered": {"prng", "_use_tree", "_static_funding",
+                    "_zero_funding_fallback", "lotteries_held",
+                    "fallback_selections", "compensation", "_tree", "_list"},
+        # ledger is captured at the kernel level; _members is a derived
+        # membership index over the active structure.
+        "transient": {"kernel", "ledger", "_members"},
+    },
+    "repro.distributed.cluster.Cluster": {
+        "covered": {"engine", "ledger", "rebalance_period", "migrations",
+                    "migration_rollbacks", "node_crashes", "node_restarts",
+                    "threads_killed", "evacuations", "nodes", "_placement"},
+        "transient": {"recorder"},
+    },
+    "repro.iosched.disk.Disk": {
+        "covered": {"scheduler", "prng", "tickets", "_head_sector", "_busy",
+                    "busy_time", "_queues", "_rr_order", "completed",
+                    "bytes_served", "io_errors", "_fifo"},
+        "transient": {"engine", "fault_policy", "seek_ms_per_1000_sectors",
+                      "rotational_ms", "transfer_kb_per_ms"},
+    },
+    "repro.mem.frames.FramePool": {
+        "covered": {"frames", "_free"},
+        "transient": {"_where", "_owned"},  # derived indexes over frames
+    },
+    "repro.mem.manager.MemoryManager": {
+        "covered": {"pool", "total_references", "faults", "hits",
+                    "evictions"},
+        "transient": {"policy"},
+    },
+    "repro.faults.injector.FaultInjector": {
+        "covered": {"plan", "_prng", "applied", "_armed"},
+        "transient": {"cluster", "kernels", "disks", "engine"},
+    },
+}

@@ -13,6 +13,8 @@ Beyond the paper's command set, ``lint`` and ``sanitize`` expose the
 :mod:`repro.analysis` correctness tooling (the determinism lint over
 Python sources and a one-shot invariant audit of the live ledger), and
 ``chaos`` runs the :mod:`repro.faults` fault-injection experiment.
+``save``, ``load``, and ``replay`` checkpoint the live simulation,
+restore it, and verify bit-exact replay (:mod:`repro.checkpoint`).
 """
 
 from __future__ import annotations
@@ -35,6 +37,9 @@ __all__ = [
     "lint",
     "sanitize",
     "chaos",
+    "save",
+    "load",
+    "replay",
     "COMMANDS",
 ]
 
@@ -189,6 +194,8 @@ def chaos(state: CommandState, args: Sequence[str]) -> str:
     duration = float(args[1]) if len(args) == 2 else 240_000.0
     data = chaos_fairness.run_variant(seed=seed, duration_ms=duration)
     cluster = data["cluster"]
+    # Expose the live system to the checkpoint commands (save/replay).
+    state.simulation = data["handle"]
     lines = [f"chaos: seed={seed} duration={duration:g}ms "
              f"threshold={chaos_fairness.RECONVERGENCE_THRESHOLD:g}"]
     lines.extend(data["fault_log"])
@@ -209,6 +216,77 @@ def chaos(state: CommandState, args: Sequence[str]) -> str:
         f" final_window_error={data['final_error']:.3f}"
     )
     return "\n".join(lines)
+
+
+def save(state: CommandState, args: Sequence[str]) -> str:
+    """save <path> -- checkpoint the live simulation to a file.
+
+    Requires a simulation attached to the session (run ``chaos`` first,
+    or ``load`` an earlier checkpoint).  The write is crash-consistent:
+    a crash mid-save never leaves a torn file.
+    """
+    _require_args(args, 1, "save <path>")
+    from repro.checkpoint import save as save_checkpoint
+    from repro.checkpoint.statetree import checkpoint_summary
+
+    if state.simulation is None:
+        raise ReproError("no live simulation; run 'chaos' or 'load' first")
+    payload = save_checkpoint(state.simulation, args[0])
+    return f"saved {args[0]}: {checkpoint_summary(payload)}"
+
+
+def load(state: CommandState, args: Sequence[str]) -> str:
+    """load <path> -- restore a checkpoint as the live simulation.
+
+    Validates the file's checksum, re-executes its recipe to the
+    checkpoint time, verifies the rebuilt state tree against the saved
+    one, and re-runs the scheduler-invariant sanitizer before the
+    system becomes the session's live simulation.
+    """
+    _require_args(args, 1, "load <path>")
+    from repro.checkpoint import restore
+    from repro.checkpoint.statetree import checkpoint_summary
+
+    handle, payload = restore(args[0])
+    state.simulation = handle
+    return (f"loaded {args[0]}: {checkpoint_summary(payload)} "
+            f"(verified, invariants OK)")
+
+
+def replay(state: CommandState, args: Sequence[str]) -> str:
+    """replay <path> -- re-execute a checkpoint and diff dispatch streams.
+
+    When the session's live simulation was built from the same recipe
+    and arguments and has advanced past the checkpoint, the restored
+    copy is continued to the live time and the two dispatch streams are
+    compared event-by-event.  Otherwise the checkpoint is restored
+    twice independently and the two rebuilds are compared -- a
+    self-consistency replay.  Either way the report names the first
+    mismatched (time, thread, draw) triple, or certifies zero
+    divergence.
+    """
+    _require_args(args, 1, "replay <path>")
+    from repro.checkpoint import diff_streams, format_divergence, restore
+
+    restored, payload = restore(args[0])
+    live = state.simulation
+    if (live is not None and live.recipe == payload["recipe"]
+            and live.args == payload["args"]
+            and live.now >= restored.now
+            and "recorder" in live.components):
+        restored.advance(live.now)
+        expected = live.components["recorder"].entries
+        actual = restored.components["recorder"].entries
+        header = (f"replay {args[0]}: restored and continued to "
+                  f"t={live.now:g}ms against the live run")
+    else:
+        second, _ = restore(args[0])
+        expected = restored.components["recorder"].entries
+        actual = second.components["recorder"].entries
+        header = (f"replay {args[0]}: two independent restores to "
+                  f"t={restored.now:g}ms")
+    divergence = diff_streams(expected, actual)
+    return f"{header}\n{format_divergence(divergence)}"
 
 
 def sanitize(state: CommandState, args: Sequence[str]) -> str:
@@ -241,4 +319,7 @@ COMMANDS: Dict[str, Callable[[CommandState, Sequence[str]], str]] = {
     "lint": lint,
     "sanitize": sanitize,
     "chaos": chaos,
+    "save": save,
+    "load": load,
+    "replay": replay,
 }

@@ -127,6 +127,21 @@ class CompensationManager:
         return [(self._holders[key], ticket)  # repro: noqa[RPR003] -- insertion order
                 for key, ticket in self._grants.items()]
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Grants are keyed by holder *name* in grant order -- the stable,
+        serializable identity two deterministic runs share (the ``id()``
+        keys used internally are process-local and never serialized).
+        """
+        return {
+            "grants_issued": self.grants_issued,
+            "outstanding": [
+                {"holder": holder.name, "amount": ticket.amount}
+                for holder, ticket in self.grants()
+            ],
+        }
+
     # -- internals ----------------------------------------------------------------
 
     def _revoke(self, holder: TicketHolder) -> None:

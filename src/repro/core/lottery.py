@@ -203,6 +203,21 @@ class ListLottery(Generic[ClientT]):
             self._clients.insert(0, winner)
         return winner
 
+    def snapshot_state(self, key: Callable[[ClientT], object] = repr) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        The client *order* is semantic state here: move-to-front
+        reshuffles it on every draw, so two runs agree only if their
+        list orders agree.  ``key`` maps clients to serializable ids.
+        """
+        return {
+            "order": [key(client) for client in self._clients],
+            "move_to_front": self._move_to_front,
+            "keep_sorted": self._keep_sorted,
+            "draws": self.stats.draws,
+            "comparisons": self.stats.comparisons,
+        }
+
 
 class TreeLottery(Generic[ClientT]):
     """O(log n) lottery over a binary tree of partial ticket sums.
@@ -304,6 +319,28 @@ class TreeLottery(Generic[ClientT]):
                     break
         assert client is not None
         return client
+
+    def snapshot_state(self, key: Callable[[ClientT], object] = repr) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Slot layout matters: the Fenwick descent visits slots in index
+        order, so slot assignment and the free-slot stack are captured
+        alongside the stored values.  ``key`` maps clients to
+        serializable ids.
+        """
+        return {
+            "slots": [
+                {
+                    "client": None if client is None else key(client),
+                    "value": self._values[slot],
+                }
+                for slot, client in enumerate(self._clients)
+            ],
+            "free_slots": list(self._free_slots),
+            "total": self.total(),
+            "draws": self.stats.draws,
+            "comparisons": self.stats.comparisons,
+        }
 
     # -- Fenwick internals -----------------------------------------------------------
 

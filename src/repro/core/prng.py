@@ -189,5 +189,26 @@ class ParkMillerPRNG:
         for _ in range(count):
             yield self.next_uint()
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        The whole stream position is one integer -- the last raw draw --
+        so a restored generator continues bit-for-bit.
+        """
+        return {"state": self._state, "initial_seed": self._initial_seed}
+
+    def restore_state(self, state: dict) -> None:
+        """Re-position the stream from a :meth:`snapshot_state` tree."""
+        value = int(state["state"])
+        if not 0 < value < MODULUS:
+            raise ReproError(
+                f"Park-Miller snapshot state must be in (0, 2**31-1), got {value}")
+        initial = int(state.get("initial_seed", value))
+        if not 0 < initial < MODULUS:
+            raise ReproError(
+                f"Park-Miller snapshot seed must be in (0, 2**31-1), got {initial}")
+        self._state = value
+        self._initial_seed = initial
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParkMillerPRNG(state={self._state})"

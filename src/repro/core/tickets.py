@@ -114,11 +114,43 @@ class TicketHolder:
         """
         return sum(t.nominal_value() for t in self.tickets)
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "name": self.name,
+            "competing": self._competing,
+            "tickets": [_describe_ticket(t) for t in self.tickets],
+            "funding": self.funding(),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} tickets={len(self.tickets)}>"
 
 
 FundingTarget = Union["Currency", TicketHolder]
+
+
+def _describe_ticket(ticket: "Ticket") -> dict:
+    """Serializable description of one ticket (checkpoint state trees).
+
+    Tickets have no stable identity of their own; they are described by
+    (currency, amount, target, active, tag), which is unambiguous in the
+    deterministic creation order the lists preserve.
+    """
+    target = ticket.target
+    if target is None:
+        target_desc: Optional[str] = None
+    elif isinstance(target, Currency):
+        target_desc = f"currency:{target.name}"
+    else:
+        target_desc = f"holder:{target.name}"
+    return {
+        "currency": ticket.currency.name,
+        "amount": ticket.amount,
+        "target": target_desc,
+        "active": ticket.active,
+        "tag": ticket.tag,
+    }
 
 
 class Ticket:
@@ -519,6 +551,31 @@ class Ledger:
     def total_active_base(self) -> float:
         """Total active tickets in the base currency (the lottery's T)."""
         return self.base.active_amount
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Captures the full funding graph: every currency with its backing
+        and issued ticket descriptions, active amounts, and the ledger
+        epoch.  Unlike :meth:`snapshot` (a float-only diagnostics view
+        for the CLI), this tree is meant for bit-exact comparison of two
+        runs of the same recipe.
+        """
+        currencies = []
+        for currency in self.currencies():
+            currencies.append({
+                "name": currency.name,
+                "is_base": currency.is_base,
+                "active_amount": currency.active_amount,
+                "base_value": currency.base_value(),
+                "backing": [_describe_ticket(t) for t in currency._backing],
+                "issued": [_describe_ticket(t) for t in currency._issued],
+            })
+        return {
+            "epoch": self._epoch,
+            "total_active_base": self.total_active_base(),
+            "currencies": currencies,
+        }
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """Per-currency view for diagnostics and the CLI ``lscur``."""

@@ -57,11 +57,11 @@ class ClusterNode:
     """One CPU of the cluster: a kernel with its own lottery policy."""
 
     def __init__(self, name: str, engine: Engine, ledger: Ledger,
-                 seed: int, quantum: float) -> None:
+                 seed: int, quantum: float, recorder=None) -> None:
         self.name = name
         self.policy = LotteryPolicy(ledger, prng=ParkMillerPRNG(seed))
         self.kernel = Kernel(engine, self.policy, ledger=ledger,
-                             quantum=quantum)
+                             quantum=quantum, recorder=recorder)
         #: Threads currently placed on this node (owned by the Cluster).
         self.threads: List[Thread] = []
         #: False while crashed; dead nodes are excluded from placement,
@@ -73,6 +73,16 @@ class ClusterNode:
     def total_funding(self) -> float:
         """Nominal funding of all live threads placed here."""
         return sum(t.nominal_funding() for t in self.threads if t.alive)
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "name": self.name,
+            "alive": self.alive,
+            "crashes": self.crashes,
+            "placed": [t.tid for t in self.threads],
+            "kernel": self.kernel.snapshot_state(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ClusterNode {self.name!r} threads={len(self.threads)}"
@@ -97,16 +107,21 @@ class Cluster:
 
     def __init__(self, nodes: int = 4, quantum: float = 100.0,
                  rebalance_period: Optional[float] = 1000.0,
-                 seed: int = 1) -> None:
+                 seed: int = 1, recorder=None) -> None:
         if nodes <= 0:
             raise ReproError(f"cluster needs at least one node: {nodes}")
         if rebalance_period is not None and rebalance_period <= 0:
             raise ReproError("rebalance_period must be positive or None")
         self.engine = Engine()
         self.ledger = Ledger()
+        #: Optional shared recorder wired into every node kernel; the
+        #: replay harness (:mod:`repro.checkpoint.replay`) passes one to
+        #: collect the cluster-wide dispatch stream in engine order.
+        self.recorder = recorder
         self.nodes = [
             ClusterNode(f"node{i}", self.engine, self.ledger,
-                        seed=seed + 101 * i, quantum=quantum)
+                        seed=seed + 101 * i, quantum=quantum,
+                        recorder=recorder)
             for i in range(nodes)
         ]
         self.rebalance_period = rebalance_period
@@ -417,6 +432,28 @@ class Cluster:
                 best_score = score
                 best = thread
         return best
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        The cluster is the natural capture root for multi-node runs: it
+        owns the shared engine and ledger, per-node kernels, and the
+        placement map.
+        """
+        return {
+            "engine": self.engine.snapshot_state(),
+            "ledger": self.ledger.snapshot_state(),
+            "rebalance_period": self.rebalance_period,
+            "migrations": self.migrations,
+            "migration_rollbacks": self.migration_rollbacks,
+            "node_crashes": self.node_crashes,
+            "node_restarts": self.node_restarts,
+            "threads_killed": self.threads_killed,
+            "evacuations": self.evacuations,
+            "placement": {str(tid): node.name
+                          for tid, node in sorted(self._placement.items())},
+            "nodes": [node.snapshot_state() for node in self.nodes],
+        }
 
     # -- measurement -----------------------------------------------------------------------
 

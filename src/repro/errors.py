@@ -72,6 +72,25 @@ class FaultError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be captured, written, read, or restored.
+
+    Raised by :mod:`repro.checkpoint` for malformed or corrupted
+    checkpoint files (bad schema version, checksum mismatch, unknown
+    recipe) and for capture-time problems (snapshotting a system in an
+    incoherent state).
+    """
+
+
+class DivergenceError(CheckpointError):
+    """A restored run diverged from its checkpoint or reference trace.
+
+    The message pinpoints the first mismatch: the state-tree path where
+    a restored system differs from the saved tree, or the first
+    (time, thread, draw) replay event that disagrees between streams.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant of the ticket/scheduling machinery failed.
 

@@ -27,15 +27,17 @@ fault logs, migration counts, and fairness rows -- asserted by
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
+from repro.checkpoint.registry import SimHandle
+from repro.checkpoint.replay import ReplayRecorder
 from repro.distributed.cluster import Cluster
 from repro.experiments.common import ExperimentResult
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultPlanBuilder
 from repro.kernel.syscalls import Compute
 
-__all__ = ["default_plan", "run", "run_variant", "main"]
+__all__ = ["default_plan", "build_sim", "run", "run_variant", "main"]
 
 #: Reconvergence criterion: windowed max relative error below this.
 RECONVERGENCE_THRESHOLD = 0.15
@@ -98,6 +100,41 @@ def _snapshot(cluster: Cluster) -> Dict[int, float]:
     }
 
 
+def build_sim(seed: int = 2718, nodes: int = 3,
+              plan: Optional[Union[FaultPlan, Dict[str, Any]]] = None
+              ) -> SimHandle:
+    """The chaos system as a checkpointable recipe (``chaos-fairness``).
+
+    Builds the cluster, spawns the funded spinners and the pinned
+    victim, and arms the fault injector -- everything :func:`run_variant`
+    needs before driving time forward.  ``plan`` accepts either a live
+    :class:`FaultPlan` or its :meth:`FaultPlan.to_dict` form, so
+    checkpoints restore custom schedules faithfully.
+    """
+    if isinstance(plan, dict):
+        plan = FaultPlan.from_dict(plan)
+    elif plan is None:
+        plan = default_plan(seed)
+    recorder = ReplayRecorder()
+    cluster = Cluster(nodes=nodes, quantum=20.0, rebalance_period=1000.0,
+                      seed=seed, recorder=recorder)
+    for index, funding in enumerate(FUNDINGS):
+        cluster.spawn(_spinner(), f"w{index}", tickets=funding)
+    # A pinned thread on the first crash target: it cannot be evacuated,
+    # so the crash must kill it and reclaim its tickets.
+    cluster.spawn(_spinner(), "victim", tickets=100.0,
+                  node=cluster.nodes[1 % nodes], pinned=True)
+    injector = FaultInjector(plan, cluster=cluster).arm()
+    return SimHandle(
+        recipe="chaos-fairness",
+        args={"seed": seed, "nodes": nodes, "plan": plan.to_dict()},
+        engine=cluster.engine,
+        components={"cluster": cluster, "injector": injector,
+                    "recorder": recorder},
+        advance=cluster.run_until,
+    )
+
+
 def run_variant(seed: int = 2718, nodes: int = 3,
                 duration_ms: float = 240_000.0,
                 sample_period_ms: float = 5_000.0,
@@ -109,17 +146,10 @@ def run_variant(seed: int = 2718, nodes: int = 3,
     fairness window with its reconvergence time), ``fault_log`` (the
     injector's stable application log), and the final window error.
     """
-    if plan is None:
-        plan = default_plan(seed)
-    cluster = Cluster(nodes=nodes, quantum=20.0, rebalance_period=1000.0,
-                      seed=seed)
-    for index, funding in enumerate(FUNDINGS):
-        cluster.spawn(_spinner(), f"w{index}", tickets=funding)
-    # A pinned thread on the first crash target: it cannot be evacuated,
-    # so the crash must kill it and reclaim its tickets.
-    cluster.spawn(_spinner(), "victim", tickets=100.0,
-                  node=cluster.nodes[1 % nodes], pinned=True)
-    injector = FaultInjector(plan, cluster=cluster).arm()
+    handle = build_sim(seed=seed, nodes=nodes, plan=plan)
+    cluster: Cluster = handle.components["cluster"]
+    injector: FaultInjector = handle.components["injector"]
+    plan = injector.plan
 
     transition_kinds = (FaultKind.NODE_CRASH, FaultKind.NODE_RESTART)
     transitions = {
@@ -164,6 +194,7 @@ def run_variant(seed: int = 2718, nodes: int = 3,
                 and error < RECONVERGENCE_THRESHOLD):
             window["reconverged_at_ms"] = checkpoint
     return {
+        "handle": handle,
         "cluster": cluster,
         "injector": injector,
         "plan": plan,

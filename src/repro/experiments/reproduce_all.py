@@ -8,12 +8,22 @@ scales (tens of seconds) for a fast end-to-end sanity check.
 Each entry runs one experiment and checks the paper's headline shape,
 printing PASS/FAIL plus the measured value -- a compact, self-auditing
 version of EXPERIMENTS.md.
+
+``--checkpoint-every T`` appends a checkpoint/replay verification: the
+chaos system is run with a crash-and-restore at every T virtual ms
+(each checkpoint is saved, the live system is *discarded*, and the run
+continues from the restored copy), and the final dispatch stream must
+be bit-identical to an uninterrupted reference run -- zero divergence
+(see ``docs/CHECKPOINT.md``).
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
-from typing import Callable, List, Tuple
+import tempfile
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import (
     ablations,
@@ -35,7 +45,7 @@ from repro.experiments import (
     service_classes,
 )
 
-__all__ = ["reproduce", "main"]
+__all__ = ["reproduce", "checkpoint_sweep", "main"]
 
 #: (label, runner) -> (verdict bool, human-readable measurement).
 Check = Tuple[str, Callable[[bool], Tuple[bool, str]]]
@@ -222,12 +232,70 @@ CHECKS: List[Check] = [
 ]
 
 
-def reproduce(quick: bool = True) -> int:
+def checkpoint_sweep(every_ms: float, duration_ms: float = 60_000.0,
+                     seed: int = 2718,
+                     directory: Optional[str] = None) -> Tuple[bool, str]:
+    """Crash at every checkpoint; demand a bit-identical final stream.
+
+    Runs the ``chaos-fairness`` recipe twice: once uninterrupted (the
+    reference), and once saving a checkpoint every ``every_ms`` virtual
+    ms, discarding the live system, and continuing from the restored
+    copy -- the worst-case crash/restore schedule.  Success means the
+    dispatch streams agree on every (time, thread, draw) triple.
+    """
+    from repro.checkpoint import (build_recipe, diff_streams,
+                                  format_divergence, restore, save)
+
+    if every_ms <= 0:
+        raise ValueError(f"--checkpoint-every must be positive: {every_ms}")
+    reference = build_recipe("chaos-fairness", {"seed": seed})
+    reference.advance(duration_ms)
+    expected = reference.components["recorder"].entries
+
+    def sweep(workdir: str) -> Tuple[bool, str]:
+        live = build_recipe("chaos-fairness", {"seed": seed})
+        count = 0
+        checkpoint_at = every_ms
+        while checkpoint_at < duration_ms:
+            live.advance(checkpoint_at)
+            path = os.path.join(workdir, f"chaos-{checkpoint_at:g}ms.ckpt")
+            save(live, path)
+            # Crash: drop the live system, resume from the file alone.
+            live, _ = restore(path)
+            count += 1
+            checkpoint_at += every_ms
+        live.advance(duration_ms)
+        divergence = diff_streams(
+            expected, live.components["recorder"].entries
+        )
+        if divergence is None:
+            return True, (f"{count} crash/restore cycles, "
+                          f"{len(expected)} dispatches, zero divergence")
+        return False, format_divergence(divergence)
+
+    if directory is not None:
+        os.makedirs(directory, exist_ok=True)
+        return sweep(directory)
+    with tempfile.TemporaryDirectory() as workdir:
+        return sweep(workdir)
+
+
+def reproduce(quick: bool = True,
+              checkpoint_every: Optional[float] = None) -> int:
     """Run every check; returns the number of failures."""
     failures = 0
     mode = "quick" if quick else "full"
     print(f"reproducing the OSDI '94 evaluation ({mode} mode)\n")
-    for label, check in CHECKS:
+    checks: List[Check] = list(CHECKS)
+    if checkpoint_every is not None:
+        checks.append((
+            f"Ext  checkpoint/replay every {checkpoint_every:g}ms",
+            lambda q: checkpoint_sweep(
+                checkpoint_every,
+                duration_ms=60_000.0 if q else 240_000.0,
+            ),
+        ))
+    for label, check in checks:
         try:
             ok, detail = check(quick)
         except Exception as exc:  # pragma: no cover - surfacing only
@@ -236,14 +304,24 @@ def reproduce(quick: bool = True) -> int:
         print(f"[{verdict}] {label:<36} {detail}")
         if not ok:
             failures += 1
-    print(f"\n{len(CHECKS) - failures}/{len(CHECKS)} headline shapes"
+    print(f"\n{len(checks) - failures}/{len(checks)} headline shapes"
           " reproduced")
     return failures
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    quick = "--full" not in sys.argv
-    sys.exit(1 if reproduce(quick=quick) else 0)
+    parser = argparse.ArgumentParser(
+        description="reproduce the paper's evaluation end to end"
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale runs (several minutes)")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="T",
+                        help="also verify crash/restore every T virtual ms "
+                             "against an uninterrupted reference run")
+    args = parser.parse_args()
+    sys.exit(1 if reproduce(quick=not args.full,
+                            checkpoint_every=args.checkpoint_every) else 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

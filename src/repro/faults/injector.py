@@ -357,6 +357,21 @@ class FaultInjector:
 
     # -- reporting -----------------------------------------------------------
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Captures the plan digest, the injector's own PRNG position (the
+        stream that seeds per-fault noise generators), the armed flag,
+        and the full application log.
+        """
+        return {
+            "plan": self.plan.to_dict(),
+            "prng": self._prng.snapshot_state(),
+            "armed": self._armed,
+            "applied": [{"time": time, "detail": text}
+                        for time, text in self.applied],
+        }
+
     def applied_log(self) -> List[str]:
         """Stable rendering of every applied fault (for comparisons)."""
         return [f"t={time:g} {text}" for time, text in self.applied]

@@ -86,6 +86,31 @@ class FaultEvent:
             text = f"t={self.time:g} {text}"
         return f"{text} {extras}" if extras else text
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (see :meth:`FaultPlan.to_dict`)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "params": {key: self.params[key] for key in sorted(self.params)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`; validates shape and kind."""
+        try:
+            time = float(data["time"])
+            kind = data["kind"]
+            target = data["target"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault event: {data!r}") from exc
+        if kind not in FaultKind.ALL:
+            raise FaultError(f"unknown fault kind {kind!r}")
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise FaultError(f"fault event params must be a dict: {params!r}")
+        return cls(time, kind, target, dict(params))
+
 
 class FaultPlan:
     """An immutable, time-ordered fault schedule.
@@ -123,6 +148,27 @@ class FaultPlan:
         lines = [f"seed={self.seed}"]
         lines.extend(event.describe() for event in self.events)
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form: the plan is pure data, so checkpoints
+        can embed it and reconstruct an identical schedule on restore."""
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (validates every event)."""
+        try:
+            seed = int(data["seed"])
+            events = data["events"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault plan: {data!r}") from exc
+        if not isinstance(events, (list, tuple)):
+            raise FaultError(f"fault plan events must be a list: {events!r}")
+        return cls([FaultEvent.from_dict(event) for event in events],
+                   seed=seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FaultPlan seed={self.seed} events={len(self.events)}>"

@@ -206,6 +206,36 @@ class Disk:
             request.on_complete(request)
         self._start_next()
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Captures the head position, per-client queues (by sector/size),
+        the PRNG stream position, and the service statistics.
+        """
+        def describe(request: DiskRequest) -> dict:
+            return {
+                "client": request.client,
+                "sector": request.sector,
+                "size_kb": request.size_kb,
+                "submitted_at": request.submitted_at,
+            }
+
+        return {
+            "scheduler": self.scheduler,
+            "prng": self.prng.snapshot_state(),
+            "tickets": dict(sorted(self.tickets.items())),
+            "head_sector": self._head_sector,
+            "busy": self._busy,
+            "busy_time": self.busy_time,
+            "queues": {client: [describe(r) for r in queue]
+                       for client, queue in sorted(self._queues.items())},
+            "rr_order": list(self._rr_order),
+            "completed": {client: len(done)
+                          for client, done in sorted(self.completed.items())},
+            "bytes_served": dict(sorted(self.bytes_served.items())),
+            "io_errors": dict(sorted(self.io_errors.items())),
+        }
+
     # -- statistics -----------------------------------------------------------------------
 
     def throughput_kb(self, client: str) -> float:

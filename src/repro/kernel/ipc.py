@@ -126,6 +126,7 @@ class Port:
         self.currency = currency
         self._queue: Deque[Request] = deque()
         self._receivers: Deque["Thread"] = deque()
+        kernel.ports.append(self)
         # -- statistics ------------------------------------------------------
         self.messages_sent = 0
         self.calls_made = 0
@@ -238,6 +239,39 @@ class Port:
     def queue_depth(self) -> int:
         """Messages waiting for a receiver right now."""
         return len(self._queue)
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        In-flight IPC is part of the checkpointed universe: queued
+        requests (message repr, caller, attempts, transfer presence),
+        blocked receivers, and the per-port statistics all have to
+        match between two runs of the same recipe.
+        """
+        def describe(request: Request) -> dict:
+            return {
+                "message": repr(request.message),
+                "client": None if request.client is None
+                else request.client.tid,
+                "is_rpc": request.is_rpc,
+                "transfer_fraction": request.transfer_fraction,
+                "has_transfer": request.transfer is not None,
+                "created_at": request.created_at,
+                "delivery_attempts": request.delivery_attempts,
+            }
+
+        return {
+            "name": self.name,
+            "currency": self.currency.name if self.currency else None,
+            "queued": [describe(r) for r in self._queue],
+            "receivers": [t.tid for t in self._receivers],
+            "messages_sent": self.messages_sent,
+            "calls_made": self.calls_made,
+            "replies_sent": self.replies_sent,
+            "dead_replies": self.dead_replies,
+            "responses": len(self.response_times),
+            "response_time_sum": sum(self.response_times),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

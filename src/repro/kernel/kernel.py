@@ -98,6 +98,10 @@ class Kernel:
 
         self.tasks: List[Task] = []
         self.threads: List[Thread] = []
+        #: Ports created on this kernel, in creation order; registered
+        #: by :class:`repro.kernel.ipc.Port` so checkpoints can capture
+        #: in-flight IPC without a side channel.
+        self.ports: List[Any] = []
         self.running: Optional[Thread] = None
         self._quantum_left = 0.0
         #: The quantum actually granted to the current dispatch (equals
@@ -241,8 +245,7 @@ class Kernel:
                 "kill it via its owner"
             )
         if thread is self.running:
-            self._cancel_inflight()
-            self.running = None
+            self._abort_dispatch_window()
         elif thread.state is ThreadState.RUNNABLE and thread.competing:
             self.policy.dequeue(thread)
         thread.current_syscall = None
@@ -273,8 +276,7 @@ class Kernel:
         thread = self.running
         if thread is None:
             return None
-        self._cancel_inflight()
-        self.running = None
+        self._abort_dispatch_window()
         thread.transition(ThreadState.RUNNABLE)
         thread.runnable_since = self.now
         self.policy.enqueue(thread)
@@ -287,6 +289,51 @@ class Kernel:
         if self._inflight is not None:
             self.engine.cancel(self._inflight)
             self._inflight = None
+
+    def _abort_dispatch_window(self) -> None:
+        """Tear down the current dispatch entirely (kill/preempt paths).
+
+        Cancelling only the in-flight event used to leave the quantum
+        accounting (``_quantum_left``/``_quantum_size``) and the
+        instant-syscall counter describing a dispatch that no longer
+        exists; a checkpoint taken right after a crash-path preemption
+        would then disagree with a clean re-execution of the same
+        history.  The whole window is reset so kernel state after an
+        abort is indistinguishable from kernel state between dispatches.
+        """
+        self._cancel_inflight()
+        self.running = None
+        self._quantum_left = 0.0
+        self._quantum_size = self.quantum
+        self._instant_syscalls = 0
+
+    def check_dispatch_window(self) -> List[str]:
+        """Audit dispatch-window consistency; returns violation strings.
+
+        Empty means the window is coherent: an in-flight event exists
+        only while a thread is RUNNING and has not been cancelled, and
+        an idle CPU carries no leftover quantum.  Checkpoint capture
+        refuses to snapshot a kernel that fails this audit, and restore
+        re-audits before resuming -- a restore can therefore never
+        revive a stale in-flight dispatch event.
+        """
+        problems: List[str] = []
+        if self._inflight is not None:
+            if self.running is None:
+                problems.append(
+                    "in-flight dispatch event with no running thread")
+            if getattr(self._inflight, "cancelled", False):
+                problems.append(
+                    "in-flight dispatch event was cancelled but not cleared")
+        if self.running is None and self._quantum_left > _EPS:
+            problems.append(
+                f"idle CPU with {self._quantum_left:g}ms of leftover quantum")
+        if self.running is not None and \
+                self.running.state is not ThreadState.RUNNING:
+            problems.append(
+                f"running slot holds thread in state "
+                f"{self.running.state.value}")
+        return problems
 
     # -- dispatch loop ------------------------------------------------------------------
 
@@ -470,6 +517,45 @@ class Kernel:
         if self._idle_since is not None:
             idle += end - self._idle_since
         return max(0.0, min(1.0, 1.0 - idle / end))
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Captures the dispatch window, run queue (via the policy seam),
+        every thread and task, and in-flight IPC on this kernel's
+        ports.  The shared ledger and engine are captured by the
+        top-level ``repro.checkpoint.capture`` (a cluster's kernels
+        share both).  Raises :class:`~repro.errors.KernelError` when
+        the dispatch window fails :meth:`check_dispatch_window` -- a
+        checkpoint must never record a stale in-flight dispatch.
+        """
+        problems = self.check_dispatch_window()
+        if problems:
+            raise KernelError(
+                "refusing to snapshot an incoherent dispatch window: "
+                + "; ".join(problems))
+        inflight = None
+        if self._inflight is not None:
+            inflight = {"time": self._inflight.time,
+                        "label": self._inflight.label}
+        return {
+            "policy": self.policy.snapshot_state(),
+            "quantum": self.quantum,
+            "context_switch_cost": self.context_switch_cost,
+            "running": None if self.running is None else self.running.tid,
+            "quantum_left": self._quantum_left,
+            "quantum_size": self._quantum_size,
+            "dispatch_pending": self._dispatch_pending,
+            "instant_syscalls": self._instant_syscalls,
+            "inflight": inflight,
+            "dispatch_count": self.dispatch_count,
+            "idle_time": self.idle_time,
+            "kills": self.kills,
+            "idle_since": self._idle_since,
+            "tasks": [task.snapshot_state() for task in self.tasks],
+            "threads": [thread.snapshot_state() for thread in self.threads],
+            "ports": [port.snapshot_state() for port in self.ports],
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         running = self.running.name if self.running else None

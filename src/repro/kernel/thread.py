@@ -77,6 +77,14 @@ class Task:
         cur = self.currency.name if self.currency else None
         return f"<Task {self.name!r} currency={cur!r} threads={len(self.threads)}>"
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "name": self.name,
+            "currency": self.currency.name if self.currency else None,
+            "threads": [thread.tid for thread in self.threads],
+        }
+
 
 class Thread(TicketHolder):
     """A schedulable thread of control.
@@ -92,8 +100,6 @@ class Thread(TicketHolder):
       decay-usage baseline policies.
     """
 
-    _next_id = 0
-
     def __init__(
         self,
         name: str,
@@ -103,8 +109,10 @@ class Thread(TicketHolder):
         priority: int = 0,
     ) -> None:
         super().__init__(name)
-        Thread._next_id += 1
-        self.tid = Thread._next_id
+        # Engine-scoped allocation: re-executing the same recipe on a
+        # fresh engine reproduces the same tids, which is what lets
+        # checkpoint state trees and replay streams compare bit-exactly.
+        self.tid = kernel.engine.next_tid()
         self.task = task
         self.kernel = kernel
         self.priority = priority
@@ -190,6 +198,42 @@ class Thread(TicketHolder):
     def alive(self) -> bool:
         """True until the thread's body returns or Exit is processed."""
         return self.state is not ThreadState.EXITED
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        The body generator's frame is deliberately NOT captured (no
+        pickling of live objects); restore re-executes the recipe, so
+        the tree only needs to *describe* execution progress -- state,
+        accounting, and the in-progress syscall's remaining time --
+        precisely enough that two runs can be diffed field-for-field.
+        """
+        state = super().snapshot_state()
+        syscall = self.current_syscall
+        if syscall is None:
+            syscall_desc = None
+        else:
+            syscall_desc = {"kind": type(syscall).__name__}
+            remaining = getattr(syscall, "remaining", None)
+            if remaining is not None:
+                syscall_desc["remaining"] = remaining
+        state.update({
+            "tid": self.tid,
+            "task": self.task.name,
+            "state": self.state.value,
+            "priority": self.priority,
+            "funding_currency": (self.funding_currency.name
+                                 if self.funding_currency else None),
+            "started": self._started,
+            "current_syscall": syscall_desc,
+            "cpu_time": self.cpu_time,
+            "dispatches": self.dispatches,
+            "voluntary_yields": self.voluntary_yields,
+            "created_at": self.created_at,
+            "exited_at": self.exited_at,
+            "runnable_since": self.runnable_since,
+        })
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

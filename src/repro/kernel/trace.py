@@ -99,6 +99,23 @@ class SchedulerTrace:
         self._events.append(event)
         self._names[event.tid] = event.thread_name
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        The retained event log *is* the trace's state; each event is
+        flattened to its (time, kind, tid, name, value) tuple fields.
+        """
+        return {
+            "max_events": self.max_events,
+            "strict": self.strict,
+            "dropped_events": self.dropped_events,
+            "events": [
+                {"time": e.time, "kind": e.kind, "tid": e.tid,
+                 "name": e.thread_name, "value": e.value}
+                for e in self._events
+            ],
+        }
+
     # -- queries ----------------------------------------------------------------
 
     def of_kind(self, kind: str) -> List[TraceEvent]:

@@ -114,5 +114,27 @@ class FramePool:
         self._free.append(frame.index)
         return binding
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        The frame table is captured positionally -- binding, load time,
+        and recency per frame -- plus the free-list order, which decides
+        which frame the next load claims.
+        """
+        return {
+            "capacity": self.capacity,
+            "free_order": list(self._free),
+            "frames": [
+                {
+                    "index": frame.index,
+                    "binding": None if frame.binding is None
+                    else [frame.binding[0], frame.binding[1]],
+                    "loaded_at": frame.loaded_at,
+                    "last_used": frame.last_used,
+                }
+                for frame in self.frames
+            ],
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FramePool {self.capacity - self.free_count()}/{self.capacity} used>"

@@ -68,6 +68,17 @@ class MemoryManager:
             return 0.0
         return self.evictions.get(client, 0) / total
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "policy": self.policy.name,
+            "total_references": self.total_references,
+            "faults": dict(sorted(self.faults.items())),
+            "hits": dict(sorted(self.hits.items())),
+            "evictions": dict(sorted(self.evictions.items())),
+            "pool": self.pool.snapshot_state(),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<MemoryManager policy={self.policy.name}"

@@ -95,6 +95,23 @@ class PagedWorkload:
         """Compute steps completed."""
         return self.counter.total
 
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Captures the PRNG stream position and scan cursor -- the two
+        pieces of state that decide which page the workload touches
+        next -- plus the fault/step counters.
+        """
+        return {
+            "name": self.name,
+            "pattern": self.pattern,
+            "working_set": self.working_set,
+            "prng": self._prng.snapshot_state(),
+            "cursor": self._cursor,
+            "steps": self.counter.total,
+            "faults_taken": self.faults_taken,
+        }
+
     def body(self, ctx: ThreadContext) -> Generator[Syscall, Any, None]:
         """Thread body: compute, touch pages, stall on faults."""
         while True:

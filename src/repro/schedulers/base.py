@@ -76,3 +76,16 @@ class SchedulingPolicy(abc.ABC):
         default (no structure to report) is an empty list.
         """
         return []
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        The base tree records the policy name and the run-queue order by
+        thread id; policies with internal state (PRNG position, passes,
+        usage counters) must extend this so that two runs of the same
+        recipe can be compared field-for-field.
+        """
+        return {
+            "policy": self.name,
+            "queue": [thread.tid for thread in self.runnable_threads()],
+        }

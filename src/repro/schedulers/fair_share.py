@@ -18,7 +18,6 @@ i.e. the feedback is only as responsive as the adjustment period.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import SchedulerError
@@ -55,7 +54,9 @@ class FairSharePolicy(SchedulingPolicy):
         self._group_priority: Dict[str, float] = {}
         self._group_of: Dict[int, str] = {}
         self._queue: List[Tuple["Thread", int]] = []
-        self._seq = itertools.count()
+        # Plain integer counter (not itertools.count) so the tie-break
+        # sequence position is part of the observable state tree.
+        self._seq = 0
         self._kernel: Optional["Kernel"] = None
         self.adjustments = 0
 
@@ -90,7 +91,8 @@ class FairSharePolicy(SchedulingPolicy):
             if "_default" not in self._shares:
                 self.set_share("_default", 1.0)
             self._group_of[thread.tid] = "_default"
-        self._queue.append((thread, next(self._seq)))
+        self._queue.append((thread, self._seq))
+        self._seq += 1
 
     def dequeue(self, thread: "Thread") -> None:
         for index, (queued, _) in enumerate(self._queue):
@@ -125,6 +127,20 @@ class FairSharePolicy(SchedulingPolicy):
 
     def runnable_threads(self) -> List["Thread"]:
         return [thread for thread, _ in self._queue]
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state.update({
+            "seq": self._seq,
+            "adjustments": self.adjustments,
+            "shares": dict(sorted(self._shares.items())),
+            "usage": dict(sorted(self._usage.items())),
+            "group_priority": dict(sorted(self._group_priority.items())),
+            "group_of": {str(tid): group
+                         for tid, group in sorted(self._group_of.items())},
+            "queue_seqs": [seq for _, seq in self._queue],
+        })
+        return state
 
     # -- internals ----------------------------------------------------------------------
 

@@ -156,6 +156,27 @@ class LotteryPolicy(SchedulingPolicy):
         assert self._list is not None
         return self._list.clients()
 
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state.update({
+            "prng": self.prng.snapshot_state(),
+            "use_tree": self._use_tree,
+            "static_funding": self._static_funding,
+            "zero_funding_fallback": self._zero_funding_fallback,
+            "lotteries_held": self.lotteries_held,
+            "fallback_selections": self.fallback_selections,
+            "compensation": (None if self.compensation is None
+                             else self.compensation.snapshot_state()),
+        })
+        if self._tree is not None:
+            state["structure"] = self._tree.snapshot_state(
+                key=lambda t: t.tid)
+        else:
+            assert self._list is not None
+            state["structure"] = self._list.snapshot_state(
+                key=lambda t: t.tid)
+        return state
+
     # -- internals ----------------------------------------------------------------
 
     def _first_member(self) -> "Thread":

@@ -16,7 +16,6 @@ bookkeeping lets clients leave and rejoin without gaming the queue.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import SchedulerError
@@ -49,7 +48,9 @@ class StridePolicy(SchedulingPolicy):
         self._heap: List[Tuple[float, int, "Thread"]] = []
         self._entries: Dict[int, Tuple[float, int]] = {}  # tid -> (pass, seq)
         self._removed: Dict[int, bool] = {}
-        self._seq = itertools.count()
+        # Plain integer counter (not itertools.count) so the tie-break
+        # sequence position is part of the observable state tree.
+        self._seq = 0
         # Global virtual time bookkeeping.
         self._global_tickets = 0.0
         self._global_pass = 0.0
@@ -77,7 +78,8 @@ class StridePolicy(SchedulingPolicy):
         self._strides[thread.tid] = stride
         offset = self._remain.pop(thread.tid, stride)
         pass_value = self._global_pass + offset
-        seq = next(self._seq)
+        seq = self._seq
+        self._seq += 1
         self._entries[thread.tid] = (pass_value, seq)
         heapq.heappush(self._heap, (pass_value, seq, thread))
         self._global_tickets += tickets
@@ -123,7 +125,8 @@ class StridePolicy(SchedulingPolicy):
             old_pass, _ = self._entries[thread.tid]
             base = getattr(self, "_pending_pass", old_pass)
             new_pass = base + charge
-            seq = next(self._seq)
+            seq = self._seq
+            self._seq += 1
             self._entries[thread.tid] = (new_pass, seq)
             heapq.heappush(self._heap, (new_pass, seq, thread))
         else:
@@ -148,3 +151,19 @@ class StridePolicy(SchedulingPolicy):
             if self._entries.get(thread.tid) == (pass_value, seq):
                 live.append(thread)
         return live
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state.update({
+            "seq": self._seq,
+            "global_tickets": self._global_tickets,
+            "global_pass": self._global_pass,
+            "pending_pass": self._pending_pass,
+            "entries": {str(tid): {"pass": entry[0], "seq": entry[1]}
+                        for tid, entry in sorted(self._entries.items())},
+            "remain": {str(tid): value
+                       for tid, value in sorted(self._remain.items())},
+            "strides": {str(tid): value
+                        for tid, value in sorted(self._strides.items())},
+        })
+        return state

@@ -19,7 +19,6 @@ Model (classic 4.3BSD-flavoured):
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import SchedulerError
@@ -62,7 +61,9 @@ class TimesharingPolicy(SchedulingPolicy):
         self.usage_weight = usage_weight
         self._usage: Dict[int, float] = {}
         self._queue: List[Tuple["Thread", int]] = []
-        self._seq = itertools.count()
+        # Plain integer counter (not itertools.count) so the tie-break
+        # sequence position is part of the observable state tree.
+        self._seq = 0
         self._kernel: Optional["Kernel"] = None
         #: Number of global decay sweeps performed.
         self.decay_sweeps = 0
@@ -78,7 +79,8 @@ class TimesharingPolicy(SchedulingPolicy):
         if any(t is thread for t, _ in self._queue):
             raise SchedulerError(f"thread {thread.name!r} already queued")
         self._usage.setdefault(thread.tid, 0.0)
-        self._queue.append((thread, next(self._seq)))
+        self._queue.append((thread, self._seq))
+        self._seq += 1
 
     def dequeue(self, thread: "Thread") -> None:
         for index, (queued, _) in enumerate(self._queue):
@@ -112,6 +114,17 @@ class TimesharingPolicy(SchedulingPolicy):
 
     def runnable_threads(self) -> List["Thread"]:
         return [thread for thread, _ in self._queue]
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state.update({
+            "seq": self._seq,
+            "decay_sweeps": self.decay_sweeps,
+            "usage": {str(tid): value
+                      for tid, value in sorted(self._usage.items())},
+            "queue_seqs": [seq for _, seq in self._queue],
+        })
+        return state
 
     # -- internals ----------------------------------------------------------------
 

@@ -28,6 +28,11 @@ class Engine:
         self._running = False
         #: Number of events processed (overhead accounting).
         self.events_processed = 0
+        # Thread-id allocator.  Scoped to the engine (not the process)
+        # so a recipe re-executed for checkpoint restore assigns the
+        # same tids as the original run: one engine, one deterministic
+        # universe.
+        self._next_tid = 0
 
     # -- time ------------------------------------------------------------------
 
@@ -35,6 +40,11 @@ class Engine:
     def now(self) -> float:
         """Current virtual time (milliseconds)."""
         return self.clock.now
+
+    def next_tid(self) -> int:
+        """Allocate the next thread id in this engine's universe."""
+        self._next_tid += 1
+        return self._next_tid
 
     # -- scheduling ----------------------------------------------------------------
 
@@ -102,6 +112,15 @@ class Engine:
     def pending(self) -> int:
         """Number of live events still queued."""
         return len(self._queue)
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "clock_ms": self.clock.now,
+            "events_processed": self.events_processed,
+            "next_tid": self._next_tid,
+            "queue": self._queue.snapshot_state(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self.clock.now:.3f}ms pending={self.pending()}>"

@@ -12,8 +12,7 @@ skipped when popped.
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -49,14 +48,17 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        # Plain integer counter (not itertools.count) so the scheduling
+        # sequence position is part of the observable state tree.
+        self._seq = 0
         self._live = 0
 
     def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at absolute virtual ``time``."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        event = Event(time, next(self._seq), callback, label)
+        event = Event(time, self._seq, callback, label)
+        self._seq += 1
         heapq.heappush(self._heap, (time, event.seq, event))
         self._live += 1
         return event
@@ -92,3 +94,18 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Callbacks are closures and cannot be serialized; the tree
+        records the queue *shape* -- every live (time, seq, label)
+        descriptor plus the sequence counter -- which is what restore
+        verification compares after rebuilding a run by re-execution.
+        """
+        pending = [
+            {"time": event.time, "seq": event.seq, "label": event.label}
+            for _, _, event in sorted(self._heap, key=lambda item: item[:2])
+            if not event.cancelled
+        ]
+        return {"seq": self._seq, "live": len(pending), "pending": pending}

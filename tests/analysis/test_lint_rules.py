@@ -388,7 +388,7 @@ def test_finding_format_names_location_and_rule():
 
 def test_every_rule_has_id_summary_and_fixit():
     assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
-                          "RPR004", "RPR005", "RPR006"}
+                          "RPR004", "RPR005", "RPR006", "RPR007"}
     for rule in RULES.values():
         assert rule.summary and rule.fixit and rule.slug
 

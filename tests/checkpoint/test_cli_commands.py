@@ -1,0 +1,87 @@
+"""The checkpoint-facing CLI commands: save / load / replay."""
+
+import pytest
+
+from repro.checkpoint import build_recipe
+from repro.cli.commands import chaos, load, replay, save
+from repro.cli.state import CommandState
+from repro.errors import CheckpointError, ReproError
+
+
+@pytest.fixture
+def state():
+    return CommandState()
+
+
+def attach_simulation(state, seed=3, until=2_000.0):
+    handle = build_recipe("lottery-mix", {"seed": seed})
+    handle.advance(until)
+    state.simulation = handle
+    return handle
+
+
+class TestSave:
+    def test_requires_live_simulation(self, state, tmp_path):
+        with pytest.raises(ReproError, match="no live simulation"):
+            save(state, [str(tmp_path / "a.ckpt")])
+
+    def test_usage(self, state):
+        with pytest.raises(ReproError):
+            save(state, [])
+
+    def test_saves_live_simulation(self, state, tmp_path):
+        attach_simulation(state)
+        path = str(tmp_path / "a.ckpt")
+        output = save(state, [path])
+        assert path in output and "lottery-mix" in output
+
+
+class TestLoad:
+    def test_round_trip_becomes_live_simulation(self, state, tmp_path):
+        handle = attach_simulation(state)
+        path = str(tmp_path / "a.ckpt")
+        save(state, [path])
+        state.simulation = None
+        output = load(state, [path])
+        assert "verified, invariants OK" in output
+        assert state.simulation is not None
+        assert state.simulation.now == handle.now
+
+    def test_corrupted_file_is_rejected(self, state, tmp_path):
+        attach_simulation(state)
+        path = str(tmp_path / "a.ckpt")
+        save(state, [path])
+        text = open(path).read()
+        open(path, "w").write(text.replace("lottery-mix", "lottery-mlx"))
+        with pytest.raises(CheckpointError, match="integrity"):
+            load(state, [path])
+        with pytest.raises(ReproError):
+            load(state, [str(tmp_path / "missing.ckpt")])
+
+
+class TestReplay:
+    def test_against_live_run_reports_zero_divergence(self, state, tmp_path):
+        attach_simulation(state, until=1_000.0)
+        path = str(tmp_path / "a.ckpt")
+        save(state, [path])
+        state.simulation.advance(4_000.0)
+        output = replay(state, [path])
+        assert "against the live run" in output
+        assert "zero divergence" in output
+
+    def test_without_live_simulation_self_checks(self, state, tmp_path):
+        attach_simulation(state)
+        path = str(tmp_path / "a.ckpt")
+        save(state, [path])
+        state.simulation = None
+        output = replay(state, [path])
+        assert "two independent restores" in output
+        assert "zero divergence" in output
+
+
+def test_chaos_attaches_simulation_for_checkpointing(state, tmp_path):
+    chaos(state, ["2718", "40000"])
+    assert state.simulation is not None
+    assert state.simulation.recipe == "chaos-fairness"
+    output = save(state, [str(tmp_path / "chaos.ckpt")])
+    assert "chaos-fairness" in output

@@ -1,0 +1,75 @@
+"""Snapshotting around the dispatch window (kill/preempt hardening).
+
+A restore must never land inside a torn dispatch: ``kill`` and
+``preempt_running`` tear the whole window down (quantum accounting
+included), ``check_dispatch_window`` audits coherence, and
+``Kernel.snapshot_state`` refuses to capture an incoherent window.
+"""
+
+import pytest
+
+from repro.errors import KernelError
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+def test_preempt_resets_quantum_accounting():
+    kernel = make_lottery_kernel(quantum=100.0)
+    kernel.spawn(spin_body(30.0), "a", tickets=100)
+    kernel.run_until(130.0)  # mid-quantum: 30ms chunks against 100ms quanta
+    assert kernel.running is not None
+    kernel.preempt_running()
+    assert kernel.running is None
+    assert kernel._quantum_left == 0.0
+    assert kernel._instant_syscalls == 0
+    assert kernel.check_dispatch_window() == []
+    kernel.snapshot_state()  # must not raise
+
+
+def test_kill_running_thread_leaves_coherent_window():
+    kernel = make_lottery_kernel(quantum=100.0)
+    victim = kernel.spawn(spin_body(30.0), "victim", tickets=100)
+    kernel.spawn(spin_body(30.0), "other", tickets=100)
+    kernel.run_until(130.0)
+    running = kernel.running
+    assert running is not None
+    kernel.kill(running)
+    assert kernel.check_dispatch_window() == []
+    kernel.snapshot_state()  # must not raise
+    assert victim is running or victim.alive
+
+
+def test_snapshot_inside_dispatch_window_is_coherent_or_refused():
+    """Regression: snapshot at times landing mid-dispatch.
+
+    With a context-switch cost the kernel spends windows with an
+    in-flight event; sampling many offsets must always yield either a
+    coherent snapshot or an explicit KernelError -- never a silently
+    torn tree.
+    """
+    kernel = make_lottery_kernel(quantum=50.0)
+    kernel.context_switch_cost = 5.0
+    kernel.spawn(spin_body(20.0), "a", tickets=300)
+    kernel.spawn(spin_body(20.0), "b", tickets=100)
+    captured = 0
+    for step in range(1, 60):
+        kernel.run_until(step * 7.0)  # offsets straddling switch windows
+        try:
+            tree = kernel.snapshot_state()
+        except KernelError:
+            continue
+        captured += 1
+        if tree["running"] is None:
+            assert tree["quantum_left"] == 0.0
+    assert captured > 0
+
+
+def test_snapshot_refuses_incoherent_window():
+    kernel = make_lottery_kernel(quantum=100.0)
+    kernel.spawn(spin_body(30.0), "a", tickets=100)
+    kernel.run_until(130.0)
+    # Forge the torn-window bug the abort path used to leave behind.
+    kernel.running = None
+    kernel._quantum_left = 40.0
+    assert kernel.check_dispatch_window() != []
+    with pytest.raises(KernelError, match="incoherent dispatch window"):
+        kernel.snapshot_state()

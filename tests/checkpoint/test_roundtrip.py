@@ -1,0 +1,115 @@
+"""Round-trip property tests: save -> restore -> verify, per subsystem.
+
+Restore re-executes the checkpoint's recipe and diffs the rebuilt state
+tree against the saved one, so a clean ``restore()`` *is* the round-trip
+property: every subsystem the recipe touches (PRNG streams, event queue,
+run queues, tickets, compensation, IPC, memory, disks, cluster
+membership) reconstructed bit-for-bit.
+"""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    build_recipe,
+    capture_payload,
+    capture_tree,
+    diff_trees,
+    restore,
+    save,
+)
+from repro.checkpoint.statetree import build_payload, write_checkpoint_file
+from repro.errors import CheckpointError, DivergenceError
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+@pytest.mark.parametrize("use_tree", [False, True])
+def test_lottery_mix_round_trip(tmp_path, seed, use_tree):
+    handle = build_recipe("lottery-mix", {"seed": seed, "use_tree": use_tree})
+    handle.advance(3_000.0)
+    path = str(tmp_path / "mix.ckpt")
+    payload = save(handle, path)
+    restored, loaded = restore(path)
+    assert loaded == payload
+    assert restored.now == handle.now
+    assert diff_trees(capture_tree(handle), capture_tree(restored)) == []
+
+
+@pytest.mark.parametrize("seed", [2718, 9])
+def test_chaos_cluster_round_trip(tmp_path, seed):
+    handle = build_recipe("chaos-fairness", {"seed": seed})
+    # Past the first crash (t=30s): dead node, reclaimed tickets,
+    # evacuations and fault log all inside the captured tree.
+    handle.advance(35_000.0)
+    path = str(tmp_path / "chaos.ckpt")
+    save(handle, path)
+    restored, _ = restore(path)
+    assert diff_trees(capture_tree(handle), capture_tree(restored)) == []
+    cluster = restored.components["cluster"]
+    assert cluster.node_crashes == 1
+
+
+def test_checkpoint_at_every_quantum(tmp_path):
+    """Crash-at-every-quantum sweep: any boundary is a valid checkpoint."""
+    quantum = 100.0
+    handle = build_recipe("lottery-mix", {"seed": 5, "quantum": quantum})
+    path = str(tmp_path / "q.ckpt")
+    for boundary in range(1, 16):
+        handle.advance(boundary * quantum)
+        save(handle, path)
+        # Drop the live system; continue from the file alone.
+        handle, _ = restore(path)
+        assert handle.now == boundary * quantum
+
+
+def test_restore_continues_identically(tmp_path):
+    reference = build_recipe("lottery-mix", {"seed": 11})
+    reference.advance(8_000.0)
+    expected = capture_tree(reference)
+
+    interrupted = build_recipe("lottery-mix", {"seed": 11})
+    interrupted.advance(2_500.0)
+    path = str(tmp_path / "mid.ckpt")
+    save(interrupted, path)
+    restored, _ = restore(path)
+    restored.advance(8_000.0)
+    assert diff_trees(expected, capture_tree(restored)) == []
+
+
+def test_tampered_state_with_valid_checksum_raises_divergence(tmp_path):
+    """A re-checksummed edit passes integrity but fails verification."""
+    handle = build_recipe("lottery-mix", {"seed": 2})
+    handle.advance(1_000.0)
+    payload = capture_payload(handle)
+    state = json.loads(json.dumps(payload["state"]))
+    state["kernel"]["dispatch_count"] += 1
+    forged = build_payload(payload["recipe"], payload["args"],
+                           payload["time_ms"], state)
+    path = str(tmp_path / "forged.ckpt")
+    write_checkpoint_file(path, forged)
+    with pytest.raises(DivergenceError, match="dispatch_count"):
+        restore(path)
+
+
+def test_unknown_recipe_is_rejected(tmp_path):
+    payload = build_payload("no-such-recipe", {}, 0.0, {})
+    path = str(tmp_path / "bad.ckpt")
+    write_checkpoint_file(path, payload)
+    with pytest.raises(CheckpointError, match="unknown recipe"):
+        restore(path)
+
+
+def test_handle_refuses_to_advance_backwards():
+    handle = build_recipe("lottery-mix", {"seed": 1})
+    handle.advance(500.0)
+    with pytest.raises(CheckpointError, match="backwards"):
+        handle.advance(100.0)
+
+
+def test_capture_is_json_serializable_and_stable():
+    handle = build_recipe("chaos-fairness", {"seed": 3})
+    handle.advance(5_000.0)
+    tree = capture_tree(handle)
+    assert json.loads(json.dumps(tree)) == tree
+    assert diff_trees(tree, capture_tree(handle)) == []  # capture is pure
