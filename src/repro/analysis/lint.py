@@ -30,6 +30,14 @@ RPR007    checkpoint bypass: ``pickle``/``marshal``/``shelve``/``dill``
           an attribute that is neither covered by the class's seam nor
           declared transient means mutable state was added without a
           checkpointing decision
+RPR008    bare ``print()`` outside the presentation layers (``cli``,
+          ``experiments``, ``__main__`` entry points) -- library code
+          must report through return values, recorders, or
+          :mod:`repro.telemetry`, not stdout
+RPR009    a class registered as a recorder sink
+          (``repro.metrics.recorder.RECORDER_SINKS``) does not itself
+          define the full kernel event surface -- a sink silently deaf
+          to an event kind
 ========  ==============================================================
 
 A finding on a line can be suppressed with an inline comment::
@@ -140,6 +148,25 @@ RULES: Dict[str, Rule] = {
             "versioned",
             None,
         ),
+        Rule(
+            "RPR008",
+            "print-in-library",
+            "bare print() outside the presentation layers",
+            "return strings (cli commands), use an ExperimentResult "
+            "report, or record through repro.telemetry; stdout writes "
+            "from library code are invisible to tools and untestable",
+            None,
+        ),
+        Rule(
+            "RPR009",
+            "incomplete-recorder-sink",
+            "registered recorder sink missing part of the event surface",
+            "define every method in repro.metrics.recorder."
+            "RECORDER_EVENT_SURFACE on the sink class itself (explicit "
+            "no-ops included) so protocol extensions cannot leave a "
+            "sink silently deaf",
+            None,
+        ),
     )
 }
 
@@ -207,6 +234,25 @@ def _snapshot_coverage() -> Dict[str, Dict[str, Iterable[str]]]:
     except Exception:  # pragma: no cover - standalone lint usage
         return {}
     return SNAPSHOT_COVERAGE
+
+
+def _recorder_surface() -> Tuple[frozenset, Tuple[str, ...]]:
+    """The metrics package's sink registry (empty if unavailable).
+
+    Lazy for the same reason as :func:`_snapshot_coverage`: the linter
+    must keep working standalone when ``repro.metrics`` is absent.
+    """
+    try:
+        from repro.metrics.recorder import (RECORDER_EVENT_SURFACE,
+                                            RECORDER_SINKS)
+    except Exception:  # pragma: no cover - standalone lint usage
+        return frozenset(), ()
+    return RECORDER_SINKS, RECORDER_EVENT_SURFACE
+
+
+#: Zones exempt from RPR008: the presentation layers, where printing to
+#: stdout is the whole point.
+_PRINT_ZONES = frozenset({"cli", "experiments"})
 
 
 def module_of(path: Union[str, Path]) -> Optional[str]:
@@ -432,12 +478,26 @@ class _Visitor(ast.NodeVisitor):
                     "RPR004", node,
                     f"float() cast on ticket quantity {ident!r}",
                 )
+        if isinstance(node.func, ast.Name) and node.func.id == "print" \
+                and not self._print_allowed():
+            self._report(
+                "RPR008", node,
+                f"bare print() in library zone {self.zone or 'repro'!r}",
+            )
         if qualified is not None:
             tail = qualified.rsplit(".", 1)[-1]
             if tail in _ORDER_INSENSITIVE_REDUCERS and node.args and \
                     isinstance(node.args[0], _COMPREHENSIONS):
                 self._exempt_comprehensions.add(id(node.args[0]))
         self.generic_visit(node)
+
+    def _print_allowed(self) -> bool:
+        """Printing is the presentation layers' job; library code may
+        not.  ``__main__`` entry points of any package count as
+        presentation (they exist to be run, not imported)."""
+        if self.zone is None or self.zone in _PRINT_ZONES:
+            return True
+        return Path(self.path).name == "__main__.py"
 
     # -- RPR003: unordered iteration ---------------------------------------
 
@@ -529,7 +589,30 @@ class _Visitor(ast.NodeVisitor):
                         f"captured by snapshot_state() nor declared "
                         f"transient in the snapshot-coverage registry",
                     )
+        self._check_recorder_sink(node, module)
         self.generic_visit(node)
+
+    # -- RPR009: recorder sink surface audit -------------------------------
+
+    def _check_recorder_sink(self, node: ast.ClassDef,
+                             module: Optional[str]) -> None:
+        if module is None:
+            return
+        sinks, surface = _recorder_surface()
+        if f"{module}.{node.name}" not in sinks:
+            return
+        defined = {
+            member.name for member in node.body
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        missing = [name for name in surface if name not in defined]
+        if missing:
+            self._report(
+                "RPR009", node,
+                f"recorder sink {node.name} does not define event "
+                f"method(s) {', '.join(missing)} (inheriting a no-op "
+                f"is not declaring the surface)",
+            )
 
     # -- RPR005: mutable default arguments ---------------------------------
 

@@ -69,4 +69,21 @@ def save(handle: SimHandle, path: str, sanitize: bool = True
     """Capture and atomically write a checkpoint file; returns the payload."""
     payload = capture_payload(handle, sanitize=sanitize)
     write_checkpoint_file(path, payload)
+    _notify_telemetry("save", handle.now, payload.get("checksum"), path)
     return payload
+
+
+def _notify_telemetry(kind: str, time_ms: float, checksum: Any,
+                      path: str) -> None:
+    """Report to telemetry hooks *only if already imported*.
+
+    Import-gated on purpose: checkpointing must not pull in (or
+    behave differently because of) the telemetry subsystem.  A run
+    that never imports ``repro.telemetry`` takes the None branch and
+    is bit-identical to one predating the subsystem.
+    """
+    import sys
+
+    hooks = sys.modules.get("repro.telemetry.hooks")
+    if hooks is not None:
+        hooks.emit_checkpoint(kind, time_ms, checksum, path)

@@ -181,7 +181,7 @@ SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
         # Observers, fault seams, and hooks are re-wired by the recipe,
         # not restored from data.
         "transient": {"recorder", "quantum_jitter", "ipc_faults",
-                      "invariant_hooks"},
+                      "invariant_hooks", "telemetry"},
     },
     "repro.kernel.thread.Thread": {
         "covered": {"tid", "task", "state", "priority", "funding_currency",
@@ -207,14 +207,15 @@ SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
                     "_zero_funding_fallback", "lotteries_held",
                     "fallback_selections", "compensation", "_tree", "_list"},
         # ledger is captured at the kernel level; _members is a derived
-        # membership index over the active structure.
-        "transient": {"kernel", "ledger", "_members"},
+        # membership index over the active structure; draw_hook is a
+        # telemetry observer, forbidden from mutating scheduling state.
+        "transient": {"kernel", "ledger", "_members", "draw_hook"},
     },
     "repro.distributed.cluster.Cluster": {
         "covered": {"engine", "ledger", "rebalance_period", "migrations",
                     "migration_rollbacks", "node_crashes", "node_restarts",
                     "threads_killed", "evacuations", "nodes", "_placement"},
-        "transient": {"recorder"},
+        "transient": {"recorder", "telemetry"},
     },
     "repro.iosched.disk.Disk": {
         "covered": {"scheduler", "prng", "tickets", "_head_sector", "_busy",
@@ -234,6 +235,24 @@ SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
     },
     "repro.faults.injector.FaultInjector": {
         "covered": {"plan", "_prng", "applied", "_armed"},
-        "transient": {"cluster", "kernels", "disks", "engine"},
+        "transient": {"cluster", "kernels", "disks", "engine", "telemetry"},
+    },
+    "repro.telemetry.spans.SpanTracer": {
+        "covered": {"max_spans", "strict", "_next_sid", "dropped_spans"},
+        # The span buffer and per-track stacks are exported (JSONL /
+        # Chrome), not checkpointed; the seam captures their summary
+        # counts so restore-then-trace divergence is still diffable.
+        "transient": {"_spans", "_stacks"},
+    },
+    "repro.telemetry.registry.MetricRegistry": {
+        "covered": {"_instruments"},
+        "transient": set(),
+    },
+    "repro.telemetry.probe.Telemetry": {
+        "covered": {"tracer", "registry"},
+        # Probe wiring is re-attached after restore, never restored
+        # from data (same rule as Kernel.recorder).
+        "transient": {"_probes", "_instrumented_policies",
+                      "_observing_checkpoints"},
     },
 }

@@ -65,4 +65,16 @@ def restore(path: str, verify: bool = True, sanitize: bool = True
     """
     payload = read_checkpoint_file(path)
     handle = restore_payload(payload, verify=verify, sanitize=sanitize)
+    _notify_telemetry("restore", handle.now, payload.get("checksum"), path)
     return handle, payload
+
+
+def _notify_telemetry(kind: str, time_ms: float, checksum: Any,
+                      path: str) -> None:
+    """Report to telemetry hooks *only if already imported* (see
+    ``capture._notify_telemetry`` for the rationale)."""
+    import sys
+
+    hooks = sys.modules.get("repro.telemetry.hooks")
+    if hooks is not None:
+        hooks.emit_checkpoint(kind, time_ms, checksum, path)

@@ -14,7 +14,9 @@ Beyond the paper's command set, ``lint`` and ``sanitize`` expose the
 Python sources and a one-shot invariant audit of the live ledger), and
 ``chaos`` runs the :mod:`repro.faults` fault-injection experiment.
 ``save``, ``load``, and ``replay`` checkpoint the live simulation,
-restore it, and verify bit-exact replay (:mod:`repro.checkpoint`).
+restore it, and verify bit-exact replay (:mod:`repro.checkpoint`), and
+``telemetry`` runs a traced simulation and reports what
+:mod:`repro.telemetry` observed (spans, metrics, scheduler profile).
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ __all__ = [
     "lint",
     "sanitize",
     "chaos",
+    "telemetry",
     "save",
     "load",
     "replay",
@@ -179,20 +182,31 @@ def lint(state: CommandState, args: Sequence[str]) -> str:
 
 
 def chaos(state: CommandState, args: Sequence[str]) -> str:
-    """chaos [seed] [duration_ms] -- fairness reconvergence under faults.
+    """chaos [seed] [duration_ms] [--trace-out PATH] -- faults experiment.
 
     Runs the :mod:`repro.experiments.chaos_fairness` experiment -- a
     seeded crash/restart schedule against a lottery-scheduled cluster --
     and reports, per fault window, how quickly the max relative error
-    dropped back under the reconvergence threshold.
+    dropped back under the reconvergence threshold.  With
+    ``--trace-out`` the run is traced by :mod:`repro.telemetry` and a
+    Chrome trace-event JSON (plus ``.sha256`` sidecar) is written.
     """
+    args, trace_out = _split_trace_out(args)
     if len(args) > 2:
-        raise ReproError("usage: chaos [seed] [duration_ms]")
+        raise ReproError("usage: chaos [seed] [duration_ms] [--trace-out PATH]")
     from repro.experiments import chaos_fairness
 
     seed = int(args[0]) if len(args) >= 1 else 2718
     duration = float(args[1]) if len(args) == 2 else 240_000.0
-    data = chaos_fairness.run_variant(seed=seed, duration_ms=duration)
+    hub = None
+    instrument = None
+    if trace_out is not None:
+        from repro.telemetry import Telemetry
+
+        hub = Telemetry()
+        instrument = hub.instrument_handle
+    data = chaos_fairness.run_variant(seed=seed, duration_ms=duration,
+                                      instrument=instrument)
     cluster = data["cluster"]
     # Expose the live system to the checkpoint commands (save/replay).
     state.simulation = data["handle"]
@@ -215,6 +229,85 @@ def chaos(state: CommandState, args: Sequence[str]) -> str:
         f" killed={cluster.threads_killed}"
         f" final_window_error={data['final_error']:.3f}"
     )
+    if hub is not None:
+        from repro.telemetry import export_chrome, write_checksummed
+
+        hub.finalize(data["handle"].now)
+        digest = write_checksummed(trace_out, export_chrome(hub.tracer))
+        lines.append(
+            f"trace: {len(hub.tracer)} spans -> {trace_out} sha256={digest}"
+        )
+        hub.close()
+    return "\n".join(lines)
+
+
+def _split_trace_out(args: Sequence[str]):
+    """Extract ``--trace-out PATH`` from an argument list."""
+    remaining = list(args)
+    trace_out = None
+    if "--trace-out" in remaining:
+        index = remaining.index("--trace-out")
+        if index == len(remaining) - 1:
+            raise ReproError("--trace-out needs a PATH")
+        trace_out = remaining[index + 1]
+        del remaining[index:index + 2]
+    return remaining, trace_out
+
+
+def telemetry(state: CommandState, args: Sequence[str]) -> str:
+    """telemetry [seed] [duration_ms] [--trace-out PATH] -- traced run.
+
+    Runs a short chaos-fairness simulation with the
+    :mod:`repro.telemetry` hub attached and reports what the trace saw:
+    span counts by category, the headline scheduler metrics (dispatch
+    counts, wake-to-dispatch latency by ticket-share band), and the
+    scheduling-operation cost attribution from the profiler.  With
+    ``--trace-out`` the Chrome trace-event JSON is also written.
+    """
+    args, trace_out = _split_trace_out(args)
+    if len(args) > 2:
+        raise ReproError(
+            "usage: telemetry [seed] [duration_ms] [--trace-out PATH]")
+    from repro.experiments import chaos_fairness
+    from repro.experiments.overhead import run_profile
+    from repro.telemetry import Telemetry, export_chrome, write_checksummed
+
+    seed = int(args[0]) if len(args) >= 1 else 2718
+    duration = float(args[1]) if len(args) == 2 else 60_000.0
+    hub = Telemetry()
+    data = chaos_fairness.run_variant(seed=seed, duration_ms=duration,
+                                      instrument=hub.instrument_handle)
+    hub.finalize(data["handle"].now)
+    state.simulation = data["handle"]
+
+    lines = [f"telemetry: seed={seed} duration={duration:g}ms "
+             f"spans={len(hub.tracer)} dropped={hub.tracer.dropped_spans} "
+             f"metrics={len(hub.registry)}"]
+    lines.append("SPANS       NAME                    COUNT")
+    for (category, name), count in sorted(hub.tracer.counts().items()):
+        lines.append(f"{category:<11} {name:<23} {count}")
+    lines.append("METRICS")
+    for instrument in hub.registry.instruments():
+        if instrument.kind == "histogram":
+            lines.append(
+                f"  {instrument.full_name}: n={instrument.count}"
+                f" mean={instrument.mean():.2f}ms"
+                f" p95={instrument.percentile(95):.2f}ms"
+            )
+        else:
+            lines.append(f"  {instrument.full_name}: {instrument.value:g}")
+    lines.append("PROFILE (host us, draw/queue/compensation)")
+    for row in run_profile(duration_ms=10_000.0, seed=seed).rows:
+        lines.append(
+            f"  {row['policy']:<12} dispatches={row['dispatches']:<6}"
+            f" draw={row['draw_us']:.0f} queue={row['queue_us']:.0f}"
+            f" comp={row['compensation_us']:.0f}"
+            f" ({row['draw_us_per_select']:.2f}us/select)"
+        )
+    if trace_out is not None:
+        digest = write_checksummed(trace_out, export_chrome(hub.tracer))
+        lines.append(f"trace: {trace_out} sha256={digest}")
+    hub.close()
     return "\n".join(lines)
 
 
@@ -319,6 +412,7 @@ COMMANDS: Dict[str, Callable[[CommandState, Sequence[str]], str]] = {
     "lint": lint,
     "sanitize": sanitize,
     "chaos": chaos,
+    "telemetry": telemetry,
     "save": save,
     "load": load,
     "replay": replay,

@@ -124,6 +124,10 @@ class Cluster:
                         recorder=recorder)
             for i in range(nodes)
         ]
+        #: Optional :class:`repro.telemetry.probe.Telemetry` hub; set by
+        #: ``Telemetry.instrument_cluster``.  Migrations, evacuations,
+        #: and crash/restart transitions report spans through it.
+        self.telemetry = None
         self.rebalance_period = rebalance_period
         self.migrations = 0
         #: Migrations rolled back after a failed destination enqueue.
@@ -148,6 +152,25 @@ class Cluster:
     def run_until(self, time_ms: float) -> None:
         """Advance every node to ``time_ms``."""
         self.engine.run(until=time_ms)
+
+    # -- observation ---------------------------------------------------------------
+
+    def attach_recorder(self, sink) -> None:
+        """Fan an event sink into every node kernel (see ``RecorderMux``).
+
+        The per-node kernels share one virtual clock, so a single sink
+        attached cluster-wide observes the global event stream in
+        engine order -- the same property the replay recorder relies
+        on, now available *alongside* any recorder the cluster was
+        constructed with instead of displacing it.
+        """
+        for node in self.nodes:
+            node.kernel.attach_recorder(sink)
+
+    def detach_recorder(self, sink) -> None:
+        """Remove a cluster-wide sink attached via :meth:`attach_recorder`."""
+        for node in self.nodes:
+            node.kernel.detach_recorder(sink)
 
     # -- placement -----------------------------------------------------------------
 
@@ -237,6 +260,9 @@ class Cluster:
             return False
         destination.kernel._schedule_dispatch()
         self.migrations += 1
+        if self.telemetry is not None:
+            self.telemetry.on_migration(thread, source.name, destination.name,
+                                        self.now, kind="migrate")
         return True
 
     def migrate_with_retry(self, thread: Thread, destination: ClusterNode,
@@ -370,6 +396,9 @@ class Cluster:
         destination.policy.enqueue(thread)
         destination.kernel._schedule_dispatch()
         self.evacuations += 1
+        if self.telemetry is not None:
+            self.telemetry.on_migration(thread, source.name, destination.name,
+                                        self.now, kind="evacuate")
 
     def _try_swap(self, richest: ClusterNode, poorest: ClusterNode,
                   gap: float) -> bool:

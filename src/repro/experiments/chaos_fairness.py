@@ -27,7 +27,7 @@ fault logs, migration counts, and fairness rows -- asserted by
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.checkpoint.registry import SimHandle
 from repro.checkpoint.replay import ReplayRecorder
@@ -138,15 +138,21 @@ def build_sim(seed: int = 2718, nodes: int = 3,
 def run_variant(seed: int = 2718, nodes: int = 3,
                 duration_ms: float = 240_000.0,
                 sample_period_ms: float = 5_000.0,
-                plan: Optional[FaultPlan] = None) -> Dict[str, Any]:
+                plan: Optional[FaultPlan] = None,
+                instrument: Optional[Callable[[Any], Any]] = None
+                ) -> Dict[str, Any]:
     """One chaos run; returns raw data for tests and :func:`run`.
 
     The result dict holds the live ``cluster`` and ``injector`` plus:
     ``rows`` (windowed error samples), ``windows`` (one record per
     fairness window with its reconvergence time), ``fault_log`` (the
     injector's stable application log), and the final window error.
+    ``instrument`` is called with the built handle before time moves
+    (the telemetry attach point: observation only, zero events run).
     """
     handle = build_sim(seed=seed, nodes=nodes, plan=plan)
+    if instrument is not None:
+        instrument(handle)
     cluster: Cluster = handle.components["cluster"]
     injector: FaultInjector = handle.components["injector"]
     plan = injector.plan

@@ -45,7 +45,7 @@ from repro.experiments import (
     service_classes,
 )
 
-__all__ = ["reproduce", "checkpoint_sweep", "main"]
+__all__ = ["reproduce", "checkpoint_sweep", "telemetry_trace", "main"]
 
 #: (label, runner) -> (verdict bool, human-readable measurement).
 Check = Tuple[str, Callable[[bool], Tuple[bool, str]]]
@@ -280,8 +280,38 @@ def checkpoint_sweep(every_ms: float, duration_ms: float = 60_000.0,
         return sweep(workdir)
 
 
+def telemetry_trace(trace_out: str, duration_ms: float = 60_000.0,
+                    seed: int = 2718) -> Tuple[bool, str]:
+    """Trace a chaos run and export a schema-valid Chrome trace.
+
+    Runs the ``chaos-fairness`` recipe with a
+    :class:`repro.telemetry.Telemetry` hub attached, writes the Chrome
+    trace-event JSON (plus ``.sha256`` sidecar) to ``trace_out``, and
+    validates it against the trace-event schema.  Success means spans
+    were captured and the export is Perfetto-loadable.
+    """
+    from repro.checkpoint import build_recipe
+    from repro.telemetry import (Telemetry, export_chrome,
+                                 validate_chrome_trace, write_checksummed)
+
+    handle = build_recipe("chaos-fairness", {"seed": seed})
+    hub = Telemetry()
+    hub.instrument_handle(handle)
+    handle.advance(duration_ms)
+    hub.finalize(handle.now)
+    text = export_chrome(hub.tracer)
+    problems = validate_chrome_trace(text)
+    digest = write_checksummed(trace_out, text)
+    hub.close()
+    if problems:
+        return False, f"schema problems: {'; '.join(problems[:3])}"
+    return True, (f"{len(hub.tracer)} spans -> {trace_out} "
+                  f"sha256={digest[:12]}...")
+
+
 def reproduce(quick: bool = True,
-              checkpoint_every: Optional[float] = None) -> int:
+              checkpoint_every: Optional[float] = None,
+              trace_out: Optional[str] = None) -> int:
     """Run every check; returns the number of failures."""
     failures = 0
     mode = "quick" if quick else "full"
@@ -293,6 +323,13 @@ def reproduce(quick: bool = True,
             lambda q: checkpoint_sweep(
                 checkpoint_every,
                 duration_ms=60_000.0 if q else 240_000.0,
+            ),
+        ))
+    if trace_out is not None:
+        checks.append((
+            "Ext  telemetry trace export",
+            lambda q: telemetry_trace(
+                trace_out, duration_ms=60_000.0 if q else 240_000.0,
             ),
         ))
     for label, check in checks:
@@ -319,9 +356,13 @@ def main() -> None:  # pragma: no cover - CLI convenience
                         metavar="T",
                         help="also verify crash/restore every T virtual ms "
                              "against an uninterrupted reference run")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="also trace a chaos run with repro.telemetry "
+                             "and export a Chrome trace-event JSON there")
     args = parser.parse_args()
     sys.exit(1 if reproduce(quick=not args.full,
-                            checkpoint_every=args.checkpoint_every) else 0)
+                            checkpoint_every=args.checkpoint_every,
+                            trace_out=args.trace_out) else 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -99,10 +99,14 @@ class IpcFaultModel:
             request.delivery_attempts = attempt
             backoff = self.retry.delay_for(min(attempt,
                                                self.retry.max_attempts))
+            telemetry = getattr(port.kernel, "telemetry", None)
             if attempt < self.retry.max_attempts:
                 # Retransmit through the fault check again: a retry can
                 # itself be dropped, like a real lossy link.
                 self.retransmitted += 1
+                if telemetry is not None:
+                    telemetry.on_ipc_retransmit(port, request, backoff,
+                                                forced=False)
                 engine.call_after(
                     backoff, lambda: port._deliver_or_queue(request),
                     label="ipc-retransmit",
@@ -111,6 +115,9 @@ class IpcFaultModel:
                 # Never strand a blocked RPC client: force the final
                 # delivery past the fault window's dice.
                 self.forced_deliveries += 1
+                if telemetry is not None:
+                    telemetry.on_ipc_retransmit(port, request, backoff,
+                                                forced=True)
                 engine.call_after(
                     backoff, lambda: port._deliver_now(request),
                     label="ipc-forced-delivery",
@@ -167,6 +174,9 @@ class FaultInjector:
         self.applied: List[Tuple[float, str]] = []
         self._prng = ParkMillerPRNG(plan.seed).spawn()
         self._armed = False
+        #: Optional repro.telemetry.probe.Telemetry hub notified per
+        #: applied fault; installed by Telemetry.instrument_injector.
+        self.telemetry = None
 
     # -- arming --------------------------------------------------------------
 
@@ -199,6 +209,8 @@ class FaultInjector:
         self.applied.append(
             (self.engine.now, f"{event.describe(with_time=False)} [{detail}]")
         )
+        if self.telemetry is not None:
+            self.telemetry.on_fault(event, detail, self.engine.now)
 
     def _node(self, name: str):
         if self.cluster is None:

@@ -89,6 +89,9 @@ class Request:
             self.transfer.revoke()
             self.transfer = None
         self.port._record_response(self.replied_at - self.created_at)
+        telemetry = getattr(self.port.kernel, "telemetry", None)
+        if telemetry is not None:
+            telemetry.on_ipc_reply(self.port, self)
         if self.client.state is ThreadState.EXITED:
             # The caller was killed (node crash / injected fault) while
             # the RPC was in flight: drop the reply on the floor.  The
@@ -142,6 +145,9 @@ class Port:
         """Asynchronous message; never blocks, transfers nothing."""
         self.messages_sent += 1
         request = Request(self, message, client=None)
+        telemetry = getattr(self.kernel, "telemetry", None)
+        if telemetry is not None:
+            telemetry.on_ipc_send(self, request, rpc=False)
         self._deliver_or_queue(request)
 
     def call(self, client: "Thread", message: Any,
@@ -156,6 +162,9 @@ class Port:
         self.calls_made += 1
         request = Request(self, message, client=client,
                           transfer_fraction=transfer_fraction)
+        telemetry = getattr(self.kernel, "telemetry", None)
+        if telemetry is not None:
+            telemetry.on_ipc_send(self, request, rpc=True)
         if self.currency is not None:
             # Footnote-4 variant: fund the server currency immediately,
             # accelerating every thread it backs.

@@ -95,6 +95,11 @@ class Kernel:
         self.quantum = float(quantum)
         self.context_switch_cost = float(context_switch_cost)
         self.recorder = recorder
+        #: Optional :class:`repro.telemetry.probe.Telemetry` hub; ports,
+        #: policies, and fault models consult it for span/metric events
+        #: beyond the recorder protocol.  Installed by
+        #: ``Telemetry.instrument_kernel``, never required.
+        self.telemetry: Optional[Any] = None
 
         self.tasks: List[Task] = []
         self.threads: List[Thread] = []
@@ -136,6 +141,39 @@ class Kernel:
         policy.attach(self)
         for hook in list(_construction_hooks):
             hook(self)
+
+    # -- recorder fan-out ------------------------------------------------------
+
+    def attach_recorder(self, sink: Any) -> Any:
+        """Add an event sink without displacing the existing recorder.
+
+        The kernel's single ``recorder`` slot historically forced a
+        choice between :class:`~repro.metrics.recorder.KernelRecorder`,
+        :class:`~repro.kernel.trace.SchedulerTrace`, and the replay or
+        telemetry recorders.  ``attach_recorder`` upgrades the slot to a
+        :class:`~repro.metrics.recorder.RecorderMux` on demand: the
+        first sink occupies the slot directly, a second converts it to a
+        fan-out, and further sinks join the mux.  Returns ``sink``.
+        """
+        from repro.metrics.recorder import RecorderMux
+
+        if self.recorder is None:
+            # Validate the surface even for the single-sink fast path.
+            self.recorder = RecorderMux(sink).sinks[0]
+        elif isinstance(self.recorder, RecorderMux):
+            self.recorder.add(sink)
+        else:
+            self.recorder = RecorderMux(self.recorder, sink)
+        return sink
+
+    def detach_recorder(self, sink: Any) -> None:
+        """Remove a sink attached via :meth:`attach_recorder` (no-op if absent)."""
+        from repro.metrics.recorder import RecorderMux
+
+        if self.recorder is sink:
+            self.recorder = None
+        elif isinstance(self.recorder, RecorderMux):
+            self.recorder.remove(sink)
 
     # -- time ------------------------------------------------------------------
 

@@ -2,7 +2,14 @@
 
 from repro.metrics.counters import WindowedCounter
 from repro.metrics.histogram import Histogram
-from repro.metrics.recorder import KernelRecorder, NullRecorder
+from repro.metrics.recorder import (
+    RECORDER_EVENT_SURFACE,
+    RECORDER_SINKS,
+    KernelEventSink,
+    KernelRecorder,
+    NullRecorder,
+    RecorderMux,
+)
 from repro.metrics.stats import (
     binomial_expected_wins,
     binomial_variance,
@@ -17,8 +24,12 @@ from repro.metrics.stats import (
 
 __all__ = [
     "Histogram",
+    "KernelEventSink",
     "KernelRecorder",
     "NullRecorder",
+    "RECORDER_EVENT_SURFACE",
+    "RECORDER_SINKS",
+    "RecorderMux",
     "WindowedCounter",
     "binomial_expected_wins",
     "binomial_variance",

@@ -1,21 +1,83 @@
-"""Kernel activity recorder: per-thread CPU accounting over time.
+"""Kernel activity recorders: the event sink protocol and its sinks.
 
-An optional sink the kernel reports dispatch/CPU/block/wake/exit events
-to.  Experiments that only need workload-level counters skip it; the
-fairness and overhead analyses use it to reconstruct CPU shares per
-window without instrumenting thread bodies.
+The kernel reports dispatch/CPU/block/wake/exit events to an optional
+sink.  :class:`KernelEventSink` is the shared protocol every sink
+implements -- :class:`KernelRecorder` (per-thread CPU accounting),
+:class:`~repro.kernel.trace.SchedulerTrace` (typed event log),
+:class:`~repro.checkpoint.replay.ReplayRecorder` (dispatch streams),
+and the :mod:`repro.telemetry` probe all speak it, and
+:class:`RecorderMux` fans one kernel's events out to several of them at
+once so a single run can be traced, accounted, and replayed
+simultaneously.
+
+New sinks must declare the **full** event surface
+(:data:`RECORDER_EVENT_SURFACE`) and register their dotted class path
+in :data:`RECORDER_SINKS`; lint rule RPR009 audits each registered
+class for missing event methods, so a protocol extension cannot leave a
+sink silently deaf to a new event kind.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import (Dict, FrozenSet, List, Optional, Protocol, Tuple,
+                    TYPE_CHECKING, runtime_checkable)
 
+from repro.errors import ReproError
 from repro.metrics.counters import WindowedCounter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.thread import Thread
 
-__all__ = ["KernelRecorder", "NullRecorder"]
+__all__ = ["KernelEventSink", "KernelRecorder", "NullRecorder",
+           "RecorderMux", "RECORDER_EVENT_SURFACE", "RECORDER_SINKS"]
+
+#: The full event surface of the recorder protocol, in the order the
+#: kernel emits them.  RecorderMux validates sinks against this list at
+#: attach time, and lint rule RPR009 audits the classes registered in
+#: :data:`RECORDER_SINKS` against it statically.
+RECORDER_EVENT_SURFACE: Tuple[str, ...] = (
+    "on_dispatch", "on_cpu", "on_block", "on_wake", "on_exit",
+)
+
+#: Dotted class paths of the known recorder sinks.  Every class listed
+#: here is audited by lint rule RPR009: it must *define* each method in
+#: :data:`RECORDER_EVENT_SURFACE` (structural inheritance is not enough
+#: -- a sink that forgets an event must fail the lint, not inherit a
+#: silent no-op).  Add new sinks here when introducing them.
+RECORDER_SINKS: FrozenSet[str] = frozenset({
+    "repro.metrics.recorder.KernelRecorder",
+    "repro.metrics.recorder.NullRecorder",
+    "repro.metrics.recorder.RecorderMux",
+    "repro.kernel.trace.SchedulerTrace",
+    "repro.checkpoint.replay.ReplayRecorder",
+    "repro.telemetry.probe.KernelProbe",
+})
+
+
+@runtime_checkable
+class KernelEventSink(Protocol):
+    """The recorder protocol: everything a kernel reports, typed once.
+
+    Implementations must provide *all five* methods -- a sink that only
+    cares about some events implements the rest as no-ops (see
+    :class:`NullRecorder`).  The protocol is ``runtime_checkable`` so
+    ``isinstance(sink, KernelEventSink)`` verifies the surface.
+    """
+
+    def on_dispatch(self, thread: "Thread", time: float) -> None:
+        """``thread`` won the CPU at virtual ``time``."""
+
+    def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        """``thread`` consumed ``duration`` ms of CPU beginning at ``start``."""
+
+    def on_block(self, thread: "Thread", time: float) -> None:
+        """``thread`` blocked at virtual ``time``."""
+
+    def on_wake(self, thread: "Thread", time: float) -> None:
+        """``thread`` became runnable again at virtual ``time``."""
+
+    def on_exit(self, thread: "Thread", time: float) -> None:
+        """``thread`` terminated at virtual ``time``."""
 
 
 class NullRecorder:
@@ -104,3 +166,76 @@ class KernelRecorder:
         if not values:
             return 0.0
         return sum(values) / len(values)
+
+
+class RecorderMux:
+    """Fan one kernel's event stream out to several sinks.
+
+    Replaces the "single recorder slot" limitation: a
+    :class:`~repro.kernel.trace.SchedulerTrace`, a
+    :class:`KernelRecorder`, a replay recorder, and a telemetry probe
+    can all observe the same run.  Sinks are invoked in attach order,
+    deterministically; a sink missing part of the event surface is
+    rejected at :meth:`add` time (fail at wiring, not mid-simulation).
+    """
+
+    def __init__(self, *sinks: KernelEventSink) -> None:
+        self._sinks: List[KernelEventSink] = []
+        for sink in sinks:
+            self.add(sink)
+
+    @property
+    def sinks(self) -> List[KernelEventSink]:
+        """The attached sinks, in attach order (a fresh list)."""
+        return list(self._sinks)
+
+    def add(self, sink: KernelEventSink) -> KernelEventSink:
+        """Attach a sink; validates the full event surface, returns it."""
+        missing = [name for name in RECORDER_EVENT_SURFACE
+                   if not callable(getattr(sink, name, None))]
+        if missing:
+            raise ReproError(
+                f"recorder sink {type(sink).__name__} is missing event "
+                f"method(s): {', '.join(missing)} (the full surface is "
+                f"{', '.join(RECORDER_EVENT_SURFACE)})"
+            )
+        if sink is self:
+            raise ReproError("a RecorderMux cannot contain itself")
+        self._sinks.append(sink)
+        return sink
+
+    def remove(self, sink: KernelEventSink) -> None:
+        """Detach a sink (no-op when absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._sinks)
+
+    # -- kernel recorder interface ------------------------------------------
+
+    def on_dispatch(self, thread: "Thread", time: float) -> None:
+        for sink in self._sinks:
+            sink.on_dispatch(thread, time)
+
+    def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        for sink in self._sinks:
+            sink.on_cpu(thread, start, duration)
+
+    def on_block(self, thread: "Thread", time: float) -> None:
+        for sink in self._sinks:
+            sink.on_block(thread, time)
+
+    def on_wake(self, thread: "Thread", time: float) -> None:
+        for sink in self._sinks:
+            sink.on_wake(thread, time)
+
+    def on_exit(self, thread: "Thread", time: float) -> None:
+        for sink in self._sinks:
+            sink.on_exit(thread, time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = [type(sink).__name__ for sink in self._sinks]
+        return f"<RecorderMux sinks={names}>"

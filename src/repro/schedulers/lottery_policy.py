@@ -92,6 +92,11 @@ class LotteryPolicy(SchedulingPolicy):
         self.lotteries_held = 0
         #: Times the zero-funding FIFO fallback fired.
         self.fallback_selections = 0
+        #: Optional observer called with a dict per lottery draw
+        #: (winner, nominal funding, total at stake, clients examined,
+        #: PRNG position, fallback flag).  Installed by
+        #: ``repro.telemetry``; must not mutate scheduling state.
+        self.draw_hook = None
 
     # -- policy interface -----------------------------------------------------
 
@@ -121,6 +126,8 @@ class LotteryPolicy(SchedulingPolicy):
         if self._tree is not None and not self._static_funding:
             for member in self._members:
                 self._tree.set_value(member, member.funding())
+        fallback = False
+        examined_before = structure.stats.comparisons
         try:
             winner = structure.draw(self.prng)
             self.lotteries_held += 1
@@ -129,11 +136,27 @@ class LotteryPolicy(SchedulingPolicy):
                 return None
             winner = self._first_member()
             self.fallback_selections += 1
+            fallback = True
+        draw = None
+        if self.draw_hook is not None:
+            # Funding totals must be read before dequeue deactivates the
+            # winner's tickets; nominal funding is activation-independent.
+            draw = {
+                "winner": winner,
+                "funding": winner.nominal_funding(),
+                "total": structure.total(),
+                "runnable": len(structure),
+                "examined": structure.stats.comparisons - examined_before,
+                "fallback": fallback,
+                "prng_state": self.prng.state,
+            }
         self.dequeue(winner)
         if self.compensation is not None:
             # A fresh quantum begins: outstanding compensation expires
             # (section 4.5: "until the thread starts its next quantum").
             self.compensation.on_quantum_start(winner)
+        if draw is not None:
+            self.draw_hook(draw)
         return winner
 
     def quantum_end(self, thread: "Thread", used: float, quantum: float,

@@ -1,0 +1,54 @@
+"""Deterministic observability: span tracing, metrics, profiling.
+
+The subsystem extends the repo's determinism contract to telemetry:
+every span and metric is a pure function of virtual-time events, so
+two runs of the same seed export byte-identical traces.  Attachment is
+strictly optional -- a simulation that never imports this package (or
+imports it but leaves the hub detached) behaves bit-identically.
+
+See ``docs/OBSERVABILITY.md`` for the span model, exporter formats,
+and the Perfetto loading recipe, and ``python -m repro.telemetry`` for
+the one-shot trace-a-recipe CLI.
+"""
+
+from repro.telemetry.exporters import (
+    export_chrome,
+    export_jsonl,
+    export_prometheus,
+    parse_chrome,
+    parse_jsonl,
+    sha256_text,
+    validate_chrome_trace,
+    write_checksummed,
+)
+from repro.telemetry.probe import KernelProbe, Telemetry, share_band
+from repro.telemetry.profiler import ProfiledPolicy, attach_profiler
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    HistogramInstrument,
+    MetricRegistry,
+)
+from repro.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramInstrument",
+    "KernelProbe",
+    "MetricRegistry",
+    "ProfiledPolicy",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "attach_profiler",
+    "export_chrome",
+    "export_jsonl",
+    "export_prometheus",
+    "parse_chrome",
+    "parse_jsonl",
+    "sha256_text",
+    "share_band",
+    "validate_chrome_trace",
+    "write_checksummed",
+]

@@ -1,0 +1,307 @@
+"""Trace and metric exporters: JSONL, Chrome trace-event JSON, Prometheus.
+
+Every exporter is deterministic byte-for-byte: keys are sorted, floats
+use Python's shortest-repr serialization, no wall-clock or hostname
+leaks into the output, and each format embeds a sha256 checksum over
+its own payload so a consumer can verify integrity -- and two runs of
+the same seed can be compared by digest alone.
+
+Formats
+-------
+* **JSONL** (:func:`export_jsonl`): one JSON object per line -- a
+  header, each span, each metric, then a checksum footer over the
+  preceding lines.  :func:`parse_jsonl` round-trips it.
+* **Chrome trace-event JSON** (:func:`export_chrome`): the
+  ``traceEvents`` array format loadable in Perfetto / ``chrome://
+  tracing``.  Spans become ``ph:"X"`` complete events (timestamps in
+  microseconds), instants become ``ph:"i"``; span ids and parents ride
+  in ``args`` so :func:`parse_chrome` can rebuild the span tree.
+* **Prometheus text** (:func:`export_prometheus`): the plain text
+  exposition format (HELP/TYPE comments, ``_bucket``/``_sum``/
+  ``_count`` series for histograms) with a trailing checksum comment.
+
+:func:`write_checksummed` writes any export next to a ``.sha256``
+sidecar file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "sha256_text",
+    "export_jsonl",
+    "parse_jsonl",
+    "export_chrome",
+    "parse_chrome",
+    "validate_chrome_trace",
+    "export_prometheus",
+    "write_checksummed",
+]
+
+JSONL_FORMAT = "repro-telemetry-jsonl"
+JSONL_VERSION = 1
+
+
+def sha256_text(text: str) -> str:
+    """Hex sha256 of UTF-8 encoded text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _dumps(obj: Any) -> str:
+    """Canonical one-line JSON: sorted keys, compact separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# -- JSONL --------------------------------------------------------------------
+
+def export_jsonl(tracer: SpanTracer,
+                 registry: Optional[MetricRegistry] = None) -> str:
+    """Serialize spans (and optionally metrics) as checksummed JSONL."""
+    lines = [_dumps({
+        "kind": "header",
+        "format": JSONL_FORMAT,
+        "version": JSONL_VERSION,
+        "spans": len(tracer.spans),
+        "dropped_spans": tracer.dropped_spans,
+    })]
+    for span in tracer.spans:
+        lines.append(_dumps({"kind": "span", **span.to_dict()}))
+    if registry is not None:
+        for name, snapshot in registry.as_dict().items():
+            lines.append(_dumps({"kind": "metric", "name": name,
+                                 "data": snapshot}))
+    body = "\n".join(lines)
+    lines.append(_dumps({"kind": "checksum", "sha256": sha256_text(body)}))
+    return "\n".join(lines) + "\n"
+
+
+def parse_jsonl(text: str) -> Tuple[List[Span], Dict[str, Dict[str, Any]]]:
+    """Parse and verify a JSONL export; returns (spans, metrics)."""
+    lines = text.splitlines()
+    if not lines:
+        raise ReproError("empty JSONL trace")
+    header = json.loads(lines[0])
+    if header.get("format") != JSONL_FORMAT:
+        raise ReproError(
+            f"not a {JSONL_FORMAT} stream: header {header.get('format')!r}"
+        )
+    footer = json.loads(lines[-1])
+    if footer.get("kind") != "checksum":
+        raise ReproError("JSONL trace is missing its checksum footer")
+    expected = sha256_text("\n".join(lines[:-1]))
+    if footer.get("sha256") != expected:
+        raise ReproError(
+            f"JSONL checksum mismatch: footer {footer.get('sha256')!r}, "
+            f"recomputed {expected!r}"
+        )
+    spans: List[Span] = []
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for line in lines[1:-1]:
+        record = json.loads(line)
+        kind = record.pop("kind", None)
+        if kind == "span":
+            spans.append(Span.from_dict(record))
+        elif kind == "metric":
+            metrics[record["name"]] = record["data"]
+    return spans, metrics
+
+
+# -- Chrome trace-event JSON --------------------------------------------------
+
+def _chrome_events(tracer: SpanTracer) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "name": "process_name", "args": {"name": "repro"},
+    }]
+    tids: Dict[str, int] = {}
+    for index, track in enumerate(tracer.tracks()):
+        tids[track] = index
+        events.append({
+            "ph": "M", "pid": 0, "tid": index, "ts": 0,
+            "name": "thread_name", "args": {"name": track},
+        })
+    for span in tracer.spans:
+        tid = tids.setdefault(span.track, len(tids))
+        args = {"sid": span.sid, "parent": span.parent, **span.attrs}
+        if span.instant:
+            events.append({
+                "ph": "i", "s": "t", "pid": 0, "tid": tid,
+                "ts": span.start * 1000.0, "name": span.name,
+                "cat": span.category, "args": args,
+            })
+        else:
+            end = span.end if span.end is not None else span.start
+            events.append({
+                "ph": "X", "pid": 0, "tid": tid,
+                "ts": span.start * 1000.0,
+                "dur": (end - span.start) * 1000.0,
+                "name": span.name, "cat": span.category, "args": args,
+            })
+    return events
+
+
+def export_chrome(tracer: SpanTracer) -> str:
+    """Serialize the trace as Chrome trace-event JSON (Perfetto-ready)."""
+    events = _chrome_events(tracer)
+    checksum = sha256_text(_dumps(events))
+    payload = {
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "format": "repro-telemetry-chrome",
+            "version": JSONL_VERSION,
+            "dropped_spans": tracer.dropped_spans,
+            "sha256": checksum,
+        },
+        "traceEvents": events,
+    }
+    return _dumps(payload) + "\n"
+
+
+def parse_chrome(text: str) -> List[Span]:
+    """Rebuild spans from a Chrome export (verifies the checksum)."""
+    payload = json.loads(text)
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ReproError("Chrome trace has no traceEvents array")
+    metadata = payload.get("metadata", {})
+    expected = metadata.get("sha256")
+    if expected is not None:
+        actual = sha256_text(_dumps(events))
+        if actual != expected:
+            raise ReproError(
+                f"Chrome trace checksum mismatch: metadata {expected!r}, "
+                f"recomputed {actual!r}"
+            )
+    tracks: Dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            tracks[event["tid"]] = event["args"]["name"]
+    spans: List[Span] = []
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        args = dict(event.get("args", {}))
+        sid = args.pop("sid")
+        parent = args.pop("parent", None)
+        start = event["ts"] / 1000.0
+        end = start + (event.get("dur", 0.0) / 1000.0 if ph == "X" else 0.0)
+        spans.append(Span(
+            sid=sid, parent=parent,
+            track=tracks.get(event["tid"], str(event["tid"])),
+            name=event["name"], category=event.get("cat", ""),
+            start=start, end=end, attrs=args,
+        ))
+    spans.sort(key=lambda s: s.sid)
+    return spans
+
+
+def validate_chrome_trace(text: str) -> List[str]:
+    """Schema-check a Chrome export; returns a list of problems (empty
+    means loadable)."""
+    problems: List[str] = []
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"not JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return ["top level must be an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if ph in ("X", "i"):
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"{where}: missing numeric ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: X event missing numeric dur")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur {dur!r}")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant scope must be t/p/g")
+    return problems
+
+
+# -- Prometheus text ----------------------------------------------------------
+
+def _split_name(full_name: str) -> Tuple[str, str]:
+    """``name{labels}`` -> (name, "{labels}" or "")."""
+    brace = full_name.find("{")
+    if brace < 0:
+        return full_name, ""
+    return full_name[:brace], full_name[brace:]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integral floats render without '.0'."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def export_prometheus(registry: MetricRegistry) -> str:
+    """Serialize the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+    for instrument in registry.instruments():
+        name, labels = _split_name(instrument.full_name)
+        if name not in typed:
+            typed.add(name)
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        if instrument.kind == "histogram":
+            histogram = instrument.histogram
+            prefix = labels[:-1] + "," if labels else "{"
+            cumulative = 0
+            for _, bin_end, count in histogram.bins():
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{prefix}le="{bin_end:g}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{prefix}le="+Inf"}} {histogram.count}')
+            total = histogram.mean() * histogram.count
+            lines.append(f"{name}_sum{labels} {_fmt(total)}")
+            lines.append(f"{name}_count{labels} {histogram.count}")
+        else:
+            lines.append(f"{name}{labels} {_fmt(instrument.value)}")
+    body = "\n".join(lines)
+    lines.append(f"# sha256 {sha256_text(body)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- files --------------------------------------------------------------------
+
+def write_checksummed(path: str, text: str) -> str:
+    """Write an export plus a ``.sha256`` sidecar; returns the digest."""
+    digest = sha256_text(text)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    with open(path + ".sha256", "w", encoding="utf-8") as handle:
+        handle.write(f"{digest}  {os.path.basename(path)}\n")
+    return digest

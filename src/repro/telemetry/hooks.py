@@ -1,0 +1,46 @@
+"""Checkpoint notification hooks (import-gated observer seam).
+
+The checkpoint layer must never *require* telemetry -- the acceptance
+contract is that a run which never imports :mod:`repro.telemetry`
+behaves bit-identically.  So instead of importing this module,
+``repro.checkpoint.capture``/``restore`` look it up with
+``sys.modules.get("repro.telemetry.hooks")`` and call
+:func:`emit_checkpoint` only when telemetry was *already* imported by
+someone else.  Subscribers (normally :class:`~repro.telemetry.probe.
+Telemetry` hubs via ``observe_checkpoints``) receive
+``on_checkpoint(kind, time, checksum, path)`` callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+__all__ = ["subscribe", "unsubscribe", "subscribers", "emit_checkpoint"]
+
+_SUBSCRIBERS: List[Any] = []
+
+
+def subscribe(observer: Any) -> None:
+    """Register an observer exposing ``on_checkpoint`` (idempotent)."""
+    if observer not in _SUBSCRIBERS:
+        _SUBSCRIBERS.append(observer)
+
+
+def unsubscribe(observer: Any) -> None:
+    """Remove an observer (no-op when absent)."""
+    try:
+        _SUBSCRIBERS.remove(observer)
+    except ValueError:
+        pass
+
+
+def subscribers() -> List[Any]:
+    """Current observers, in subscription order (a fresh list)."""
+    return list(_SUBSCRIBERS)
+
+
+def emit_checkpoint(kind: str, time: float, checksum: Optional[str],
+                    path: Optional[str] = None) -> None:
+    """Notify every observer of a checkpoint ``save`` or ``restore``."""
+    for observer in list(_SUBSCRIBERS):
+        observer.on_checkpoint(kind, time, checksum, path)

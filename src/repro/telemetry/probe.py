@@ -1,0 +1,387 @@
+"""The telemetry hub and its kernel probe.
+
+:class:`Telemetry` owns one :class:`~repro.telemetry.spans.SpanTracer`
+and one :class:`~repro.telemetry.registry.MetricRegistry` and wires
+them into a running system:
+
+* ``instrument_kernel`` attaches a :class:`KernelProbe` through the
+  kernel's recorder mux (quantum spans, wake-to-dispatch latency) and
+  installs the lottery policy's ``draw_hook`` (per-draw instants with
+  the winner's funding and the total at stake);
+* ``instrument_cluster`` / ``instrument_injector`` set the components'
+  ``telemetry`` slots so migrations, evacuations, and fault windows
+  are reported;
+* ``instrument_handle`` walks a checkpoint recipe's
+  :class:`~repro.checkpoint.registry.SimHandle` and instruments every
+  component it recognises, plus checkpoint save/restore notifications
+  via :mod:`repro.telemetry.hooks`.
+
+Everything recorded is a pure function of virtual-time events, so
+telemetry never perturbs scheduling: probes only read state, the draw
+hook is observation-only by contract, and a system that never imports
+this module behaves bit-identically to one that does but leaves it
+detached.
+
+The wake-to-dispatch latency histogram is keyed by the winning
+thread's *ticket share band* (its nominal funding over the live total)
+-- the paper's core claim is that response time scales inversely with
+ticket allocation, and this instrument makes that visible per run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.spans import SpanTracer
+
+__all__ = ["KernelProbe", "Telemetry", "SHARE_BANDS", "share_band"]
+
+#: Ticket-share bands for the latency histogram: (upper bound, label).
+SHARE_BANDS: Tuple[Tuple[float, str], ...] = (
+    (0.05, "0-5%"),
+    (0.10, "5-10%"),
+    (0.20, "10-20%"),
+    (0.50, "20-50%"),
+    (1.01, "50-100%"),
+)
+
+#: Bin width (virtual ms) of the latency histograms.
+LATENCY_BIN_MS = 5.0
+
+
+def share_band(share: float) -> str:
+    """Label of the ticket-share band containing ``share`` (0..1)."""
+    for bound, label in SHARE_BANDS:
+        if share < bound:
+            return label
+    return SHARE_BANDS[-1][1]
+
+
+class KernelProbe:
+    """Recorder sink turning one kernel's event stream into spans.
+
+    Each dispatch opens a ``quantum`` span on the probe's track; the
+    span closes when the thread blocks or exits (at that event's time)
+    or when the next dispatch arrives (at the last CPU slice's end --
+    a preemption).  CPU slices update the close candidate, so quantum
+    spans cover exactly the time the thread held the CPU.
+    """
+
+    def __init__(self, telemetry: "Telemetry", kernel: "Kernel",
+                 track: str) -> None:
+        self.telemetry = telemetry
+        self.kernel = kernel
+        self.track = track
+        self._open_quantum = None
+        self._quantum_tid: Optional[int] = None
+        self._end_candidate = 0.0
+        registry = telemetry.registry
+        labels = {"track": track}
+        self._dispatches = registry.counter(
+            "repro_dispatches_total", labels,
+            help="Thread dispatches (quanta started).")
+        self._cpu_ms = registry.counter(
+            "repro_cpu_ms_total", labels,
+            help="Virtual CPU milliseconds consumed.")
+        self._blocks = registry.counter(
+            "repro_blocks_total", labels, help="Threads blocking.")
+        self._wakes = registry.counter(
+            "repro_wakes_total", labels, help="Threads waking.")
+        self._exits = registry.counter(
+            "repro_exits_total", labels, help="Threads exiting.")
+
+    # -- recorder protocol ---------------------------------------------------
+
+    def on_dispatch(self, thread: "Thread", time: float) -> None:
+        self.close_open_quantum()
+        self._dispatches.inc()
+        share = self._share_of(thread)
+        if thread.runnable_since is not None:
+            latency = time - thread.runnable_since
+            if latency >= 0:
+                self.telemetry.registry.histogram(
+                    "repro_wake_to_dispatch_ms", LATENCY_BIN_MS,
+                    {"share": share_band(share)},
+                    help="Runnable-to-dispatch latency by ticket share band.",
+                ).record(latency)
+        self._open_quantum = self.telemetry.tracer.begin(
+            self.track, "quantum", "kernel", time,
+            {"thread": thread.name, "tid": thread.tid,
+             "share": round(share, 6)},
+        )
+        self._quantum_tid = thread.tid
+        self._end_candidate = time
+
+    def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        self._cpu_ms.inc(duration)
+        if self._quantum_tid == thread.tid:
+            self._end_candidate = max(self._end_candidate, start + duration)
+
+    def on_block(self, thread: "Thread", time: float) -> None:
+        self._blocks.inc()
+        if self._quantum_tid == thread.tid:
+            self._close_quantum(time, "block")
+
+    def on_wake(self, thread: "Thread", time: float) -> None:
+        self._wakes.inc()
+
+    def on_exit(self, thread: "Thread", time: float) -> None:
+        self._exits.inc()
+        if self._quantum_tid == thread.tid:
+            self._close_quantum(time, "exit")
+
+    # -- quantum span management --------------------------------------------
+
+    def close_open_quantum(self) -> None:
+        """Close a still-open quantum at its last CPU slice (preemption
+        or end of run)."""
+        if self._open_quantum is not None:
+            self._close_quantum(self._end_candidate, "preempt")
+
+    def _close_quantum(self, end: float, outcome: str) -> None:
+        span = self._open_quantum
+        if span is None:
+            return
+        self._open_quantum = None
+        self._quantum_tid = None
+        self.telemetry.tracer.end(span, max(end, span.start),
+                                  {"outcome": outcome})
+
+    # -- helpers -------------------------------------------------------------
+
+    def _share_of(self, thread: "Thread") -> float:
+        """Nominal ticket share of the thread among live threads."""
+        total = 0.0
+        for other in self.kernel.threads:
+            if other.alive:
+                total += other.nominal_funding()
+        if total <= 0:
+            return 0.0
+        return thread.nominal_funding() / total
+
+
+class Telemetry:
+    """The observability hub: tracer + registry + instrumentation."""
+
+    def __init__(self, max_spans: int = 1_000_000,
+                 strict: bool = False) -> None:
+        self.tracer = SpanTracer(max_spans=max_spans, strict=strict)
+        self.registry = MetricRegistry()
+        #: (kernel, probe) pairs in attach order.
+        self._probes: List[Tuple[Any, KernelProbe]] = []
+        self._instrumented_policies: List[Any] = []
+        self._observing_checkpoints = False
+
+    # -- wiring --------------------------------------------------------------
+
+    def instrument_kernel(self, kernel: "Kernel",
+                          track: str = "kernel") -> KernelProbe:
+        """Attach a probe to a kernel (mux-safe) and hook its policy."""
+        probe = KernelProbe(self, kernel, track)
+        kernel.attach_recorder(probe)
+        kernel.telemetry = self
+        policy = kernel.policy
+        if hasattr(policy, "draw_hook"):
+            policy.draw_hook = self._make_draw_hook(track)
+            self._instrumented_policies.append(policy)
+        self._probes.append((kernel, probe))
+        return probe
+
+    def instrument_cluster(self, cluster: Any) -> None:
+        """Instrument every node's kernel, plus migration reporting."""
+        cluster.telemetry = self
+        for node in cluster.nodes:
+            self.instrument_kernel(node.kernel, track=node.name)
+
+    def instrument_injector(self, injector: Any) -> None:
+        """Report applied faults as ``fault`` spans."""
+        injector.telemetry = self
+
+    def instrument_handle(self, handle: Any) -> "Telemetry":
+        """Instrument every recognised component of a recipe's
+        :class:`~repro.checkpoint.registry.SimHandle`; returns self."""
+        from repro.distributed.cluster import Cluster
+        from repro.faults.injector import FaultInjector
+        from repro.kernel.kernel import Kernel
+
+        for name, component in handle.components.items():
+            if isinstance(component, Cluster):
+                self.instrument_cluster(component)
+            elif isinstance(component, Kernel):
+                self.instrument_kernel(component, track=name)
+            elif isinstance(component, FaultInjector):
+                self.instrument_injector(component)
+        self.observe_checkpoints()
+        return self
+
+    def observe_checkpoints(self) -> None:
+        """Subscribe to checkpoint save/restore notifications."""
+        from repro.telemetry import hooks
+
+        if not self._observing_checkpoints:
+            hooks.subscribe(self)
+            self._observing_checkpoints = True
+
+    def finalize(self, time: float) -> None:
+        """Close open quantum spans and any dangling spans at ``time``
+        (call once, after the run)."""
+        for _, probe in self._probes:
+            probe.close_open_quantum()
+        self.tracer.finalize(time)
+
+    def close(self) -> None:
+        """Detach every probe and hook, leaving the system as found."""
+        from repro.telemetry import hooks
+
+        for kernel, probe in self._probes:
+            kernel.detach_recorder(probe)
+            if kernel.telemetry is self:
+                kernel.telemetry = None
+        self._probes.clear()
+        for policy in self._instrumented_policies:
+            policy.draw_hook = None
+        self._instrumented_policies.clear()
+        if self._observing_checkpoints:
+            hooks.unsubscribe(self)
+            self._observing_checkpoints = False
+
+    # -- component callbacks -------------------------------------------------
+
+    def on_ipc_send(self, port: Any, request: Any, rpc: bool) -> None:
+        """A message or call entered a port (instant event)."""
+        track = self._track_of(port.kernel)
+        self.tracer.event(
+            track, "ipc.call" if rpc else "ipc.send", "ipc",
+            port.kernel.now, {"port": port.name},
+        )
+        self.registry.counter(
+            "repro_ipc_calls_total" if rpc else "repro_ipc_sends_total",
+            {"track": track},
+            help="IPC calls (RPCs)." if rpc else "Asynchronous IPC sends.",
+        ).inc()
+
+    def on_ipc_reply(self, port: Any, request: Any) -> None:
+        """An RPC completed: record its whole lifetime as a span."""
+        track = self._track_of(port.kernel)
+        now = port.kernel.now
+        self.tracer.complete(
+            track, "ipc.rpc", "ipc", request.created_at, now,
+            {"port": port.name, "attempts": request.delivery_attempts},
+        )
+        self.registry.counter(
+            "repro_ipc_replies_total", {"track": track},
+            help="RPC replies delivered.").inc()
+        self.registry.histogram(
+            "repro_ipc_rpc_ms", LATENCY_BIN_MS, {"track": track},
+            help="RPC response times (call to reply).",
+        ).record(now - request.created_at)
+
+    def on_ipc_retransmit(self, port: Any, request: Any,
+                          backoff: float, forced: bool) -> None:
+        """A dropped delivery was rescheduled (fault window)."""
+        track = self._track_of(port.kernel)
+        self.tracer.event(
+            track, "ipc.retransmit", "ipc", port.kernel.now,
+            {"port": port.name, "attempt": request.delivery_attempts,
+             "backoff_ms": backoff, "forced": forced},
+        )
+        self.registry.counter(
+            "repro_ipc_retransmits_total", {"track": track},
+            help="IPC retransmissions under injected drops.").inc()
+
+    def on_migration(self, thread: "Thread", source: str, destination: str,
+                     time: float, kind: str = "migrate") -> None:
+        """A thread moved between nodes (rebalance or evacuation)."""
+        self.tracer.event(
+            "cluster", f"cluster.{kind}", "cluster", time,
+            {"thread": thread.name, "tid": thread.tid,
+             "source": source, "destination": destination},
+        )
+        self.registry.counter(
+            "repro_cluster_moves_total", {"kind": kind},
+            help="Threads moved between nodes.").inc()
+
+    def on_fault(self, event: Any, detail: str, time: float) -> None:
+        """A fault fired: a span over its window (or an instant)."""
+        duration = 0.0
+        params = getattr(event, "params", {}) or {}
+        if isinstance(params.get("duration"), (int, float)):
+            duration = float(params["duration"])
+        attrs = {"target": event.target, "detail": detail}
+        if duration > 0:
+            self.tracer.complete("faults", f"fault.{event.kind}", "fault",
+                                 time, time + duration, attrs)
+        else:
+            self.tracer.event("faults", f"fault.{event.kind}", "fault",
+                              time, attrs)
+        self.registry.counter(
+            "repro_faults_total", {"kind": event.kind},
+            help="Fault events applied.").inc()
+
+    def on_checkpoint(self, kind: str, time: float, checksum: Optional[str],
+                      path: Optional[str]) -> None:
+        """A checkpoint was saved or restored (via telemetry hooks)."""
+        attrs: Dict[str, Any] = {}
+        if checksum is not None:
+            attrs["checksum"] = checksum
+        self.tracer.event("checkpoint", f"checkpoint.{kind}", "checkpoint",
+                          time, attrs)
+        self.registry.counter(
+            "repro_checkpoints_total", {"kind": kind},
+            help="Checkpoint saves and restores.").inc()
+
+    # -- state ---------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Summary state tree (probe wiring is transient by design)."""
+        return {
+            "tracer": self.tracer.snapshot_state(),
+            "registry": self.registry.snapshot_state(),
+            "probes": len(self._probes),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_draw_hook(self, track: str):
+        def hook(draw: Dict[str, Any]) -> None:
+            winner = draw["winner"]
+            self.tracer.event(
+                track, "lottery.draw", "scheduler", winner.kernel.now,
+                {"winner": winner.name, "tid": winner.tid,
+                 "funding": draw["funding"], "total": draw["total"],
+                 "runnable": draw["runnable"],
+                 "examined": draw["examined"],
+                 "fallback": draw["fallback"],
+                 "prng_state": draw["prng_state"]},
+            )
+            registry = self.registry
+            labels = {"track": track}
+            registry.counter(
+                "repro_lottery_draws_total", labels,
+                help="Lotteries held (including fallbacks).").inc()
+            registry.counter(
+                "repro_lottery_examined_total", labels,
+                help="Clients examined while drawing.",
+            ).inc(draw["examined"])
+            if draw["fallback"]:
+                registry.counter(
+                    "repro_lottery_fallbacks_total", labels,
+                    help="Zero-funding FIFO fallbacks.").inc()
+
+        return hook
+
+    def _track_of(self, kernel: Any) -> str:
+        for candidate, probe in self._probes:
+            if candidate is kernel:
+                return probe.track
+        return "kernel"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Telemetry probes={len(self._probes)} "
+                f"spans={len(self.tracer)} "
+                f"metrics={len(self.registry)}>")

@@ -1,0 +1,153 @@
+"""Host-clock scheduler profiling (the paper's overhead table).
+
+Section 5.1 of the paper compares lottery scheduling's overhead with
+unmodified Mach by costing the scheduling operations themselves: the
+random draw, run-queue maintenance, and compensation-ticket updates.
+:class:`ProfiledPolicy` reproduces that attribution for any
+:class:`~repro.schedulers.base.SchedulingPolicy` by timing each policy
+operation with ``time.perf_counter`` while delegating behaviour
+unchanged:
+
+* **draw** -- ``select`` (includes the winner's dequeue, exactly the
+  work a lottery performs per decision);
+* **queue** -- standalone ``enqueue``/``dequeue`` calls (run-queue
+  maintenance as threads come and go);
+* **compensation** -- ``quantum_end`` and ``thread_exited`` (ticket
+  adjustment bookkeeping).
+
+Host-clock readings never feed back into the simulation -- the wrapper
+returns the inner policy's results untouched, so the dispatch stream
+with profiling enabled is bit-identical to the stream without it
+(asserted by the tests).  This module lives in the ``telemetry`` zone
+precisely because RPR002 bans wall-clock access in sim/kernel/
+scheduler code; the profiler is the sanctioned place to hold the
+stopwatch.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["ProfiledPolicy", "attach_profiler"]
+
+#: The policy operations the profiler times, in report order.
+PROFILED_OPS = ("select", "enqueue", "dequeue", "quantum_end",
+                "thread_exited")
+
+
+class ProfiledPolicy:
+    """Wraps a scheduling policy, timing every operation on the host
+    clock while delegating behaviour unchanged."""
+
+    def __init__(self, inner: Any,
+                 clock: Callable[[], float] = _time.perf_counter) -> None:
+        # Bypass __setattr__-style surprises: plain attributes first.
+        self.inner = inner
+        self._clock = clock
+        self.seconds: Dict[str, float] = {op: 0.0 for op in PROFILED_OPS}
+        self.calls: Dict[str, int] = {op: 0 for op in PROFILED_OPS}
+
+    # -- timed policy surface ------------------------------------------------
+
+    def select(self) -> Optional["Thread"]:
+        return self._timed("select", self.inner.select)
+
+    def enqueue(self, thread: "Thread") -> None:
+        return self._timed("enqueue", self.inner.enqueue, thread)
+
+    def dequeue(self, thread: "Thread") -> None:
+        return self._timed("dequeue", self.inner.dequeue, thread)
+
+    def quantum_end(self, thread: "Thread", used: float, quantum: float,
+                    still_runnable: bool) -> None:
+        return self._timed("quantum_end", self.inner.quantum_end,
+                           thread, used, quantum, still_runnable)
+
+    def thread_exited(self, thread: "Thread") -> None:
+        return self._timed("thread_exited", self.inner.thread_exited, thread)
+
+    # -- transparent delegation ----------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def uses_tickets(self) -> bool:
+        return self.inner.uses_tickets
+
+    def attach(self, kernel: "Kernel") -> None:
+        self.inner.attach(kernel)
+
+    def runnable_count(self) -> int:
+        return self.inner.runnable_count()
+
+    def runnable_threads(self) -> List["Thread"]:
+        return self.inner.runnable_threads()
+
+    def snapshot_state(self) -> dict:
+        return self.inner.snapshot_state()
+
+    @property
+    def draw_hook(self) -> Any:
+        # Forwarded so telemetry's hasattr/set reaches the real policy
+        # (setting it on the wrapper would observe nothing).
+        return self.inner.draw_hook
+
+    @draw_hook.setter
+    def draw_hook(self, hook: Any) -> None:
+        self.inner.draw_hook = hook
+
+    def __getattr__(self, attr: str) -> Any:
+        # Anything not explicitly wrapped (prng, compensation, ledger,
+        # draw_stats, ...) resolves on the inner policy.
+        return getattr(self.inner, attr)
+
+    # -- report --------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """Attribution in microseconds, mapped to the paper's buckets."""
+        micros = {op: self.seconds[op] * 1e6 for op in PROFILED_OPS}
+        draws = max(1, self.calls["select"])
+        return {
+            "policy": self.name,
+            "calls": dict(self.calls),
+            "us": {op: micros[op] for op in PROFILED_OPS},
+            "draw_us": micros["select"],
+            "queue_us": micros["enqueue"] + micros["dequeue"],
+            "compensation_us": (micros["quantum_end"]
+                                + micros["thread_exited"]),
+            "draw_us_per_select": micros["select"] / draws,
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _timed(self, op: str, fn: Callable[..., Any], *args: Any) -> Any:
+        began = self._clock()
+        try:
+            return fn(*args)
+        finally:
+            self.seconds[op] += self._clock() - began
+            self.calls[op] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(self.seconds.values()) * 1e6
+        return f"<ProfiledPolicy {self.name!r} total={total:.0f}us>"
+
+
+def attach_profiler(kernel: "Kernel") -> ProfiledPolicy:
+    """Swap a kernel's policy for a profiled wrapper in place.
+
+    Safe after construction: ``attach`` already ran on the inner
+    policy, and the kernel only calls the policy surface the wrapper
+    forwards.  Returns the wrapper (call :meth:`ProfiledPolicy.report`
+    when the run ends).
+    """
+    profiled = ProfiledPolicy(kernel.policy)
+    kernel.policy = profiled
+    return profiled

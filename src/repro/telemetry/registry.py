@@ -1,0 +1,195 @@
+"""Central metric registry: counters, gauges, histograms.
+
+One :class:`MetricRegistry` per :class:`~repro.telemetry.probe.Telemetry`
+hub collects every instrument the probes record into, keyed by name
+plus a sorted label set (Prometheus-style identity: ``name{k="v"}``).
+Histograms reuse :class:`repro.metrics.histogram.Histogram`, so the
+wake-to-dispatch latency distribution exported here is the same shape
+as the paper's Figure 11 waiting-time histograms.
+
+Instruments are deterministic: values derive only from virtual-time
+events, registration order is the call order of the (deterministic)
+simulation, and exporters sort by full name -- same seed, same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.metrics.histogram import Histogram
+
+__all__ = ["Counter", "Gauge", "HistogramInstrument", "MetricRegistry",
+           "render_name"]
+
+
+def render_name(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Canonical instrument identity: ``name{k="v",...}``, keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    kind = "counter"
+
+    def __init__(self, full_name: str, help: str = "") -> None:
+        self.full_name = full_name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters only go up)."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.full_name!r} cannot decrease "
+                f"(inc by {amount})"
+            )
+        self.value += amount
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, open spans)."""
+
+    kind = "gauge"
+
+    def __init__(self, full_name: str, help: str = "") -> None:
+        self.full_name = full_name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class HistogramInstrument:
+    """A fixed-bin distribution, wrapping :class:`repro.metrics.Histogram`."""
+
+    kind = "histogram"
+
+    def __init__(self, full_name: str, bin_width: float,
+                 help: str = "") -> None:
+        self.full_name = full_name
+        self.help = help
+        self.histogram = Histogram(bin_width, name=full_name)
+
+    def record(self, value: float) -> None:
+        """Record one observation (non-negative, per Histogram rules)."""
+        self.histogram.add(value)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    def mean(self) -> float:
+        return self.histogram.mean()
+
+    def percentile(self, q: float) -> float:
+        return self.histogram.percentile(q)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.histogram.count,
+            "mean": self.histogram.mean(),
+            "bins": [[start, end, count]
+                     for start, end, count in self.histogram.bins()],
+        }
+
+
+Instrument = Union[Counter, Gauge, HistogramInstrument]
+
+
+class MetricRegistry:
+    """Get-or-create registry of named instruments.
+
+    Asking twice for the same (name, labels) returns the same
+    instrument; asking for an existing name with a different kind (or a
+    histogram with a different bin width) is a wiring bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def counter(self, name: str, labels: Optional[Dict[str, str]] = None,
+                help: str = "") -> Counter:
+        return self._get_or_create(Counter, render_name(name, labels), help)
+
+    def gauge(self, name: str, labels: Optional[Dict[str, str]] = None,
+              help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, render_name(name, labels), help)
+
+    def histogram(self, name: str, bin_width: float,
+                  labels: Optional[Dict[str, str]] = None,
+                  help: str = "") -> HistogramInstrument:
+        full_name = render_name(name, labels)
+        existing = self._instruments.get(full_name)
+        if existing is not None:
+            if not isinstance(existing, HistogramInstrument):
+                raise ReproError(
+                    f"metric {full_name!r} is a {existing.kind}, not a "
+                    f"histogram"
+                )
+            if existing.histogram.bin_width != bin_width:
+                raise ReproError(
+                    f"histogram {full_name!r} re-registered with bin "
+                    f"width {bin_width:g} (was "
+                    f"{existing.histogram.bin_width:g})"
+                )
+            return existing
+        instrument = HistogramInstrument(full_name, bin_width, help)
+        self._instruments[full_name] = instrument
+        return instrument
+
+    # -- views ---------------------------------------------------------------
+
+    def get(self, name: str,
+            labels: Optional[Dict[str, str]] = None) -> Optional[Instrument]:
+        """Look up an instrument without creating it."""
+        return self._instruments.get(render_name(name, labels))
+
+    def instruments(self) -> List[Instrument]:
+        """All instruments sorted by full name (export order)."""
+        return [self._instruments[name]
+                for name in sorted(self._instruments)]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """full name -> snapshot, sorted (for JSONL export and tests)."""
+        return {instrument.full_name: instrument.snapshot_state()
+                for instrument in self.instruments()}
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"instruments": self.as_dict()}
+
+    # -- internals -----------------------------------------------------------
+
+    def _get_or_create(self, cls: type, full_name: str, help: str) -> Any:
+        existing = self._instruments.get(full_name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ReproError(
+                    f"metric {full_name!r} is a {existing.kind}, not a "
+                    f"{cls.kind}"
+                )
+            return existing
+        instrument = cls(full_name, help)
+        self._instruments[full_name] = instrument
+        return instrument
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricRegistry instruments={len(self._instruments)}>"

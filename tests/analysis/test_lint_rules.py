@@ -1,4 +1,4 @@
-"""Unit tests for every determinism-lint rule (RPR001..RPR006).
+"""Unit tests for every determinism-lint rule (RPR001..RPR009).
 
 Each rule gets positive fixtures (the hazard is flagged), negative
 fixtures (clean or out-of-zone code is not), and a noqa-suppressed
@@ -354,6 +354,101 @@ def test_rpr006_noqa_suppresses():
     assert ids(src) == []
 
 
+# -- RPR008: print in library zones -----------------------------------------
+
+
+def test_rpr008_flags_print_in_kernel_zone():
+    src = """
+    def report(thread):
+        print(thread.name)
+    """
+    assert ids(src) == ["RPR008"]
+
+
+def test_rpr008_allows_print_in_presentation_zones():
+    src = "print('table')\n"
+    assert ids(src, EXPERIMENT_PATH) == []
+    assert ids(src, "repro/cli/fixture.py") == []
+
+
+def test_rpr008_allows_print_in_main_entry_points():
+    assert ids("print('usage')\n", "repro/kernel/__main__.py") == []
+
+
+def test_rpr008_applies_outside_known_zones_of_repro():
+    # zone "" (repro top level) is still library code.
+    assert ids("print('x')\n", "repro/errors.py") == ["RPR008"]
+
+
+def test_rpr008_ignores_shadowed_print():
+    src = """
+    def report(printer):
+        printer.print("x")
+    """
+    assert ids(src) == []
+
+
+def test_rpr008_noqa_suppresses():
+    src = "print('dbg')  # repro: noqa[RPR008] -- temporary probe\n"
+    assert ids(src) == []
+
+
+# -- RPR009: recorder sink surface audit -------------------------------------
+
+
+def test_rpr009_flags_registered_sink_missing_methods():
+    src = """
+    class NullRecorder:
+        def on_dispatch(self, thread, time):
+            pass
+    """
+    findings = lint_source(textwrap.dedent(src),
+                           "repro/metrics/recorder.py")
+    assert [f.rule_id for f in findings] == ["RPR009"]
+    assert "on_exit" in findings[0].message
+
+
+def test_rpr009_full_surface_is_clean():
+    src = """
+    class NullRecorder:
+        def on_dispatch(self, thread, time):
+            pass
+
+        def on_cpu(self, thread, start, duration):
+            pass
+
+        def on_block(self, thread, time):
+            pass
+
+        def on_wake(self, thread, time):
+            pass
+
+        def on_exit(self, thread, time):
+            pass
+    """
+    assert ids(src, "repro/metrics/recorder.py") == []
+
+
+def test_rpr009_ignores_unregistered_classes():
+    src = """
+    class Helper:
+        def on_dispatch(self, thread, time):
+            pass
+    """
+    assert ids(src, "repro/metrics/recorder.py") == []
+
+
+def test_rpr009_inherited_methods_do_not_count():
+    src = """
+    class KernelProbe(NullRecorder):
+        def on_dispatch(self, thread, time):
+            pass
+    """
+    findings = lint_source(textwrap.dedent(src),
+                           "repro/telemetry/probe.py")
+    assert [f.rule_id for f in findings] == ["RPR009"]
+
+
 # -- suppression syntax -----------------------------------------------------
 
 
@@ -388,7 +483,8 @@ def test_finding_format_names_location_and_rule():
 
 def test_every_rule_has_id_summary_and_fixit():
     assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
-                          "RPR004", "RPR005", "RPR006", "RPR007"}
+                          "RPR004", "RPR005", "RPR006", "RPR007",
+                          "RPR008", "RPR009"}
     for rule in RULES.values():
         assert rule.summary and rule.fixit and rule.slug
 

@@ -70,3 +70,33 @@ class TestWindowedCounter:
             counter.window_rates(window=0, horizon=10)
         with pytest.raises(ReproError):
             counter.cumulative_series(sample_every=0, horizon=10)
+
+
+class TestWindowBoundaries:
+    def test_event_on_exact_window_boundary_counts_in_earlier_window(self):
+        counter = WindowedCounter()
+        counter.add(10.0, 1)  # exactly at the first window's closing edge
+        rates = counter.window_rates(window=10.0, horizon=20.0, unit=10.0)
+        # (start, end] windows: the event at t=10 belongs to (0, 10].
+        assert rates == [(0.0, 1.0), (10.0, 0.0)]
+
+    def test_rollover_preserves_totals_across_windows(self):
+        counter = WindowedCounter()
+        for time in (1.0, 10.0, 10.0, 20.0, 29.0):
+            counter.add(time, 1)
+        rates = counter.window_rates(window=10.0, horizon=30.0, unit=10.0)
+        assert [r for _, r in rates] == [3.0, 1.0, 1.0]
+        assert counter.total == 5
+
+    def test_partial_trailing_window_rate_normalized_by_span(self):
+        counter = WindowedCounter()
+        counter.add(24.0, 2)
+        rates = counter.window_rates(window=10.0, horizon=25.0, unit=10.0)
+        # Final window spans (20, 25]: 2 events over 5ms at unit=10.
+        assert rates[-1] == (20.0, 4.0)
+
+    def test_count_between_is_half_open(self):
+        counter = WindowedCounter()
+        counter.add(10.0, 1)
+        assert counter.count_between(0.0, 10.0) == 1.0
+        assert counter.count_between(10.0, 20.0) == 0.0

@@ -49,3 +49,36 @@ class TestHistogram:
         rendered = histogram.render()
         assert len(rendered.splitlines()) == 2
         assert "#" in rendered
+
+
+class TestEmptyHistogram:
+    def test_percentiles_on_empty_histogram_are_zero(self):
+        histogram = Histogram(10.0)
+        for q in (0, 50, 95, 100):
+            assert histogram.percentile(q) == 0.0
+
+    def test_empty_histogram_summary_stats(self):
+        histogram = Histogram(10.0)
+        assert histogram.count == 0
+        assert histogram.mean() == 0.0
+        assert histogram.stdev() == 0.0
+        assert histogram.bins() == []
+
+    def test_percentile_bounds_still_enforced_when_empty(self):
+        histogram = Histogram(10.0)
+        with pytest.raises(ReproError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ReproError):
+            histogram.percentile(100.1)
+
+
+class TestBinBoundaries:
+    def test_value_on_exact_bin_boundary_opens_the_next_bin(self):
+        histogram = Histogram(10.0)
+        histogram.add(10.0)
+        assert histogram.bins() == [(10.0, 20.0, 1)]
+
+    def test_zero_lands_in_first_bin(self):
+        histogram = Histogram(10.0)
+        histogram.add(0.0)
+        assert histogram.bins() == [(0.0, 10.0, 1)]

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.kernel.syscalls import Compute, Sleep
-from repro.metrics.recorder import KernelRecorder, NullRecorder
+from repro.errors import ReproError
+from repro.metrics.recorder import (KernelEventSink, KernelRecorder,
+                                    NullRecorder, RecorderMux)
 from tests.conftest import make_lottery_kernel, spin_body
 
 
@@ -67,3 +69,102 @@ class TestKernelRecorder:
         thread = kernel.spawn(spin_body(), "t", tickets=10, start=False)
         assert recorder.cpu_time(thread) == 0.0
         assert recorder.cpu_share(thread, 0, 100) == 0.0
+
+
+class TestRecorderMux:
+    def _events(self, tag, log):
+        class Sink:
+            def on_dispatch(self, thread, time):
+                log.append((tag, "dispatch"))
+
+            def on_cpu(self, thread, start, duration):
+                log.append((tag, "cpu"))
+
+            def on_block(self, thread, time):
+                log.append((tag, "block"))
+
+            def on_wake(self, thread, time):
+                log.append((tag, "wake"))
+
+            def on_exit(self, thread, time):
+                log.append((tag, "exit"))
+
+        return Sink()
+
+    def test_fan_out_in_attach_order(self):
+        log = []
+        mux = RecorderMux(self._events("a", log), self._events("b", log))
+        mux.on_dispatch(None, 0.0)
+        mux.on_exit(None, 1.0)
+        assert log == [("a", "dispatch"), ("b", "dispatch"),
+                       ("a", "exit"), ("b", "exit")]
+
+    def test_add_rejects_partial_sinks_listing_missing_methods(self):
+        class Deaf:
+            def on_dispatch(self, thread, time):
+                pass
+
+        with pytest.raises(ReproError) as excinfo:
+            RecorderMux(Deaf())
+        message = str(excinfo.value)
+        for name in ("on_cpu", "on_block", "on_wake", "on_exit"):
+            assert name in message
+
+    def test_mux_cannot_contain_itself(self):
+        mux = RecorderMux()
+        with pytest.raises(ReproError, match="cannot contain itself"):
+            mux.add(mux)
+
+    def test_remove_is_order_preserving_and_forgiving(self):
+        log = []
+        a, b = self._events("a", log), self._events("b", log)
+        mux = RecorderMux(a, b)
+        mux.remove(a)
+        mux.remove(a)  # absent: no-op
+        mux.on_block(None, 0.0)
+        assert log == [("b", "block")]
+        assert len(mux) == 1
+
+    def test_known_sinks_satisfy_the_protocol(self):
+        from repro.checkpoint.replay import ReplayRecorder
+        from repro.kernel.trace import SchedulerTrace
+
+        for sink in (KernelRecorder(), NullRecorder(), RecorderMux(),
+                     SchedulerTrace(), ReplayRecorder()):
+            assert isinstance(sink, KernelEventSink)
+
+
+class TestAttachRecorder:
+    def test_slot_upgrades_to_mux_and_back(self):
+        kernel = make_lottery_kernel()
+        first = NullRecorder()
+        second = KernelRecorder()
+        kernel.attach_recorder(first)
+        assert kernel.recorder is first  # single sink: no mux yet
+        kernel.attach_recorder(second)
+        assert isinstance(kernel.recorder, RecorderMux)
+        assert kernel.recorder.sinks == [first, second]
+        kernel.detach_recorder(first)
+        kernel.detach_recorder(second)
+        assert (kernel.recorder is None
+                or len(kernel.recorder) == 0)
+
+    def test_detach_single_sink_clears_slot(self):
+        kernel = make_lottery_kernel()
+        sink = NullRecorder()
+        kernel.attach_recorder(sink)
+        kernel.detach_recorder(sink)
+        assert kernel.recorder is None
+
+    def test_all_muxed_sinks_observe_the_run(self):
+        kernel = make_lottery_kernel(seed=9)
+        accounting = KernelRecorder()
+        from repro.checkpoint.replay import ReplayRecorder
+
+        replay = ReplayRecorder()
+        kernel.attach_recorder(accounting)
+        kernel.attach_recorder(replay)
+        kernel.spawn(spin_body(), "t", tickets=10)
+        kernel.run_until(1000)
+        assert replay.entries and accounting.dispatch_log
+        assert len(replay.entries) == len(accounting.dispatch_log)

@@ -1,0 +1,164 @@
+"""KernelProbe + Telemetry hub: spans from live kernels, zero perturbation."""
+
+from repro.checkpoint.registry import build_recipe
+from repro.checkpoint.replay import ReplayRecorder
+from repro.kernel.ipc import Port
+from repro.kernel.syscalls import Call, Compute, Receive, Reply
+from repro.telemetry import Telemetry
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+def _spans(hub, name):
+    return [s for s in hub.tracer.spans if s.name == name]
+
+
+class TestQuantumSpans:
+    def test_one_quantum_span_per_dispatch(self):
+        kernel = make_lottery_kernel(seed=7)
+        hub = Telemetry()
+        probe = hub.instrument_kernel(kernel)
+        kernel.spawn(spin_body(), "a", tickets=100)
+        kernel.spawn(spin_body(), "b", tickets=300)
+        kernel.run_until(2000)
+        hub.finalize(kernel.now)
+        quanta = _spans(hub, "quantum")
+        assert len(quanta) == probe._dispatches.value > 0
+        assert all(s.category == "kernel" for s in quanta)
+        assert all(s.end is not None and s.end >= s.start for s in quanta)
+
+    def test_quantum_outcomes(self):
+        kernel = make_lottery_kernel(seed=7)
+        hub = Telemetry()
+        hub.instrument_kernel(kernel)
+        port = Port(kernel, "p")
+
+        def blocker(ctx):
+            yield Compute(10.0)
+            yield Receive(port)  # blocks forever
+
+        def finisher(ctx):
+            yield Compute(10.0)
+
+        kernel.spawn(blocker, "blocker", tickets=100)
+        kernel.spawn(finisher, "finisher", tickets=100)
+        kernel.spawn(spin_body(), "spinner", tickets=100)
+        kernel.run_until(2000)
+        hub.finalize(kernel.now)
+        outcomes = {s.attrs.get("outcome") for s in _spans(hub, "quantum")}
+        assert {"block", "exit", "preempt"} <= outcomes
+
+    def test_wake_to_dispatch_latency_recorded_by_share_band(self):
+        kernel = make_lottery_kernel(seed=7)
+        hub = Telemetry()
+        hub.instrument_kernel(kernel)
+        kernel.spawn(spin_body(), "small", tickets=100)
+        kernel.spawn(spin_body(), "large", tickets=900)
+        kernel.run_until(5000)
+        hub.finalize(kernel.now)
+        latency = [i for i in hub.registry.instruments()
+                   if i.full_name.startswith("repro_wake_to_dispatch_ms")]
+        assert latency and sum(i.count for i in latency) > 0
+        assert any('share="50-100%"' in i.full_name for i in latency)
+
+
+class TestLotteryDraws:
+    def test_draw_events_mirror_draw_counter(self):
+        kernel = make_lottery_kernel(seed=11)
+        hub = Telemetry()
+        hub.instrument_kernel(kernel)
+        kernel.spawn(spin_body(), "a", tickets=100)
+        kernel.spawn(spin_body(), "b", tickets=100)
+        kernel.run_until(1000)
+        hub.finalize(kernel.now)
+        draws = _spans(hub, "lottery.draw")
+        counter = hub.registry.get('repro_lottery_draws_total{track="kernel"}')
+        assert draws and counter is not None
+        assert len(draws) == counter.value
+        sample = draws[0].attrs
+        assert sample["funding"] > 0 and sample["total"] >= sample["funding"]
+        assert isinstance(sample["prng_state"], int)
+
+
+class TestIpcSpans:
+    def test_rpc_lifetime_becomes_a_span(self):
+        kernel = make_lottery_kernel(seed=5)
+        hub = Telemetry()
+        hub.instrument_kernel(kernel)
+        port = Port(kernel, "echo")
+        replies = []
+
+        def server(ctx):
+            while True:
+                request = yield Receive(port)
+                yield Compute(10.0)
+                yield Reply(request, f"echo:{request.message}")
+
+        def client(ctx):
+            response = yield Call(port, "ping")
+            replies.append(response)
+
+        kernel.spawn(server, "server", tickets=100)
+        kernel.spawn(client, "client", tickets=100)
+        kernel.run_until(5000)
+        hub.finalize(kernel.now)
+        assert replies == ["echo:ping"]
+        calls = _spans(hub, "ipc.call")
+        rpcs = _spans(hub, "ipc.rpc")
+        assert len(calls) == len(rpcs) == 1
+        assert rpcs[0].attrs["port"] == "echo"
+        assert rpcs[0].duration >= 10.0
+        assert hub.registry.get(
+            'repro_ipc_replies_total{track="kernel"}').value == 1
+
+
+class TestClusterAndFaults:
+    def test_chaos_run_yields_migration_and_fault_spans(self):
+        handle = build_recipe("chaos-fairness", {"seed": 2718})
+        hub = Telemetry().instrument_handle(handle)
+        handle.advance(120_000.0)
+        hub.finalize(handle.now)
+        counts = hub.tracer.counts()
+        names = {name for _, name in counts}
+        assert any(n.startswith("fault.") for n in names)
+        assert "cluster.evacuate" in names or "cluster.migrate" in names
+        assert ("kernel", "quantum") in counts
+        tracks = hub.tracer.tracks()
+        assert "kernel" not in tracks  # probes use the node names
+        assert len([t for t in tracks if t.startswith("node")]) >= 2
+        hub.close()
+
+
+class TestNoPerturbation:
+    def _dispatch_stream(self, instrument: bool):
+        kernel = make_lottery_kernel(seed=42)
+        replay = ReplayRecorder()
+        kernel.attach_recorder(replay)
+        hub = None
+        if instrument:
+            hub = Telemetry()
+            hub.instrument_kernel(kernel)
+        kernel.spawn(spin_body(), "a", tickets=100)
+        kernel.spawn(spin_body(), "b", tickets=200)
+        kernel.spawn(spin_body(), "c", tickets=700)
+        kernel.run_until(5000)
+        if hub is not None:
+            hub.finalize(kernel.now)
+            hub.close()
+        return replay.entries
+
+    def test_instrumentation_does_not_change_dispatch_stream(self):
+        assert self._dispatch_stream(False) == self._dispatch_stream(True)
+
+
+class TestDetach:
+    def test_close_restores_kernel_and_policy(self):
+        kernel = make_lottery_kernel(seed=3)
+        assert kernel.recorder is None
+        hub = Telemetry()
+        hub.instrument_kernel(kernel)
+        assert kernel.telemetry is hub
+        assert kernel.policy.draw_hook is not None
+        hub.close()
+        assert kernel.recorder is None
+        assert kernel.telemetry is None
+        assert kernel.policy.draw_hook is None

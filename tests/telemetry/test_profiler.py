@@ -1,0 +1,75 @@
+"""ProfiledPolicy: transparent wrapping, attribution math, no perturbation."""
+
+from repro.checkpoint.replay import ReplayRecorder
+from repro.telemetry import ProfiledPolicy, attach_profiler
+from repro.telemetry.profiler import PROFILED_OPS
+from tests.conftest import make_lottery_kernel, spin_body
+
+
+def _run(kernel, until=3000):
+    kernel.spawn(spin_body(), "a", tickets=100)
+    kernel.spawn(spin_body(), "b", tickets=300)
+    kernel.run_until(until)
+
+
+class TestTransparency:
+    def test_dispatch_stream_unchanged_by_profiler(self):
+        streams = []
+        for profiled in (False, True):
+            kernel = make_lottery_kernel(seed=21)
+            replay = ReplayRecorder()
+            kernel.attach_recorder(replay)
+            if profiled:
+                attach_profiler(kernel)
+            _run(kernel)
+            streams.append(replay.entries)
+        assert streams[0] == streams[1]
+
+    def test_wrapper_delegates_attributes(self):
+        kernel = make_lottery_kernel(seed=21)
+        inner = kernel.policy
+        wrapper = attach_profiler(kernel)
+        assert kernel.policy is wrapper
+        assert wrapper.name == inner.name
+        assert wrapper.uses_tickets == inner.uses_tickets
+        assert wrapper.prng is inner.prng
+
+    def test_draw_hook_reaches_inner_policy(self):
+        kernel = make_lottery_kernel(seed=21)
+        inner = kernel.policy
+        wrapper = attach_profiler(kernel)
+        seen = []
+
+        def hook(draw):
+            seen.append(draw)
+
+        wrapper.draw_hook = hook
+        assert inner.draw_hook is hook
+        assert wrapper.draw_hook is hook
+        _run(kernel, until=500)
+        assert seen and "winner" in seen[0]
+
+
+class TestReport:
+    def test_counts_and_bucket_math(self):
+        kernel = make_lottery_kernel(seed=21)
+        wrapper = attach_profiler(kernel)
+        _run(kernel)
+        report = wrapper.report()
+        assert report["policy"] == kernel.policy.name
+        calls, us = report["calls"], report["us"]
+        assert set(calls) == set(us) == set(PROFILED_OPS)
+        assert calls["select"] > 0
+        assert calls["enqueue"] >= 2  # the two spawned threads
+        assert report["draw_us"] == us["select"]
+        assert report["queue_us"] == us["enqueue"] + us["dequeue"]
+        assert (report["compensation_us"]
+                == us["quantum_end"] + us["thread_exited"])
+        assert report["draw_us_per_select"] > 0
+
+    def test_fresh_wrapper_reports_zero_per_select(self):
+        kernel = make_lottery_kernel(seed=21)
+        wrapper = ProfiledPolicy(kernel.policy)
+        report = wrapper.report()
+        assert report["draw_us_per_select"] == 0.0
+        assert all(v == 0 for v in report["calls"].values())

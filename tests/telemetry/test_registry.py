@@ -1,0 +1,96 @@
+"""MetricRegistry: identity, kinds, and instrument semantics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.registry import MetricRegistry, render_name
+
+
+class TestIdentity:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricRegistry()
+        a = registry.counter("dispatches", {"track": "node0"})
+        b = registry.counter("dispatches", {"track": "node0"})
+        assert a is b
+        assert len(registry) == 1
+
+    def test_labels_render_sorted(self):
+        assert render_name("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+        assert render_name("m") == "m"
+
+    def test_label_order_does_not_split_identity(self):
+        registry = MetricRegistry()
+        a = registry.counter("m", {"x": "1", "y": "2"})
+        b = registry.counter("m", {"y": "2", "x": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("m")
+        with pytest.raises(ReproError, match="is a counter"):
+            registry.gauge("m")
+        with pytest.raises(ReproError, match="not a histogram"):
+            registry.histogram("m", 5.0)
+
+    def test_histogram_bin_width_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.histogram("h", 5.0)
+        with pytest.raises(ReproError, match="bin "):
+            registry.histogram("h", 10.0)
+
+    def test_get_does_not_create(self):
+        registry = MetricRegistry()
+        assert registry.get("missing") is None
+        assert len(registry) == 0
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self):
+        registry = MetricRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ReproError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_delegates_to_metrics_histogram(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("h", 5.0)
+        for value in (1.0, 6.0, 11.0):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.mean() == pytest.approx(6.0)
+        assert histogram.percentile(100) == 11.0
+
+    def test_histogram_rejects_negative_observations(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("h", 5.0)
+        with pytest.raises(ReproError):
+            histogram.record(-1.0)
+
+
+class TestExportViews:
+    def test_instruments_sorted_by_full_name(self):
+        registry = MetricRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        registry.gauge("m", {"k": "v"})
+        names = [i.full_name for i in registry.instruments()]
+        assert names == sorted(names)
+
+    def test_as_dict_snapshots(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", 5.0).record(7.0)
+        snapshot = registry.as_dict()
+        assert snapshot["c"] == {"kind": "counter", "value": 2.0}
+        assert snapshot["h"]["kind"] == "histogram"
+        assert snapshot["h"]["bins"] == [[5.0, 10.0, 1]]

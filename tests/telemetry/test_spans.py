@@ -1,0 +1,130 @@
+"""SpanTracer: nesting, bounds, finalization."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.spans import Span, SpanTracer
+
+
+class TestNesting:
+    def test_child_gets_parent_sid(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("k", "quantum", "kernel", 0.0)
+        inner = tracer.event("k", "lottery.draw", "scheduler", 0.0)
+        assert inner.parent == outer.sid
+        tracer.end(outer, 20.0)
+        assert outer.parent is None
+
+    def test_nesting_is_per_track(self):
+        tracer = SpanTracer()
+        tracer.begin("a", "quantum", "kernel", 0.0)
+        other = tracer.event("b", "lottery.draw", "scheduler", 0.0)
+        assert other.parent is None
+
+    def test_stack_pops_on_end(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("k", "outer", "kernel", 0.0)
+        inner = tracer.begin("k", "inner", "kernel", 1.0)
+        tracer.end(inner, 2.0)
+        tracer.end(outer, 3.0)
+        assert tracer.open_spans() == []
+        # Completion order: inner first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_complete_spans_do_not_nest(self):
+        tracer = SpanTracer()
+        tracer.begin("k", "quantum", "kernel", 0.0)
+        rpc = tracer.complete("k", "ipc.rpc", "ipc", 5.0, 50.0)
+        assert rpc.parent is None
+
+    def test_sids_are_sequential(self):
+        tracer = SpanTracer()
+        sids = [tracer.event("k", "e", "kernel", float(i)).sid
+                for i in range(5)]
+        assert sids == [0, 1, 2, 3, 4]
+
+
+class TestBounds:
+    def test_drop_oldest_beyond_max(self):
+        tracer = SpanTracer(max_spans=3)
+        for i in range(5):
+            tracer.event("k", f"e{i}", "kernel", float(i))
+        assert len(tracer) == 3
+        assert tracer.dropped_spans == 2
+        assert [s.name for s in tracer.spans] == ["e2", "e3", "e4"]
+
+    def test_strict_mode_raises_instead(self):
+        tracer = SpanTracer(max_spans=1, strict=True)
+        tracer.event("k", "e0", "kernel", 0.0)
+        with pytest.raises(ReproError, match="overflow"):
+            tracer.event("k", "e1", "kernel", 1.0)
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ReproError):
+            SpanTracer(max_spans=0)
+
+
+class TestEndValidation:
+    def test_negative_duration_rejected(self):
+        tracer = SpanTracer()
+        span = tracer.begin("k", "quantum", "kernel", 10.0)
+        with pytest.raises(ReproError, match="end before it started"):
+            tracer.end(span, 5.0)
+
+    def test_double_end_rejected(self):
+        tracer = SpanTracer()
+        span = tracer.begin("k", "quantum", "kernel", 0.0)
+        tracer.end(span, 1.0)
+        with pytest.raises(ReproError, match="already ended"):
+            tracer.end(span, 2.0)
+
+    def test_complete_negative_duration_rejected(self):
+        tracer = SpanTracer()
+        with pytest.raises(ReproError, match="negative duration"):
+            tracer.complete("k", "ipc.rpc", "ipc", 10.0, 5.0)
+
+
+class TestFinalize:
+    def test_finalize_closes_all_open_spans(self):
+        tracer = SpanTracer()
+        tracer.begin("a", "quantum", "kernel", 0.0)
+        tracer.begin("a", "inner", "kernel", 5.0)
+        tracer.begin("b", "quantum", "kernel", 2.0)
+        closed = tracer.finalize(100.0)
+        assert closed == 3
+        assert tracer.open_spans() == []
+        assert all(s.end == 100.0 for s in tracer.spans)
+        assert all(s.attrs.get("finalized") for s in tracer.spans)
+
+
+class TestSpanValue:
+    def test_round_trip_dict(self):
+        span = Span(sid=7, parent=2, track="k", name="quantum",
+                    category="kernel", start=1.0, end=21.0,
+                    attrs={"thread": "w0"})
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_duration_and_instant(self):
+        tracer = SpanTracer()
+        instant = tracer.event("k", "e", "kernel", 3.0)
+        assert instant.instant and instant.duration == 0.0
+        span = tracer.begin("k", "q", "kernel", 0.0)
+        assert span.duration == 0.0  # open
+        tracer.end(span, 20.0)
+        assert span.duration == 20.0 and not span.instant
+
+    def test_counts_by_category_and_name(self):
+        tracer = SpanTracer()
+        tracer.event("k", "a", "kernel", 0.0)
+        tracer.event("k", "a", "kernel", 1.0)
+        tracer.event("k", "b", "ipc", 2.0)
+        assert tracer.counts() == {("kernel", "a"): 2, ("ipc", "b"): 1}
+
+    def test_snapshot_state_summarizes(self):
+        tracer = SpanTracer(max_spans=10)
+        tracer.begin("k", "q", "kernel", 0.0)
+        tracer.event("k", "e", "kernel", 1.0)
+        state = tracer.snapshot_state()
+        assert state["completed"] == 1
+        assert state["open"] == {"k": 1}
+        assert state["next_sid"] == 2
