@@ -38,6 +38,11 @@ RPR009    a class registered as a recorder sink
           (``repro.metrics.recorder.RECORDER_SINKS``) does not itself
           define the full kernel event surface -- a sink silently deaf
           to an event kind
+RPR010    per-draw linear revaluation: a loop (or comprehension) inside
+          a scheduler ``select()`` calls a ticket valuation
+          (``funding()``/``base_value()``/``nominal_funding()``),
+          making every dispatch O(n) in runnable threads; valuations
+          belong in the funding cache, invalidated on mutation
 ========  ==============================================================
 
 A finding on a line can be suppressed with an inline comment::
@@ -167,6 +172,17 @@ RULES: Dict[str, Rule] = {
             "sink silently deaf",
             None,
         ),
+        Rule(
+            "RPR010",
+            "per-draw-linear-revaluation",
+            "ticket valuation called inside a loop in a scheduler "
+            "select()",
+            "read cached holder.funding() outside the loop, or track "
+            "dirty members and revalue only those (see the funding "
+            "cache in repro.core.tickets); a full rescan per draw "
+            "makes every dispatch O(n) in runnable threads",
+            ("schedulers",),
+        ),
     )
 }
 
@@ -201,6 +217,9 @@ _ORDER_INSENSITIVE_REDUCERS = frozenset({
 
 #: Identifier stems that mark an expression as a ticket quantity.
 _AMOUNT_STEMS = ("amount", "ticket", "funding", "bonus")
+
+#: Method names whose call constitutes a ticket valuation (RPR010).
+_VALUATION_METHODS = frozenset({"funding", "base_value", "nominal_funding"})
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?")
 
@@ -382,6 +401,8 @@ class _Visitor(ast.NodeVisitor):
         self._exempt_comprehensions: set = set()
         #: Loop nesting depth (for the RPR006 retry-loop pattern).
         self._loop_depth = 0
+        #: Nesting depth of ``select`` method definitions (RPR010).
+        self._select_depth = 0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -525,6 +546,7 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter, node)
+        self._check_per_draw_revaluation(node)
         self._loop_depth += 1
         self.generic_visit(node)
         self._loop_depth -= 1
@@ -533,6 +555,7 @@ class _Visitor(ast.NodeVisitor):
         if id(node) not in self._exempt_comprehensions:
             for generator in node.generators:  # type: ignore[attr-defined]
                 self._check_iteration(generator.iter, node)
+        self._check_per_draw_revaluation(node)
         self.generic_visit(node)
 
     visit_ListComp = _visit_comprehension
@@ -540,9 +563,39 @@ class _Visitor(ast.NodeVisitor):
     visit_DictComp = _visit_comprehension
     visit_GeneratorExp = _visit_comprehension
 
+    # -- RPR010: per-draw linear revaluation -------------------------------
+
+    def _check_per_draw_revaluation(self, node: ast.AST) -> None:
+        """Flag a loop inside a ``select()`` that revalues tickets.
+
+        Walks the loop/comprehension subtree (excluding nested loops,
+        which report themselves) for calls to the valuation methods;
+        one finding per loop, anchored at the loop header.
+        """
+        if self._select_depth == 0 or not self._applies("RPR010"):
+            return
+        inner_loops: set = set()
+        for sub in ast.walk(node):
+            if sub is not node and isinstance(
+                    sub, (ast.For, ast.While, *_COMPREHENSIONS)):
+                inner_loops.update(id(child) for child in ast.walk(sub))
+        for sub in ast.walk(node):
+            if id(sub) in inner_loops:
+                continue
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    sub.func.attr in _VALUATION_METHODS:
+                self._report(
+                    "RPR010", node,
+                    f"ticket valuation .{sub.func.attr}() inside a loop "
+                    f"in select(): every draw rescans the ledger",
+                )
+                return
+
     # -- RPR006: hand-rolled retry loops -----------------------------------
 
     def visit_While(self, node: ast.While) -> None:
+        self._check_per_draw_revaluation(node)
         self._loop_depth += 1
         self.generic_visit(node)
         self._loop_depth -= 1
@@ -634,7 +687,12 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        in_select = node.name == "select"
+        if in_select:
+            self._select_depth += 1
         self.generic_visit(node)
+        if in_select:
+            self._select_depth -= 1
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)

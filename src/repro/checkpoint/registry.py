@@ -179,9 +179,10 @@ SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
                     "idle_time", "kills", "_idle_since", "tasks", "threads",
                     "ports", "policy", "ledger", "engine"},
         # Observers, fault seams, and hooks are re-wired by the recipe,
-        # not restored from data.
+        # not restored from data; the instant-syscall handler table is
+        # a pure function of the kernel's bound methods.
         "transient": {"recorder", "quantum_jitter", "ipc_faults",
-                      "invariant_hooks", "telemetry"},
+                      "invariant_hooks", "telemetry", "_instant_handlers"},
     },
     "repro.kernel.thread.Thread": {
         "covered": {"tid", "task", "state", "priority", "funding_currency",
@@ -206,10 +207,11 @@ SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
         "covered": {"prng", "_use_tree", "_static_funding",
                     "_zero_funding_fallback", "lotteries_held",
                     "fallback_selections", "compensation", "_tree", "_list"},
-        # ledger is captured at the kernel level; _members is a derived
-        # membership index over the active structure; draw_hook is a
-        # telemetry observer, forbidden from mutating scheduling state.
-        "transient": {"kernel", "ledger", "_members", "draw_hook"},
+        # ledger is captured at the kernel level; _members and _dirty
+        # are derived indexes over the active structure (membership and
+        # pending revaluations); draw_hook is a telemetry observer,
+        # forbidden from mutating scheduling state.
+        "transient": {"kernel", "ledger", "_members", "_dirty", "draw_hook"},
     },
     "repro.distributed.cluster.Cluster": {
         "covered": {"engine", "ledger", "rebalance_period", "migrations",

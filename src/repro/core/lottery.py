@@ -154,6 +154,12 @@ class ListLottery(Generic[ClientT]):
         """Current client order (head first)."""
         return list(self._clients)
 
+    def head(self) -> ClientT:
+        """The client at the head of the list (no copy)."""
+        if not self._clients:
+            raise EmptyLotteryError("lottery has no clients")
+        return self._clients[0]
+
     # -- drawing ----------------------------------------------------------------
 
     def total(self) -> float:
@@ -284,10 +290,18 @@ class TreeLottery(Generic[ClientT]):
     # -- values ------------------------------------------------------------------
 
     def set_value(self, client: ClientT, value: float) -> None:
-        """Update a client's ticket value (O(log n))."""
+        """Update a client's ticket value (O(log n); no-op if unchanged).
+
+        Skipping an identical value is bit-exact: every Fenwick node is
+        recomputed from the stored values (see :meth:`_fenwick_refresh`),
+        so an update that does not change ``_values`` cannot change any
+        node either.
+        """
         if value < 0:
             raise SchedulerError(f"negative lottery value {value!r}")
         slot = self._require_slot(client)
+        if self._values[slot] == value:
+            return
         self._values[slot] = value
         self._fenwick_refresh(slot)
 

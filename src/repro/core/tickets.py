@@ -32,11 +32,24 @@ of the funding graph, assigns unique names, and provides the
 create/destroy/fund/unfund/value operations of the minimal kernel
 interface (section 4.3), plus cached valuation ("currency conversions
 can be accelerated by caching values or exchange rates").
+
+Valuation caching happens at two levels, both with **exact**
+invalidation (a cached value is only ever served when a recomputation
+would produce the bit-identical float):
+
+* each currency caches its base value per ledger epoch (any mutation
+  bumps the epoch);
+* each holder caches its :meth:`TicketHolder.funding`, invalidated
+  along the funding graph's actual dependency edges -- a mutation of a
+  currency's value or active amount invalidates exactly the holders
+  downstream of it, so a draw over N statically funded threads costs N
+  cached reads instead of N graph walks, and the tree scheduler can
+  skip untouched members entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.errors import (
     CurrencyCycleError,
@@ -44,7 +57,31 @@ from repro.errors import (
     TicketError,
 )
 
-__all__ = ["Ticket", "Currency", "TicketHolder", "Ledger", "FundingTarget"]
+__all__ = ["Ticket", "Currency", "TicketHolder", "Ledger", "FundingTarget",
+           "set_funding_cache_enabled", "funding_cache_enabled"]
+
+#: Escape hatch for the perf equivalence suite: with caching disabled,
+#: every funding() call recomputes from the live graph (the pre-cache
+#: behaviour), while the dirty-flag/watcher bookkeeping stays identical.
+_funding_cache_enabled = True
+
+
+def set_funding_cache_enabled(enabled: bool) -> bool:
+    """Toggle holder funding caching; returns the previous setting.
+
+    Test-only seam (see ``tests/perf/test_equivalence.py``): running the
+    same seeded workload with the cache on and off must produce
+    bit-identical dispatch streams and checkpoint checksums.
+    """
+    global _funding_cache_enabled
+    previous = _funding_cache_enabled
+    _funding_cache_enabled = bool(enabled)
+    return previous
+
+
+def funding_cache_enabled() -> bool:
+    """Whether holder funding values are currently served from cache."""
+    return _funding_cache_enabled
 
 
 class TicketHolder:
@@ -56,24 +93,63 @@ class TicketHolder:
     only for diagnostics.
     """
 
+    __slots__ = ("name", "tickets", "_competing", "funding_currency",
+                 "_funding_value", "_funding_dirty", "_funding_watcher")
+
     def __init__(self, name: str = "holder") -> None:
         self.name = name
         self.tickets: List[Ticket] = []
         #: True while this holder competes in lotteries; mirrors
         #: run-queue membership for kernel threads.
         self._competing = False
+        #: Denomination of this holder's own tickets, consulted by
+        #: :mod:`repro.core.transfers` when sizing a transfer out of a
+        #: blocked holder; kernel threads set it to the task currency.
+        self.funding_currency: Optional["Currency"] = None
+        # Funding cache: recomputed lazily, invalidated exactly along
+        # the funding graph's dependency edges (see module docstring).
+        self._funding_value: float = 0
+        self._funding_dirty = True
+        #: Optional observer called with this holder when its cached
+        #: funding is invalidated; the tree scheduler uses it to keep a
+        #: dirty set instead of revaluing every member per draw.
+        self._funding_watcher: Optional[Callable[["TicketHolder"], None]] = None
 
     # -- ticket bookkeeping ------------------------------------------------
 
     def _attach(self, ticket: "Ticket") -> None:
         self.tickets.append(ticket)
+        self._invalidate_funding()
         if self._competing:
             ticket.activate()
 
     def _detach(self, ticket: "Ticket") -> None:
         self.tickets.remove(ticket)
+        self._invalidate_funding()
         if ticket.active:
             ticket.deactivate()
+
+    # -- funding-cache invalidation ----------------------------------------
+
+    def _invalidate_funding(self) -> None:
+        """Mark the cached funding stale and notify the watcher.
+
+        Idempotent until the next :meth:`funding` call recomputes; the
+        watcher therefore fires once per dirty period, which is exactly
+        the granularity a scheduler's dirty set needs.
+        """
+        if not self._funding_dirty:
+            self._funding_dirty = True
+            if self._funding_watcher is not None:
+                self._funding_watcher(self)
+
+    def watch_funding(self, watcher: Callable[["TicketHolder"], None]) -> None:
+        """Install the (single) funding-invalidation observer."""
+        self._funding_watcher = watcher
+
+    def unwatch_funding(self) -> None:
+        """Remove the funding-invalidation observer (idempotent)."""
+        self._funding_watcher = None
 
     # -- activation --------------------------------------------------------
 
@@ -102,8 +178,26 @@ class TicketHolder:
     # -- valuation ----------------------------------------------------------
 
     def funding(self) -> float:
-        """Total base-unit value of this holder's active tickets."""
-        return sum(t.base_value() for t in self.tickets if t.active)
+        """Total base-unit value of this holder's active tickets.
+
+        Served from the holder's cache when clean; the recomputation
+        below is the defining sum, and invalidation is exact, so the
+        cached and recomputed values are bit-identical by construction
+        (proven by the perf equivalence suite against pinned replay
+        checksums).
+        """
+        if self._funding_dirty or not _funding_cache_enabled:
+            # Starts from int 0 exactly like the historical
+            # sum()-over-generator so an unfunded holder still reports
+            # int 0 in snapshot state trees (canonical JSON
+            # distinguishes 0 from 0.0).
+            total = 0
+            for ticket in self.tickets:
+                if ticket._active:
+                    total = total + ticket.base_value()
+            self._funding_value = total
+            self._funding_dirty = False
+        return self._funding_value
 
     def nominal_funding(self) -> float:
         """Base-unit value as if the whole funding graph were active.
@@ -200,6 +294,11 @@ class Ticket:
         if self._active:
             self.currency._adjust_active(amount - self._amount)
         self._amount = amount
+        if self._active:
+            # _adjust_active invalidates downstream of sibling tickets;
+            # a base-denominated ticket (whose value IS its amount) is
+            # exempt from that walk, so cover our own target here.
+            self._invalidate_target()
         self.currency._ledger._bump_epoch()
 
     # -- funding edges -------------------------------------------------------
@@ -251,6 +350,7 @@ class Ticket:
             return
         self._active = True
         self.currency._adjust_active(self._amount)
+        self._invalidate_target()
 
     def deactivate(self) -> None:
         """Mark this ticket inactive and propagate into its denomination."""
@@ -258,6 +358,22 @@ class Ticket:
             return
         self._active = False
         self.currency._adjust_active(-self._amount)
+        self._invalidate_target()
+
+    def _invalidate_target(self) -> None:
+        """Invalidate whatever this ticket's value flows into.
+
+        A holder target's cached funding goes stale directly; a currency
+        target's value changed, which cascades to everything funded
+        downstream of it.
+        """
+        target = self.target
+        if target is None:
+            return
+        if isinstance(target, Currency):
+            target._invalidate_downstream()
+        else:
+            target._invalidate_funding()
 
     # -- valuation -----------------------------------------------------------
 
@@ -314,6 +430,9 @@ class Ticket:
 class Currency:
     """A named denomination for tickets (paper sections 3.3 and 4.4)."""
 
+    __slots__ = ("name", "is_base", "_ledger", "_backing", "_issued",
+                 "_active_amount", "_cached_value", "_cached_epoch")
+
     def __init__(self, name: str, ledger: "Ledger", is_base: bool = False) -> None:
         self.name = name
         self.is_base = is_base
@@ -365,7 +484,38 @@ class Currency:
         elif was_active and not now_active:
             for ticket in self._backing:
                 ticket.deactivate()
+        if not self.is_base:
+            # A derived currency's per-unit value just moved, so every
+            # issued ticket's base value moved with it.  The base
+            # currency is exempt: its per-unit value is constant 1, and
+            # base tickets are worth their face amount regardless of the
+            # base active amount -- this exemption is what keeps a
+            # dispatch over N base-funded threads at O(1) invalidations.
+            self._invalidate_downstream()
         self._ledger._bump_epoch()
+
+    def _invalidate_downstream(self) -> None:
+        """Invalidate every holder funded (transitively) by this currency.
+
+        Walks issued tickets to their targets, descending through
+        currency targets; the funding graph is acyclic (enforced by
+        :meth:`Ledger._check_acyclic`), and the visited set keeps
+        diamond-shaped funding from re-walking a currency.
+        """
+        stack: List[Currency] = [self]
+        visited = {id(self)}
+        while stack:
+            currency = stack.pop()
+            for ticket in currency._issued:
+                target = ticket.target
+                if target is None:
+                    continue
+                if isinstance(target, Currency):
+                    if id(target) not in visited:
+                        visited.add(id(target))
+                        stack.append(target)
+                else:
+                    target._invalidate_funding()
 
     # -- valuation -----------------------------------------------------------
 

@@ -55,6 +55,20 @@ _MAX_INSTANT_SYSCALLS = 100_000
 
 _EPS = 1e-9
 
+#: Fallback resolution order for syscall subclasses (matches the
+#: historical isinstance chain); exact types hit the handler table.
+_INSTANT_SYSCALL_ORDER = (
+    sc.Sleep, sc.Send, sc.Call, sc.Receive, sc.Reply,
+    sc.AcquireMutex, sc.ReleaseMutex, sc.SemaphoreDown, sc.SemaphoreUp,
+    sc.WaitCondition, sc.SignalCondition, sc.BroadcastCondition,
+)
+
+
+def _timer_wake_owner(thread: Thread) -> None:
+    """Sleep-wakeup trampoline: route through the thread's *current*
+    kernel (it may have migrated since the timer was armed)."""
+    thread.kernel.timer_wake(thread)
+
 
 class Kernel:
     """A single simulated machine: engine + ledger + policy + threads.
@@ -114,6 +128,7 @@ class Kernel:
         self._quantum_size = self.quantum
         self._dispatch_pending = False
         self._instant_syscalls = 0
+        self._instant_handlers = self._build_instant_handlers()
         #: The pending engine event of the current dispatch (context
         #: switch or compute completion); cancelled when the running
         #: thread is killed or forcibly preempted by a fault.
@@ -408,8 +423,9 @@ class Kernel:
         if self.context_switch_cost > 0:
             self._inflight = self.engine.call_after(
                 self.context_switch_cost,
-                lambda: self._run_segment(thread),
+                self._run_segment,
                 label="context-switch",
+                args=(thread,),
             )
         else:
             self._run_segment(thread)
@@ -432,8 +448,9 @@ class Kernel:
                 run = min(syscall.remaining, self._quantum_left)
                 self._inflight = self.engine.call_after(
                     run,
-                    lambda t=thread, s=syscall, r=run: self._segment_done(t, s, r),
+                    self._segment_done,
                     label="compute",
+                    args=(thread, syscall, run),
                 )
                 return
             if isinstance(syscall, sc.YieldCPU):
@@ -500,49 +517,102 @@ class Kernel:
     # -- instantaneous syscall handlers ----------------------------------------------------
 
     def _handle_instant(self, syscall: sc.Syscall, thread: Thread) -> Any:
-        """Execute a zero-CPU syscall; BLOCK means the thread blocked."""
-        if isinstance(syscall, sc.Sleep):
-            # Wake via thread.kernel (not self): a cluster rebalancer
-            # may migrate the thread to another node while it sleeps.
-            # timer_wake (not wake) so the timer fizzles if a fault
-            # kills the sleeper before it fires.
-            self.engine.call_after(
-                syscall.duration,
-                lambda t=thread: t.kernel.timer_wake(t),
-                label="sleep-wakeup",
-            )
-            return BLOCK
-        if isinstance(syscall, sc.Send):
-            syscall.port.send(thread, syscall.message)
-            return None
-        if isinstance(syscall, sc.Call):
-            return syscall.port.call(
-                thread, syscall.message, syscall.transfer_fraction
-            )
-        if isinstance(syscall, sc.Receive):
-            return syscall.port.receive(thread)
-        if isinstance(syscall, sc.Reply):
-            syscall.request.reply(syscall.value)
-            return None
-        if isinstance(syscall, sc.AcquireMutex):
-            return syscall.mutex.acquire(thread)
-        if isinstance(syscall, sc.ReleaseMutex):
-            syscall.mutex.release(thread)
-            return None
-        if isinstance(syscall, sc.SemaphoreDown):
-            return syscall.semaphore.down(thread)
-        if isinstance(syscall, sc.SemaphoreUp):
-            syscall.semaphore.up(thread)
-            return None
-        if isinstance(syscall, sc.WaitCondition):
-            return syscall.condition.wait(thread)
-        if isinstance(syscall, sc.SignalCondition):
-            syscall.condition.signal(thread)
-            return None
-        if isinstance(syscall, sc.BroadcastCondition):
-            syscall.condition.broadcast(thread)
-            return None
-        raise KernelError(f"unknown syscall {syscall!r}")
+        """Execute a zero-CPU syscall; BLOCK means the thread blocked.
+
+        Dispatches on the syscall's exact type through a per-kernel
+        handler table (one dict lookup instead of a dozen isinstance
+        checks); subclasses of the known syscalls resolve through the
+        declaration-ordered isinstance walk once and are then memoized
+        under their own type.
+        """
+        handler = self._instant_handlers.get(syscall.__class__)
+        if handler is None:
+            for known in _INSTANT_SYSCALL_ORDER:
+                if isinstance(syscall, known):
+                    handler = self._instant_handlers[known]
+                    break
+            if handler is None:
+                raise KernelError(f"unknown syscall {syscall!r}")
+            self._instant_handlers[syscall.__class__] = handler
+        return handler(syscall, thread)
+
+    def _sys_sleep(self, syscall: sc.Sleep, thread: Thread) -> Any:
+        # Wake via thread.kernel (resolved at fire time, not here): a
+        # cluster rebalancer may migrate the thread to another node
+        # while it sleeps.  timer_wake (not wake) so the timer fizzles
+        # if a fault kills the sleeper before it fires.
+        self.engine.call_after(
+            syscall.duration,
+            _timer_wake_owner,
+            label="sleep-wakeup",
+            args=(thread,),
+        )
+        return BLOCK
+
+    def _sys_send(self, syscall: sc.Send, thread: Thread) -> Any:
+        syscall.port.send(thread, syscall.message)
+        return None
+
+    def _sys_call(self, syscall: sc.Call, thread: Thread) -> Any:
+        return syscall.port.call(
+            thread, syscall.message, syscall.transfer_fraction
+        )
+
+    def _sys_receive(self, syscall: sc.Receive, thread: Thread) -> Any:
+        return syscall.port.receive(thread)
+
+    def _sys_reply(self, syscall: sc.Reply, thread: Thread) -> Any:
+        syscall.request.reply(syscall.value)
+        return None
+
+    def _sys_acquire_mutex(self, syscall: sc.AcquireMutex,
+                           thread: Thread) -> Any:
+        return syscall.mutex.acquire(thread)
+
+    def _sys_release_mutex(self, syscall: sc.ReleaseMutex,
+                           thread: Thread) -> Any:
+        syscall.mutex.release(thread)
+        return None
+
+    def _sys_semaphore_down(self, syscall: sc.SemaphoreDown,
+                            thread: Thread) -> Any:
+        return syscall.semaphore.down(thread)
+
+    def _sys_semaphore_up(self, syscall: sc.SemaphoreUp,
+                          thread: Thread) -> Any:
+        syscall.semaphore.up(thread)
+        return None
+
+    def _sys_wait_condition(self, syscall: sc.WaitCondition,
+                            thread: Thread) -> Any:
+        return syscall.condition.wait(thread)
+
+    def _sys_signal_condition(self, syscall: sc.SignalCondition,
+                              thread: Thread) -> Any:
+        syscall.condition.signal(thread)
+        return None
+
+    def _sys_broadcast_condition(self, syscall: sc.BroadcastCondition,
+                                 thread: Thread) -> Any:
+        syscall.condition.broadcast(thread)
+        return None
+
+    def _build_instant_handlers(self) -> dict:
+        """Exact-type handler table for zero-CPU syscalls."""
+        return {
+            sc.Sleep: self._sys_sleep,
+            sc.Send: self._sys_send,
+            sc.Call: self._sys_call,
+            sc.Receive: self._sys_receive,
+            sc.Reply: self._sys_reply,
+            sc.AcquireMutex: self._sys_acquire_mutex,
+            sc.ReleaseMutex: self._sys_release_mutex,
+            sc.SemaphoreDown: self._sys_semaphore_down,
+            sc.SemaphoreUp: self._sys_semaphore_up,
+            sc.WaitCondition: self._sys_wait_condition,
+            sc.SignalCondition: self._sys_signal_condition,
+            sc.BroadcastCondition: self._sys_broadcast_condition,
+        }
 
     # -- introspection --------------------------------------------------------------------------
 

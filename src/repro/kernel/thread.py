@@ -68,6 +68,8 @@ class Task:
     the task is insulated from the rest of the system (section 3.3).
     """
 
+    __slots__ = ("name", "currency", "threads")
+
     def __init__(self, name: str, currency: Optional[Currency] = None) -> None:
         self.name = name
         self.currency = currency
@@ -99,6 +101,15 @@ class Thread(TicketHolder):
     * ``priority`` -- consulted only by the fixed-priority and
       decay-usage baseline policies.
     """
+
+    # ``pinned`` is assigned by the cluster layer (node placement) and
+    # read with getattr(..., False); it needs a slot here because
+    # TicketHolder-rooted instances carry no __dict__.
+    __slots__ = ("tid", "task", "kernel", "priority", "state", "_context",
+                 "_generator", "_started", "_pending_send",
+                 "current_syscall", "cpu_time", "dispatches",
+                 "voluntary_yields", "created_at", "exited_at",
+                 "runnable_since", "pinned")
 
     def __init__(
         self,

@@ -179,8 +179,15 @@ class RecorderMux:
     rejected at :meth:`add` time (fail at wiring, not mid-simulation).
     """
 
+    __slots__ = ("_sinks", "active")
+
     def __init__(self, *sinks: KernelEventSink) -> None:
         self._sinks: List[KernelEventSink] = []
+        #: False while no sinks are attached.  The kernel emits five
+        #: events per quantum whether or not anyone listens; the on_*
+        #: fast path below turns an idle mux into a single attribute
+        #: check instead of an iteration over an empty list.
+        self.active = False
         for sink in sinks:
             self.add(sink)
 
@@ -202,6 +209,7 @@ class RecorderMux:
         if sink is self:
             raise ReproError("a RecorderMux cannot contain itself")
         self._sinks.append(sink)
+        self.active = True
         return sink
 
     def remove(self, sink: KernelEventSink) -> None:
@@ -210,6 +218,7 @@ class RecorderMux:
             self._sinks.remove(sink)
         except ValueError:
             pass
+        self.active = bool(self._sinks)
 
     def __len__(self) -> int:
         return len(self._sinks)
@@ -217,22 +226,32 @@ class RecorderMux:
     # -- kernel recorder interface ------------------------------------------
 
     def on_dispatch(self, thread: "Thread", time: float) -> None:
+        if not self.active:
+            return
         for sink in self._sinks:
             sink.on_dispatch(thread, time)
 
     def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        if not self.active:
+            return
         for sink in self._sinks:
             sink.on_cpu(thread, start, duration)
 
     def on_block(self, thread: "Thread", time: float) -> None:
+        if not self.active:
+            return
         for sink in self._sinks:
             sink.on_block(thread, time)
 
     def on_wake(self, thread: "Thread", time: float) -> None:
+        if not self.active:
+            return
         for sink in self._sinks:
             sink.on_wake(thread, time)
 
     def on_exit(self, thread: "Thread", time: float) -> None:
+        if not self.active:
+            return
         for sink in self._sinks:
             sink.on_exit(thread, time)
 

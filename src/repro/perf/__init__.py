@@ -1,0 +1,51 @@
+"""Deterministic microbenchmark harness (``python -m repro.perf``).
+
+The paper's practicality argument (section 5.1) is quantitative: a
+lottery draw is O(log n) with a tree of partial sums, and total
+scheduling overhead stays within a few percent of an unmodified
+kernel.  This package makes the reproduction's own performance a
+first-class, regression-gated artifact instead of a one-off number:
+
+* :mod:`repro.perf.benchmarks` -- seeded microbenchmarks over the
+  simulator's hot loops (lottery draws, kernel dispatch, IPC
+  ping-pong, currency revaluation, checkpoint capture, trace export)
+  at parameterized scales from tens to tens of thousands of threads;
+* :mod:`repro.perf.harness` -- the timing machinery: per-repetition
+  wall-clock samples, ops/sec, p50/p95, an environment fingerprint,
+  and a host-speed **calibration loop** so scores can be compared
+  across machines as ratios rather than raw numbers;
+* :mod:`repro.perf.baseline` -- schema-versioned ``BENCH_perf.json``
+  reports, committed baselines, and tolerance-band comparison (the CI
+  ``perf-gate`` job fails when a benchmark regresses beyond the band).
+
+The *workloads* timed here are deterministic (seeded Park-Miller
+streams, virtual time); only the wall-clock duration of executing them
+varies by host.  Timing itself therefore lives outside the
+deterministic zones and never feeds back into simulation state.
+"""
+
+from repro.perf.baseline import (
+    BaselineComparison,
+    compare_reports,
+    format_comparison_table,
+    load_report,
+    write_report,
+)
+from repro.perf.harness import (
+    BenchmarkResult,
+    PerfReport,
+    environment_fingerprint,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "PerfReport",
+    "BaselineComparison",
+    "environment_fingerprint",
+    "run_benchmarks",
+    "compare_reports",
+    "format_comparison_table",
+    "load_report",
+    "write_report",
+]

@@ -33,7 +33,20 @@ from repro.schedulers.base import SchedulingPolicy
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.thread import Thread
 
-__all__ = ["LotteryPolicy"]
+__all__ = ["LotteryPolicy", "set_full_refresh"]
+
+#: Escape hatch for the perf equivalence suite: force the tree path to
+#: revalue every member per select (the pre-dirty-tracking behaviour)
+#: instead of only the members whose funding was invalidated.
+_full_refresh = False
+
+
+def set_full_refresh(enabled: bool) -> bool:
+    """Toggle full per-select revaluation; returns the previous setting."""
+    global _full_refresh
+    previous = _full_refresh
+    _full_refresh = bool(enabled)
+    return previous
 
 
 class LotteryPolicy(SchedulingPolicy):
@@ -48,9 +61,11 @@ class LotteryPolicy(SchedulingPolicy):
     move_to_front:
         Apply the prototype's move-to-front heuristic (section 4.2).
     use_tree:
-        Use the O(log n) partial-sum tree instead of the list.  Values
-        are refreshed from thread funding at each select unless
-        ``static_funding`` promises they never change off-queue.
+        Use the O(log n) partial-sum tree instead of the list.  Stored
+        values are kept current by funding-invalidation watchers: a
+        select only revalues the members whose funding actually changed
+        since the last draw (``static_funding`` promises values never
+        change off-queue and skips the tracking entirely).
     compensation:
         Grant compensation tickets (section 4.5).  The ablation
         experiment turns this off to reproduce the 1:5 distortion.
@@ -82,12 +97,19 @@ class LotteryPolicy(SchedulingPolicy):
         if use_tree:
             self._tree: Optional[TreeLottery["Thread"]] = TreeLottery()
             self._list: Optional[ListLottery["Thread"]] = None
-            self._members: list = []
+            # Insertion-ordered membership index with O(1) removal (a
+            # dict used as an ordered set; a list's remove() made every
+            # dequeue O(n), defeating the tree's O(log n) draws).
+            self._members: dict = {}
         else:
             self._tree = None
             self._list = ListLottery(
                 value_of=lambda t: t.funding(), move_to_front=move_to_front
             )
+        #: Members whose funding was invalidated since their stored tree
+        #: value was last pushed (ordered set; tree mode only).  Fed by
+        #: the holders' funding watchers, drained by :meth:`select`.
+        self._dirty: dict = {}
         #: Lotteries actually held (overhead accounting).
         self.lotteries_held = 0
         #: Times the zero-funding FIFO fallback fired.
@@ -103,8 +125,13 @@ class LotteryPolicy(SchedulingPolicy):
     def enqueue(self, thread: "Thread") -> None:
         thread.start_competing()
         if self._tree is not None:
+            # funding() below recomputes (competing just changed), so
+            # the stored value is fresh; only invalidations arriving
+            # after this point need to dirty the member.
             self._tree.add(thread, thread.funding())
-            self._members.append(thread)
+            self._members[thread] = None
+            if not self._static_funding:
+                thread.watch_funding(self._mark_dirty)
         else:
             assert self._list is not None
             self._list.add(thread)
@@ -112,11 +139,18 @@ class LotteryPolicy(SchedulingPolicy):
     def dequeue(self, thread: "Thread") -> None:
         if self._tree is not None:
             self._tree.remove(thread)
-            self._members.remove(thread)
+            self._members.pop(thread, None)
+            # Unhook before stop_competing: the deactivations below must
+            # not re-dirty a member that no longer has a tree slot.
+            thread.unwatch_funding()
+            self._dirty.pop(thread, None)
         else:
             assert self._list is not None
             self._list.remove(thread)
         thread.stop_competing()
+
+    def _mark_dirty(self, holder: "Thread") -> None:
+        self._dirty[holder] = None
 
     def select(self) -> Optional["Thread"]:
         structure = self._tree if self._tree is not None else self._list
@@ -124,8 +158,21 @@ class LotteryPolicy(SchedulingPolicy):
         if len(structure) == 0:
             return None
         if self._tree is not None and not self._static_funding:
-            for member in self._members:
-                self._tree.set_value(member, member.funding())
+            if _full_refresh:
+                # Escape hatch (perf equivalence suite): revalue every
+                # member, the pre-dirty-tracking behaviour.
+                for member in self._members:  # repro: noqa[RPR010] -- equivalence-test escape hatch
+                    self._tree.set_value(member, member.funding())
+                self._dirty.clear()
+            elif self._dirty:
+                # Only members whose funding actually changed since
+                # their stored value was pushed; Fenwick nodes are pure
+                # functions of the stored values, so skipping unchanged
+                # members leaves the tree bit-identical to a full
+                # refresh.
+                for member in self._dirty:  # repro: noqa[RPR010] -- O(invalidated), not O(n): only watcher-flagged members
+                    self._tree.set_value(member, member.funding())
+                self._dirty.clear()
         fallback = False
         examined_before = structure.stats.comparisons
         try:
@@ -175,7 +222,7 @@ class LotteryPolicy(SchedulingPolicy):
 
     def runnable_threads(self) -> list:
         if self._tree is not None:
-            return list(self._members)
+            return list(self._members)  # insertion (enqueue) order
         assert self._list is not None
         return self._list.clients()
 
@@ -204,9 +251,9 @@ class LotteryPolicy(SchedulingPolicy):
 
     def _first_member(self) -> "Thread":
         if self._tree is not None:
-            return self._members[0]
+            return next(iter(self._members))
         assert self._list is not None
-        return self._list.clients()[0]
+        return self._list.head()
 
     def draw_stats(self):
         """Search-length statistics of the underlying structure."""

@@ -20,16 +20,26 @@ __all__ = ["Event", "EventQueue"]
 
 
 class Event:
-    """A scheduled callback; hold the reference to be able to cancel."""
+    """A scheduled callback; hold the reference to be able to cancel.
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    ``args`` are positional arguments delivered to ``callback`` at fire
+    time; passing them here instead of closing over them lets hot paths
+    (the kernel dispatch loop) schedule bound methods without allocating
+    a lambda per event.  Events order themselves by ``(time, seq)``, so
+    the queue's heap holds Event objects directly -- no wrapper tuple
+    per entry.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
 
     def __init__(
-        self, time: float, seq: int, callback: Callable[[], None], label: str = ""
+        self, time: float, seq: int, callback: Callable[..., None],
+        label: str = "", args: Tuple[Any, ...] = (),
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
         #: Diagnostic tag shown in traces ("dispatch", "wakeup", ...).
         self.label = label
@@ -37,6 +47,15 @@ class Event:
     def cancel(self) -> None:
         """Prevent this event from firing (idempotent)."""
         self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback with the staged arguments."""
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -47,26 +66,30 @@ class EventQueue:
     """Binary-heap event queue keyed by (time, sequence)."""
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Event]] = []
+        # Heap of Event objects ordered by Event.__lt__ (time, seq) --
+        # identical firing order to the historical (time, seq, event)
+        # tuples without allocating a wrapper per push.
+        self._heap: List[Event] = []
         # Plain integer counter (not itertools.count) so the scheduling
         # sequence position is part of the observable state tree.
         self._seq = 0
         self._live = 0
 
-    def push(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` at absolute virtual ``time``."""
+    def push(self, time: float, callback: Callable[..., None],
+             label: str = "", args: Tuple[Any, ...] = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        event = Event(time, self._seq, callback, label)
+        event = Event(time, self._seq, callback, label, args)
         self._seq += 1
-        heapq.heappush(self._heap, (time, event.seq, event))
+        heapq.heappush(self._heap, event)
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if empty."""
         while self._heap:
-            _, _, event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
             self._live -= 1
@@ -76,11 +99,11 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""
         while self._heap:
-            time, _, event = self._heap[0]
+            event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            return time
+            return event.time
         return None
 
     def cancel(self, event: Event) -> None:
@@ -105,7 +128,7 @@ class EventQueue:
         """
         pending = [
             {"time": event.time, "seq": event.seq, "label": event.label}
-            for _, _, event in sorted(self._heap, key=lambda item: item[:2])
+            for event in sorted(self._heap)
             if not event.cancelled
         ]
         return {"seq": self._seq, "live": len(pending), "pending": pending}

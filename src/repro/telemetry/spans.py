@@ -32,7 +32,7 @@ from repro.errors import ReproError
 __all__ = ["Span", "SpanTracer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One traced interval (or instant, when ``end == start``)."""
 

@@ -1,4 +1,4 @@
-"""Unit tests for every determinism-lint rule (RPR001..RPR009).
+"""Unit tests for every determinism-lint rule (RPR001..RPR010).
 
 Each rule gets positive fixtures (the hazard is flagged), negative
 fixtures (clean or out-of-zone code is not), and a noqa-suppressed
@@ -449,6 +449,94 @@ def test_rpr009_inherited_methods_do_not_count():
     assert [f.rule_id for f in findings] == ["RPR009"]
 
 
+# -- RPR010: per-draw linear revaluation ------------------------------------
+
+
+def test_rpr010_flags_funding_loop_in_select():
+    src = """
+    class Policy:
+        def select(self):
+            for member in self.members:
+                total += member.funding()
+    """
+    assert "RPR010" in ids(src, SCHED_PATH)
+
+
+def test_rpr010_flags_valuation_comprehension_in_select():
+    src = """
+    class Policy:
+        def select(self):
+            values = [t.base_value() for t in self.tickets]
+            return values
+    """
+    assert "RPR010" in ids(src, SCHED_PATH)
+
+
+def test_rpr010_flags_while_loop_rescan():
+    src = """
+    class Policy:
+        def select(self):
+            index = 0
+            while index < len(self.members):
+                total += self.members[index].nominal_funding()
+                index += 1
+    """
+    assert "RPR010" in ids(src, SCHED_PATH)
+
+
+def test_rpr010_inner_loop_reports_once():
+    src = """
+    class Policy:
+        def select(self):
+            for group in self.groups:
+                for member in group:
+                    total += member.funding()
+    """
+    assert ids(src, SCHED_PATH).count("RPR010") == 1
+
+
+def test_rpr010_valuation_outside_loop_is_clean():
+    src = """
+    class Policy:
+        def select(self):
+            winner = self.tree.draw(self.prng)
+            funding = winner.funding()
+            for member in self.members:
+                member.touch()
+            return winner
+    """
+    assert ids(src, SCHED_PATH) == []
+
+
+def test_rpr010_loop_outside_select_is_clean():
+    src = """
+    class Policy:
+        def rebuild(self):
+            for member in self.members:
+                self.tree.set_value(member, member.funding())
+    """
+    assert ids(src, SCHED_PATH) == []
+
+
+def test_rpr010_exempt_outside_zone():
+    src = """
+    class Exporter:
+        def select(self):
+            return [t.funding() for t in self.threads]
+    """
+    assert ids(src, "repro/metrics/fixture.py") == []
+
+
+def test_rpr010_noqa_suppresses():
+    src = """
+    class Policy:
+        def select(self):
+            for member in self.dirty:  # repro: noqa[RPR010] -- bounded by invalidations
+                self.tree.set_value(member, member.funding())
+    """
+    assert ids(src, SCHED_PATH) == []
+
+
 # -- suppression syntax -----------------------------------------------------
 
 
@@ -484,7 +572,7 @@ def test_finding_format_names_location_and_rule():
 def test_every_rule_has_id_summary_and_fixit():
     assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
                           "RPR004", "RPR005", "RPR006", "RPR007",
-                          "RPR008", "RPR009"}
+                          "RPR008", "RPR009", "RPR010"}
     for rule in RULES.values():
         assert rule.summary and rule.fixit and rule.slug
 

@@ -125,6 +125,37 @@ class TestRecorderMux:
         assert log == [("b", "block")]
         assert len(mux) == 1
 
+    def test_empty_mux_short_circuits_without_touching_sink_list(self):
+        # Regression: an attached-but-empty mux used to iterate its
+        # empty sink list once per kernel event.  The `active` flag
+        # must gate every on_* method before the list is touched.
+        class Exploding(list):
+            def __iter__(self):
+                raise AssertionError("sink list iterated while inactive")
+
+        mux = RecorderMux()
+        assert mux.active is False
+        mux._sinks = Exploding()
+        mux.on_dispatch(None, 0.0)
+        mux.on_cpu(None, 0.0, 1.0)
+        mux.on_block(None, 0.0)
+        mux.on_wake(None, 0.0)
+        mux.on_exit(None, 0.0)  # none of these may iterate
+
+    def test_active_tracks_add_and_remove(self):
+        log = []
+        sink = self._events("a", log)
+        mux = RecorderMux()
+        assert mux.active is False
+        mux.add(sink)
+        assert mux.active is True
+        mux.on_wake(None, 0.0)
+        assert log == [("a", "wake")]
+        mux.remove(sink)
+        assert mux.active is False
+        mux.on_wake(None, 1.0)
+        assert log == [("a", "wake")]  # inactive mux delivers nothing
+
     def test_known_sinks_satisfy_the_protocol(self):
         from repro.checkpoint.replay import ReplayRecorder
         from repro.kernel.trace import SchedulerTrace

@@ -1,0 +1,159 @@
+"""Same-seed equivalence: the hot-path optimizations change nothing.
+
+Every optimization this package carries -- the funding cache in
+``repro.core.tickets``, dirty-member Fenwick refresh in
+``repro.schedulers.lottery_policy``, the args-based event queue --
+claims to be *bit-exact*: same seed, same dispatch stream, same
+checkpoint state tree.  These tests prove it two ways:
+
+1. **Golden checksums.** The replay-stream and state-tree sha256 of
+   four reference runs are pinned to the values the pre-optimization
+   code produced.  Any behavioural drift in the dispatch loop, however
+   subtle, changes these digests.
+
+2. **Mode cross-check.** The optimizations keep escape hatches
+   (``set_funding_cache_enabled``, ``set_full_refresh``) that force the
+   historical recompute-everything behaviour.  Each reference run is
+   executed in optimized and unoptimized mode and the digests compared;
+   the pair must be identical, not merely "both plausible".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.tickets as tickets_mod
+import repro.schedulers.lottery_policy as policy_mod
+from repro.checkpoint.capture import capture_tree
+from repro.checkpoint.registry import build_recipe
+from repro.checkpoint.replay import ReplayRecorder
+from repro.checkpoint.statetree import tree_checksum
+
+#: (recipe, args, horizon, stream sha256, state-tree sha256) captured
+#: from the pre-optimization implementation (linear funding recompute,
+#: full Fenwick refresh per draw, tuple-heap event queue).
+GOLDEN = [
+    ("lottery-mix", {"seed": 1}, 30_000.0,
+     "f9bec250fd208e5f77038c91e36f6ee4ef861498a780684eb275608f2323d65e",
+     "53ce052ace9d065f9956e1f575eab25b021856e88ba276dc9ff5dabc58e0aa46"),
+    ("lottery-mix", {"seed": 42, "use_tree": True}, 30_000.0,
+     "fd67e659a70bba30fffb444d18d7d2a4ebed2a0d320a9f51bad84aea938f42f2",
+     "f8618ed4c3e28bbb4eb2b8106ad88bdd0e1abdb86511f5bef04b58ece6aa8225"),
+    ("lottery-mix",
+     {"seed": 7, "fundings": [300.0, 150.0, 75.0, 25.0], "quantum": 50.0},
+     20_000.0,
+     "5c956b33db05d9d07737fca69f6f8dfd2310c512cb8424fcfef8e36509915cbc",
+     "8401ab54ec1ccd35099825c5dce1978d7bcedbe2541d48f3622969aa77564176"),
+    ("chaos-fairness", {"seed": 2718}, 60_000.0,
+     "844843bb106e4983cc6287d5a5ff3d6b13a8ac52973a436c99e2bc61f0838c12",
+     "121382c3080e424d4cd7b7f6aaf2f7cd10d1e728f1b6c0cfe0fdbb81741eadda"),
+]
+
+_IDS = [f"{recipe}-{args.get('seed')}" for recipe, args, *_ in GOLDEN]
+
+
+def _run(recipe: str, args: dict, until: float) -> tuple:
+    """(stream checksum, state-tree checksum) of one reference run."""
+    handle = build_recipe(recipe, args)
+    recorder = ReplayRecorder()
+    for kernel in handle.kernels():
+        kernel.attach_recorder(recorder)
+    handle.advance(until)
+    stream = tree_checksum(recorder.entries)
+    for kernel in handle.kernels():
+        kernel.detach_recorder(recorder)
+    state = tree_checksum(capture_tree(handle))
+    return stream, state
+
+
+@pytest.fixture
+def unoptimized_mode():
+    """Force the historical slow paths for the duration of a test."""
+    was_cache = tickets_mod.set_funding_cache_enabled(False)
+    was_refresh = policy_mod.set_full_refresh(True)
+    try:
+        yield
+    finally:
+        tickets_mod.set_funding_cache_enabled(was_cache)
+        policy_mod.set_full_refresh(was_refresh)
+
+
+@pytest.mark.parametrize("recipe, args, until, stream, state", GOLDEN,
+                         ids=_IDS)
+def test_optimized_run_matches_golden_checksums(recipe, args, until,
+                                                stream, state):
+    """The optimized hot paths reproduce the pre-optimization digests."""
+    got_stream, got_state = _run(recipe, args, until)
+    assert got_stream == stream, "dispatch stream diverged"
+    assert got_state == state, "checkpoint state tree diverged"
+
+
+@pytest.mark.parametrize("recipe, args, until, stream, state", GOLDEN,
+                         ids=_IDS)
+def test_unoptimized_run_matches_golden_checksums(recipe, args, until,
+                                                  stream, state,
+                                                  unoptimized_mode):
+    """The escape hatches reproduce the same digests (cross-check).
+
+    If this fails while the optimized variant passes, the *escape
+    hatch* regressed; if both fail identically, the goldens themselves
+    need re-pinning after a deliberate behavioural change.
+    """
+    got_stream, got_state = _run(recipe, args, until)
+    assert got_stream == stream, "dispatch stream diverged"
+    assert got_state == state, "checkpoint state tree diverged"
+
+
+def test_mode_toggles_return_previous_value_and_restore():
+    assert tickets_mod.funding_cache_enabled() is True
+    previous = tickets_mod.set_funding_cache_enabled(False)
+    assert previous is True
+    assert tickets_mod.funding_cache_enabled() is False
+    assert tickets_mod.set_funding_cache_enabled(previous) is False
+    assert tickets_mod.funding_cache_enabled() is True
+
+    previous = policy_mod.set_full_refresh(True)
+    assert previous is False
+    assert policy_mod.set_full_refresh(previous) is True
+
+
+def test_funding_cache_invalidates_on_ticket_mutation():
+    """The cached funding answers exactly like a fresh recompute."""
+    from repro.core.tickets import Ledger, TicketHolder
+
+    ledger = Ledger()
+    holder = TicketHolder("h")
+    ticket = ledger.create_ticket(100.0, fund=holder)
+    holder.start_competing()
+    assert holder.funding() == pytest.approx(100.0)
+
+    ticket.set_amount(250.0)
+    assert holder.funding() == pytest.approx(250.0)
+
+    ticket.deactivate()
+    assert holder.funding() == 0
+    ticket.activate()
+    assert holder.funding() == pytest.approx(250.0)
+
+    holder.stop_competing()
+    assert holder.funding() == 0
+
+
+def test_funding_cache_invalidates_through_currency_inflation():
+    """Inflating a backing currency devalues downstream cached fundings."""
+    from repro.core.tickets import Ledger, TicketHolder
+
+    ledger = Ledger()
+    task = ledger.create_currency("task")
+    ledger.create_ticket(100.0, fund=task)  # base backing for "task"
+    a = TicketHolder("a")
+    b = TicketHolder("b")
+    ledger.create_ticket(100.0, currency=task, fund=a)
+    a.start_competing()
+    assert a.funding() == pytest.approx(100.0)
+
+    # Inflation: issuing more task tickets halves the per-unit value.
+    ledger.create_ticket(100.0, currency=task, fund=b)
+    b.start_competing()
+    assert a.funding() == pytest.approx(50.0)
+    assert b.funding() == pytest.approx(50.0)
