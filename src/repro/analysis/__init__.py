@@ -1,35 +1,65 @@
 """Correctness tooling for the reproduction (``repro.analysis``).
 
-Two halves keep the simulation honest:
+Four layers keep the simulation honest:
 
 * :mod:`repro.analysis.lint` -- an AST-based determinism lint with
-  repo-specific rules (``RPR001``..``RPR005``) flagging nondeterminism
+  repo-specific rules (``RPR001``..``RPR011``) flagging nondeterminism
   hazards: stdlib RNGs, wall-clock reads, unordered iteration in
-  scheduling paths, float hazards on ticket amounts, and mutable
-  default arguments.
+  scheduling paths, float hazards on ticket amounts, mutable default
+  arguments, and undeclared module-level state.
+* :mod:`repro.analysis.shardmap` -- a whole-program shard-safety
+  analysis that classifies every mutable location in the deterministic
+  zones as ``shard-local`` or ``barrier-shared`` against the committed
+  ownership spec (``shardmap.toml``) and flags aliasing/ordering
+  hazards (``SH001``..``SH008``) ahead of the multicore shard refactor.
+* :mod:`repro.analysis.races` -- a dynamic determinism-race sanitizer:
+  under ``REPRO_SANITIZE=1`` every kernel object is tagged with an
+  owner token at attach and cross-owner mutation outside a declared
+  barrier seam raises :class:`repro.errors.DeterminismRaceError`.
 * :mod:`repro.analysis.sanitizer` -- an ASan-style runtime invariant
   checker that re-derives ticket conservation, currency-graph
   consistency, run-queue membership, and compensation-ticket lifetime
   after every scheduling quantum.
 
-Command-line front end: ``python -m repro.analysis {lint,sanitize,rules}``.
-See ``docs/ANALYSIS.md`` for the full rule and invariant reference.
+Command-line front end:
+``python -m repro.analysis {lint,shardmap,sanitize,rules}``.
+See ``docs/ANALYSIS.md`` for the full rule and invariant reference and
+``docs/SHARDMAP.md`` for the generated ownership map.
 """
 
-from repro.analysis.lint import Finding, RULES, Rule, lint_file, lint_paths, \
+from repro.analysis.lint import Finding, RULES, Rule, Suppression, \
+    collect_suppressions, iter_suppressions, lint_file, lint_paths, \
     lint_source
+from repro.analysis.races import RaceTracker, tracker
+from repro.analysis.report import fingerprint, render_json, render_sarif
 from repro.analysis.sanitizer import InvariantSanitizer, \
     install_autosanitize, sanitize_ledger, uninstall_autosanitize
+from repro.analysis.shardmap import ShardFinding, ShardMap, analyze_tree
+from repro.analysis.shardspec import ShardSpec, SpecError, load_spec
 
 __all__ = [
     "Finding",
     "RULES",
     "Rule",
+    "Suppression",
+    "collect_suppressions",
+    "iter_suppressions",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "RaceTracker",
+    "tracker",
+    "fingerprint",
+    "render_json",
+    "render_sarif",
     "InvariantSanitizer",
     "install_autosanitize",
     "sanitize_ledger",
     "uninstall_autosanitize",
+    "ShardFinding",
+    "ShardMap",
+    "analyze_tree",
+    "ShardSpec",
+    "SpecError",
+    "load_spec",
 ]

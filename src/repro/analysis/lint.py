@@ -43,6 +43,13 @@ RPR010    per-draw linear revaluation: a loop (or comprehension) inside
           (``funding()``/``base_value()``/``nominal_funding()``),
           making every dispatch O(n) in runnable threads; valuations
           belong in the funding cache, invalidated on mutation
+RPR011    module-level mutable state (dict/list/set/deque assigned at
+          module scope) in a deterministic zone without an ownership
+          declaration -- neither an inline ``# shard: <classification>
+          -- reason`` marker nor a ``[globals]`` entry in the shardmap
+          spec (``src/repro/analysis/shardmap.toml``); undeclared
+          module state is exactly what the multicore shard refactor
+          cannot partition (see :mod:`repro.analysis.shardmap`)
 ========  ==============================================================
 
 A finding on a line can be suppressed with an inline comment::
@@ -50,8 +57,11 @@ A finding on a line can be suppressed with an inline comment::
     import random  # repro: noqa[RPR001] -- justification goes here
 
 Several IDs may be listed (``# repro: noqa[RPR001,RPR003]``); a bare
-``# repro: noqa`` suppresses every rule on the line.  Suppressions are
-expected to carry a justification after the bracket.
+``# repro: noqa`` suppresses every rule on the line.  Suppressions
+MUST carry a justification after the bracket: a noqa without one is
+itself reported as RPR000 (and that report cannot be suppressed).
+``python -m repro.analysis lint --list-suppressions`` inventories every
+active suppression with its file:line and justification.
 
 The linter is purely syntactic (no type inference): rules are scoped to
 the subpackages ("zones") where the hazard matters, and RPR003 exempts
@@ -67,8 +77,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["Rule", "RULES", "Finding", "lint_source", "lint_file", "lint_paths",
-           "zone_of", "module_of"]
+__all__ = ["Rule", "RULES", "Finding", "Suppression", "lint_source",
+           "lint_file", "lint_paths", "iter_suppressions",
+           "collect_suppressions", "zone_of", "module_of"]
 
 
 @dataclass(frozen=True)
@@ -89,8 +100,10 @@ RULES: Dict[str, Rule] = {
         Rule(
             "RPR000",
             "unparseable-source",
-            "file could not be read or parsed",
-            "fix the syntax error (or path) so the file can be linted",
+            "file could not be read or parsed, or a noqa suppression "
+            "carries no justification",
+            "fix the syntax error (or path) so the file can be linted; "
+            "for suppressions, append ' -- why' after the noqa bracket",
             None,
         ),
         Rule(
@@ -183,6 +196,17 @@ RULES: Dict[str, Rule] = {
             "makes every dispatch O(n) in runnable threads",
             ("schedulers",),
         ),
+        Rule(
+            "RPR011",
+            "undeclared-module-state",
+            "module-level mutable container without an ownership "
+            "declaration in a deterministic zone",
+            "add '# shard: shard-local|barrier-shared -- reason' on the "
+            "assignment line, or declare the dotted name under [globals] "
+            "in src/repro/analysis/shardmap.toml; the shard refactor "
+            "cannot partition undeclared module state",
+            ("sim", "kernel", "schedulers", "core", "distributed"),
+        ),
     )
 }
 
@@ -222,6 +246,17 @@ _AMOUNT_STEMS = ("amount", "ticket", "funding", "bonus")
 _VALUATION_METHODS = frozenset({"funding", "base_value", "nominal_funding"})
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?")
+
+#: The same comment with its (mandatory) justification captured; used
+#: by the RPR000 hygiene check and ``--list-suppressions``.
+_NOQA_FULL_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?\s*(?:--\s*(\S.*))?")
+
+#: Module-scope container constructors that make a global mutable state
+#: for RPR011 purposes.
+_MUTABLE_CONTAINER_CALLS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+     "Counter", "bytearray"})
 
 _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
 
@@ -267,6 +302,20 @@ def _recorder_surface() -> Tuple[frozenset, Tuple[str, ...]]:
     except Exception:  # pragma: no cover - standalone lint usage
         return frozenset(), ()
     return RECORDER_SINKS, RECORDER_EVENT_SURFACE
+
+
+def _shardmap_globals() -> frozenset:
+    """Dotted names declared under ``[globals]`` in the shardmap spec.
+
+    Lazy (and failure-tolerant) like :func:`_snapshot_coverage`: the
+    linter keeps working on arbitrary files when the committed spec is
+    absent or malformed -- RPR011 then simply requires inline markers.
+    """
+    try:
+        from repro.analysis.shardspec import load_spec
+        return frozenset(load_spec().globals)
+    except Exception:
+        return frozenset()
 
 
 #: Zones exempt from RPR008: the presentation layers, where printing to
@@ -699,6 +748,138 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# -- RPR011: undeclared module-level mutable state ---------------------------
+
+
+def _is_mutable_container(value: Optional[ast.AST]) -> bool:
+    # Literal containers and constructor calls only: comprehension
+    # results are derived data, not the registry pattern RPR011 hunts.
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_CONTAINER_CALLS
+    return False
+
+
+def _check_module_state(tree: ast.Module, path: str, zone: Optional[str],
+                        lines: Sequence[str]) -> List[Finding]:
+    """RPR011: module-scope mutable containers need an ownership
+    declaration (inline ``# shard:`` marker with a justification, or a
+    ``[globals]`` entry in the shardmap spec)."""
+    zones = RULES["RPR011"].zones
+    assert zones is not None
+    if zone is None or zone not in zones:
+        return []
+    from repro.analysis.shardspec import MARKER_RE
+
+    module = module_of(path)
+    declared = _shardmap_globals()
+    findings: List[Finding] = []
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not _is_mutable_container(value):
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name.startswith("__") and name.endswith("__"):
+                continue  # __all__ and friends are interface, not state
+            if module is not None and f"{module}.{name}" in declared:
+                continue
+            marker = None
+            if 1 <= node.lineno <= len(lines):
+                marker = MARKER_RE.search(lines[node.lineno - 1])
+            if marker is not None and marker.group(2):
+                continue
+            hint = ("has a '# shard:' marker without a justification"
+                    if marker is not None else
+                    "has no ownership declaration")
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "RPR011",
+                f"module-level mutable container {name!r} {hint} "
+                f"in deterministic zone {zone!r}"))
+    return findings
+
+
+# -- suppression hygiene and inventory ---------------------------------------
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One active ``# repro: noqa`` comment."""
+
+    path: str
+    line: int
+    codes: Tuple[str, ...]   # () means a bare noqa (suppresses all rules)
+    justification: str       # "" when missing (an RPR000 finding)
+
+    def format(self) -> str:
+        codes = ",".join(self.codes) if self.codes else "*"
+        note = self.justification or "NO JUSTIFICATION"
+        return f"{self.path}:{self.line}: noqa[{codes}] -- {note}"
+
+
+def iter_suppressions(source: str, path: Union[str, Path]) \
+        -> List[Suppression]:
+    """Every noqa comment in ``source``, via the token stream.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps noqa text
+    inside docstrings and string literals from being miscounted as
+    suppressions -- this module's own docstring mentions the syntax.
+    """
+    import io
+    import tokenize
+
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_FULL_RE.search(token.string)
+            if match is None:
+                continue
+            codes: Tuple[str, ...] = ()
+            if match.group(1) is not None:
+                codes = tuple(code.strip().upper()
+                              for code in match.group(1).split(",")
+                              if code.strip())
+            suppressions.append(Suppression(
+                str(path), token.start[0], codes,
+                (match.group(2) or "").strip()))
+    except tokenize.TokenError:
+        pass  # unparseable tail; RPR000 already reports the syntax error
+    return suppressions
+
+
+def _suppression_hygiene(source: str, path: Union[str, Path]) \
+        -> List[Finding]:
+    """RPR000 (b): every suppression must explain itself.
+
+    These findings are appended *after* noqa filtering, so a bare noqa
+    cannot suppress the report about its own missing justification.
+    """
+    findings: List[Finding] = []
+    for suppression in iter_suppressions(source, path):
+        if suppression.justification:
+            continue
+        codes = ",".join(suppression.codes) if suppression.codes else ""
+        findings.append(Finding(
+            str(path), suppression.line, 0, "RPR000",
+            f"suppression 'noqa[{codes}]' carries no justification; "
+            f"append ' -- why this is safe' after the bracket"))
+    return findings
+
+
 def lint_source(source: str, path: Union[str, Path]) -> List[Finding]:
     """Lint one module's source text; ``path`` supplies the zone."""
     try:
@@ -709,7 +890,10 @@ def lint_source(source: str, path: Union[str, Path]) -> List[Finding]:
     visitor = _Visitor(str(path), zone_of(path))
     visitor.visit(tree)
     lines = source.splitlines()
+    visitor.findings.extend(
+        _check_module_state(tree, str(path), zone_of(path), lines))
     findings = [f for f in visitor.findings if not _suppressed(lines, f)]
+    findings.extend(_suppression_hygiene(source, path))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
@@ -735,3 +919,24 @@ def lint_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:
         else:
             findings.extend(lint_file(entry))
     return findings
+
+
+def collect_suppressions(paths: Iterable[Union[str, Path]]) \
+        -> List[Suppression]:
+    """Every noqa suppression under ``paths`` (``--list-suppressions``)."""
+    suppressions: List[Suppression] = []
+    files: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    for file in files:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            text = None  # lint_paths already reports unreadable files
+        if text is not None:
+            suppressions.extend(iter_suppressions(text, file))
+    return suppressions

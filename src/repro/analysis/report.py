@@ -1,0 +1,146 @@
+"""Shared report formats for the static-analysis tools.
+
+Both analyzers (:mod:`repro.analysis.lint` and
+:mod:`repro.analysis.shardmap`) emit findings with the same shape --
+``path``, ``line``, ``col``, ``rule_id``, ``message`` -- so the output
+layer lives here once:
+
+* ``json``  -- a stable machine-readable envelope for scripting.
+* ``sarif`` -- SARIF 2.1.0, the interchange format code-scanning UIs
+  ingest (the CI ``shard-safety`` job uploads it as an artifact).
+* baselines -- a committed set of finding fingerprints; with
+  ``--baseline`` the CLIs report (and fail on) only findings *not* in
+  the baseline, so a tool can be adopted on a codebase with existing
+  debt without letting new debt in.
+
+Fingerprints hash ``path|rule_id|message`` rather than line numbers, so
+unrelated edits that shift a finding up or down do not churn baselines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "fingerprint",
+    "render_json",
+    "render_sarif",
+    "load_baseline",
+    "write_baseline",
+    "filter_new",
+]
+
+#: SARIF schema pinned so consumers can validate.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def fingerprint(finding) -> str:
+    """Stable identity of a finding across unrelated line shifts."""
+    payload = f"{finding.path}|{finding.rule_id}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _finding_dict(finding) -> dict:
+    entry = {
+        "path": finding.path,
+        "line": finding.line,
+        "col": getattr(finding, "col", 0),
+        "rule_id": finding.rule_id,
+        "message": finding.message,
+        "fingerprint": fingerprint(finding),
+    }
+    location = getattr(finding, "location", None)
+    if location:
+        entry["location"] = location
+    return entry
+
+
+def render_json(findings: Sequence, tool: str) -> str:
+    """Findings as a JSON document (one envelope, stable key order)."""
+    document = {
+        "tool": tool,
+        "finding_count": len(findings),
+        "findings": [_finding_dict(f) for f in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+def render_sarif(findings: Sequence, tool: str,
+                 rule_meta: Optional[Dict[str, Tuple[str, str]]] = None) \
+        -> str:
+    """Findings as a SARIF 2.1.0 log.
+
+    ``rule_meta`` maps rule id -> ``(slug, summary)`` and populates the
+    driver's rule table; rules referenced by findings but absent from
+    the table are still valid SARIF (the ``ruleId`` stands alone).
+    """
+    rules = []
+    for rule_id in sorted(rule_meta or {}):
+        slug, summary = (rule_meta or {})[rule_id]
+        rules.append({
+            "id": rule_id,
+            "name": slug,
+            "shortDescription": {"text": summary},
+        })
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": getattr(finding, "col", 0) + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {"reproAnalysis/v1": fingerprint(finding)},
+        })
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool,
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2) + "\n"
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def write_baseline(findings: Sequence, path: Union[str, Path],
+                   tool: str) -> int:
+    """Write the fingerprints of ``findings`` as a baseline file."""
+    prints = sorted({fingerprint(f) for f in findings})
+    document = {"tool": tool, "fingerprints": prints}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(prints)
+
+
+def load_baseline(path: Union[str, Path]) -> frozenset:
+    """Read a baseline file back as a fingerprint set."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    prints = document.get("fingerprints", [])
+    if not isinstance(prints, list):
+        raise ValueError(f"malformed baseline {path}: 'fingerprints' "
+                         f"must be a list")
+    return frozenset(str(p) for p in prints)
+
+
+def filter_new(findings: Iterable, baseline: frozenset) -> List:
+    """Findings whose fingerprint is not in the baseline."""
+    return [f for f in findings if fingerprint(f) not in baseline]

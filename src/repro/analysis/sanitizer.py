@@ -388,27 +388,37 @@ _auto_hook: Optional[Callable] = None
 def install_autosanitize(stride: int = 1) -> None:
     """Attach a fresh sanitizer to every kernel constructed from now on.
 
+    Also arms the determinism-race tracker
+    (:data:`repro.analysis.races.tracker`): thread lifecycle mutations
+    are owner-checked against the dispatching kernel, trapping
+    cross-owner mutation outside a declared barrier seam.
+
     Idempotent; used by ``tests/conftest.py`` under ``REPRO_SANITIZE=1``
     so the whole suite runs fully instrumented.
     """
     global _auto_hook
     if _auto_hook is not None:
         return
+    from repro.analysis.races import tracker
     from repro.kernel import kernel as kernel_module
 
     def _hook(kernel: "Kernel") -> None:
         InvariantSanitizer(stride=stride).attach(kernel)
 
     kernel_module.add_construction_hook(_hook)
+    tracker.activate()
     _auto_hook = _hook
 
 
 def uninstall_autosanitize() -> None:
-    """Stop instrumenting newly constructed kernels."""
+    """Stop instrumenting newly constructed kernels and disarm the
+    determinism-race tracker."""
     global _auto_hook
     if _auto_hook is None:
         return
+    from repro.analysis.races import tracker
     from repro.kernel import kernel as kernel_module
 
     kernel_module.remove_construction_hook(_auto_hook)
+    tracker.deactivate()
     _auto_hook = None

@@ -1,0 +1,1036 @@
+"""Whole-program shard-safety analysis (``repro.analysis.shardmap``).
+
+The per-file lint (:mod:`repro.analysis.lint`) checks syntactic
+determinism hazards; this module answers the *cross-module* question
+that gates the multicore shard refactor: for every piece of mutable
+state in the deterministic zones (``sim``, ``kernel``, ``core``,
+``schedulers``, ``distributed``), who owns it, and is the declared
+ownership consistent with how the code actually uses it?
+
+The analysis proceeds in three layers:
+
+1. **Program model.**  Parse every zone module once and build the
+   import graph, the class inventory (with ``__slots__`` /
+   ``self.x = ...`` attribute sets, cross-checked against the
+   checkpoint ``SNAPSHOT_COVERAGE`` registry), the module-global
+   inventory, and the *holder graph*: which class stores instances of
+   which other class (``self.x = ClassName(...)`` and annotated
+   ``__init__`` parameters).
+
+2. **Ownership classification.**  Every mutable location (module
+   global or class) is classified ``shard-local`` / ``barrier-shared``
+   from the committed spec (``shardmap.toml``), from an inline
+   ``# shard: <classification> -- reason`` marker, or -- for
+   module-level containers that are provably never mutated after
+   import -- auto-classified as a constant.  Anything left is
+   ``UNKNOWN`` and reported (``SH005``).  Stale spec entries
+   (``SH006``) and misclassifications (``SH007``: a runtime-mutated
+   global declared shard-local, or a class reachable from more than
+   one shard root declared shard-local) fail the build.
+
+3. **Hazard patterns.**  Flow-insensitive per-function checks for the
+   shapes that silently break bit-exactness once the engine shards:
+   escaped aliases of per-shard state into module globals (``SH001``),
+   runtime mutation of shared module registries (``SH002``), global
+   counters that would collide across shards (``SH003``), and
+   order-sensitive float accumulation over cross-shard collections
+   (``SH004``).  Hazards can only be waived by a justified
+   ``[[allow]]`` entry in the spec.
+
+Shard-root reachability: the spec's ``meta.shard_roots`` name the
+classes that *define* a shard (by default ``Engine``, ``Kernel``,
+``Cluster``, with ``ClusterNode`` collapsing into ``Cluster``).  A
+class is *multi-root* when holder-graph traversal starting from two
+different roots reaches it, where traversal never expands *through*
+another root (a cluster holding per-shard kernels is the containment
+relation itself, not sharing).  Multi-root classes must be declared
+``barrier-shared``.
+
+Entry point: ``python -m repro.analysis shardmap`` (text, ``--format
+json|sarif``, ``--write-doc docs/SHARDMAP.md``, ``--emit-spec`` to
+bootstrap the TOML).  The committed spec plus this analyzer are the
+acceptance gate for the PR-7 multicore refactor: the refactor may not
+land while the analyzer reports a single ``UNKNOWN`` or unwaived
+hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.shardspec import (
+    BARRIER_SHARED,
+    MARKER_RE,
+    SHARD_LOCAL,
+    UNKNOWN,
+    ShardSpec,
+    load_spec,
+)
+from repro.analysis.lint import module_of, zone_of
+
+__all__ = [
+    "SHARD_RULES",
+    "ShardFinding",
+    "ShardLocation",
+    "ShardMap",
+    "analyze_tree",
+    "render_doc",
+    "render_spec_skeleton",
+    "render_text",
+]
+
+#: Zones analyzed when the spec does not narrow them.
+DEFAULT_ZONES = ("sim", "kernel", "core", "schedulers", "distributed")
+
+#: Default shard roots (overridable via spec ``meta.shard_roots``).
+DEFAULT_SHARD_ROOTS = (
+    "repro.sim.engine.Engine",
+    "repro.kernel.kernel.Kernel",
+    "repro.distributed.cluster.Cluster",
+    "repro.distributed.cluster.ClusterNode",
+)
+
+#: Roots that collapse into another root for multi-root counting: a
+#: ClusterNode is the per-node face of its Cluster, not a second shard.
+ROOT_COLLAPSE = {
+    "repro.distributed.cluster.ClusterNode": "repro.distributed.cluster.Cluster",
+}
+
+SHARD_RULES: Dict[str, Tuple[str, str]] = {
+    "SH001": ("escaped-alias",
+              "a per-shard object (parameter or self-reachable state) is "
+              "aliased into a module-level global at runtime"),
+    "SH002": ("shared-registry-mutation",
+              "a module-level container is mutated from runtime code "
+              "without being declared barrier-shared"),
+    "SH003": ("global-counter",
+              "a module-level counter is incremented at runtime; shards "
+              "would allocate colliding values"),
+    "SH004": ("float-order",
+              "order-sensitive float accumulation over a cross-shard "
+              "collection; per-shard partial sums would diverge"),
+    "SH005": ("unknown-location",
+              "a mutable location has no ownership classification "
+              "(spec entry, inline marker, or constant auto-class)"),
+    "SH006": ("stale-spec-entry",
+              "a spec entry names a location that no longer exists"),
+    "SH007": ("misclassified",
+              "the declared classification contradicts the derived "
+              "ownership (mutated global or multi-root class declared "
+              "shard-local)"),
+    "SH008": ("seam-mismatch",
+              "the spec's barrier seams disagree with the runtime "
+              "sanitizer's declared seams"),
+}
+
+#: Attribute/name stems that identify a *cross-shard* collection when
+#: they appear as the iteration source of an accumulation.  ``threads``
+#: is deliberately absent: iterating one kernel's threads is the
+#: per-shard case the refactor keeps.
+CROSS_SHARD_STEMS = frozenset(
+    {"nodes", "alive_nodes", "kernels", "cluster", "clusters", "shards"})
+
+#: Stems that mark the accumulated quantity as real-valued.
+FLOAT_VALUE_STEMS = (
+    "funding", "value", "amount", "cpu", "time", "usage", "credit")
+
+_CONTAINER_CALLS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+     "Counter", "bytearray"})
+
+_CONTAINER_NODES = (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                    ast.ListComp, ast.SetComp)
+
+_MUTATING_METHODS = frozenset(
+    {"append", "add", "update", "setdefault", "pop", "popitem", "remove",
+     "discard", "extend", "insert", "clear", "appendleft"})
+
+
+@dataclass(frozen=True)
+class ShardFinding:
+    """One shard-safety finding (same shape as a lint ``Finding``)."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    location: str
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.location}] {self.message}")
+
+
+@dataclass
+class ShardLocation:
+    """One classified mutable location in the deterministic zones."""
+
+    kind: str            # "global" | "class"
+    location: str        # dotted path
+    path: str
+    line: int
+    zone: str
+    classification: str  # shard-local | barrier-shared | UNKNOWN
+    origin: str          # "spec" | "marker" | "constant" | "unclassified"
+    reason: str = ""
+    mutated: bool = False       # globals: rebound/mutated at runtime
+    multi_root: bool = False    # classes: reachable from >= 2 roots
+    holders: Tuple[str, ...] = ()
+    attrs: Tuple[str, ...] = ()
+    snapshot_covered: Optional[bool] = None
+
+
+@dataclass
+class ShardMap:
+    """Analysis result: the classified map plus any findings."""
+
+    locations: List[ShardLocation]
+    findings: List[ShardFinding]
+    zones: Tuple[str, ...]
+    modules: int
+
+    @property
+    def unknown(self) -> List[ShardLocation]:
+        return [loc for loc in self.locations
+                if loc.classification == UNKNOWN]
+
+    def counts(self) -> Dict[str, int]:
+        counts = {SHARD_LOCAL: 0, BARRIER_SHARED: 0, UNKNOWN: 0}
+        for loc in self.locations:
+            counts[loc.classification] = counts.get(loc.classification, 0) + 1
+        return counts
+
+
+# -- program model -----------------------------------------------------------
+
+
+@dataclass
+class _GlobalInfo:
+    name: str
+    line: int
+    col: int
+    container: bool
+    marker: Optional[Tuple[str, str]]  # (classification, reason)
+    rebound: bool = False              # ``global X; X = ...`` somewhere
+    mutated: bool = False              # container mutated at runtime
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: str
+    line: int
+    col: int
+    attrs: Tuple[str, ...]
+    methods: Set[str]
+    holds: Set[str] = field(default_factory=set)  # dotted classes held
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class _ModuleInfo:
+    module: str
+    zone: str
+    path: Path
+    tree: ast.Module
+    lines: List[str]
+    globals: Dict[str, _GlobalInfo] = field(default_factory=dict)
+    classes: Dict[str, _ClassInfo] = field(default_factory=dict)
+    functions: Set[str] = field(default_factory=set)
+    bindings: Dict[str, str] = field(default_factory=dict)  # name -> dotted
+
+
+def _module_name(path: Path) -> Optional[str]:
+    dotted = module_of(path)
+    if dotted is None:
+        return None
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def _marker_for_line(lines: Sequence[str], lineno: int) \
+        -> Optional[Tuple[str, str]]:
+    """A valid inline ownership marker on a physical line, if any."""
+    if not 1 <= lineno <= len(lines):
+        return None
+    match = MARKER_RE.search(lines[lineno - 1])
+    if match is None or not match.group(2):
+        return None
+    return match.group(1), match.group(2).strip()
+
+
+def _is_container_expr(node: ast.AST) -> bool:
+    if isinstance(node, _CONTAINER_NODES):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _collect_module(path: Path, module: str, zone: str) \
+        -> Optional[_ModuleInfo]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    info = _ModuleInfo(module=module, zone=zone, path=path, tree=tree,
+                       lines=source.splitlines())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                info.bindings[local] = f"{node.module}.{alias.name}"
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id.startswith("__") and target.id.endswith("__"):
+                continue  # __all__ and friends are interface, not state
+            info.globals[target.id] = _GlobalInfo(
+                name=target.id, line=node.lineno, col=node.col_offset,
+                container=_is_container_expr(value),
+                marker=_marker_for_line(info.lines, node.lineno))
+        if isinstance(node, ast.FunctionDef):
+            info.functions.add(node.name)
+        if isinstance(node, ast.ClassDef):
+            info.classes[node.name] = _class_info(node, module)
+            info.bindings[node.name] = f"{module}.{node.name}"
+    return info
+
+
+def _class_info(node: ast.ClassDef, module: str) -> _ClassInfo:
+    attrs: List[str] = []
+    methods: Set[str] = set()
+    slots = None
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    slots = stmt.value
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods.add(stmt.name)
+    if slots is not None and isinstance(slots, (ast.Tuple, ast.List)):
+        for element in slots.elts:
+            if isinstance(element, ast.Constant) \
+                    and isinstance(element.value, str):
+                attrs.append(element.value)
+    else:
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+                for sub in ast.walk(stmt):
+                    target = None
+                    if isinstance(sub, ast.Assign):
+                        for tgt in sub.targets:
+                            target = tgt
+                    elif isinstance(sub, ast.AnnAssign):
+                        target = sub.target
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr not in attrs):
+                        attrs.append(target.attr)
+    return _ClassInfo(name=node.name, module=module, line=node.lineno,
+                      col=node.col_offset, attrs=tuple(attrs),
+                      methods=methods)
+
+
+def _annotation_names(annotation: ast.AST) -> List[str]:
+    """Class names referenced by a parameter annotation (incl. strings)."""
+    names: List[str] = []
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # "Thread" / "Optional[Thread]" forward references
+            names.extend(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", sub.value))
+    return names
+
+
+def _resolve_class(name: str, info: _ModuleInfo,
+                   class_index: Dict[str, _ClassInfo]) -> Optional[str]:
+    dotted = info.bindings.get(name)
+    if dotted is not None and dotted in class_index:
+        return dotted
+    local = f"{info.module}.{name}"
+    if local in class_index:
+        return local
+    return None
+
+
+def _collect_holder_edges(info: _ModuleInfo,
+                          class_index: Dict[str, _ClassInfo]) -> None:
+    """Populate ``holds`` edges for every class in the module."""
+    for node in info.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cls = info.classes[node.name]
+        for stmt in node.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            if stmt.name == "__init__":
+                for arg in list(stmt.args.args) + list(stmt.args.kwonlyargs):
+                    if arg.annotation is None:
+                        continue
+                    for ref in _annotation_names(arg.annotation):
+                        dotted = _resolve_class(ref, info, class_index)
+                        if dotted is not None:
+                            cls.holds.add(dotted)
+            for sub in ast.walk(stmt):
+                target = None
+                value: Optional[ast.expr] = None
+                if isinstance(sub, ast.Assign):
+                    value = sub.value
+                    for tgt in sub.targets:
+                        target = tgt
+                elif isinstance(sub, ast.AnnAssign):
+                    target, value = sub.target, sub.value
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                if isinstance(value, ast.Call) \
+                        and isinstance(value.func, ast.Name):
+                    dotted = _resolve_class(value.func.id, info, class_index)
+                    if dotted is not None:
+                        cls.holds.add(dotted)
+
+
+# -- hazard detection --------------------------------------------------------
+
+
+class _FunctionHazards(ast.NodeVisitor):
+    """Per-function hazard scan (SH001/SH002/SH003/SH004)."""
+
+    def __init__(self, info: _ModuleInfo, func: ast.FunctionDef,
+                 owner: Optional[str], findings: List[ShardFinding]) -> None:
+        self.info = info
+        self.func = func
+        #: Dotted anchor: module.func or module.Class.method.
+        self.anchor = (f"{info.module}.{owner}.{func.name}" if owner
+                       else f"{info.module}.{func.name}")
+        self.findings = findings
+        self.global_names: Set[str] = set()
+        self.params = {arg.arg for arg in
+                       list(func.args.args) + list(func.args.kwonlyargs)
+                       + list(func.args.posonlyargs)}
+        if func.args.vararg:
+            self.params.add(func.args.vararg.arg)
+        if func.args.kwarg:
+            self.params.add(func.args.kwarg.arg)
+        #: Locals holding cross-shard collections (taint set).
+        self.tainted: Set[str] = set()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _report(self, rule_id: str, node: ast.AST, location: str,
+                message: str) -> None:
+        self.findings.append(ShardFinding(
+            path=str(self.info.path), line=node.lineno,
+            col=node.col_offset + 1, rule_id=rule_id, location=location,
+            message=message))
+
+    def _global_anchor(self, name: str) -> str:
+        return f"{self.info.module}.{name}"
+
+    def _mark_global(self, name: str, *, rebound: bool = False,
+                     mutated: bool = False) -> None:
+        glob = self.info.globals.get(name)
+        if glob is None:
+            return
+        glob.rebound = glob.rebound or rebound
+        glob.mutated = glob.mutated or mutated
+
+    def _is_alias_expr(self, node: ast.AST) -> bool:
+        """Does this expression alias a parameter or self-owned state?"""
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return isinstance(node, ast.Name) and (
+            node.id in self.params or node.id == "self")
+
+    def _stem(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Call):
+            return self._stem(node.func)
+        return None
+
+    def _is_cross_shard_iterable(self, node: ast.AST) -> bool:
+        stem = self._stem(node)
+        if stem in CROSS_SHARD_STEMS:
+            return True
+        if isinstance(node, ast.Name) and node.id in self.tainted:
+            return True
+        if isinstance(node, ast.Call):
+            # list(live) / sorted(self.nodes): wrappers preserve origin.
+            return any(self._is_cross_shard_iterable(arg)
+                       for arg in node.args)
+        return False
+
+    def _mentions_float_stem(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            name = None
+            if isinstance(sub, ast.Attribute):
+                name = sub.attr
+            elif isinstance(sub, ast.Name):
+                name = sub.id
+            if name is not None and any(stem in name.lower()
+                                        for stem in FLOAT_VALUE_STEMS):
+                return True
+        return False
+
+    def _comprehension_sources(self, node: ast.AST) -> List[ast.expr]:
+        sources: List[ast.expr] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.comprehension):
+                sources.append(sub.iter)
+        return sources
+
+    # -- SH001 / SH003: global rebinds ------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.global_names.update(node.names)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) \
+                    and target.id in self.global_names:
+                self._check_rebind(target.id, node, node.value)
+        self._propagate_taint(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (isinstance(node.target, ast.Name)
+                and node.target.id in self.global_names
+                and node.value is not None):
+            self._check_rebind(node.target.id, node, node.value)
+        self.generic_visit(node)
+
+    def _check_rebind(self, name: str, node: ast.AST,
+                      value: ast.expr) -> None:
+        self._mark_global(name, rebound=True)
+        anchor = self._global_anchor(name)
+        if self._is_alias_expr(value):
+            self._report(
+                "SH001", node, anchor,
+                f"module global '{name}' aliases per-shard state "
+                f"({ast.unparse(value)}) escaping from {self.anchor}(); "
+                f"shards would observe each other's objects")
+        elif isinstance(value, ast.BinOp) and any(
+                isinstance(operand, ast.Name) and operand.id == name
+                for operand in (value.left, value.right)):
+            self._report(
+                "SH003", node, anchor,
+                f"module global '{name}' is advanced "
+                f"('{name} = {ast.unparse(value)}') in {self.anchor}(); "
+                f"per-shard increments would collide")
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name) \
+                and node.target.id in self.global_names:
+            self._mark_global(node.target.id, rebound=True)
+            self._report(
+                "SH003", node, self._global_anchor(node.target.id),
+                f"module global '{node.target.id}' is incremented in "
+                f"{self.anchor}(); per-shard increments would collide")
+        self._check_float_accumulation(node)
+        self.generic_visit(node)
+
+    # -- SH002: registry mutation -----------------------------------------
+
+    def _module_container(self, node: ast.AST) -> Optional[str]:
+        """Name of the module-level container this expression roots at."""
+        if isinstance(node, ast.Name):
+            glob = self.info.globals.get(node.id)
+            if glob is not None and glob.container \
+                    and node.id not in self._local_names:
+                return node.id
+        return None
+
+    @property
+    def _local_names(self) -> Set[str]:
+        cached = getattr(self, "_locals_cache", None)
+        if cached is None:
+            cached = set(self.params)
+            for sub in ast.walk(self.func):
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name) \
+                                and target.id not in self.global_names:
+                            cached.add(target.id)
+                elif isinstance(sub, ast.comprehension):
+                    for tgt in ast.walk(sub.target):
+                        if isinstance(tgt, ast.Name):
+                            cached.add(tgt.id)
+                elif isinstance(sub, ast.For):
+                    for tgt in ast.walk(sub.target):
+                        if isinstance(tgt, ast.Name):
+                            cached.add(tgt.id)
+            self._locals_cache = cached
+        return cached
+
+    def _report_registry(self, name: str, node: ast.AST, verb: str) -> None:
+        self._mark_global(name, mutated=True)
+        self._report(
+            "SH002", node, self._global_anchor(name),
+            f"module-level container '{name}' is {verb} in "
+            f"{self.anchor}(); a process-wide registry shared by every "
+            f"shard must be declared barrier-shared")
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            name = self._module_container(node.value)
+            if name is not None:
+                self._report_registry(
+                    name, node,
+                    "item-assigned" if isinstance(node.ctx, ast.Store)
+                    else "item-deleted")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATING_METHODS:
+            name = self._module_container(node.func.value)
+            if name is not None:
+                self._report_registry(
+                    name, node, f"mutated via .{node.func.attr}()")
+        self._check_sum_call(node)
+        self.generic_visit(node)
+
+    # -- SH004: float accumulation order ----------------------------------
+
+    def _propagate_taint(self, node: ast.Assign) -> None:
+        sources = self._comprehension_sources(node.value)
+        if not sources and isinstance(node.value, (ast.Name, ast.Call)):
+            sources = [node.value]
+        if any(self._is_cross_shard_iterable(src) for src in sources):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.tainted.add(target.id)
+
+    def _check_sum_call(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "sum"
+                and node.args):
+            return
+        argument = node.args[0]
+        sources = self._comprehension_sources(argument)
+        if isinstance(argument, ast.Name):
+            sources.append(argument)
+        if not any(self._is_cross_shard_iterable(src) for src in sources):
+            return
+        if not self._mentions_float_stem(argument):
+            return
+        self._report(
+            "SH004", node, self.anchor,
+            f"{self.anchor}() sums a real-valued quantity across a "
+            f"cross-shard collection; float addition is order-sensitive, "
+            f"so per-shard partial sums diverge from the global order "
+            f"(reduce at a barrier instead)")
+
+    def _check_float_accumulation(self, node: ast.AugAssign) -> None:
+        if not isinstance(node.op, ast.Add):
+            return
+        if not self._mentions_float_stem(node.value):
+            return
+        loop = self._enclosing_cross_shard_loop(node)
+        if loop is None:
+            return
+        self._report(
+            "SH004", node, self.anchor,
+            f"{self.anchor}() accumulates a real-valued quantity in a "
+            f"loop over a cross-shard collection; float addition is "
+            f"order-sensitive across shards (reduce at a barrier instead)")
+
+    def _enclosing_cross_shard_loop(self, node: ast.AST) \
+            -> Optional[ast.For]:
+        for sub in ast.walk(self.func):
+            if isinstance(sub, ast.For) \
+                    and self._is_cross_shard_iterable(sub.iter):
+                for inner in ast.walk(sub):
+                    if inner is node:
+                        return sub
+        return None
+
+
+def _scan_hazards(info: _ModuleInfo, findings: List[ShardFinding]) -> None:
+    def scan(func: ast.FunctionDef, owner: Optional[str]) -> None:
+        # The visitor traverses nested functions itself, so only the
+        # top-level defs are seeded (seeding nested defs separately
+        # would double-report their findings).
+        _FunctionHazards(info, func, owner, findings).visit(func)
+
+    for node in info.tree.body:
+        if isinstance(node, ast.FunctionDef):
+            scan(node, None)
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    scan(stmt, node.name)
+
+
+# -- reachability ------------------------------------------------------------
+
+
+def _multi_root_classes(class_index: Dict[str, _ClassInfo],
+                        shard_roots: Sequence[str]) -> Dict[str, Set[str]]:
+    """Dotted class -> set of collapsed roots that reach it.
+
+    Traversal from a root follows holder edges but never expands
+    *through* a different root class: a Cluster holding per-shard
+    Kernels is shard containment, not cross-shard sharing.
+    """
+    roots = [root for root in shard_roots if root in class_index]
+    collapsed = {root: ROOT_COLLAPSE.get(root, root) for root in roots}
+    reached_by: Dict[str, Set[str]] = {}
+    for root in roots:
+        label = collapsed[root]
+        stack = [root]
+        seen = {root}
+        while stack:
+            current = stack.pop()
+            for held in class_index[current].holds:
+                if held not in class_index or held in seen:
+                    continue
+                seen.add(held)
+                reached_by.setdefault(held, set()).add(label)
+                if held in collapsed and collapsed[held] != label:
+                    continue  # do not expand through a different root
+                stack.append(held)
+    return reached_by
+
+
+# -- the analysis ------------------------------------------------------------
+
+
+def _snapshot_covered_classes() -> Set[str]:
+    try:
+        from repro.checkpoint.registry import SNAPSHOT_COVERAGE
+    except Exception:  # pragma: no cover - registry is part of the repo
+        return set()
+    return set(SNAPSHOT_COVERAGE)
+
+
+def _resolve_location(location: str, modules: Dict[str, _ModuleInfo]) -> bool:
+    """Does a dotted spec location exist in the analyzed tree?"""
+    parts = location.split(".")
+    for split in range(len(parts), 0, -1):
+        module = ".".join(parts[:split])
+        info = modules.get(module)
+        if info is None:
+            continue
+        rest = parts[split:]
+        if not rest:
+            return True
+        head = rest[0]
+        if head in info.globals or head in info.functions:
+            return len(rest) == 1
+        cls = info.classes.get(head)
+        if cls is None:
+            return False
+        if len(rest) == 1:
+            return True
+        member = rest[1]
+        return len(rest) == 2 and (member in cls.methods
+                                   or member in cls.attrs)
+    return False
+
+
+def analyze_tree(root: Union[str, Path],
+                 spec: Optional[ShardSpec] = None,
+                 spec_path: Optional[Path] = None) -> ShardMap:
+    """Analyze the package tree rooted at ``root`` against a spec.
+
+    ``root`` is a directory containing (or inside) a ``repro`` package
+    -- normally ``src/repro``.  The spec defaults to the committed
+    ``shardmap.toml`` next to this module.
+    """
+    if spec is None:
+        spec = load_spec(spec_path)
+    zones = tuple(spec.zones) or DEFAULT_ZONES
+    shard_roots = tuple(spec.shard_roots) or DEFAULT_SHARD_ROOTS
+
+    root_path = Path(root)
+    files = sorted(root_path.rglob("*.py")) if root_path.is_dir() \
+        else [root_path]
+    modules: Dict[str, _ModuleInfo] = {}
+    for path in files:
+        zone = zone_of(path)
+        if zone not in zones:
+            continue
+        module = _module_name(path)
+        if module is None:
+            continue
+        info = _collect_module(path, module, zone)
+        if info is not None:
+            modules[module] = info
+
+    class_index: Dict[str, _ClassInfo] = {}
+    for info in modules.values():
+        for cls in info.classes.values():
+            class_index[cls.dotted] = cls
+    for info in modules.values():
+        _collect_holder_edges(info, class_index)
+    reached_by = _multi_root_classes(class_index, shard_roots)
+    covered = _snapshot_covered_classes()
+
+    findings: List[ShardFinding] = []
+    for info in modules.values():
+        _scan_hazards(info, findings)
+
+    # Hazards anchored at a location suppress the redundant SH005 for
+    # the same location, and [[allow]] entries waive them entirely.
+    hazard_anchors = {f.location for f in findings
+                      if f.rule_id in ("SH001", "SH002", "SH003")}
+    findings = [
+        f for f in findings
+        if not spec.is_allowed(f.rule_id, f.location)
+        and not (f.rule_id == "SH002"
+                 and spec.classification_of(f.location) == BARRIER_SHARED)
+    ]
+
+    locations: List[ShardLocation] = []
+    for info in sorted(modules.values(), key=lambda m: m.module):
+        for glob in sorted(info.globals.values(), key=lambda g: g.line):
+            dotted = f"{info.module}.{glob.name}"
+            mutated = glob.rebound or glob.mutated
+            entry = spec.globals.get(dotted)
+            if entry is not None:
+                classification, origin, reason = \
+                    entry.classification, "spec", entry.reason
+            elif glob.marker is not None:
+                classification, origin = glob.marker[0], "marker"
+                reason = glob.marker[1]
+            elif not mutated and not glob.container:
+                continue  # plain module constant; not a mutable location
+            elif not mutated:
+                classification, origin = UNKNOWN, "unclassified"
+                reason = ""
+            else:
+                classification, origin = UNKNOWN, "unclassified"
+                reason = ""
+            location = ShardLocation(
+                kind="global", location=dotted, path=str(info.path),
+                line=glob.line, zone=info.zone,
+                classification=classification, origin=origin,
+                reason=reason, mutated=mutated)
+            locations.append(location)
+            if classification == UNKNOWN \
+                    and dotted not in hazard_anchors \
+                    and not spec.is_allowed("SH005", dotted):
+                findings.append(ShardFinding(
+                    path=str(info.path), line=glob.line, col=glob.col + 1,
+                    rule_id="SH005", location=dotted,
+                    message=f"module-level {'container' if glob.container else 'global'} "
+                            f"'{glob.name}' has no ownership classification; "
+                            f"declare it in shardmap.toml or add an inline "
+                            f"'# shard: ... -- reason' marker"))
+            elif classification == SHARD_LOCAL and mutated:
+                findings.append(ShardFinding(
+                    path=str(info.path), line=glob.line, col=glob.col + 1,
+                    rule_id="SH007", location=dotted,
+                    message=f"module global '{glob.name}' is mutated at "
+                            f"runtime but declared shard-local; module "
+                            f"state is process-wide, so runtime mutation "
+                            f"requires barrier-shared"))
+        for cls in sorted(info.classes.values(), key=lambda c: c.line):
+            dotted = cls.dotted
+            roots = reached_by.get(dotted, set())
+            is_root = dotted in shard_roots
+            multi_root = len(roots) >= 2 and not is_root
+            entry = spec.classes.get(dotted)
+            if entry is not None:
+                classification, origin, reason = \
+                    entry.classification, "spec", entry.reason
+            else:
+                marker = _marker_for_line(info.lines, cls.line)
+                if marker is not None:
+                    classification, origin = marker[0], "marker"
+                    reason = marker[1]
+                else:
+                    classification, origin, reason = \
+                        UNKNOWN, "unclassified", ""
+            location = ShardLocation(
+                kind="class", location=dotted, path=str(info.path),
+                line=cls.line, zone=info.zone,
+                classification=classification, origin=origin, reason=reason,
+                multi_root=multi_root, holders=tuple(sorted(roots)),
+                attrs=cls.attrs,
+                snapshot_covered=(dotted in covered) if covered else None)
+            locations.append(location)
+            if classification == UNKNOWN \
+                    and not spec.is_allowed("SH005", dotted):
+                findings.append(ShardFinding(
+                    path=str(info.path), line=cls.line, col=cls.col + 1,
+                    rule_id="SH005", location=dotted,
+                    message=f"class '{cls.name}' has no ownership "
+                            f"classification; declare it in shardmap.toml"))
+            elif classification == SHARD_LOCAL and multi_root \
+                    and not spec.is_allowed("SH007", dotted):
+                findings.append(ShardFinding(
+                    path=str(info.path), line=cls.line, col=cls.col + 1,
+                    rule_id="SH007", location=dotted,
+                    message=f"class '{cls.name}' is reachable from "
+                            f"multiple shard roots ({', '.join(sorted(roots))}) "
+                            f"but declared shard-local; objects shared "
+                            f"between shards must be barrier-shared"))
+
+    # SH006: stale spec entries.
+    spec_file = str(spec.path) if spec.path else "shardmap.toml"
+    for table in (spec.globals, spec.classes, spec.attrs):
+        for dotted in table:
+            if not _resolve_location(dotted, modules):
+                findings.append(ShardFinding(
+                    path=spec_file, line=1, col=1, rule_id="SH006",
+                    location=dotted,
+                    message=f"spec entry '{dotted}' names a location that "
+                            f"does not exist in the analyzed tree"))
+    for allow in spec.allows:
+        if not _resolve_location(allow.location, modules):
+            findings.append(ShardFinding(
+                path=spec_file, line=1, col=1, rule_id="SH006",
+                location=allow.location,
+                message=f"[[allow]] entry for {allow.id} names a location "
+                        f"that does not exist: '{allow.location}'"))
+
+    # SH008: spec seams must match the runtime sanitizer's seams.
+    if spec.seams_must_match_runtime:
+        from repro.analysis.races import DECLARED_SEAMS
+        spec_names = set(spec.seam_names())
+        runtime = set(DECLARED_SEAMS)
+        for missing in sorted(runtime - spec_names):
+            findings.append(ShardFinding(
+                path=spec_file, line=1, col=1, rule_id="SH008",
+                location=missing,
+                message=f"runtime barrier seam '{missing}' is not declared "
+                        f"in the spec's [[seams]]"))
+        for extra in sorted(spec_names - runtime):
+            findings.append(ShardFinding(
+                path=spec_file, line=1, col=1, rule_id="SH008",
+                location=extra,
+                message=f"spec declares barrier seam '{extra}' but the "
+                        f"runtime sanitizer does not implement it"))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return ShardMap(locations=locations, findings=findings, zones=zones,
+                    modules=len(modules))
+
+
+# -- renderers ---------------------------------------------------------------
+
+
+def render_text(shard_map: ShardMap) -> str:
+    counts = shard_map.counts()
+    lines = [
+        f"shardmap: {len(shard_map.locations)} mutable locations across "
+        f"{shard_map.modules} modules in zones "
+        f"({', '.join(shard_map.zones)})",
+        f"  shard-local: {counts[SHARD_LOCAL]}   "
+        f"barrier-shared: {counts[BARRIER_SHARED]}   "
+        f"UNKNOWN: {counts[UNKNOWN]}",
+    ]
+    for finding in shard_map.findings:
+        lines.append(finding.format())
+    if shard_map.findings:
+        lines.append(f"{len(shard_map.findings)} shard-safety finding(s)")
+    else:
+        lines.append("shardmap: clean (no UNKNOWN locations, no hazards)")
+    return "\n".join(lines)
+
+
+def render_doc(shard_map: ShardMap) -> str:
+    """Generated ``docs/SHARDMAP.md`` content."""
+    counts = shard_map.counts()
+    out = [
+        "# Shard ownership map",
+        "",
+        "<!-- Generated by `python -m repro.analysis shardmap --write-doc`;"
+        " do not edit by hand. -->",
+        "",
+        "Classification of every mutable location in the deterministic",
+        "zones, derived from `src/repro/analysis/shardmap.toml` and inline",
+        "`# shard:` markers.  This map is the work-list and acceptance",
+        "gate for the multicore shard refactor (see `docs/ANALYSIS.md`).",
+        "",
+        f"- **shard-local**: {counts[SHARD_LOCAL]}",
+        f"- **barrier-shared**: {counts[BARRIER_SHARED]}",
+        f"- **UNKNOWN**: {counts[UNKNOWN]}",
+        "",
+    ]
+    by_zone: Dict[str, List[ShardLocation]] = {}
+    for loc in shard_map.locations:
+        by_zone.setdefault(loc.zone, []).append(loc)
+    for zone in sorted(by_zone):
+        out.append(f"## zone `{zone}`")
+        out.append("")
+        out.append("| location | kind | classification | via | notes |")
+        out.append("|---|---|---|---|---|")
+        for loc in sorted(by_zone[zone], key=lambda l: l.location):
+            notes = []
+            if loc.kind == "class":
+                if loc.multi_root:
+                    notes.append(
+                        "multi-root: " + ", ".join(
+                            root.rsplit(".", 1)[-1] for root in loc.holders))
+                if loc.snapshot_covered:
+                    notes.append("snapshot-covered")
+                if loc.attrs:
+                    notes.append(f"{len(loc.attrs)} attrs")
+            elif loc.mutated:
+                notes.append("runtime-mutated")
+            reason = loc.reason.replace("|", "\\|")
+            if reason:
+                notes.append(reason)
+            out.append(
+                f"| `{loc.location}` | {loc.kind} | {loc.classification} "
+                f"| {loc.origin} | {'; '.join(notes)} |")
+        out.append("")
+    return "\n".join(out)
+
+
+def render_spec_skeleton(shard_map: ShardMap) -> str:
+    """Bootstrap TOML covering every currently-unclassified location."""
+    out = [
+        "version = 1",
+        "",
+        "[meta]",
+        'zones = [' + ", ".join(f'"{zone}"' for zone in shard_map.zones)
+        + ']',
+        'shard_roots = ['
+        + ", ".join(f'"{root}"' for root in DEFAULT_SHARD_ROOTS) + ']',
+        "seams_must_match_runtime = true",
+        "",
+    ]
+    for loc in shard_map.locations:
+        if loc.classification != UNKNOWN:
+            continue
+        table = "globals" if loc.kind == "global" else "classes"
+        guess = BARRIER_SHARED if (loc.multi_root or loc.mutated) \
+            else SHARD_LOCAL
+        out.append(f'[{table}."{loc.location}"]')
+        out.append(f'classification = "{guess}"')
+        out.append('reason = "TODO"')
+        out.append("")
+    return "\n".join(out)

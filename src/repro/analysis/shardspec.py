@@ -1,0 +1,386 @@
+"""Ownership spec for the shard-safety analyzer (``shardmap.toml``).
+
+The spec is the committed source of truth for *who owns what*: every
+module-level global and every class in the deterministic zones is
+declared either ``shard-local`` (lives entirely inside one future
+engine shard) or ``barrier-shared`` (touched by more than one shard,
+so any mutation must happen at a declared epoch-barrier seam).  The
+analyzer (:mod:`repro.analysis.shardmap`) cross-checks the declarations
+against the import/attribute graph it derives from the sources and
+fails on anything undeclared (``SH005``), stale (``SH006``), or
+misclassified (``SH007``).
+
+File format is a small TOML subset so the spec stays hand-editable and
+diff-reviewable::
+
+    version = 1
+
+    [meta]
+    zones = ["sim", "kernel", "core", "schedulers", "distributed"]
+    shard_roots = ["repro.kernel.kernel.Kernel", ...]
+    seams_must_match_runtime = true
+
+    [globals."repro.kernel.kernel._construction_hooks"]
+    classification = "barrier-shared"
+    reason = "process-wide sanitizer hook registry"
+
+    [classes."repro.kernel.kernel.Kernel"]
+    classification = "shard-local"
+    reason = "one kernel per shard by construction"
+
+    [[seams]]
+    name = "ipc.reply"
+    location = "repro.kernel.ipc"
+    reason = "cross-kernel wake when a server answers a remote client"
+
+    [[allow]]
+    id = "SH004"
+    location = "repro.distributed.cluster.Cluster.total_funding"
+    reason = "cluster-wide measurement; runs only at epoch barriers"
+
+Python >= 3.11 parses with :mod:`tomllib`; under 3.10 (still in the CI
+matrix) a minimal fallback parser covering exactly the subset above is
+used, so the analyzer needs no third-party dependency anywhere.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "MARKER_RE",
+    "SHARD_LOCAL",
+    "BARRIER_SHARED",
+    "UNKNOWN",
+    "CLASSIFICATIONS",
+    "AllowEntry",
+    "SeamEntry",
+    "ShardSpec",
+    "SpecEntry",
+    "SpecError",
+    "default_spec_path",
+    "load_spec",
+    "parse_spec",
+]
+
+#: The ownership taxonomy.  ``UNKNOWN`` never appears in a committed
+#: spec -- it is what the analyzer reports for undeclared locations.
+SHARD_LOCAL = "shard-local"
+BARRIER_SHARED = "barrier-shared"
+UNKNOWN = "UNKNOWN"
+CLASSIFICATIONS = (SHARD_LOCAL, BARRIER_SHARED)
+
+#: Inline ownership marker, the in-source alternative to a spec entry:
+#: ``# shard: shard-local -- constant rule table``.  The justification
+#: after ``--`` is mandatory (same policy as lint noqa comments); a
+#: marker without one is ignored by the analyzer and flagged by RPR011.
+MARKER_RE = re.compile(
+    r"#\s*shard:\s*(shard-local|barrier-shared)\s*(?:--\s*(\S.*))?")
+
+
+class SpecError(Exception):
+    """The shardmap spec is malformed or violates the schema."""
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One declared location (module global, class, or attribute)."""
+
+    location: str          # dotted path, e.g. repro.kernel.kernel.Kernel
+    classification: str    # shard-local | barrier-shared
+    reason: str
+
+
+@dataclass(frozen=True)
+class SeamEntry:
+    """One declared barrier seam (a place cross-shard mutation is legal)."""
+
+    name: str              # e.g. "ipc.reply"
+    location: str          # dotted module or qualname hosting the seam
+    reason: str
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """A justified waiver for one hazard finding at one location."""
+
+    id: str                # e.g. "SH004"
+    location: str          # dotted path the finding anchors to
+    reason: str
+
+
+@dataclass
+class ShardSpec:
+    """Parsed ``shardmap.toml``."""
+
+    version: int = 1
+    zones: List[str] = field(default_factory=list)
+    shard_roots: List[str] = field(default_factory=list)
+    seams_must_match_runtime: bool = False
+    globals: Dict[str, SpecEntry] = field(default_factory=dict)
+    classes: Dict[str, SpecEntry] = field(default_factory=dict)
+    attrs: Dict[str, SpecEntry] = field(default_factory=dict)
+    seams: List[SeamEntry] = field(default_factory=list)
+    allows: List[AllowEntry] = field(default_factory=list)
+    path: Optional[Path] = None
+
+    def classification_of(self, location: str) -> Optional[str]:
+        """Declared classification for a dotted location, if any."""
+        for table in (self.attrs, self.classes, self.globals):
+            entry = table.get(location)
+            if entry is not None:
+                return entry.classification
+        return None
+
+    def is_allowed(self, rule_id: str, location: str) -> bool:
+        """True when an ``[[allow]]`` entry waives ``rule_id`` there."""
+        return any(a.id == rule_id and a.location == location
+                   for a in self.allows)
+
+    def seam_names(self) -> List[str]:
+        return [seam.name for seam in self.seams]
+
+
+def default_spec_path() -> Path:
+    """The committed spec that ships next to the analyzer."""
+    return Path(__file__).resolve().parent / "shardmap.toml"
+
+
+# -- TOML loading ------------------------------------------------------------
+
+
+def _load_toml_text(text: str) -> dict:
+    try:
+        import tomllib  # Python >= 3.11
+    except ImportError:  # pragma: no cover - exercised on the 3.10 CI leg
+        return _parse_toml_subset(text)
+    return tomllib.loads(text)
+
+
+def _parse_toml_subset(text: str) -> dict:
+    """Parse the TOML subset the spec uses (3.10 fallback, no deps).
+
+    Supports: comments, ``[table]`` / ``[table."quoted.key"]`` headers,
+    ``[[array-of-tables]]`` headers, and ``key = value`` where value is
+    a double-quoted string, integer, boolean, or an array of those
+    (single-line or wrapped across lines).  Everything else raises
+    :class:`SpecError` rather than mis-parsing silently.
+    """
+    root: dict = {}
+    current: dict = root
+    raw_lines = text.splitlines()
+    index = 0
+    while index < len(raw_lines):
+        lineno = index + 1
+        line = raw_lines[index].strip()
+        index += 1
+        if not line or line.startswith("#"):
+            continue
+        # Join a multi-line array value until its brackets balance.
+        while _open_brackets(line) > 0 and index < len(raw_lines):
+            continuation = raw_lines[index].strip()
+            index += 1
+            if continuation.startswith("#"):
+                continue
+            line += " " + continuation
+        if line.startswith("[[") and line.endswith("]]"):
+            keys = _split_table_key(line[2:-2].strip(), lineno)
+            parent = _descend(root, keys[:-1], lineno)
+            array = parent.setdefault(keys[-1], [])
+            if not isinstance(array, list):
+                raise SpecError(f"line {lineno}: {keys[-1]!r} is not an array")
+            current = {}
+            array.append(current)
+        elif line.startswith("[") and line.endswith("]"):
+            keys = _split_table_key(line[1:-1].strip(), lineno)
+            current = _descend(root, keys, lineno)
+        else:
+            if "=" not in line:
+                raise SpecError(f"line {lineno}: expected 'key = value'")
+            key, _, value = line.partition("=")
+            current[_unquote(key.strip(), lineno)] = \
+                _parse_value(value.strip(), lineno)
+    return root
+
+
+def _open_brackets(line: str) -> int:
+    """Unclosed ``[`` count outside strings (0 for balanced lines)."""
+    depth = 0
+    in_string = False
+    for char in line:
+        if char == '"':
+            in_string = not in_string
+        elif not in_string:
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+    return depth
+
+
+def _split_table_key(header: str, lineno: int) -> List[str]:
+    """Split ``globals."repro.kernel.kernel._hooks"`` into its parts."""
+    keys: List[str] = []
+    i = 0
+    buf = ""
+    while i < len(header):
+        char = header[i]
+        if char == '"':
+            end = header.find('"', i + 1)
+            if end < 0:
+                raise SpecError(f"line {lineno}: unterminated quoted key")
+            buf += header[i + 1:end]
+            i = end + 1
+        elif char == ".":
+            keys.append(buf)
+            buf = ""
+            i += 1
+        else:
+            buf += char
+            i += 1
+    keys.append(buf)
+    if any(not key for key in keys):
+        raise SpecError(f"line {lineno}: empty key component in table header")
+    return keys
+
+
+def _descend(root: dict, keys: List[str], lineno: int) -> dict:
+    node = root
+    for key in keys:
+        node = node.setdefault(key, {})
+        if not isinstance(node, dict):
+            raise SpecError(f"line {lineno}: {key!r} is not a table")
+    return node
+
+
+def _unquote(token: str, lineno: int) -> str:
+    if token.startswith('"'):
+        if not token.endswith('"') or len(token) < 2:
+            raise SpecError(f"line {lineno}: unterminated string")
+        return token[1:-1]
+    return token
+
+
+def _parse_value(token: str, lineno: int):
+    if token.startswith('"'):
+        if not token.endswith('"') or len(token) < 2:
+            raise SpecError(f"line {lineno}: unterminated string")
+        return token[1:-1]
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_value(part.strip(), lineno)
+                for part in _split_array(inner, lineno)
+                if part.strip()]  # tolerate a trailing comma
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        raise SpecError(f"line {lineno}: unsupported value {token!r}") from None
+
+
+def _split_array(inner: str, lineno: int) -> List[str]:
+    parts: List[str] = []
+    buf = ""
+    in_string = False
+    for char in inner:
+        if char == '"':
+            in_string = not in_string
+            buf += char
+        elif char == "," and not in_string:
+            parts.append(buf)
+            buf = ""
+        else:
+            buf += char
+    if in_string:
+        raise SpecError(f"line {lineno}: unterminated string in array")
+    parts.append(buf)
+    return parts
+
+
+# -- schema validation -------------------------------------------------------
+
+
+def _entry_table(data: dict, table: str) -> Dict[str, SpecEntry]:
+    entries: Dict[str, SpecEntry] = {}
+    for location, body in data.get(table, {}).items():
+        if not isinstance(body, dict):
+            raise SpecError(f"[{table}.{location!r}] must be a table")
+        classification = body.get("classification")
+        reason = body.get("reason", "")
+        if classification not in CLASSIFICATIONS:
+            raise SpecError(
+                f"[{table}.{location!r}]: classification must be one of "
+                f"{CLASSIFICATIONS}, got {classification!r}")
+        if not isinstance(reason, str) or not reason.strip():
+            raise SpecError(
+                f"[{table}.{location!r}]: a non-empty reason is required")
+        entries[location] = SpecEntry(location, classification, reason)
+    return entries
+
+
+def parse_spec(text: str, path: Optional[Path] = None) -> ShardSpec:
+    """Parse and schema-check spec text."""
+    try:
+        data = _load_toml_text(text)
+    except SpecError:
+        raise
+    except Exception as exc:  # tomllib.TOMLDecodeError and friends
+        raise SpecError(f"invalid TOML in {path or '<spec>'}: {exc}") from exc
+
+    version = data.get("version")
+    if version != 1:
+        raise SpecError(f"unsupported spec version {version!r} (expected 1)")
+    meta = data.get("meta", {})
+    if not isinstance(meta, dict):
+        raise SpecError("[meta] must be a table")
+
+    spec = ShardSpec(
+        version=1,
+        zones=list(meta.get("zones", [])),
+        shard_roots=list(meta.get("shard_roots", [])),
+        seams_must_match_runtime=bool(
+            meta.get("seams_must_match_runtime", False)),
+        globals=_entry_table(data, "globals"),
+        classes=_entry_table(data, "classes"),
+        attrs=_entry_table(data, "attrs"),
+        path=path,
+    )
+    for body in data.get("seams", []):
+        name, location = body.get("name"), body.get("location")
+        reason = body.get("reason", "")
+        if not name or not location or not str(reason).strip():
+            raise SpecError(
+                "[[seams]] entries need name, location, and reason")
+        spec.seams.append(SeamEntry(str(name), str(location), str(reason)))
+    for body in data.get("allow", []):
+        rule_id, location = body.get("id"), body.get("location")
+        reason = body.get("reason", "")
+        if not rule_id or not location or not str(reason).strip():
+            raise SpecError("[[allow]] entries need id, location, and reason")
+        spec.allows.append(AllowEntry(str(rule_id), str(location),
+                                      str(reason)))
+    seen_seams = set()
+    for seam in spec.seams:
+        if seam.name in seen_seams:
+            raise SpecError(f"duplicate seam name {seam.name!r}")
+        seen_seams.add(seam.name)
+    return spec
+
+
+def load_spec(path: Optional[Path] = None) -> ShardSpec:
+    """Load and validate the spec at ``path`` (default: committed spec)."""
+    spec_path = Path(path) if path is not None else default_spec_path()
+    try:
+        text = spec_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError(f"cannot read shardmap spec {spec_path}: {exc}") \
+            from exc
+    return parse_spec(text, path=spec_path)

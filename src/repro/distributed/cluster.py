@@ -37,6 +37,7 @@ the thread.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.prng import ParkMillerPRNG
@@ -51,6 +52,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.retry import RetryPolicy, RetryState
 
 __all__ = ["ClusterNode", "Cluster"]
+
+#: Injection point for the determinism-race sanitizer (see
+#: :mod:`repro.analysis.races`); assigned by ``tracker.activate()``
+#: under ``REPRO_SANITIZE=1``.  Declared barrier-shared in
+#: ``repro/analysis/shardmap.toml``.
+_race_tracker = None
+
+
+def _race_seam(name: str):
+    """Barrier-seam context for cross-node moves (no-op when the
+    sanitizer is inactive)."""
+    if _race_tracker is not None and _race_tracker.active:
+        return _race_tracker.seam(name)
+    return nullcontext()
+
+
+def _race_retag(thread: "Thread", kernel: "Kernel") -> None:
+    """Transfer a thread's owner token to its new kernel."""
+    if _race_tracker is not None and _race_tracker.active:
+        _race_tracker.retag(thread, kernel)
 
 
 class ClusterNode:
@@ -240,25 +261,28 @@ class Cluster:
             return False
         if thread.state is not ThreadState.RUNNABLE:
             return False
-        source.policy.dequeue(thread)
-        self._expire_compensation(thread, source)
-        source.threads.remove(thread)
-        thread.kernel = destination.kernel
-        destination.threads.append(thread)
-        self._placement[thread.tid] = destination
-        try:
-            destination.policy.enqueue(thread)
-        except ReproError:
-            # Destination refused mid-move: undo every step above so
-            # the thread lands back on its source run queue intact.
-            destination.threads.remove(thread)
-            thread.kernel = source.kernel
-            self._placement[thread.tid] = source
-            source.threads.append(thread)
-            source.policy.enqueue(thread)
-            self.migration_rollbacks += 1
-            return False
-        destination.kernel._schedule_dispatch()
+        with _race_seam("cluster.migrate"):
+            source.policy.dequeue(thread)
+            self._expire_compensation(thread, source)
+            source.threads.remove(thread)
+            thread.kernel = destination.kernel
+            _race_retag(thread, destination.kernel)
+            destination.threads.append(thread)
+            self._placement[thread.tid] = destination
+            try:
+                destination.policy.enqueue(thread)
+            except ReproError:
+                # Destination refused mid-move: undo every step above so
+                # the thread lands back on its source run queue intact.
+                destination.threads.remove(thread)
+                thread.kernel = source.kernel
+                _race_retag(thread, source.kernel)
+                self._placement[thread.tid] = source
+                source.threads.append(thread)
+                source.policy.enqueue(thread)
+                self.migration_rollbacks += 1
+                return False
+            destination.kernel._schedule_dispatch()
         self.migrations += 1
         if self.telemetry is not None:
             self.telemetry.on_migration(thread, source.name, destination.name,
@@ -355,22 +379,23 @@ class Cluster:
         node.alive = False
         node.crashes += 1
         self.node_crashes += 1
-        node.kernel.preempt_running()
-        survivors = self.alive_nodes
-        for thread in list(node.threads):
-            if not thread.alive:
-                node.threads.remove(thread)
-                self._placement.pop(thread.tid, None)
-                continue
-            movable = (thread.state is ThreadState.RUNNABLE
-                       and not getattr(thread, "pinned", False))
-            if movable and survivors:
-                self._evacuate(thread, node)
-            else:
-                node.kernel.kill(thread)
-                node.threads.remove(thread)
-                self._placement.pop(thread.tid, None)
-                self.threads_killed += 1
+        with _race_seam("cluster.crash"):
+            node.kernel.preempt_running()
+            survivors = self.alive_nodes
+            for thread in list(node.threads):
+                if not thread.alive:
+                    node.threads.remove(thread)
+                    self._placement.pop(thread.tid, None)
+                    continue
+                movable = (thread.state is ThreadState.RUNNABLE
+                           and not getattr(thread, "pinned", False))
+                if movable and survivors:
+                    self._evacuate(thread, node)
+                else:
+                    node.kernel.kill(thread)
+                    node.threads.remove(thread)
+                    self._placement.pop(thread.tid, None)
+                    self.threads_killed += 1
 
     def restart_node(self, node: ClusterNode) -> None:
         """Bring a crashed node back into placement and rebalancing.
@@ -386,15 +411,17 @@ class Cluster:
 
     def _evacuate(self, thread: Thread, source: ClusterNode) -> None:
         """Re-place one runnable thread off a crashing node."""
-        source.policy.dequeue(thread)
-        self._expire_compensation(thread, source)
-        source.threads.remove(thread)
-        destination = self._least_funded_node()
-        thread.kernel = destination.kernel
-        destination.threads.append(thread)
-        self._placement[thread.tid] = destination
-        destination.policy.enqueue(thread)
-        destination.kernel._schedule_dispatch()
+        with _race_seam("cluster.evacuate"):
+            source.policy.dequeue(thread)
+            self._expire_compensation(thread, source)
+            source.threads.remove(thread)
+            destination = self._least_funded_node()
+            thread.kernel = destination.kernel
+            _race_retag(thread, destination.kernel)
+            destination.threads.append(thread)
+            self._placement[thread.tid] = destination
+            destination.policy.enqueue(thread)
+            destination.kernel._schedule_dispatch()
         self.evacuations += 1
         if self.telemetry is not None:
             self.telemetry.on_migration(thread, source.name, destination.name,

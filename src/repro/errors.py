@@ -91,6 +91,19 @@ class DivergenceError(CheckpointError):
     """
 
 
+class DeterminismRaceError(ReproError):
+    """Cross-owner mutation of kernel state outside a barrier seam.
+
+    Raised by :mod:`repro.analysis.races` (the determinism-race
+    sanitizer, active under ``REPRO_SANITIZE=1``) when code running in
+    one kernel's execution context mutates an object owned by another
+    kernel without passing through a declared barrier seam (IPC reply
+    or delivery, cluster migration/evacuation/crash).  Such mutations
+    are exactly the ones that become order-dependent -- and therefore
+    break bit-exact replay -- once the engine is sharded.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant of the ticket/scheduling machinery failed.
 

@@ -24,6 +24,7 @@ Figure 7's evaluation reports both throughput and response-time ratios.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import nullcontext
 from typing import Any, Deque, List, Optional, TYPE_CHECKING
 
 from repro.core.tickets import Currency
@@ -36,6 +37,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.thread import Thread
 
 __all__ = ["Port", "Request"]
+
+#: Injection point for the determinism-race sanitizer (see
+#: :mod:`repro.analysis.races`); assigned by ``tracker.activate()``
+#: under ``REPRO_SANITIZE=1``.  Declared barrier-shared in
+#: ``repro/analysis/shardmap.toml``.
+_race_tracker = None
+
+
+def _race_seam(name: str):
+    """Barrier-seam context for legal cross-kernel wakes (no-op when
+    the sanitizer is inactive)."""
+    if _race_tracker is not None and _race_tracker.active:
+        return _race_tracker.seam(name)
+    return nullcontext()
 
 
 class Request:
@@ -99,8 +114,10 @@ class Request:
             self.port.dead_replies += 1
             return
         # Wake via client.kernel (not port.kernel): the client may have
-        # been re-placed on another node while blocked.
-        self.client.kernel.wake(self.client, value)
+        # been re-placed on another node while blocked.  Crossing into
+        # the client's kernel is a declared barrier seam.
+        with _race_seam("ipc.reply"):
+            self.client.kernel.wake(self.client, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "rpc" if self.is_rpc else "send"
@@ -212,8 +229,10 @@ class Port:
             server = self._receivers.popleft()
             self._claim_transfer(request, server)
             # Wake via server.kernel (not self.kernel): receivers, like
-            # clients, may have been re-placed while blocked.
-            server.kernel.wake(server, request)
+            # clients, may have been re-placed while blocked.  Crossing
+            # into the receiver's kernel is a declared barrier seam.
+            with _race_seam("ipc.deliver"):
+                server.kernel.wake(server, request)
         else:
             # For RPCs with no waiting server and no server currency, the
             # transfer stays latent on the request until a receive claims

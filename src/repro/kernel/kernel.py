@@ -35,6 +35,13 @@ __all__ = ["Kernel", "BLOCK", "add_construction_hook",
 _construction_hooks: List[Callable[["Kernel"], None]] = []
 
 
+#: Injection point for the determinism-race sanitizer (see
+#: :mod:`repro.analysis.races`); assigned by ``tracker.activate()``
+#: under ``REPRO_SANITIZE=1``.  Declared barrier-shared in
+#: ``repro/analysis/shardmap.toml``.
+_race_tracker = None
+
+
 def add_construction_hook(hook: Callable[["Kernel"], None]) -> None:
     """Register a callable invoked with each new :class:`Kernel`."""
     _construction_hooks.append(hook)
@@ -396,6 +403,41 @@ class Kernel:
             self.engine.call_soon(self._dispatch, label="dispatch")
 
     def _dispatch(self) -> None:
+        # Owner-context entry points: while a dispatch (or one of its
+        # engine-scheduled continuations) executes, this kernel's owner
+        # token is on the race-tracker stack, so any mutation of
+        # another kernel's thread outside a declared seam traps.
+        tracker = _race_tracker
+        if tracker is None or not tracker.active:
+            return self._dispatch_impl()
+        tracker.push(self)
+        try:
+            return self._dispatch_impl()
+        finally:
+            tracker.pop()
+
+    def _run_segment(self, thread: Thread) -> None:
+        tracker = _race_tracker
+        if tracker is None or not tracker.active:
+            return self._run_segment_impl(thread)
+        tracker.push(self)
+        try:
+            return self._run_segment_impl(thread)
+        finally:
+            tracker.pop()
+
+    def _segment_done(self, thread: Thread, syscall: sc.Compute,
+                      run: float) -> None:
+        tracker = _race_tracker
+        if tracker is None or not tracker.active:
+            return self._segment_done_impl(thread, syscall, run)
+        tracker.push(self)
+        try:
+            return self._segment_done_impl(thread, syscall, run)
+        finally:
+            tracker.pop()
+
+    def _dispatch_impl(self) -> None:
         self._dispatch_pending = False
         if self.running is not None:
             return
@@ -428,9 +470,9 @@ class Kernel:
                 args=(thread,),
             )
         else:
-            self._run_segment(thread)
+            self._run_segment_impl(thread)
 
-    def _run_segment(self, thread: Thread) -> None:
+    def _run_segment_impl(self, thread: Thread) -> None:
         """Interpret syscalls until the thread computes, blocks, or stops."""
         self._inflight = None
         while True:
@@ -470,7 +512,8 @@ class Kernel:
                 return
             thread.deliver(result)
 
-    def _segment_done(self, thread: Thread, syscall: sc.Compute, run: float) -> None:
+    def _segment_done_impl(self, thread: Thread, syscall: sc.Compute,
+                           run: float) -> None:
         if self.running is not thread:  # pragma: no cover - defensive
             raise SimulationError("compute completion for a non-running thread")
         self._inflight = None
@@ -484,7 +527,7 @@ class Kernel:
         if self._quantum_left <= _EPS:
             self._end_dispatch(thread, "preempt")
         else:
-            self._run_segment(thread)
+            self._run_segment_impl(thread)
 
     def _end_dispatch(self, thread: Thread, outcome: str) -> None:
         used = self._quantum_size - self._quantum_left

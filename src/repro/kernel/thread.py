@@ -27,6 +27,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Thread", "Task", "ThreadState", "ThreadBody", "ThreadContext"]
 
+#: Injection point for the determinism-race sanitizer: set to the
+#: :data:`repro.analysis.races.tracker` singleton by its ``activate()``
+#: (under ``REPRO_SANITIZE=1``), never imported from here -- the kernel
+#: zone must not depend on the analysis package.  Declared
+#: barrier-shared in ``repro/analysis/shardmap.toml``.
+_race_tracker = None
+
 #: A thread body: called with a ThreadContext, returns a syscall generator.
 ThreadBody = Callable[["ThreadContext"], Generator["Syscall", Any, None]]
 
@@ -151,6 +158,11 @@ class Thread(TicketHolder):
 
         task.threads.append(self)
 
+        if _race_tracker is not None and _race_tracker.active:
+            # Attach-time ownership: this thread belongs to the kernel
+            # that constructed it until a migration seam re-tags it.
+            _race_tracker.tag(self, kernel)
+
     # -- generator stepping ---------------------------------------------------
 
     def advance(self) -> Optional["Syscall"]:
@@ -190,6 +202,10 @@ class Thread(TicketHolder):
                 f"thread {self.name!r}: illegal transition "
                 f"{self.state.value} -> {new_state.value}"
             )
+        if _race_tracker is not None and _race_tracker.active:
+            # Lifecycle transitions are the mutation surface every
+            # scheduling path funnels through; trap cross-owner ones.
+            _race_tracker.check(self, f"transition to {new_state.value}")
         self.state = new_state
 
     # -- funding convenience ----------------------------------------------------------

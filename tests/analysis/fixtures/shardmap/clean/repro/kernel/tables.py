@@ -1,0 +1,12 @@
+"""Clean fixture: declared state and per-shard accumulation only."""
+
+PRIORITY_BANDS = {"high": 0, "normal": 1}  # shard: shard-local -- static rule table, frozen at import
+
+
+def band_of(name):
+    return PRIORITY_BANDS.get(name, 1)
+
+
+def local_cpu_total(threads):
+    # Per-shard reduction over one kernel's threads: order is shard-local.
+    return sum(t.cpu_time for t in threads)

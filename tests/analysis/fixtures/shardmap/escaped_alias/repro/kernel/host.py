@@ -1,0 +1,8 @@
+"""Planted SH001: a per-shard object escapes into a module global."""
+
+_current_engine = None
+
+
+def install(engine):
+    global _current_engine
+    _current_engine = engine  # the alias every shard would then share

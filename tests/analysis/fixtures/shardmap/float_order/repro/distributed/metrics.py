@@ -1,0 +1,5 @@
+"""Planted SH004: order-sensitive float reduction across shards."""
+
+
+def cluster_funding(cluster):
+    return sum(node.funding() for node in cluster.nodes)

@@ -1,0 +1,9 @@
+"""Planted SH003: a global allocator two shards would collide on."""
+
+_next_id = 0
+
+
+def alloc():
+    global _next_id
+    _next_id += 1
+    return _next_id

@@ -1,0 +1,7 @@
+"""Planted SH002: a module-level registry mutated at runtime."""
+
+HANDLERS = {}
+
+
+def register(name, handler):
+    HANDLERS[name] = handler

@@ -537,25 +537,137 @@ def test_rpr010_noqa_suppresses():
     assert ids(src, SCHED_PATH) == []
 
 
+# -- RPR011: undeclared module-level mutable state --------------------------
+
+
+def test_rpr011_flags_bare_module_dict():
+    assert ids("REGISTRY = {}\n") == ["RPR011"]
+
+
+def test_rpr011_flags_container_constructors():
+    src = """
+    from collections import defaultdict
+    WAITERS = defaultdict(list)
+    QUEUE = list()
+    """
+    assert ids(src) == ["RPR011", "RPR011"]
+
+
+def test_rpr011_shard_marker_with_reason_declares_ownership():
+    src = "TABLE = {}  # shard: shard-local -- rule table, frozen at import\n"
+    assert ids(src) == []
+
+
+def test_rpr011_marker_without_reason_does_not_count():
+    src = "TABLE = {}  # shard: barrier-shared\n"
+    findings = lint_source(src, KERNEL_PATH)
+    assert [f.rule_id for f in findings] == ["RPR011"]
+    assert "without a justification" in findings[0].message
+
+
+def test_rpr011_spec_registered_global_is_exempt():
+    # _construction_hooks is declared in src/repro/analysis/shardmap.toml.
+    src = "_construction_hooks = []\n"
+    assert ids(src, "src/repro/kernel/kernel.py") == []
+
+
+def test_rpr011_dunder_and_scalars_are_exempt():
+    src = """
+    __all__ = ["f"]
+    _enabled = False
+    LIMIT = 10
+    """
+    assert ids(src) == []
+
+
+def test_rpr011_exempt_outside_deterministic_zones():
+    assert ids("CACHE = {}\n", "repro/metrics/fixture.py") == []
+
+
+def test_rpr011_function_locals_are_exempt():
+    src = """
+    def build():
+        table = {}
+        return table
+    """
+    assert ids(src) == []
+
+
 # -- suppression syntax -----------------------------------------------------
 
 
 def test_noqa_with_wrong_id_does_not_suppress():
-    src = "import random  # repro: noqa[RPR002]\n"
+    src = "import random  # repro: noqa[RPR002] -- aimed at the wrong rule\n"
     assert ids(src) == ["RPR001"]
 
 
 def test_bare_noqa_suppresses_every_rule_on_the_line():
-    src = "import random  # repro: noqa\n"
+    src = "import random  # repro: noqa -- fixture exercises stdlib RNG\n"
     assert ids(src) == []
+
+
+def test_noqa_without_justification_is_rpr000():
+    src = "import random  # repro: noqa[RPR001]\n"
+    # The RPR001 finding is suppressed, but the naked suppression is
+    # itself a finding -- and that one cannot be noqa'd away.
+    assert ids(src) == ["RPR000"]
+
+
+def test_bare_noqa_without_justification_cannot_self_suppress():
+    src = "import random  # repro: noqa\n"
+    assert ids(src) == ["RPR000"]
+
+
+def test_noqa_in_docstring_is_not_a_suppression():
+    src = '"""mentions # repro: noqa[RPR001] in prose"""\nimport random\n'
+    assert ids(src) == ["RPR001"]
 
 
 def test_noqa_accepts_id_lists():
     src = ("def f(amount, bad=[]):  "
-           "# repro: noqa[RPR004, RPR005]\n    return float(amount)\n")
+           "# repro: noqa[RPR004, RPR005] -- fixture\n"
+           "    return float(amount)\n")
     findings = lint_source(src, CORE_PATH)
     # Only the float() cast survives: it sits on line 2, away from the noqa.
     assert [f.rule_id for f in findings] == ["RPR004"]
+
+
+# -- suppression inventory --------------------------------------------------
+
+
+def test_iter_suppressions_reports_codes_and_justification():
+    from repro.analysis.lint import iter_suppressions
+
+    src = ("import random  # repro: noqa[RPR001] -- fixture entropy\n"
+           "x = 1\n"
+           "import secrets  # repro: noqa\n")
+    entries = iter_suppressions(src, KERNEL_PATH)
+    assert [(e.line, e.codes, e.justification) for e in entries] == [
+        (1, ("RPR001",), "fixture entropy"),
+        (3, (), ""),
+    ]
+    assert "NO JUSTIFICATION" in entries[1].format()
+
+
+def test_iter_suppressions_skips_strings_and_docstrings():
+    from repro.analysis.lint import iter_suppressions
+
+    src = ('"""docs say use # repro: noqa[RPR001] -- like so"""\n'
+           'MSG = "# repro: noqa"\n')
+    assert iter_suppressions(src, KERNEL_PATH) == []
+
+
+def test_collect_suppressions_walks_directories(tmp_path):
+    from repro.analysis.lint import collect_suppressions
+
+    pkg = tmp_path / "repro" / "kernel"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text(
+        "import random  # repro: noqa[RPR001] -- why not\n")
+    (pkg / "b.py").write_text("x = 1\n")
+    entries = collect_suppressions([tmp_path])
+    assert len(entries) == 1
+    assert entries[0].codes == ("RPR001",)
 
 
 # -- output & acceptance ----------------------------------------------------
@@ -572,7 +684,7 @@ def test_finding_format_names_location_and_rule():
 def test_every_rule_has_id_summary_and_fixit():
     assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
                           "RPR004", "RPR005", "RPR006", "RPR007",
-                          "RPR008", "RPR009", "RPR010"}
+                          "RPR008", "RPR009", "RPR010", "RPR011"}
     for rule in RULES.values():
         assert rule.summary and rule.fixit and rule.slug
 

@@ -1,0 +1,200 @@
+"""Tests for the shared report layer (JSON / SARIF / baselines) and the
+CLI flags that expose it on both analyzers."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+from repro.analysis.lint import Finding, lint_paths
+from repro.analysis.report import (filter_new, fingerprint, load_baseline,
+                                   render_json, render_sarif, write_baseline)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "shardmap"
+EMPTY_SPEC = str(FIXTURES / "empty.toml")
+SRC_REPRO = str(Path(__file__).resolve().parents[2] / "src" / "repro")
+
+
+def sample_findings():
+    return [
+        Finding("repro/kernel/a.py", 3, 0, "RPR001", "stdlib RNG imported"),
+        Finding("repro/kernel/b.py", 7, 4, "RPR002", "wall-clock read"),
+    ]
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprint_is_stable_across_line_shifts():
+    moved = Finding("repro/kernel/a.py", 99, 5, "RPR001",
+                    "stdlib RNG imported")
+    assert fingerprint(sample_findings()[0]) == fingerprint(moved)
+
+
+def test_fingerprint_distinguishes_rule_and_message():
+    a, b = sample_findings()
+    assert fingerprint(a) != fingerprint(b)
+
+
+# -- JSON --------------------------------------------------------------------
+
+
+def test_render_json_round_trips():
+    document = json.loads(render_json(sample_findings(), tool="repro-lint"))
+    assert document["tool"] == "repro-lint"
+    assert document["finding_count"] == 2
+    first = document["findings"][0]
+    assert first["rule_id"] == "RPR001"
+    assert first["path"] == "repro/kernel/a.py"
+    assert len(first["fingerprint"]) == 64
+
+
+# -- SARIF -------------------------------------------------------------------
+
+
+def test_render_sarif_is_valid_2_1_0_shape():
+    log = json.loads(render_sarif(
+        sample_findings(), tool="repro-lint",
+        rule_meta={"RPR001": ("nondeterministic-rng", "stdlib RNG")}))
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert run["tool"]["driver"]["rules"][0]["id"] == "RPR001"
+    result = run["results"][0]
+    assert result["ruleId"] == "RPR001"
+    assert result["locations"][0]["physicalLocation"]["region"][
+        "startLine"] == 3
+    assert "reproAnalysis/v1" in result["partialFingerprints"]
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def test_baseline_round_trip_filters_known_findings(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    known, new = sample_findings()
+    assert write_baseline([known], baseline_file, tool="repro-lint") == 1
+    baseline = load_baseline(baseline_file)
+    assert filter_new([known, new], baseline) == [new]
+
+
+# -- CLI wiring --------------------------------------------------------------
+
+
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "repro" / "kernel"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import random\n")
+    return tmp_path
+
+
+def test_lint_format_json(tmp_path, capsys):
+    tree = dirty_tree(tmp_path)
+    assert main(["lint", "--format", "json", str(tree)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["findings"][0]["rule_id"] == "RPR001"
+
+
+def test_lint_format_sarif_to_file(tmp_path, capsys):
+    tree = dirty_tree(tmp_path)
+    out = tmp_path / "lint.sarif"
+    assert main(["lint", "--format", "sarif", "--out", str(out),
+                 str(tree)]) == 1
+    log = json.loads(out.read_text())
+    assert log["runs"][0]["results"][0]["ruleId"] == "RPR001"
+
+
+def test_lint_baseline_workflow(tmp_path, capsys):
+    tree = dirty_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", "--write-baseline", str(baseline), str(tree)]) == 0
+    # Same findings, now baselined: exit 0, nothing new.
+    assert main(["lint", "--baseline", str(baseline), str(tree)]) == 0
+    # A new hazard appears: only it is reported.
+    (tree / "repro" / "kernel" / "worse.py").write_text("import secrets\n")
+    capsys.readouterr()
+    assert main(["lint", "--baseline", str(baseline), str(tree)]) == 1
+    captured = capsys.readouterr()
+    assert "worse.py" in captured.out
+    assert "bad.py" not in captured.out
+    assert "new finding" in captured.err
+
+
+def test_lint_list_suppressions(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "kernel"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text(
+        "import random  # repro: noqa[RPR001] -- fixture entropy\n")
+    assert main(["lint", "--list-suppressions", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "noqa[RPR001] -- fixture entropy" in captured.out
+    assert "0 without justification" in captured.err
+
+
+def test_lint_list_suppressions_flags_missing_justification(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "kernel"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text("import random  # repro: noqa\n")
+    assert main(["lint", "--list-suppressions", str(tmp_path)]) == 1
+    assert "NO JUSTIFICATION" in capsys.readouterr().out
+
+
+def test_shardmap_cli_clean_on_repo(capsys):
+    assert main(["shardmap", "--root", SRC_REPRO]) == 0
+    out = capsys.readouterr().out
+    assert "UNKNOWN: 0" in out
+    assert "clean" in out
+
+
+def test_shardmap_cli_nonzero_on_each_planted_fixture(capsys):
+    for fixture, rule in (("escaped_alias", "SH001"),
+                          ("shared_registry", "SH002"),
+                          ("global_counter", "SH003"),
+                          ("float_order", "SH004")):
+        assert main(["shardmap", "--root", str(FIXTURES / fixture),
+                     "--spec", EMPTY_SPEC]) == 1, fixture
+        captured = capsys.readouterr()
+        assert rule in captured.out, fixture
+        assert "finding" in captured.err
+
+
+def test_shardmap_cli_zero_on_clean_fixture(capsys):
+    assert main(["shardmap", "--root", str(FIXTURES / "clean"),
+                 "--spec", EMPTY_SPEC]) == 0
+
+
+def test_shardmap_cli_sarif_output(tmp_path, capsys):
+    out = tmp_path / "shardmap.sarif"
+    assert main(["shardmap", "--root", str(FIXTURES / "global_counter"),
+                 "--spec", EMPTY_SPEC, "--format", "sarif",
+                 "--out", str(out)]) == 1
+    log = json.loads(out.read_text())
+    assert log["runs"][0]["results"][0]["ruleId"] == "SH003"
+
+
+def test_shardmap_cli_write_doc(tmp_path, capsys):
+    doc = tmp_path / "SHARDMAP.md"
+    assert main(["shardmap", "--root", SRC_REPRO,
+                 "--write-doc", str(doc)]) == 0
+    text = doc.read_text()
+    assert text.startswith("# Shard ownership map")
+    assert "repro.kernel.kernel.Kernel" in text
+
+
+def test_shardmap_cli_emit_spec_bootstraps(tmp_path, capsys):
+    out = tmp_path / "skeleton.toml"
+    assert main(["shardmap", "--root", str(FIXTURES / "shared_registry"),
+                 "--emit-spec", "--out", str(out)]) == 0
+    assert "repro.kernel.registry.HANDLERS" in out.read_text()
+
+
+def test_shardmap_cli_bad_spec_is_exit_2(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text("version = 7\n")
+    assert main(["shardmap", "--root", SRC_REPRO, "--spec", str(bad)]) == 2
+    assert "shardmap:" in capsys.readouterr().err
+
+
+def test_repo_lint_still_clean_via_api():
+    assert lint_paths([SRC_REPRO]) == []

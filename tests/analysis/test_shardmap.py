@@ -1,0 +1,280 @@
+"""Tests for the whole-program shard-safety analyzer.
+
+Each planted-hazard fixture package under ``fixtures/shardmap/`` yields
+exactly one finding with a stable rule ID; the clean fixture yields
+zero.  The closing acceptance tests pin the real tree: every mutable
+location in ``src/repro`` classifies against the committed spec with
+zero UNKNOWN and no hazards.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.shardmap import (SHARD_RULES, analyze_tree, render_doc,
+                                     render_spec_skeleton, render_text)
+from repro.analysis.shardspec import (BARRIER_SHARED, ShardSpec, SpecError,
+                                      load_spec, parse_spec)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "shardmap"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def analyze_fixture(name: str, spec: ShardSpec = None):
+    return analyze_tree(FIXTURES / name,
+                        spec=spec if spec is not None else ShardSpec())
+
+
+def rule_ids(shard_map):
+    return [f.rule_id for f in shard_map.findings]
+
+
+# -- planted hazards: one finding each, stable IDs ---------------------------
+
+
+def test_escaped_alias_fixture_is_exactly_sh001():
+    shard_map = analyze_fixture("escaped_alias")
+    assert rule_ids(shard_map) == ["SH001"]
+    finding = shard_map.findings[0]
+    assert finding.location == "repro.kernel.host._current_engine"
+    assert "alias" in finding.message
+
+
+def test_shared_registry_fixture_is_exactly_sh002():
+    shard_map = analyze_fixture("shared_registry")
+    assert rule_ids(shard_map) == ["SH002"]
+    assert shard_map.findings[0].location == "repro.kernel.registry.HANDLERS"
+
+
+def test_global_counter_fixture_is_exactly_sh003():
+    shard_map = analyze_fixture("global_counter")
+    assert rule_ids(shard_map) == ["SH003"]
+    assert shard_map.findings[0].location == "repro.kernel.ids._next_id"
+
+
+def test_float_order_fixture_is_exactly_sh004():
+    shard_map = analyze_fixture("float_order")
+    assert rule_ids(shard_map) == ["SH004"]
+    assert shard_map.findings[0].location == \
+        "repro.distributed.metrics.cluster_funding"
+
+
+def test_clean_fixture_has_zero_findings():
+    shard_map = analyze_fixture("clean")
+    assert rule_ids(shard_map) == []
+    assert shard_map.unknown == []
+
+
+def test_hazard_findings_suppress_duplicate_sh005():
+    # The hazard on the undeclared global already names the location;
+    # a second UNKNOWN-location finding there would be noise.
+    shard_map = analyze_fixture("shared_registry")
+    assert "SH005" not in rule_ids(shard_map)
+
+
+def test_finding_format_is_path_line_rule_location():
+    finding = analyze_fixture("global_counter").findings[0]
+    text = finding.format()
+    assert "SH003" in text
+    assert "repro.kernel.ids._next_id" in text
+    assert ":" in text.split(" ")[0]  # path:line:col prefix
+
+
+# -- spec-driven classification ----------------------------------------------
+
+
+def spec_from(text: str) -> ShardSpec:
+    return parse_spec(textwrap.dedent(text))
+
+
+def test_barrier_shared_declaration_legalizes_registry():
+    spec = spec_from("""
+        version = 1
+        [globals."repro.kernel.registry.HANDLERS"]
+        classification = "barrier-shared"
+        reason = "handler table mutated only during setup"
+    """)
+    shard_map = analyze_fixture("shared_registry", spec)
+    assert rule_ids(shard_map) == []
+    locations = {loc.location: loc for loc in shard_map.locations}
+    assert locations["repro.kernel.registry.HANDLERS"].classification == \
+        BARRIER_SHARED
+
+
+def test_allow_entry_waives_one_hazard():
+    spec = spec_from("""
+        version = 1
+        [[allow]]
+        id = "SH004"
+        location = "repro.distributed.metrics.cluster_funding"
+        reason = "measurement helper, runs at barriers only"
+    """)
+    assert rule_ids(analyze_fixture("float_order", spec)) == []
+
+
+def test_allow_entry_is_rule_specific():
+    spec = spec_from("""
+        version = 1
+        [[allow]]
+        id = "SH001"
+        location = "repro.distributed.metrics.cluster_funding"
+        reason = "wrong rule on purpose"
+    """)
+    # An SH001 waiver does not silence the SH004 finding there.
+    assert rule_ids(analyze_fixture("float_order", spec)) == ["SH004"]
+
+
+def test_stale_spec_entry_is_sh006():
+    spec = spec_from("""
+        version = 1
+        [globals."repro.kernel.tables.GONE"]
+        classification = "shard-local"
+        reason = "no longer exists"
+    """)
+    shard_map = analyze_fixture("clean", spec)
+    assert rule_ids(shard_map) == ["SH006"]
+    assert "repro.kernel.tables.GONE" in shard_map.findings[0].message
+
+
+def test_misclassified_mutated_global_is_sh007():
+    spec = spec_from("""
+        version = 1
+        [globals."repro.kernel.ids._next_id"]
+        classification = "shard-local"
+        reason = "wrong: two shards would collide"
+        [[allow]]
+        id = "SH003"
+        location = "repro.kernel.ids._next_id"
+        reason = "waived so the misclassification check is isolated"
+    """)
+    assert rule_ids(analyze_fixture("global_counter", spec)) == ["SH007"]
+
+
+def test_marker_without_justification_leaves_unknown(tmp_path):
+    pkg = tmp_path / "repro" / "kernel"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text("TABLE = {}  # shard: shard-local\n")
+    shard_map = analyze_tree(tmp_path, spec=ShardSpec())
+    assert rule_ids(shard_map) == ["SH005"]
+
+
+def test_seam_mismatch_is_sh008():
+    spec = spec_from("""
+        version = 1
+        [meta]
+        seams_must_match_runtime = true
+        [[seams]]
+        name = "ipc.reply"
+        location = "repro.kernel.ipc.Request.reply"
+        reason = "declared but incomplete set"
+    """)
+    shard_map = analyze_fixture("clean", spec)
+    # One finding per seam the spec is missing relative to the runtime.
+    assert rule_ids(shard_map) == ["SH008"] * 4
+    missing = " ".join(f.message for f in shard_map.findings)
+    for seam in ("ipc.deliver", "cluster.migrate", "cluster.evacuate",
+                 "cluster.crash"):
+        assert seam in missing
+
+
+# -- spec loading ------------------------------------------------------------
+
+
+def test_committed_spec_parses_with_fallback_parser():
+    from repro.analysis import shardspec
+
+    text = (SRC_REPRO / "analysis" / "shardmap.toml").read_text()
+    data = shardspec._parse_toml_subset(text)
+    spec = parse_spec(text)
+    assert spec.seams_must_match_runtime
+    assert data["version"] == 1
+    tomllib = pytest.importorskip("tomllib")
+    assert tomllib.loads(text) == data
+
+
+def test_spec_rejects_missing_reason():
+    with pytest.raises(SpecError, match="reason"):
+        spec_from("""
+            version = 1
+            [globals."repro.kernel.x.Y"]
+            classification = "shard-local"
+        """)
+
+
+def test_spec_rejects_bad_classification():
+    with pytest.raises(SpecError, match="classification"):
+        spec_from("""
+            version = 1
+            [globals."repro.kernel.x.Y"]
+            classification = "thread-local"
+            reason = "not a taxonomy member"
+        """)
+
+
+def test_spec_rejects_wrong_version():
+    with pytest.raises(SpecError, match="version"):
+        spec_from("version = 2\n")
+
+
+def test_spec_rejects_duplicate_seams():
+    with pytest.raises(SpecError, match="duplicate seam"):
+        spec_from("""
+            version = 1
+            [[seams]]
+            name = "ipc.reply"
+            location = "a"
+            reason = "first"
+            [[seams]]
+            name = "ipc.reply"
+            location = "b"
+            reason = "second"
+        """)
+
+
+# -- renderers ---------------------------------------------------------------
+
+
+def test_render_text_counts_classifications():
+    text = render_text(analyze_fixture("clean"))
+    assert "shard-local" in text
+    assert "UNKNOWN: 0" in text
+
+
+def test_render_doc_tables_every_location():
+    doc = render_doc(analyze_fixture("clean"))
+    assert doc.startswith("# Shard ownership map")
+    assert "repro.kernel.tables.PRIORITY_BANDS" in doc
+
+
+def test_render_spec_skeleton_covers_unknowns():
+    skeleton = render_spec_skeleton(analyze_fixture("shared_registry"))
+    assert 'version = 1' in skeleton
+    assert 'repro.kernel.registry.HANDLERS' in skeleton
+    # A skeleton must itself be loadable spec text once reasons are real.
+    spec = parse_spec(skeleton.replace("TODO", "bootstrap"))
+    assert "repro.kernel.registry.HANDLERS" in spec.globals
+
+
+# -- acceptance: the real tree -----------------------------------------------
+
+
+def test_real_tree_classifies_with_zero_unknown():
+    shard_map = analyze_tree(SRC_REPRO, spec=load_spec())
+    assert shard_map.unknown == [], \
+        "\n".join(loc.location for loc in shard_map.unknown)
+    assert shard_map.findings == [], \
+        "\n".join(f.format() for f in shard_map.findings)
+
+
+def test_real_tree_declares_runtime_seams():
+    from repro.analysis.races import DECLARED_SEAMS
+
+    assert set(load_spec().seam_names()) == set(DECLARED_SEAMS)
+
+
+def test_shard_rules_have_stable_ids():
+    assert set(SHARD_RULES) == {"SH001", "SH002", "SH003", "SH004",
+                                "SH005", "SH006", "SH007", "SH008"}
