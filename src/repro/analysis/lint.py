@@ -50,6 +50,12 @@ RPR011    module-level mutable state (dict/list/set/deque assigned at
           spec (``src/repro/analysis/shardmap.toml``); undeclared
           module state is exactly what the multicore shard refactor
           cannot partition (see :mod:`repro.analysis.shardmap`)
+RPR012    host-concurrency imports (``multiprocessing``,
+          ``concurrent.futures``, ``threading``, ``_thread``) inside a
+          deterministic zone -- OS-scheduled concurrency is
+          nondeterministic by construction; the one sanctioned home
+          for worker processes is :mod:`repro.shard`, whose epoch
+          barriers re-serialize every cross-core effect
 ========  ==============================================================
 
 A finding on a line can be suppressed with an inline comment::
@@ -207,6 +213,18 @@ RULES: Dict[str, Rule] = {
             "cannot partition undeclared module state",
             ("sim", "kernel", "schedulers", "core", "distributed"),
         ),
+        Rule(
+            "RPR012",
+            "host-concurrency-import",
+            "host concurrency primitive imported in a deterministic "
+            "zone",
+            "OS-scheduled threads/processes interleave "
+            "nondeterministically; drive parallelism through "
+            "repro.shard (ShardedEngine's mp backend), whose epoch "
+            "barriers re-serialize every cross-core effect into a "
+            "canonical order",
+            ("sim", "kernel", "schedulers", "core", "distributed"),
+        ),
     )
 }
 
@@ -233,6 +251,14 @@ _WALL_CLOCK_CALLS = frozenset({
 
 #: Imports of these top-level modules trigger RPR001.
 _FORBIDDEN_RNG_MODULES = frozenset({"random", "secrets"})
+
+#: Imports of these top-level modules trigger RPR012: OS-scheduled
+#: concurrency in a deterministic zone.  ``concurrent`` covers
+#: ``concurrent.futures`` (root-module matching, like the other sets).
+#: ``repro/shard/`` is exempt by zone -- it is the sanctioned owner of
+#: worker processes.
+_FORBIDDEN_CONCURRENCY_MODULES = frozenset(
+    {"multiprocessing", "concurrent", "threading", "_thread"})
 
 #: Calls whose result is order-insensitive, exempting inner iteration.
 _ORDER_INSENSITIVE_REDUCERS = frozenset({
@@ -498,6 +524,12 @@ class _Visitor(ast.NodeVisitor):
                     "RPR007", node,
                     f"import of object serializer {alias.name!r}",
                 )
+            if root in _FORBIDDEN_CONCURRENCY_MODULES:
+                self._report(
+                    "RPR012", node,
+                    f"import of host concurrency module {alias.name!r} "
+                    f"in deterministic zone {self.zone!r}",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -512,6 +544,12 @@ class _Visitor(ast.NodeVisitor):
                 self._report(
                     "RPR007", node,
                     f"import from object serializer {node.module!r}",
+                )
+            if root in _FORBIDDEN_CONCURRENCY_MODULES:
+                self._report(
+                    "RPR012", node,
+                    f"import from host concurrency module "
+                    f"{node.module!r} in deterministic zone {self.zone!r}",
                 )
             for alias in node.names:
                 self._name_origins[alias.asname or alias.name] = \

@@ -54,6 +54,13 @@ DECLARED_SEAMS = frozenset({
     "cluster.migrate",
     "cluster.evacuate",
     "cluster.crash",
+    # Sharded multicore engine (repro.shard): barrier payload
+    # application on the target core, and the restart-migration /
+    # crash-evacuation operations that kill on one core and respawn
+    # on another via ``spawn`` payloads.
+    "shard.barrier",
+    "shard.migrate",
+    "shard.crash",
 })
 
 
@@ -103,9 +110,10 @@ class RaceTracker:
         from repro.kernel import ipc as ipc_module
         from repro.kernel import kernel as kernel_module
         from repro.kernel import thread as thread_module
+        from repro.shard import router as shard_router_module
 
         for module in (kernel_module, thread_module, ipc_module,
-                       cluster_module):
+                       cluster_module, shard_router_module):
             module._race_tracker = self
         self.active = True
 

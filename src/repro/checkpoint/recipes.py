@@ -11,6 +11,11 @@ restore-by-re-execution design (see :mod:`repro.checkpoint.registry`).
 * ``chaos-fairness`` -- the chaos experiment's cluster (spinners,
   pinned victim, armed fault injector); the system the acceptance
   criterion crashes, restores, and replays.
+* ``shard-mix`` -- the sharded multicore engine running the kitchen-
+  sink ``mix_plan`` (cross-core RPC, optional scripted migration and
+  crash); checkpoints taken at epoch barriers restore bit-exact on any
+  backend/shard count because the merged stream is placement-invariant
+  (see ``docs/SHARDING.md``).
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from typing import Any, Dict, List, Optional
 from repro.checkpoint.registry import SimHandle, register_recipe
 from repro.checkpoint.replay import ReplayRecorder
 
-__all__ = ["lottery_mix", "chaos_fairness"]
+__all__ = ["lottery_mix", "chaos_fairness", "shard_mix"]
 
 
 @register_recipe("lottery-mix")
@@ -83,3 +88,31 @@ def chaos_fairness(seed: int = 2718, nodes: int = 3,
     from repro.experiments.chaos_fairness import build_sim
 
     return build_sim(seed=seed, nodes=nodes, plan=plan)
+
+
+@register_recipe("shard-mix")
+def shard_mix(seed: int = 11, cores: int = 4, shards: int = 2,
+              backend: str = "inline", with_ops: bool = False) -> SimHandle:
+    """The sharded engine on ``mix_plan`` (cross-core RPC workload).
+
+    ``advance`` goes through :meth:`ShardedEngine.advance`, so restore
+    re-executes epoch-by-epoch exactly like the original run; times
+    must land on the plan's epoch grid (500 ms for ``mix_plan``).  The
+    engine deliberately snapshots no shard/backend identity, so a
+    checkpoint written by the mp backend at 4 shards restores (and
+    diffs clean) against an inline rebuild at 1 -- that equivalence is
+    the subsystem's core claim.
+    """
+    from repro.shard.engine import ShardedEngine
+    from repro.shard.plan import mix_plan
+
+    plan = mix_plan(seed=seed, cores=cores, with_ops=with_ops)
+    engine = ShardedEngine(plan, shards=shards, backend=backend)
+    return SimHandle(
+        recipe="shard-mix",
+        args={"seed": seed, "cores": cores, "shards": shards,
+              "backend": backend, "with_ops": with_ops},
+        engine=engine,
+        components={"sharded": engine},
+        advance=engine.advance,
+    )

@@ -96,6 +96,11 @@ class SimHandle:
                 found.append(component)
             elif isinstance(component, Cluster):
                 found.extend(node.kernel for node in component.nodes)
+            elif hasattr(component, "shard_kernels"):
+                # Sharded engines expose their in-process kernels (the
+                # mp backend's live in workers and report an empty
+                # list; those sanitize themselves worker-side).
+                found.extend(component.shard_kernels())
         return found
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -163,6 +168,14 @@ SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
         # clock/_queue are captured through their own seams; trace_hook
         # is an observer, not state.
         "transient": {"clock", "_queue", "trace_hook", "_running"},
+    },
+    "repro.sim.engine.LoopCore": {
+        # The mechanics Engine inherits; same coverage story.  core_id
+        # is construction-time identity (the snapshot's position in the
+        # sharded engine's core list encodes it), not evolving state.
+        "covered": {"events_processed", "_next_tid"},
+        "transient": {"clock", "_queue", "trace_hook", "_running",
+                      "core_id"},
     },
     "repro.sim.events.EventQueue": {
         "covered": {"_seq", "_heap"},

@@ -124,17 +124,24 @@ class Cluster:
         ablation baseline).
     seed:
         Seeds the per-node lotteries and placement decisions.
+    engine / ledger:
+        Optional externally owned event loop and ticket ledger.  By
+        default the cluster builds private ones; a sharded run passes
+        its core's :class:`~repro.sim.engine.LoopCore` (and that core's
+        ledger) so the whole cluster lives inside one shard core and
+        advances through the core's epoch loop.
     """
 
     def __init__(self, nodes: int = 4, quantum: float = 100.0,
                  rebalance_period: Optional[float] = 1000.0,
-                 seed: int = 1, recorder=None) -> None:
+                 seed: int = 1, recorder=None, engine=None,
+                 ledger: Optional[Ledger] = None) -> None:
         if nodes <= 0:
             raise ReproError(f"cluster needs at least one node: {nodes}")
         if rebalance_period is not None and rebalance_period <= 0:
             raise ReproError("rebalance_period must be positive or None")
-        self.engine = Engine()
-        self.ledger = Ledger()
+        self.engine = Engine() if engine is None else engine
+        self.ledger = Ledger() if ledger is None else ledger
         #: Optional shared recorder wired into every node kernel; the
         #: replay harness (:mod:`repro.checkpoint.replay`) passes one to
         #: collect the cluster-wide dispatch stream in engine order.

@@ -57,6 +57,11 @@ class SchedulerError(ReproError):
     """A scheduling policy was misused (unknown thread, double add...)."""
 
 
+class ShardError(ReproError):
+    """The sharded multicore engine was misconfigured or misused
+    (bad plan, off-grid advance, dead worker, undeclared payload)."""
+
+
 class ExperimentError(ReproError):
     """An experiment was configured with invalid parameters."""
 

@@ -44,6 +44,14 @@ __all__ = ["Port", "Request"]
 #: ``repro/analysis/shardmap.toml``.
 _race_tracker = None
 
+#: Injection point for the sharded multicore engine (see
+#: :mod:`repro.shard.router`); assigned by ``ShardRouter.install()``
+#: while a sharded run is executing.  Consulted on the reply/delivery
+#: paths to divert wakes aimed at :class:`RemoteClient` stubs (callers
+#: blocked on another core) into barrier payloads.  Declared
+#: barrier-shared in ``repro/analysis/shardmap.toml``.
+_shard_router = None
+
 
 def _race_seam(name: str):
     """Barrier-seam context for legal cross-kernel wakes (no-op when
@@ -115,8 +123,14 @@ class Request:
             return
         # Wake via client.kernel (not port.kernel): the client may have
         # been re-placed on another node while blocked.  Crossing into
-        # the client's kernel is a declared barrier seam.
+        # the client's kernel is a declared barrier seam.  Under a
+        # sharded run the client may be a remote-caller stub whose wake
+        # must travel as a barrier payload instead of a direct call.
         with _race_seam("ipc.reply"):
+            router = _shard_router
+            if router is not None and router.intercept_wake(self.client,
+                                                            value):
+                return
             self.client.kernel.wake(self.client, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -232,6 +246,10 @@ class Port:
             # clients, may have been re-placed while blocked.  Crossing
             # into the receiver's kernel is a declared barrier seam.
             with _race_seam("ipc.deliver"):
+                router = _shard_router
+                if router is not None and router.intercept_wake(server,
+                                                                request):
+                    return
                 server.kernel.wake(server, request)
         else:
             # For RPCs with no waiting server and no server currency, the
@@ -240,8 +258,15 @@ class Port:
             self._queue.append(request)
 
     def _claim_transfer(self, request: Request, server: "Thread") -> None:
-        """Attach the client's rights to the receiving server thread."""
-        if not request.is_rpc or self.currency is not None:
+        """Attach the client's rights to the receiving server thread.
+
+        Zero-fraction requests transfer nothing and skip the funding
+        machinery entirely; cross-core calls materialized from barrier
+        payloads rely on this (their :class:`RemoteClient` stubs are
+        not ticket holders, and cores own separate ledgers).
+        """
+        if (not request.is_rpc or self.currency is not None
+                or request.transfer_fraction <= 0.0):
             return
         assert request.client is not None
         if request.transfer is None:

@@ -41,6 +41,13 @@ _construction_hooks: List[Callable[["Kernel"], None]] = []
 #: ``repro/analysis/shardmap.toml``.
 _race_tracker = None
 
+#: Injection point for the sharded multicore engine (see
+#: :mod:`repro.shard.router`); assigned by ``ShardRouter.install()``
+#: while a sharded run is executing.  Guards ``run_until`` against
+#: bypassing epoch barriers and diverts wakes aimed at remote-caller
+#: stubs.  Declared barrier-shared in ``repro/analysis/shardmap.toml``.
+_shard_router = None
+
 
 def add_construction_hook(hook: Callable[["Kernel"], None]) -> None:
     """Register a callable invoked with each new :class:`Kernel`."""
@@ -205,7 +212,18 @@ class Kernel:
         return self.engine.now
 
     def run_until(self, time: float) -> None:
-        """Advance the whole machine to virtual time ``time``."""
+        """Advance the whole machine to virtual time ``time``.
+
+        Refused when this kernel's engine is a core adopted by a
+        sharded run: advancing one core past its siblings would bypass
+        the epoch barriers that keep sharded execution deterministic --
+        use ``ShardedEngine.advance`` instead.
+        """
+        router = _shard_router
+        if router is not None and router.owns_engine(self.engine):
+            raise KernelError(
+                "kernel belongs to a sharded run; advance through "
+                "ShardedEngine.advance(), not Kernel.run_until()")
         self.engine.run(until=time)
 
     # -- task and thread creation --------------------------------------------------
@@ -257,6 +275,11 @@ class Kernel:
 
     def wake(self, thread: Thread, value: Any = None) -> None:
         """Unblock a thread, delivering ``value`` into its generator."""
+        router = _shard_router
+        if router is not None and router.intercept_wake(thread, value):
+            # A remote-caller stub (sharded cross-core RPC): the wake
+            # travels to the real thread's core as a barrier payload.
+            return
         if thread.state is not ThreadState.BLOCKED:
             raise KernelError(
                 f"cannot wake thread {thread.name!r} in state {thread.state.value}"

@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.perf.baseline import (
     compare_reports,
     format_comparison_table,
+    format_shard_summary,
     load_report,
     write_report,
 )
@@ -77,20 +78,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         write_report(args.write_baseline, report)
         print(f"baseline written to {args.write_baseline}")
 
+    shard_summary = format_shard_summary(report)
+    if shard_summary:
+        print(shard_summary)
+
     status = 0
     if args.compare:
         baseline = load_report(args.compare)
         comparison = compare_reports(report, baseline,
                                      tolerance=args.tolerance)
         print(format_comparison_table(comparison))
-        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
-        if args.github_summary and summary_path:
-            with open(summary_path, "a", encoding="utf-8") as handle:
+        if not comparison.passed:
+            status = 1
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if args.github_summary and summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            if args.compare:
                 handle.write(format_comparison_table(comparison,
                                                      markdown=True))
                 handle.write("\n")
-        if not comparison.passed:
-            status = 1
+            if shard_summary:
+                handle.write(format_shard_summary(report, markdown=True))
+                handle.write("\n")
     return status
 
 

@@ -17,6 +17,12 @@ fixed seed and returns a closure that drives one hot loop:
 ``ipc.pingpong``       client/server RPC round trips through a kernel port
 ``checkpoint.capture`` state-tree capture of a mid-flight lottery kernel
 ``export.chrome``      Chrome-trace export of a telemetry-instrumented run
+``shard.dispatch.N``   the sharded multicore engine driving N spinner threads
+                       across 4 cores to a fixed horizon; variants cover the
+                       single-loop oracle, the inline backend at shards
+                       1/2/4, and the multiprocessing backend at shards 4
+                       (``shard.dispatch.10000`` is where mp must beat
+                       inline on multi-core hosts)
 =====================  ========================================================
 
 Scales are chosen so a full run stays in tens of seconds on commodity
@@ -30,7 +36,8 @@ from typing import Any, Callable, Dict, List, Tuple
 
 __all__ = ["benchmark_suite"]
 
-#: A benchmark: (name, params, setup) where setup() -> (fn, ops).
+#: A benchmark: (name, params, setup) where setup() -> (fn, ops) or
+#: (fn, ops, teardown) -- see repro.perf.harness for the contract.
 BenchmarkEntry = Tuple[str, Dict[str, Any],
                        Callable[[], Tuple[Callable[[], None], int]]]
 
@@ -235,19 +242,48 @@ def _export_chrome(exports: int):
     return setup
 
 
-def benchmark_suite(quick: bool = False) -> List[BenchmarkEntry]:
-    """The ordered benchmark list.
+def _shard_dispatch(threads_total: int, backend: str, shards: int,
+                    epochs: int, use_tree: bool):
+    """Sharded dispatch: ``threads_total`` spinners spread over 4 cores,
+    advanced through ``epochs`` epoch barriers.  The engine (and, for
+    the mp backend, its worker processes) is built in setup and closed
+    in teardown, so only ``advance()`` is timed.  ``ops`` counts
+    scheduling quanta across all cores, making ops/sec directly
+    comparable between the single-loop oracle and every sharded
+    variant -- the inline-vs-mp ratio at equal shards IS the wall-clock
+    speedup."""
+    cores = 4
+    quantum = 10.0
+    epoch_ms = 100.0
 
-    ``quick`` shrinks inner-loop counts (CI smoke and the test suite);
-    names and scales stay identical so reports remain comparable --
-    only ops/sec and percentiles move.
-    """
+    def setup():
+        from repro.shard.engine import ShardedEngine
+        from repro.shard.plan import spin_plan
+
+        plan = spin_plan(seed=97, cores=cores,
+                         spinners=threads_total // cores,
+                         quantum=quantum, epoch_ms=epoch_ms,
+                         use_tree=use_tree)
+        engine = ShardedEngine(plan, shards=shards, backend=backend)
+        horizon = epochs * epoch_ms
+        ops = int(cores * horizon / quantum)
+
+        def fn() -> None:
+            engine.advance(horizon)
+
+        return fn, ops, engine.close
+
+    return setup
+
+
+def _full_suite(quick: bool = False) -> List[BenchmarkEntry]:
     draws = 200 if quick else 2_000
     quanta = 50 if quick else 400
     rounds = 500 if quick else 5_000
     calls = 200 if quick else 2_000
     captures = 3 if quick else 20
     exports = 3 if quick else 20
+    epochs = 5 if quick else 40
     return [
         ("draw.list.1000", {"clients": 1_000, "draws": draws},
          _draw_list(1_000, draws)),
@@ -267,4 +303,57 @@ def benchmark_suite(quick: bool = False) -> List[BenchmarkEntry]:
         ("checkpoint.capture.300", {"threads": 300, "captures": captures},
          _checkpoint_capture(300, captures)),
         ("export.chrome", {"exports": exports}, _export_chrome(exports)),
+        # Sharded multicore engine: 1000 threads list-queue, 10000
+        # threads tree-queue (mirroring dispatch.list/tree above).  The
+        # single/inline/mp variants run the byte-identical universe, so
+        # their ops/sec ratios are pure backend overhead/speedup.
+        ("shard.dispatch.1000.single",
+         {"threads": 1_000, "backend": "single", "shards": 1,
+          "epochs": epochs},
+         _shard_dispatch(1_000, "single", 1, epochs, False)),
+        ("shard.dispatch.1000.inline.s1",
+         {"threads": 1_000, "backend": "inline", "shards": 1,
+          "epochs": epochs},
+         _shard_dispatch(1_000, "inline", 1, epochs, False)),
+        ("shard.dispatch.1000.inline.s2",
+         {"threads": 1_000, "backend": "inline", "shards": 2,
+          "epochs": epochs},
+         _shard_dispatch(1_000, "inline", 2, epochs, False)),
+        ("shard.dispatch.1000.inline.s4",
+         {"threads": 1_000, "backend": "inline", "shards": 4,
+          "epochs": epochs},
+         _shard_dispatch(1_000, "inline", 4, epochs, False)),
+        ("shard.dispatch.1000.mp.s4",
+         {"threads": 1_000, "backend": "mp", "shards": 4,
+          "epochs": epochs},
+         _shard_dispatch(1_000, "mp", 4, epochs, False)),
+        ("shard.dispatch.10000.single",
+         {"threads": 10_000, "backend": "single", "shards": 1,
+          "epochs": epochs},
+         _shard_dispatch(10_000, "single", 1, epochs, True)),
+        ("shard.dispatch.10000.inline.s4",
+         {"threads": 10_000, "backend": "inline", "shards": 4,
+          "epochs": epochs},
+         _shard_dispatch(10_000, "inline", 4, epochs, True)),
+        ("shard.dispatch.10000.mp.s4",
+         {"threads": 10_000, "backend": "mp", "shards": 4,
+          "epochs": epochs},
+         _shard_dispatch(10_000, "mp", 4, epochs, True)),
     ]
+
+
+def benchmark_suite(quick: bool = False) -> List[BenchmarkEntry]:
+    """The ordered benchmark list.
+
+    ``quick`` shrinks inner-loop counts (CI smoke and the test suite);
+    names and scales stay identical so reports remain comparable --
+    only ops/sec and percentiles move.  The ``mp``-backend shard
+    benchmarks are full-mode only: their fixed worker-startup and
+    per-epoch pipe costs dominate a 5-epoch run, so quick-mode scores
+    would compare meaninglessly against the full-mode baseline (the
+    gate reports them as ``missing``, which never fails).
+    """
+    suite = _full_suite(quick)
+    if quick:
+        suite = [entry for entry in suite if ".mp." not in entry[0]]
+    return suite

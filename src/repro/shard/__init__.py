@@ -1,0 +1,27 @@
+"""Deterministic sharded multicore engine.
+
+Partitions a simulated machine into per-core universes that execute in
+parallel between epoch barriers and merge in canonical order, so the
+sharded run is bit-identical to the single-loop engine for any shard
+count and backend (``single`` / ``inline`` / ``mp``).  See
+``docs/SHARDING.md`` for the architecture and determinism argument.
+
+This package is the *only* deterministic-zone-adjacent code allowed to
+import ``multiprocessing`` (lint rule RPR012 bans concurrency imports
+everywhere else in the zones).
+"""
+
+from repro.shard.builders import BODY_REGISTRY, register_body
+from repro.shard.engine import ShardedEngine
+from repro.shard.plan import ShardPlan, mix_plan, spin_plan
+from repro.shard.topology import ShardTopology
+
+__all__ = [
+    "BODY_REGISTRY",
+    "ShardPlan",
+    "ShardTopology",
+    "ShardedEngine",
+    "mix_plan",
+    "register_body",
+    "spin_plan",
+]

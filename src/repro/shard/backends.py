@@ -1,0 +1,336 @@
+"""Execution backends: single-loop oracle, inline, and multiprocessing.
+
+All three drive the same :class:`~repro.shard.core.ShardCore` objects
+through the same epoch/barrier protocol and differ *only* in where and
+in what interleaving core events execute:
+
+* ``single`` -- one loop repeatedly fires the globally earliest event
+  (ties broken by core id).  This is the reference: it is
+  observationally the classic single-loop engine, so proving
+  ``inline == single`` and ``mp == single`` proves sharded execution
+  equals the unsharded engine.
+* ``inline`` -- cores run sequentially, one whole epoch per core, in
+  core order.  Same process, no parallelism; the cheap default.
+* ``mp`` -- one persistent worker process per shard; each worker
+  rebuilds its cores from the JSON plan and exchanges only epoch
+  commands and barrier payloads with the parent (never objects), for
+  real wall-clock speedup on multi-core hosts.
+
+Confluence is why the interleavings agree: cores share no state, and
+every cross-core effect is a JSON payload applied at a barrier in
+canonical ``(target, src, seq)`` order, so any schedule of the
+*within-epoch* events produces the same per-core histories.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ShardError
+from repro.shard.core import ShardCore
+from repro.shard.plan import ShardPlan
+from repro.shard.router import ShardRouter
+from repro.shard.topology import ShardTopology
+
+__all__ = ["BACKENDS", "InlineBackend", "MpBackend", "SingleBackend",
+           "make_backend"]
+
+_EPS = 1e-9
+
+
+class _InProcessBackend:
+    """Common machinery for the ``single`` and ``inline`` backends."""
+
+    def __init__(self, plan: ShardPlan, topology: ShardTopology) -> None:
+        self.plan = plan
+        self.topology = topology
+        self.router = ShardRouter()
+        self.router.install()
+        self.cores = [ShardCore(core_id, plan, self.router)
+                      for core_id in range(plan.cores)]
+
+    def collect(self) -> List[Dict[str, Any]]:
+        return self.router.drain()
+
+    def barrier(self, time: float, payloads: List[Dict[str, Any]]) -> None:
+        self.router.install()
+        grouped: Dict[int, List[Dict[str, Any]]] = {}
+        for payload in payloads:
+            grouped.setdefault(payload["target"], []).append(payload)
+        for core in self.cores:
+            core.apply_barrier(time, grouped.get(core.core_id, []))
+
+    def snapshots(self) -> List[dict]:
+        return [core.snapshot_state() for core in self.cores]
+
+    def streams(self) -> List[List[Dict[str, Any]]]:
+        return [core.stream_entries() for core in self.cores]
+
+    def local_kernels(self) -> List[Any]:
+        return [core.kernel for core in self.cores]
+
+    def close(self) -> None:
+        self.router.uninstall()
+
+
+class InlineBackend(_InProcessBackend):
+    """Cores run sequentially, a whole epoch at a time, in core order."""
+
+    name = "inline"
+
+    def run_epoch(self, horizon: float) -> None:
+        self.router.install()
+        for shard in range(self.topology.shards):
+            for core_id in self.topology.cores_of(shard):
+                self.cores[core_id].run_epoch(horizon)
+
+    def run_inclusive(self, until: float) -> None:
+        self.router.install()
+        for shard in range(self.topology.shards):
+            for core_id in self.topology.cores_of(shard):
+                self.cores[core_id].run_inclusive(until)
+
+
+class SingleBackend(_InProcessBackend):
+    """The oracle: globally time-ordered interleaving of all cores."""
+
+    name = "single"
+
+    def _earliest(self, limit: float, inclusive: bool) -> Optional[ShardCore]:
+        best = None
+        best_time = None
+        for core in self.cores:
+            next_time = core.loop.peek_time()
+            if next_time is None:
+                continue
+            if inclusive:
+                if next_time > limit + _EPS:
+                    continue
+            elif next_time >= limit - _EPS:
+                continue
+            if best_time is None or next_time < best_time:
+                best, best_time = core, next_time
+        return best
+
+    def run_epoch(self, horizon: float) -> None:
+        self.router.install()
+        while True:
+            core = self._earliest(horizon, inclusive=False)
+            if core is None:
+                break
+            core.step_one()
+
+    def run_inclusive(self, until: float) -> None:
+        self.router.install()
+        while True:
+            core = self._earliest(until, inclusive=True)
+            if core is None:
+                break
+            core.step_one()
+        for core in self.cores:
+            core.loop.advance_clock(until)
+
+
+# -- multiprocessing backend --------------------------------------------------
+
+
+def _worker_main(conn: Any, plan_dict: Dict[str, Any],
+                 core_ids: List[int], sanitize: bool) -> None:
+    """Worker entry point: rebuild this shard's cores from the plan
+    and serve epoch/barrier commands until told to stop.
+
+    Module-level (not a closure) so the function is importable under
+    the ``spawn`` start method as well as ``fork``.  Workers carry
+    their own router and -- when the parent runs under
+    ``REPRO_SANITIZE=1`` -- their own race sanitizer, so barrier
+    handoffs are sanitized inside every process.
+    """
+    try:
+        if sanitize:
+            os.environ["REPRO_SANITIZE"] = "1"
+            from repro.analysis.sanitizer import install_autosanitize
+
+            install_autosanitize()
+        plan = ShardPlan.from_dict(plan_dict)
+        router = ShardRouter()
+        router.install()
+        cores = {core_id: ShardCore(core_id, plan, router)
+                 for core_id in sorted(core_ids)}
+        while True:
+            message = conn.recv()
+            command = message["cmd"]
+            if command == "epoch":
+                for core_id in sorted(cores):
+                    cores[core_id].run_epoch(message["horizon"])
+                conn.send({"payloads": router.drain()})
+            elif command == "inclusive":
+                for core_id in sorted(cores):
+                    cores[core_id].run_inclusive(message["until"])
+                conn.send({"payloads": router.drain()})
+            elif command == "barrier":
+                grouped: Dict[int, List[Dict[str, Any]]] = {}
+                for payload in message["payloads"]:
+                    grouped.setdefault(payload["target"], []).append(payload)
+                for core_id in sorted(cores):
+                    cores[core_id].apply_barrier(
+                        message["time"], grouped.get(core_id, []))
+                conn.send({"ok": True})
+            elif command == "collect":
+                conn.send({"cores": [
+                    {"core": core_id,
+                     "snapshot": cores[core_id].snapshot_state(),
+                     "stream": cores[core_id].stream_entries()}
+                    for core_id in sorted(cores)
+                ]})
+            elif command == "stop":
+                conn.send({"ok": True})
+                break
+            else:
+                raise ShardError(f"unknown worker command {command!r}")
+    except EOFError:  # parent went away: nothing left to serve
+        pass
+    except BaseException:
+        try:
+            conn.send({"error": traceback.format_exc()})
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+class MpBackend:
+    """One persistent worker process per shard, payloads over pipes."""
+
+    name = "mp"
+
+    def __init__(self, plan: ShardPlan, topology: ShardTopology) -> None:
+        self.plan = plan
+        self.topology = topology
+        self._collected: List[Dict[str, Any]] = []
+        self._workers: List[Any] = []
+        self._conns: List[Any] = []
+        context = multiprocessing.get_context()
+        sanitize = bool(os.environ.get("REPRO_SANITIZE"))
+        plan_dict = plan.to_dict()
+        for shard in range(topology.shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, plan_dict, topology.cores_of(shard),
+                      sanitize),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(process)
+            self._conns.append(parent_conn)
+
+    # -- command plumbing -----------------------------------------------------
+
+    def _broadcast(self, message: Dict[str, Any],
+                   per_shard: Optional[List[Dict[str, Any]]] = None
+                   ) -> List[Dict[str, Any]]:
+        """Send to every worker first, then gather replies, so shards
+        genuinely run concurrently."""
+        for shard, conn in enumerate(self._conns):
+            payload = dict(message if per_shard is None else per_shard[shard])
+            conn.send(payload)
+        replies = []
+        for shard, conn in enumerate(self._conns):
+            try:
+                reply = conn.recv()
+            except EOFError:
+                raise ShardError(
+                    f"shard worker {shard} died mid-command "
+                    f"{message.get('cmd')!r}") from None
+            if "error" in reply:
+                raise ShardError(
+                    f"shard worker {shard} failed:\n{reply['error']}")
+            replies.append(reply)
+        return replies
+
+    def run_epoch(self, horizon: float) -> None:
+        replies = self._broadcast({"cmd": "epoch", "horizon": horizon})
+        for reply in replies:
+            self._collected.extend(reply["payloads"])
+
+    def run_inclusive(self, until: float) -> None:
+        replies = self._broadcast({"cmd": "inclusive", "until": until})
+        for reply in replies:
+            self._collected.extend(reply["payloads"])
+
+    def collect(self) -> List[Dict[str, Any]]:
+        out, self._collected = self._collected, []
+        return out
+
+    def barrier(self, time: float, payloads: List[Dict[str, Any]]) -> None:
+        per_shard: List[Dict[str, Any]] = [
+            {"cmd": "barrier", "time": time, "payloads": []}
+            for _ in self._conns]
+        for payload in payloads:
+            shard = self.topology.shard_of(payload["target"])
+            per_shard[shard]["payloads"].append(payload)
+        self._broadcast({"cmd": "barrier"}, per_shard=per_shard)
+
+    # -- observation ----------------------------------------------------------
+
+    def _collect_cores(self) -> List[Dict[str, Any]]:
+        replies = self._broadcast({"cmd": "collect"})
+        cores = [entry for reply in replies for entry in reply["cores"]]
+        cores.sort(key=lambda entry: entry["core"])
+        return cores
+
+    def snapshots(self) -> List[dict]:
+        return [entry["snapshot"] for entry in self._collect_cores()]
+
+    def streams(self) -> List[List[Dict[str, Any]]]:
+        return [entry["stream"] for entry in self._collect_cores()]
+
+    def local_kernels(self) -> List[Any]:
+        """No kernels live in the parent process under ``mp``."""
+        return []
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send({"cmd": "stop"})
+                conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hang safety net
+                process.terminate()
+                process.join(timeout=5.0)
+        self._conns = []
+        self._workers = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        if self._workers:
+            try:
+                self.close()
+            except Exception:
+                pass
+
+
+BACKENDS = {
+    "single": SingleBackend,
+    "inline": InlineBackend,
+    "mp": MpBackend,
+}
+
+
+def make_backend(name: str, plan: ShardPlan, topology: ShardTopology) -> Any:
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ShardError(
+            f"unknown shard backend {name!r}; choose from "
+            f"{sorted(BACKENDS)}") from None
+    return factory(plan, topology)

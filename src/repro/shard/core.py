@@ -1,0 +1,266 @@
+"""One core of a sharded universe.
+
+A :class:`ShardCore` is a complete, self-contained machine slice: its
+own :class:`~repro.sim.engine.LoopCore` (clock, agenda, tid allocator),
+its own :class:`~repro.core.tickets.Ledger`, a
+:class:`~repro.schedulers.lottery_policy.LotteryPolicy` drawing from a
+private Park-Miller stream (``plan.seed + 101 * core_id``), a
+:class:`~repro.kernel.kernel.Kernel`, a replay recorder, and the
+core's view of every plan channel.  Nothing is shared between cores --
+not even allocation counters -- so a core's history is a pure function
+of ``(plan, core_id, barrier payloads received)``, which is what makes
+the single-loop, inline, and multiprocessing backends bit-identical.
+
+Scripted plan operations run as ordinary local events on their source
+core and emit ``spawn`` payloads:
+
+* **migrate** -- restart semantics: the thread is killed on the source
+  core (tickets reclaimed into the source ledger) and respawned from
+  its recorded spec on the destination core at the next barrier, with
+  a fresh tid from the destination's allocator.  CPU-time progress is
+  intentionally lost; what is preserved is the plan-declared identity
+  (body, args, name, ticket funding).
+* **crash** -- the core kills every thread; restartable specs are
+  re-emitted toward ``evacuate_to`` (possibly on another shard), the
+  rest are casualties.  Replies racing toward callers that died this
+  way are dropped deterministically on the caller's core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.checkpoint.replay import ReplayRecorder
+from repro.core.prng import ParkMillerPRNG
+from repro.core.tickets import Ledger
+from repro.errors import ShardError
+from repro.kernel.kernel import Kernel
+from repro.schedulers.lottery_policy import LotteryPolicy
+from repro.shard.builders import build_body
+from repro.shard.channels import ShardChannel
+from repro.shard.plan import ShardPlan
+from repro.shard.router import ShardRouter, race_seam
+from repro.sim.engine import LoopCore
+
+__all__ = ["ShardCore"]
+
+
+class ShardCore:
+    """A core's full private universe plus its barrier plumbing."""
+
+    def __init__(self, core_id: int, plan: ShardPlan,
+                 router: ShardRouter) -> None:
+        self.core_id = core_id
+        self.plan = plan
+        self.router = router
+        self.loop = LoopCore(core_id=core_id)
+        self.ledger = Ledger()
+        self.policy = LotteryPolicy(
+            self.ledger, prng=ParkMillerPRNG(plan.core_seed(core_id)),
+            use_tree=plan.use_tree)
+        self.recorder = ReplayRecorder()
+        self.kernel = Kernel(self.loop, self.policy, ledger=self.ledger,
+                             quantum=plan.quantum, recorder=self.recorder)
+        router.register(self)
+
+        #: Per-source emission counter (stamped into payload ``seq`` by
+        #: the router; third key of the canonical merge order).
+        self.emit_seq = 0
+        self._call_seq = 0
+        self.payloads_applied = 0
+        self.crashed = False
+        self.migrations_out = 0
+        self.evacuations = 0
+        self.casualties = 0
+        self.ops_skipped = 0
+
+        #: name -> respawnable spec (restart-migration source of truth).
+        self._specs: Dict[str, Dict[str, Any]] = {}
+        self.channels: Dict[str, ShardChannel] = {}
+
+        # Channels first (bodies resolve them at build time), then
+        # threads in plan order, then scripted ops -- all core-local,
+        # all deterministic in (plan, core_id).
+        for spec in plan.channels:
+            self.channels[spec["name"]] = ShardChannel(
+                self, spec["name"], spec["home"])
+        for spec in plan.threads_on(core_id):
+            self.spawn_spec(spec)
+        for op in plan.ops_on(core_id):
+            handler = (self._op_migrate if op["op"] == "migrate"
+                       else self._op_crash)
+            self.loop.call_at(op["at"], handler, label=f"shard-{op['op']}",
+                              args=(op,))
+
+    # -- plan plumbing -------------------------------------------------------
+
+    def channel(self, name: str) -> ShardChannel:
+        """This core's view of a plan channel."""
+        try:
+            return self.channels[name]
+        except KeyError:
+            raise ShardError(f"unknown channel {name!r} on core "
+                             f"{self.core_id}") from None
+
+    def next_call_id(self) -> int:
+        self._call_seq += 1
+        return self._call_seq
+
+    def spawn_spec(self, spec: Dict[str, Any]) -> Any:
+        """Spawn a thread from its JSON spec and record it for restarts."""
+        body = build_body(self, spec)
+        thread = self.kernel.spawn(body, spec["name"],
+                                   tickets=float(spec["tickets"]))
+        self._specs[spec["name"]] = {
+            "body": spec["body"],
+            "args": dict(spec.get("args") or {}),
+            "name": spec["name"],
+            "tickets": float(spec["tickets"]),
+        }
+        return thread
+
+    def _find_alive(self, name: str) -> Optional[Any]:
+        for thread in self.kernel.threads:
+            if thread.name == name and thread.alive:
+                return thread
+        return None
+
+    # -- scripted operations ---------------------------------------------------
+
+    def _op_migrate(self, op: Dict[str, Any]) -> None:
+        with race_seam("shard.migrate"):
+            thread = self._find_alive(op["thread"])
+            spec = self._specs.pop(op["thread"], None)
+            if thread is None or spec is None:
+                # Already exited/evacuated: skipping is itself part of
+                # the deterministic history.
+                self.ops_skipped += 1
+                return
+            self.kernel.kill(thread)
+            self.migrations_out += 1
+            self.router.emit({
+                "kind": "spawn",
+                "target": op["dst"],
+                "body": spec["body"],
+                "args": spec["args"],
+                "name": spec["name"],
+                "tickets": spec["tickets"],
+                "reason": "migrate",
+            })
+
+    def _op_crash(self, op: Dict[str, Any]) -> None:
+        with race_seam("shard.crash"):
+            self.crashed = True
+            destination = op.get("evacuate_to")
+            for thread in list(self.kernel.threads):
+                if not thread.alive:
+                    continue
+                spec = self._specs.pop(thread.name, None)
+                self.kernel.kill(thread)
+                if destination is not None and spec is not None:
+                    self.evacuations += 1
+                    self.router.emit({
+                        "kind": "spawn",
+                        "target": destination,
+                        "body": spec["body"],
+                        "args": spec["args"],
+                        "name": spec["name"],
+                        "tickets": spec["tickets"],
+                        "reason": "evacuate",
+                    })
+                else:
+                    self.casualties += 1
+
+    # -- epoch execution -------------------------------------------------------
+
+    def run_epoch(self, horizon: float) -> int:
+        """Run this core's events strictly before ``horizon``."""
+        self.router.begin(self.core_id)
+        try:
+            return self.loop.run_before(horizon)
+        finally:
+            self.router.end()
+
+    def run_inclusive(self, until: float) -> None:
+        """Stop-point run: include events at exactly ``until`` and
+        advance the clock there (see the barrier protocol in
+        ``docs/SHARDING.md``)."""
+        self.router.begin(self.core_id)
+        try:
+            self.loop.run(until=until)
+        finally:
+            self.router.end()
+
+    def step_one(self) -> bool:
+        """Fire one event under this core's execution context (the
+        single-loop oracle's interleaving primitive)."""
+        self.router.begin(self.core_id)
+        try:
+            return self.loop.step()
+        finally:
+            self.router.end()
+
+    def apply_barrier(self, time: float, payloads: List[Dict[str, Any]]) -> None:
+        """Advance to the barrier instant and schedule payload
+        application *as events* at that instant.
+
+        Scheduling (rather than calling) keeps event sequence numbers
+        identical between straight runs and stop/resume runs: payload
+        applications always sort after the core's own pre-existing
+        events at the barrier time.
+        """
+        self.loop.advance_clock(time)
+        for payload in payloads:
+            self.loop.call_at(time, self._apply_payload,
+                              label="shard-barrier", args=(payload,))
+
+    def _apply_payload(self, payload: Dict[str, Any]) -> None:
+        with race_seam("shard.barrier"):
+            kind = payload["kind"]
+            if kind == "call":
+                self.channel(payload["channel"]).apply_call(payload)
+            elif kind == "send":
+                self.channel(payload["channel"]).apply_send(payload)
+            elif kind == "reply":
+                self.channel(payload["channel"]).apply_reply(payload)
+            elif kind == "spawn":
+                with race_seam("shard.migrate"):
+                    self.spawn_spec(payload)
+            else:
+                raise ShardError(f"unknown barrier payload kind {kind!r}")
+            self.payloads_applied += 1
+
+    # -- observation -----------------------------------------------------------
+
+    def stream_entries(self) -> List[Dict[str, Any]]:
+        """This core's replay entries, stamped with the core id (the
+        second key of the canonical merge order)."""
+        return [{**entry, "core": self.core_id}
+                for entry in self.recorder.entries]
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "core": self.core_id,
+            "engine": self.loop.snapshot_state(),
+            "kernel": self.kernel.snapshot_state(),
+            "ledger": self.ledger.snapshot_state(),
+            "recorder": self.recorder.snapshot_state(),
+            "channels": {name: channel.snapshot_state()
+                         for name, channel in sorted(self.channels.items())},
+            "shard": {
+                "emit_seq": self.emit_seq,
+                "call_seq": self._call_seq,
+                "payloads_applied": self.payloads_applied,
+                "crashed": self.crashed,
+                "migrations_out": self.migrations_out,
+                "evacuations": self.evacuations,
+                "casualties": self.casualties,
+                "ops_skipped": self.ops_skipped,
+                "specs": sorted(self._specs),
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShardCore {self.core_id} now={self.loop.now:.1f}ms "
+                f"threads={len(self.kernel.threads)}>")

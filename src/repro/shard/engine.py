@@ -1,0 +1,200 @@
+"""The sharded multicore engine.
+
+:class:`ShardedEngine` drives a :class:`~repro.shard.plan.ShardPlan`
+through one of three backends (see :mod:`repro.shard.backends`) with
+the **epoch barrier protocol**:
+
+1. Virtual time is cut into half-open epochs ``[kE, (k+1)E)`` on the
+   ``epoch_ms`` grid.  Within an epoch every core runs only its own
+   events (strictly before the barrier instant).
+2. At the barrier, the union of all emitted cross-core payloads is
+   sorted by the canonical ``(target core, source core, per-source
+   seq)`` order, round-tripped through JSON (so the inline backends
+   cannot accidentally pass object identity), and *scheduled* on each
+   target core as events at the barrier instant.  Scheduling -- rather
+   than applying directly -- puts payload applications after the
+   core's own pre-existing events at that instant in the sequence
+   order, which keeps straight runs and stop/resume runs bit-exact.
+3. ``advance(until)`` horizons must lie on the epoch grid.  The stop
+   point runs cores *inclusively* to ``until`` (firing barrier
+   applications and any events at exactly ``until``), and payloads
+   emitted by those events are held in ``pending`` -- part of the
+   engine's canonical state -- to be merged into the next epoch's
+   barrier, exactly where an uninterrupted run would apply them.
+
+Because every core is a private universe (own clock, ledger, PRNG
+stream, tid allocator) and payloads are totally ordered data, the
+merged history is independent of shard count, placement, and backend;
+``tests/perf/test_equivalence.py`` pins that with sha256 goldens.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ShardError
+from repro.shard.backends import make_backend
+from repro.shard.plan import ShardPlan
+from repro.shard.topology import ShardTopology
+
+__all__ = ["ShardedEngine"]
+
+_EPS = 1e-9
+
+
+class ShardedEngine:
+    """Epoch-barrier executor over a plan's cores.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`ShardPlan` (or its dict form).
+    shards:
+        Number of execution placement groups; cores map onto shards by
+        ``core_id % shards`` unless the plan pins them.
+    backend:
+        ``"single"`` (the oracle), ``"inline"`` (default), or ``"mp"``.
+    epoch_ms:
+        Barrier grid; defaults to the plan's ``epoch_ms``.
+    """
+
+    def __init__(self, plan: Any, shards: int = 1,
+                 backend: str = "inline",
+                 epoch_ms: Optional[float] = None) -> None:
+        self.plan = (plan if isinstance(plan, ShardPlan)
+                     else ShardPlan.from_dict(plan))
+        self.epoch_ms = float(epoch_ms if epoch_ms is not None
+                              else self.plan.epoch_ms)
+        if self.epoch_ms <= 0:
+            raise ShardError(f"epoch_ms must be positive: {self.epoch_ms}")
+        self.topology = ShardTopology(self.plan.cores, shards,
+                                      self.plan.placement)
+        self.backend_name = backend
+        self._backend = make_backend(backend, self.plan, self.topology)
+        self._time = 0.0
+        self._barriers = 0
+        self._pending: List[Dict[str, Any]] = []
+        self._tracer: Any = None
+        self._closed = False
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Virtual time of the last completed advance."""
+        return self._time
+
+    def _require_grid(self, until: float) -> None:
+        quotient = until / self.epoch_ms
+        if abs(quotient - round(quotient)) > 1e-6:
+            raise ShardError(
+                f"advance horizon {until} is not on the {self.epoch_ms}ms "
+                f"epoch grid; stop/resume is only bit-exact at barrier "
+                f"instants")
+
+    def _canonical(self, payloads: List[Dict[str, Any]]
+                   ) -> List[Dict[str, Any]]:
+        payloads.sort(key=lambda p: (p["target"], p["src"], p["seq"]))
+        # The JSON round trip is applied in *every* backend (not just
+        # mp) so payload values are plain data everywhere and the
+        # in-process backends cannot leak object identity.
+        return json.loads(json.dumps(payloads))
+
+    # -- execution -------------------------------------------------------------
+
+    def advance(self, until: float) -> "ShardedEngine":
+        """Run the universe to virtual time ``until`` (grid-aligned)."""
+        if self._closed:
+            raise ShardError("sharded engine is closed")
+        if until < self._time - _EPS:
+            raise ShardError(
+                f"cannot advance backwards: now={self._time}, "
+                f"asked={until}")
+        self._require_grid(until)
+        while self._time < until - _EPS:
+            end = min(self._time + self.epoch_ms, until)
+            self._backend.run_epoch(end)
+            payloads = self._pending + self._backend.collect()
+            self._pending = []
+            ordered = self._canonical(payloads)
+            self._backend.barrier(end, ordered)
+            self._barriers += 1
+            if self._tracer is not None:
+                self._trace_epoch(self._time, end, len(ordered))
+            self._time = end
+        # Stop point: fire barrier applications and events at exactly
+        # ``until``; hold what they emit for the next epoch's barrier.
+        self._backend.run_inclusive(until)
+        self._pending = self._canonical(self._pending
+                                        + self._backend.collect())
+        self._time = until
+        return self
+
+    run = advance
+
+    # -- observation -----------------------------------------------------------
+
+    def merged_stream(self) -> List[Dict[str, Any]]:
+        """All cores' replay entries in canonical (time, core) order."""
+        merged = [entry for stream in self._backend.streams()
+                  for entry in stream]
+        merged.sort(key=lambda entry: (entry["time"], entry["core"]))
+        return merged
+
+    def snapshot_state(self) -> dict:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``).
+
+        Deliberately excludes ``shards`` and the backend name: the
+        equivalence goldens require the canonical state to be identical
+        across placements and backends.
+        """
+        return {
+            "plan": self.plan.checksum(),
+            "time": self._time,
+            "epoch_ms": self.epoch_ms,
+            "barriers": self._barriers,
+            "pending": [dict(payload) for payload in self._pending],
+            "cores": self._backend.snapshots(),
+        }
+
+    def shard_kernels(self) -> List[Any]:
+        """Kernels living in this process (empty under ``mp``); the
+        checkpoint registry duck-types on this for recorder fan-out."""
+        return self._backend.local_kernels()
+
+    # -- telemetry --------------------------------------------------------------
+
+    def attach_telemetry(self, tracer: Any) -> None:
+        """Emit per-shard epoch spans and barrier instants into a
+        :class:`repro.telemetry.spans.SpanTracer` (observation-only)."""
+        self._tracer = tracer
+
+    def _trace_epoch(self, start: float, end: float, payloads: int) -> None:
+        for shard in range(self.topology.shards):
+            self._tracer.complete(
+                track=f"shard{shard}", name="epoch", category="shard",
+                start=start, end=end,
+                attrs={"cores": self.topology.cores_of(shard)})
+        self._tracer.event(
+            track="barrier", name="shard.barrier", category="shard",
+            time=end, attrs={"payloads": payloads})
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (joins mp workers); idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._backend.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShardedEngine backend={self.backend_name!r} "
+                f"shards={self.topology.shards} cores={self.plan.cores} "
+                f"now={self._time:.1f}ms>")

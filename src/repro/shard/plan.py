@@ -1,0 +1,260 @@
+"""Declarative multicore universe plans.
+
+A :class:`ShardPlan` is the *entire* input of a sharded run: how many
+cores exist, which threads start where (by registered body name, so
+the plan round-trips through JSON and can be shipped to worker
+processes), which cross-core channels exist and where they are homed,
+and which scripted operations (migrations, core crashes) fire when.
+
+Everything downstream -- the single-loop oracle, the inline backend,
+and the multiprocessing backend -- rebuilds the identical universe
+from this one JSON-serializable value.  That is the root of the
+determinism argument (see ``docs/SHARDING.md``): a core's history is a
+pure function of ``(plan, core_id)`` plus the barrier payloads it
+receives, never of shard placement or execution backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ShardError
+from repro.shard.builders import BODY_REGISTRY
+
+__all__ = ["ShardPlan", "mix_plan", "spin_plan"]
+
+#: Offset between per-core Park-Miller streams.  101 is coprime with
+#: the Lehmer modulus 2**31 - 1, so distinct cores get distinct seeds
+#: for any root seed the validator accepts.
+CORE_SEED_STRIDE = 101
+
+_OP_KINDS = frozenset({"migrate", "crash"})
+
+
+class ShardPlan:
+    """Validated, JSON-round-trippable description of a multicore run.
+
+    Parameters mirror the stored fields; ``threads``, ``channels`` and
+    ``ops`` are lists of plain dicts (see the module docstring of
+    :mod:`repro.shard.builders` for thread specs).  ``placement``
+    optionally pins cores to shards (``{core_id: shard}``); unpinned
+    cores use the deterministic ``core_id % shards`` hash.
+    """
+
+    def __init__(self, seed: int = 1, cores: int = 1,
+                 quantum: float = 100.0, epoch_ms: float = 500.0,
+                 use_tree: bool = False,
+                 threads: Optional[List[Dict[str, Any]]] = None,
+                 channels: Optional[List[Dict[str, Any]]] = None,
+                 ops: Optional[List[Dict[str, Any]]] = None,
+                 placement: Optional[Dict[int, int]] = None) -> None:
+        self.seed = int(seed)
+        self.cores = int(cores)
+        self.quantum = float(quantum)
+        self.epoch_ms = float(epoch_ms)
+        self.use_tree = bool(use_tree)
+        self.threads = [dict(spec) for spec in (threads or [])]
+        self.channels = [dict(spec) for spec in (channels or [])]
+        self.ops = [dict(op) for op in (ops or [])]
+        self.placement = {int(k): int(v) for k, v in (placement or {}).items()}
+        self._validate()
+
+    # -- construction helpers ------------------------------------------------
+
+    def add_thread(self, core: int, body: str, name: str, tickets: float,
+                   **args: Any) -> "ShardPlan":
+        """Append a thread spec (chainable)."""
+        self.threads.append({"core": int(core), "body": body, "name": name,
+                             "tickets": float(tickets), "args": dict(args)})
+        self._validate()
+        return self
+
+    def add_channel(self, name: str, home: int) -> "ShardPlan":
+        """Append a cross-core channel homed on ``home`` (chainable)."""
+        self.channels.append({"name": name, "home": int(home)})
+        self._validate()
+        return self
+
+    def migrate(self, at: float, thread: str, src: int,
+                dst: int) -> "ShardPlan":
+        """Script a restart-migration of ``thread`` from ``src`` to
+        ``dst`` at virtual time ``at`` (chainable)."""
+        self.ops.append({"op": "migrate", "at": float(at), "thread": thread,
+                         "src": int(src), "dst": int(dst)})
+        self._validate()
+        return self
+
+    def crash(self, at: float, core: int,
+              evacuate_to: Optional[int] = None) -> "ShardPlan":
+        """Script a core crash at ``at``; restartable threads are
+        respawned on ``evacuate_to`` when given (chainable)."""
+        self.ops.append({"op": "crash", "at": float(at), "core": int(core),
+                         "evacuate_to": (None if evacuate_to is None
+                                         else int(evacuate_to))})
+        self._validate()
+        return self
+
+    # -- validation ----------------------------------------------------------
+
+    def _core_ok(self, core: Any) -> bool:
+        return isinstance(core, int) and 0 <= core < self.cores
+
+    def _validate(self) -> None:
+        if self.seed < 1 or self.seed > 2_000_000_000:
+            raise ShardError(f"plan seed out of range: {self.seed}")
+        if self.cores < 1:
+            raise ShardError(f"plan needs at least one core: {self.cores}")
+        if self.quantum <= 0 or self.epoch_ms <= 0:
+            raise ShardError("quantum and epoch_ms must be positive")
+        names = set()
+        for spec in self.threads:
+            if not self._core_ok(spec.get("core")):
+                raise ShardError(f"thread spec on unknown core: {spec!r}")
+            if spec.get("body") not in BODY_REGISTRY:
+                raise ShardError(
+                    f"unregistered body {spec.get('body')!r}; known: "
+                    f"{sorted(BODY_REGISTRY)}")
+            name = spec.get("name")
+            if not name or name in names:
+                raise ShardError(f"thread names must be unique: {spec!r}")
+            names.add(name)
+            if float(spec.get("tickets", 0.0)) <= 0.0:
+                raise ShardError(f"thread needs positive tickets: {spec!r}")
+        channel_names = set()
+        for spec in self.channels:
+            if not self._core_ok(spec.get("home")):
+                raise ShardError(f"channel homed on unknown core: {spec!r}")
+            if not spec.get("name") or spec["name"] in channel_names:
+                raise ShardError(f"channel names must be unique: {spec!r}")
+            channel_names.add(spec["name"])
+        for op in self.ops:
+            kind = op.get("op")
+            if kind not in _OP_KINDS:
+                raise ShardError(f"unknown plan op: {op!r}")
+            if float(op.get("at", -1.0)) < 0.0:
+                raise ShardError(f"op needs a non-negative time: {op!r}")
+            if kind == "migrate":
+                if (op.get("thread") not in names
+                        or not self._core_ok(op.get("src"))
+                        or not self._core_ok(op.get("dst"))):
+                    raise ShardError(f"bad migrate op: {op!r}")
+            else:
+                dst = op.get("evacuate_to")
+                if not self._core_ok(op.get("core")) or (
+                        dst is not None and not self._core_ok(dst)):
+                    raise ShardError(f"bad crash op: {op!r}")
+        for core, shard in self.placement.items():
+            if not self._core_ok(core) or shard < 0:
+                raise ShardError(
+                    f"bad placement entry: core={core} shard={shard}")
+
+    # -- derived views -------------------------------------------------------
+
+    def core_seed(self, core_id: int) -> int:
+        """The private Park-Miller seed of ``core_id``'s PRNG stream."""
+        return self.seed + CORE_SEED_STRIDE * core_id
+
+    def threads_on(self, core_id: int) -> List[Dict[str, Any]]:
+        """Thread specs placed on ``core_id``, in plan order."""
+        return [spec for spec in self.threads if spec["core"] == core_id]
+
+    def ops_on(self, core_id: int) -> List[Dict[str, Any]]:
+        """Scripted ops whose *source* core is ``core_id``."""
+        out = []
+        for op in self.ops:
+            source = op["src"] if op["op"] == "migrate" else op["core"]
+            if source == core_id:
+                out.append(op)
+        return out
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "cores": self.cores,
+            "quantum": self.quantum,
+            "epoch_ms": self.epoch_ms,
+            "use_tree": self.use_tree,
+            "threads": [dict(spec) for spec in self.threads],
+            "channels": [dict(spec) for spec in self.channels],
+            "ops": [dict(op) for op in self.ops],
+            "placement": {str(k): v for k, v in self.placement.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardPlan":
+        if not isinstance(data, dict):
+            raise ShardError(f"plan must be a dict: {type(data).__name__}")
+        return cls(
+            seed=data.get("seed", 1),
+            cores=data.get("cores", 1),
+            quantum=data.get("quantum", 100.0),
+            epoch_ms=data.get("epoch_ms", 500.0),
+            use_tree=data.get("use_tree", False),
+            threads=data.get("threads"),
+            channels=data.get("channels"),
+            ops=data.get("ops"),
+            placement={int(k): int(v)
+                       for k, v in (data.get("placement") or {}).items()},
+        )
+
+    def checksum(self) -> str:
+        """sha256 over the canonical JSON form (plan identity)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShardPlan seed={self.seed} cores={self.cores} "
+                f"threads={len(self.threads)} channels={len(self.channels)} "
+                f"ops={len(self.ops)}>")
+
+
+def spin_plan(seed: int = 97, cores: int = 4, spinners: int = 3,
+              quantum: float = 10.0, epoch_ms: float = 100.0,
+              use_tree: bool = False) -> ShardPlan:
+    """CPU-bound plan: ``spinners`` heterogeneously funded spinners per
+    core (the shard benchmark workload -- no cross-core traffic, so it
+    measures pure dispatch throughput)."""
+    plan = ShardPlan(seed=seed, cores=cores, quantum=quantum,
+                     epoch_ms=epoch_ms, use_tree=use_tree)
+    index = 0
+    for core in range(cores):
+        for _ in range(spinners):
+            plan.add_thread(core, "spin", f"spin{index}",
+                            tickets=float(1 + (index % 13)), chunk_ms=7.0)
+            index += 1
+    return plan
+
+
+def mix_plan(seed: int = 11, cores: int = 4, quantum: float = 100.0,
+             epoch_ms: float = 500.0, use_tree: bool = False,
+             with_ops: bool = False) -> ShardPlan:
+    """The kitchen-sink plan used by goldens and the shard-mix recipe:
+    spinners and sleepers on every core, an RPC service homed on core 0
+    with clients on every *other* core (cross-core IPC), and --
+    optionally -- a scripted mid-run migration and a crash with
+    cross-shard evacuation."""
+    plan = ShardPlan(seed=seed, cores=cores, quantum=quantum,
+                     epoch_ms=epoch_ms, use_tree=use_tree)
+    plan.add_channel("svc", home=0)
+    plan.add_thread(0, "rpc_server", "server", tickets=400.0, channel="svc",
+                    work_ms=4.0)
+    for core in range(cores):
+        plan.add_thread(core, "spin", f"spin{core}a",
+                        tickets=float(100 + 50 * core), chunk_ms=20.0)
+        plan.add_thread(core, "spin", f"spin{core}b",
+                        tickets=float(250 - 40 * core), chunk_ms=15.0)
+        plan.add_thread(core, "sleeper", f"sleep{core}", tickets=150.0,
+                        compute_ms=5.0, sleep_ms=45.0)
+        if core != 0:
+            plan.add_thread(core, "rpc_client", f"client{core}",
+                            tickets=200.0, channel="svc", compute_ms=10.0,
+                            sleep_ms=30.0)
+    if with_ops and cores >= 2:
+        plan.migrate(at=1250.0, thread="spin0a", src=0, dst=cores - 1)
+        plan.crash(at=2750.0, core=cores - 1, evacuate_to=1 % cores)
+    return plan

@@ -1,0 +1,164 @@
+"""Cross-core payload routing and the barrier outbox.
+
+One :class:`ShardRouter` exists per executing *process* (the main
+process for the ``single``/``inline`` backends, each worker for the
+``mp`` backend).  It knows which :class:`~repro.shard.core.ShardCore`
+is currently executing (``begin``/``end`` bracket every event), owns
+the outbox of emitted barrier payloads, and is the injection point the
+deterministic zones consult: ``repro.kernel.ipc`` and
+``repro.kernel.kernel`` each hold a ``_shard_router`` module global
+(mirroring the race-sanitizer's ``_race_tracker``) that
+:meth:`ShardRouter.install` assigns, so the kernel never imports
+``repro.shard``.
+
+Payload discipline: a payload is a JSON-serializable dict with at
+least ``kind``, ``target`` (destination core), ``src`` (emitting
+core), and ``seq`` (per-source emission counter).  The sharded engine
+sorts the union of all outboxes by ``(target, src, seq)`` and
+round-trips it through JSON before application -- the canonical merge
+order that makes every backend produce bit-identical universes.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import nullcontext
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ShardError
+
+__all__ = ["ShardRouter", "race_seam"]
+
+#: Injection point for the determinism-race sanitizer (see
+#: :mod:`repro.analysis.races`); assigned by ``tracker.activate()``
+#: under ``REPRO_SANITIZE=1``.
+_race_tracker = None
+
+
+def race_seam(name: str):
+    """Declared barrier-seam context for the shard layer's legal
+    cross-owner effects (no-op when the sanitizer is inactive)."""
+    if _race_tracker is not None and _race_tracker.active:
+        return _race_tracker.seam(name)
+    return nullcontext()
+
+
+class ShardRouter:
+    """Per-process execution context and outbox for barrier payloads."""
+
+    def __init__(self) -> None:
+        #: core_id -> ShardCore living in this process.
+        self.cores: Dict[int, Any] = {}
+        self._stack: List[int] = []
+        self._outbox: List[Dict[str, Any]] = []
+        # -- statistics (per-process; not part of the canonical state) --
+        self.emitted = 0
+        self.applied = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def install(self) -> None:
+        """Expose this router to the deterministic zones.
+
+        Idempotent and last-writer-wins: every epoch re-installs, so
+        two engines alternating in one process each see their own
+        router while *their* events execute.
+        """
+        from repro.kernel import ipc as ipc_module
+        from repro.kernel import kernel as kernel_module
+
+        ipc_module._shard_router = self
+        kernel_module._shard_router = self
+
+    def uninstall(self) -> None:
+        """Withdraw from the deterministic zones (if still installed)."""
+        from repro.kernel import ipc as ipc_module
+        from repro.kernel import kernel as kernel_module
+
+        if ipc_module._shard_router is self:
+            ipc_module._shard_router = None
+        if kernel_module._shard_router is self:
+            kernel_module._shard_router = None
+
+    def register(self, core: Any) -> None:
+        """Adopt a core built in this process."""
+        self.cores[core.core_id] = core
+
+    def owns_engine(self, engine: Any) -> bool:
+        """True when ``engine`` is the loop of an adopted core (used by
+        ``Kernel.run_until`` to refuse barrier-bypassing advances)."""
+        return any(core.loop is engine for core in self.cores.values())
+
+    # -- execution context ----------------------------------------------------
+
+    def begin(self, core_id: int) -> None:
+        self._stack.append(core_id)
+
+    def end(self) -> None:
+        self._stack.pop()
+
+    @property
+    def current(self) -> Optional[int]:
+        """The core whose events are executing right now."""
+        return self._stack[-1] if self._stack else None
+
+    # -- payload emission ------------------------------------------------------
+
+    def emit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Queue a barrier payload from the currently executing core.
+
+        Stamps ``src`` and the per-source ``seq`` (the third key of the
+        canonical merge order) and validates JSON-serializability up
+        front, where the failure still names the emitting core.
+        """
+        src = self.current
+        if src is None:
+            raise ShardError(
+                "cross-core payload emitted outside sharded execution: "
+                f"{payload.get('kind')!r}")
+        core = self.cores[src]
+        core.emit_seq += 1
+        payload["src"] = src
+        payload["seq"] = core.emit_seq
+        try:
+            json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise ShardError(
+                f"barrier payload from core {src} is not "
+                f"JSON-serializable: {exc}") from exc
+        self._outbox.append(payload)
+        self.emitted += 1
+        return payload
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Hand the accumulated payloads to the barrier and reset."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    # -- hooks consulted by the deterministic zones ---------------------------
+
+    def intercept_wake(self, thread: Any, value: Any) -> bool:
+        """Divert a reply aimed at a remote caller into the outbox.
+
+        Consulted by ``Request.reply`` (and defensively by
+        ``Kernel.wake``) before touching ``thread.kernel``: a
+        :class:`~repro.shard.channels.RemoteClient` stub stands in for
+        a caller blocked on another core, and its wake must travel as a
+        barrier payload instead.  Real threads are never diverted --
+        an undeclared cross-core wake stays a sanitizer trap, not
+        something the router silently legalizes.
+        """
+        if not getattr(thread, "shard_remote", False):
+            return False
+        self.emit({
+            "kind": "reply",
+            "target": thread.origin_core,
+            "channel": thread.channel,
+            "call_id": thread.call_id,
+            "value": value,
+        })
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShardRouter cores={sorted(self.cores)} "
+                f"current={self.current} outbox={len(self._outbox)}>")

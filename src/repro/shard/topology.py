@@ -1,0 +1,62 @@
+"""Core-to-shard placement.
+
+A *shard* is an execution placement group: the set of cores that one
+worker (or one inline pass) runs.  Placement is pure configuration --
+it decides *where* a core's events execute, never *what* they compute
+-- which is why the equivalence goldens can vary ``shards`` and the
+backend freely against one pinned single-loop digest.
+
+Default placement is the deterministic hash ``core_id % shards``;
+a plan's ``placement`` map pins individual cores explicitly (e.g. to
+co-locate a chatty client with its server's home core).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ShardError
+
+__all__ = ["ShardTopology"]
+
+
+class ShardTopology:
+    """Deterministic mapping of ``cores`` onto ``shards``."""
+
+    def __init__(self, cores: int, shards: int,
+                 placement: Optional[Dict[int, int]] = None) -> None:
+        if cores < 1:
+            raise ShardError(f"need at least one core: {cores}")
+        if shards < 1:
+            raise ShardError(f"need at least one shard: {shards}")
+        self.cores = cores
+        self.shards = shards
+        self._shard_of: List[int] = []
+        placement = placement or {}
+        for core_id in range(cores):
+            shard = placement.get(core_id, core_id % shards)
+            if not 0 <= shard < shards:
+                raise ShardError(
+                    f"core {core_id} placed on shard {shard}, but only "
+                    f"{shards} shard(s) exist")
+            self._shard_of.append(shard)
+        self._cores_of: List[List[int]] = [[] for _ in range(shards)]
+        for core_id, shard in enumerate(self._shard_of):
+            self._cores_of[shard].append(core_id)
+
+    def shard_of(self, core_id: int) -> int:
+        """The shard executing ``core_id``."""
+        try:
+            return self._shard_of[core_id]
+        except IndexError:
+            raise ShardError(f"unknown core {core_id}") from None
+
+    def cores_of(self, shard: int) -> List[int]:
+        """Cores placed on ``shard``, ascending (the in-shard order)."""
+        try:
+            return list(self._cores_of[shard])
+        except IndexError:
+            raise ShardError(f"unknown shard {shard}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShardTopology cores={self.cores} shards={self.shards}>"

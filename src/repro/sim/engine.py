@@ -6,6 +6,15 @@ after a delay, schedule at an absolute time, and run (optionally until
 a horizon).  The simulated microkernel, IPC layer, workloads, and
 experiments all advance time exclusively through this engine, so a
 whole machine's history is a single deterministic event sequence.
+
+The mechanics live in :class:`LoopCore`, one self-contained event
+loop: clock, agenda, sequence counter, and tid allocator.  A classic
+:class:`Engine` is exactly one core.  The sharded multicore engine
+(:mod:`repro.shard`) instead instantiates one ``LoopCore`` per
+simulated machine and interleaves or parallelizes them between epoch
+barriers; because every counter a core owns is core-local, the state a
+core evolves is a pure function of its own history plus the barrier
+payloads it receives -- never of which shard or process executed it.
 """
 
 from __future__ import annotations
@@ -16,22 +25,30 @@ from repro.errors import SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "LoopCore"]
 
 
-class Engine:
-    """Deterministic discrete-event executor over a virtual clock."""
+class LoopCore:
+    """One deterministic event loop: clock + agenda + local allocators.
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    ``core_id`` is the core's stable identity inside a sharded engine
+    (canonical merge order); a standalone :class:`Engine` is core 0.
+    All counters (event sequence, tid allocation, events processed)
+    are local to the core, which is what makes a multi-core universe's
+    state independent of shard placement and execution backend.
+    """
+
+    def __init__(self, start_time: float = 0.0, core_id: int = 0) -> None:
         self.clock = VirtualClock(start_time)
+        self.core_id = core_id
         self._queue = EventQueue()
         self._running = False
         #: Number of events processed (overhead accounting).
         self.events_processed = 0
-        # Thread-id allocator.  Scoped to the engine (not the process)
+        # Thread-id allocator.  Scoped to the core (not the process)
         # so a recipe re-executed for checkpoint restore assigns the
-        # same tids as the original run: one engine, one deterministic
-        # universe.
+        # same tids as the original run: one core, one deterministic
+        # universe slice.
         self._next_tid = 0
 
     # -- time ------------------------------------------------------------------
@@ -42,7 +59,7 @@ class Engine:
         return self.clock.now
 
     def next_tid(self) -> int:
-        """Allocate the next thread id in this engine's universe."""
+        """Allocate the next thread id in this core's universe."""
         self._next_tid += 1
         return self._next_tid
 
@@ -116,6 +133,64 @@ class Engine:
         finally:
             self._running = False
 
+    # -- epoch execution (sharded engine) ------------------------------------------
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the core's earliest live event (None when drained)."""
+        return self._queue.peek_time()
+
+    def step(self) -> bool:
+        """Fire exactly the next live event; False when the core is idle.
+
+        The single-loop reference driver of :mod:`repro.shard` uses
+        this to interleave several cores through one loop while each
+        core still advances its *own* clock and counters.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.fire()
+        self.events_processed += 1
+        return True
+
+    def run_before(self, horizon: float, max_events: Optional[int] = None) -> int:
+        """Process every event strictly before ``horizon`` (exclusive).
+
+        The epoch body of the sharded engine: events at exactly the
+        barrier time belong to the *next* epoch (after barrier payloads
+        are applied), so the window is half-open.  The clock is NOT
+        advanced to the horizon -- :meth:`advance_clock` does that at
+        the barrier.  Returns the number of events fired.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time >= horizon - 1e-9:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.clock.advance_to(event.time)
+                event.fire()
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"epoch exceeded max_events={max_events}; "
+                        f"likely a livelock"
+                    )
+        finally:
+            self._running = False
+        return processed
+
+    def advance_clock(self, time: float) -> None:
+        """Advance the core clock to a barrier instant (monotonic)."""
+        self.clock.advance_to(time)
+
     def pending(self) -> int:
         """Number of live events still queued."""
         return len(self._queue)
@@ -130,4 +205,17 @@ class Engine:
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine now={self.clock.now:.3f}ms pending={self.pending()}>"
+        return (f"<{type(self).__name__} core={self.core_id} "
+                f"now={self.clock.now:.3f}ms pending={self.pending()}>")
+
+
+class Engine(LoopCore):
+    """Deterministic discrete-event executor over a virtual clock.
+
+    Exactly one :class:`LoopCore`: the classic single-loop engine every
+    recipe, kernel, and experiment drives.  The sharded engine composes
+    many cores instead; see :mod:`repro.shard`.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        super().__init__(start_time=start_time, core_id=0)

@@ -1,4 +1,4 @@
-"""Unit tests for every determinism-lint rule (RPR001..RPR010).
+"""Unit tests for every determinism-lint rule (RPR001..RPR012).
 
 Each rule gets positive fixtures (the hazard is flagged), negative
 fixtures (clean or out-of-zone code is not), and a noqa-suppressed
@@ -593,6 +593,49 @@ def test_rpr011_function_locals_are_exempt():
     assert ids(src) == []
 
 
+# -- RPR012: host-concurrency imports ---------------------------------------
+
+
+def test_rpr012_flags_multiprocessing_import():
+    findings = lint_source("import multiprocessing\n", KERNEL_PATH)
+    assert [f.rule_id for f in findings] == ["RPR012"]
+    assert "multiprocessing" in findings[0].message
+
+
+def test_rpr012_flags_threading_and_thread():
+    assert ids("import threading\n") == ["RPR012"]
+    assert ids("import _thread\n", SCHED_PATH) == ["RPR012"]
+
+
+def test_rpr012_flags_concurrent_futures_from_import():
+    src = "from concurrent.futures import ThreadPoolExecutor\n"
+    assert ids(src, CORE_PATH) == ["RPR012"]
+
+
+def test_rpr012_flags_aliased_import():
+    assert ids("import multiprocessing as mp\n",
+               "repro/distributed/fixture.py") == ["RPR012"]
+
+
+def test_rpr012_shard_zone_is_exempt():
+    # repro.shard owns the worker processes: its epoch barriers
+    # re-serialize cross-core effects, so the import is sanctioned.
+    src = "import multiprocessing\nimport threading\n"
+    assert ids(src, "repro/shard/fixture.py") == []
+
+
+def test_rpr012_exempt_outside_deterministic_zones():
+    assert ids("import threading\n", EXPERIMENT_PATH) == []
+
+
+def test_rpr012_noqa_requires_justification():
+    flagged = "import threading  # repro: noqa[RPR012]\n"
+    assert ids(flagged) == ["RPR000"]
+    justified = ("import threading  "
+                 "# repro: noqa[RPR012] -- wait-free probe, test-only\n")
+    assert ids(justified) == []
+
+
 # -- suppression syntax -----------------------------------------------------
 
 
@@ -684,7 +727,8 @@ def test_finding_format_names_location_and_rule():
 def test_every_rule_has_id_summary_and_fixit():
     assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
                           "RPR004", "RPR005", "RPR006", "RPR007",
-                          "RPR008", "RPR009", "RPR010", "RPR011"}
+                          "RPR008", "RPR009", "RPR010", "RPR011",
+                          "RPR012"}
     for rule in RULES.values():
         assert rule.summary and rule.fixit and rule.slug
 

@@ -173,10 +173,11 @@ def test_seam_mismatch_is_sh008():
     """)
     shard_map = analyze_fixture("clean", spec)
     # One finding per seam the spec is missing relative to the runtime.
-    assert rule_ids(shard_map) == ["SH008"] * 4
+    assert rule_ids(shard_map) == ["SH008"] * 7
     missing = " ".join(f.message for f in shard_map.findings)
     for seam in ("ipc.deliver", "cluster.migrate", "cluster.evacuate",
-                 "cluster.crash"):
+                 "cluster.crash", "shard.barrier", "shard.migrate",
+                 "shard.crash"):
         assert seam in missing
 
 

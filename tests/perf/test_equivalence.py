@@ -157,3 +157,90 @@ def test_funding_cache_invalidates_through_currency_inflation():
     b.start_competing()
     assert a.funding() == pytest.approx(50.0)
     assert b.funding() == pytest.approx(50.0)
+
+
+# -- sharded-engine equivalence ----------------------------------------------
+#
+# The acceptance gate of the repro.shard subsystem: for N in {1, 2, 4}
+# on both in-process backends (and the mp backend where it can run),
+# the merged replay stream and the canonical state tree are sha256-
+# identical to the single-loop oracle.  The goldens are pinned from the
+# ``single`` backend, which is observationally the classic one-event-
+# loop engine.
+
+#: (plan kwargs, horizon, stream sha256, state-tree sha256).
+SHARD_GOLDEN = [
+    ({"seed": 11, "cores": 4, "with_ops": False}, 5_000.0,
+     "1ad4542e8b23429e8543210742da0f60a81f8d4bd7ad5450d03ea64cd54fc628",
+     "ad0639f9d2194e6d88541adf8ae1df5068d70c26761daa867285829911e1e96a"),
+    ({"seed": 11, "cores": 4, "with_ops": True}, 5_000.0,
+     "0e9079418ef1061de15edc826758958a4fba86d03470efa6007560516da49ebd",
+     "a30a3c21d3741446b4115004483361887da4ff80400cb1c0b4dd6ff054201dab"),
+]
+
+_SHARD_IDS = ["mix", "mix-ops"]
+
+
+def _run_sharded(plan_kwargs: dict, until: float, backend: str,
+                 shards: int) -> tuple:
+    from repro.shard.engine import ShardedEngine
+    from repro.shard.plan import mix_plan
+
+    plan = mix_plan(**plan_kwargs)
+    with ShardedEngine(plan, shards=shards, backend=backend) as engine:
+        engine.advance(until)
+        return (tree_checksum(engine.merged_stream()),
+                tree_checksum(engine.snapshot_state()))
+
+
+@pytest.mark.parametrize("plan_kwargs, until, stream, state", SHARD_GOLDEN,
+                         ids=_SHARD_IDS)
+def test_single_loop_oracle_matches_shard_goldens(plan_kwargs, until,
+                                                  stream, state):
+    """The oracle itself reproduces the pinned digests (anchor)."""
+    got_stream, got_state = _run_sharded(plan_kwargs, until, "single", 1)
+    assert got_stream == stream, "single-loop stream diverged from golden"
+    assert got_state == state, "single-loop state tree diverged from golden"
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["inline", "mp"])
+@pytest.mark.parametrize("plan_kwargs, until, stream, state", SHARD_GOLDEN,
+                         ids=_SHARD_IDS)
+def test_sharded_run_is_bit_identical_to_single_loop(plan_kwargs, until,
+                                                     stream, state,
+                                                     backend, shards):
+    """sharded(N) == single-loop, bit for bit, on every backend."""
+    got_stream, got_state = _run_sharded(plan_kwargs, until, backend, shards)
+    assert got_stream == stream, (
+        f"{backend}/shards={shards}: merged stream diverged")
+    assert got_state == state, (
+        f"{backend}/shards={shards}: state tree diverged")
+
+
+@pytest.mark.skipif((__import__("os").cpu_count() or 1) < 2,
+                    reason="mp speedup needs at least 2 host CPUs")
+def test_mp_backend_beats_inline_at_four_shards():
+    """Acceptance: the mp backend shows real wall-clock speedup over
+    inline at shards=4 on the dispatch-heavy workload (multi-core
+    hosts only; single-CPU machines cannot parallelize anything)."""
+    import time
+
+    from repro.shard.engine import ShardedEngine
+    from repro.shard.plan import spin_plan
+
+    plan = spin_plan(seed=97, cores=4, spinners=2_500, quantum=10.0,
+                     epoch_ms=100.0, use_tree=True)
+    horizon = 4_000.0
+
+    def timed(backend: str) -> float:
+        with ShardedEngine(plan, shards=4, backend=backend) as engine:
+            start = time.perf_counter()
+            engine.advance(horizon)
+            return time.perf_counter() - start
+
+    inline_s = timed("inline")
+    mp_s = timed("mp")
+    assert mp_s < inline_s, (
+        f"mp backend ({mp_s:.2f}s) not faster than inline "
+        f"({inline_s:.2f}s) at shards=4 on a multi-core host")

@@ -201,7 +201,11 @@ def test_quick_suite_keeps_names_but_shrinks_loops():
 
     full = {name: params for name, params, _ in benchmark_suite(quick=False)}
     quick = {name: params for name, params, _ in benchmark_suite(quick=True)}
-    assert set(quick) == set(full)  # same coverage, smaller loops
+    # Same coverage, smaller loops -- except the mp-backend shard
+    # benchmarks, which are full-mode only (worker startup and pipe
+    # costs dominate a 5-epoch run, making quick scores meaningless
+    # against the full-mode baseline).
+    assert set(quick) == {name for name in full if ".mp." not in name}
     assert quick["draw.list.1000"]["draws"] < full["draw.list.1000"]["draws"]
     assert (quick["dispatch.tree.10000"]["quanta"]
             < full["dispatch.tree.10000"]["quanta"])

@@ -1,0 +1,63 @@
+"""The ``python -m repro.shard`` CLI: run, verify, divergence reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard.__main__ import _first_divergence, main
+
+
+def test_run_prints_checksums(capsys):
+    code = main(["run", "--plan", "mix", "--cores", "2", "--until", "1000",
+                 "--backend", "inline", "--shards", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "plan=mix cores=2 backend=inline shards=2" in out
+    assert "stream  " in out and "state   " in out
+
+
+def test_run_is_deterministic_across_invocations(capsys):
+    main(["run", "--plan", "mix-ops", "--until", "2000"])
+    first = capsys.readouterr().out
+    main(["run", "--plan", "mix-ops", "--until", "2000"])
+    assert capsys.readouterr().out == first
+
+
+def test_verify_passes_on_equivalent_backends(capsys, tmp_path):
+    report = tmp_path / "divergence.txt"
+    code = main(["verify", "--plan", "mix", "--cores", "4",
+                 "--until", "2000", "--backends", "inline,mp",
+                 "--shards", "1,2,4", "--report", str(report)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS: all combinations bit-identical" in out
+    assert not report.exists()  # report only written on divergence
+
+
+def test_verify_propagates_off_grid_horizon():
+    """A horizon off the epoch grid fails loudly in the oracle run --
+    no combination is silently skipped."""
+    from repro.errors import ShardError
+
+    with pytest.raises(ShardError, match="epoch grid"):
+        main(["verify", "--until", "1234.5"])
+
+
+def test_verify_records_backend_errors_and_fails(capsys, tmp_path):
+    report = tmp_path / "divergence.txt"
+    code = main(["verify", "--plan", "mix", "--cores", "2",
+                 "--until", "1000", "--backends", "inline,warp",
+                 "--shards", "1", "--report", str(report)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+    text = report.read_text()
+    assert "warp/s1: ERROR" in text
+    assert "single-loop oracle" in text
+
+
+def test_first_divergence_formats_index_and_length():
+    a = [{"t": 1}, {"t": 2}]
+    assert "index 1" in _first_divergence(a, [{"t": 1}, {"t": 9}])
+    assert "length" in _first_divergence(a, [{"t": 1}])
+    assert "identical" in _first_divergence(a, list(a))

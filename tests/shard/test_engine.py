@@ -1,0 +1,121 @@
+"""ShardedEngine protocol behaviour: grids, stop/resume, guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError, ShardError
+from repro.shard.engine import ShardedEngine
+from repro.shard.plan import mix_plan, spin_plan
+
+
+def test_advance_rejects_off_grid_horizons():
+    with ShardedEngine(spin_plan(cores=2), shards=2) as engine:
+        with pytest.raises(ShardError, match="epoch grid"):
+            engine.advance(123.4)
+
+
+def test_advance_rejects_going_backwards():
+    with ShardedEngine(spin_plan(cores=2), shards=2) as engine:
+        engine.advance(200.0)
+        with pytest.raises(ShardError, match="backwards"):
+            engine.advance(100.0)
+
+
+def test_closed_engine_refuses_to_advance():
+    engine = ShardedEngine(spin_plan(cores=2))
+    engine.close()
+    engine.close()  # idempotent
+    with pytest.raises(ShardError, match="closed"):
+        engine.advance(100.0)
+
+
+def test_unknown_backend_is_an_error():
+    with pytest.raises(ShardError, match="unknown shard backend"):
+        ShardedEngine(spin_plan(cores=2), backend="gpu")
+
+
+def test_kernel_run_until_is_barred_inside_a_sharded_run():
+    """Driving one core's kernel directly would bypass the barrier
+    protocol; the kernel must refuse while owned by a sharded run."""
+    with ShardedEngine(spin_plan(cores=2), shards=1) as engine:
+        kernel = engine.shard_kernels()[0]
+        with pytest.raises(KernelError, match="ShardedEngine.advance"):
+            kernel.run_until(1_000.0)
+
+
+def test_stop_resume_is_bit_exact_against_a_straight_run():
+    """Stopping at barriers (including several stops in a row) and
+    resuming reproduces the uninterrupted run exactly."""
+    plan = mix_plan(seed=11, cores=4, with_ops=True)
+    with ShardedEngine(plan, shards=2) as straight:
+        straight.advance(4_000.0)
+        want_stream = straight.merged_stream()
+        want_state = straight.snapshot_state()
+    with ShardedEngine(mix_plan(seed=11, cores=4, with_ops=True),
+                       shards=2) as stopping:
+        for stop in (500.0, 1_000.0, 2_500.0, 4_000.0):
+            stopping.advance(stop)
+        assert stopping.merged_stream() == want_stream
+        assert stopping.snapshot_state() == want_state
+
+
+def test_snapshot_excludes_backend_and_shard_identity():
+    plan_kwargs = {"seed": 11, "cores": 4}
+    with ShardedEngine(mix_plan(**plan_kwargs), shards=1) as a, \
+            ShardedEngine(mix_plan(**plan_kwargs), shards=4) as b:
+        a.advance(1_500.0)
+        b.advance(1_500.0)
+        assert a.snapshot_state() == b.snapshot_state()
+
+
+def test_merged_stream_is_time_then_core_ordered():
+    with ShardedEngine(mix_plan(seed=11, cores=4), shards=2) as engine:
+        engine.advance(2_000.0)
+        stream = engine.merged_stream()
+        keys = [(entry["time"], entry["core"]) for entry in stream]
+        assert keys == sorted(keys)
+        assert {entry["core"] for entry in stream} == {0, 1, 2, 3}
+
+
+def test_epoch_ms_override_changes_barrier_cadence():
+    plan = mix_plan(seed=11, cores=4)  # plan grid: 500ms
+    with ShardedEngine(plan, shards=2, epoch_ms=250.0) as engine:
+        engine.advance(1_000.0)
+        assert engine._barriers == 4
+        with pytest.raises(ShardError, match="epoch grid"):
+            engine.advance(1_125.0)
+
+
+def test_cross_core_ipc_latency_depends_on_epoch_not_backend():
+    """Payloads travel at barriers, so epoch length is part of the
+    universe definition -- but for any given epoch the backends agree."""
+    digests = {}
+    for epoch_ms in (250.0, 500.0):
+        per_backend = set()
+        for backend in ("single", "inline"):
+            plan = mix_plan(seed=11, cores=4, epoch_ms=epoch_ms)
+            with ShardedEngine(plan, shards=2, backend=backend) as engine:
+                engine.advance(2_000.0)
+                from repro.checkpoint.statetree import tree_checksum
+
+                per_backend.add(tree_checksum(engine.merged_stream()))
+        assert len(per_backend) == 1, f"backends diverged at {epoch_ms}"
+        digests[epoch_ms] = per_backend.pop()
+    assert digests[250.0] != digests[500.0]
+
+
+def test_mp_worker_failure_surfaces_as_shard_error():
+    """A worker-side exception travels back as a ShardError naming the
+    shard, not as a hang or a silent truncation."""
+    plan = spin_plan(cores=2)
+    engine = ShardedEngine(plan, shards=2, backend="mp")
+    try:
+        # Corrupt the protocol deliberately: barrier() with a payload
+        # for an unknown kind makes the worker raise.
+        engine._backend.barrier(0.0, [{
+            "kind": "warp", "target": 1, "src": 0, "seq": 1}])
+        with pytest.raises(ShardError, match="shard worker"):
+            engine._backend.run_epoch(100.0)
+    finally:
+        engine.close()

@@ -1,0 +1,150 @@
+"""ShardPlan validation, serialization, and topology placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardError
+from repro.shard.plan import CORE_SEED_STRIDE, ShardPlan, mix_plan, spin_plan
+from repro.shard.topology import ShardTopology
+
+
+# -- construction and validation --------------------------------------------
+
+
+def test_plan_rejects_bad_seed_cores_and_grid():
+    with pytest.raises(ShardError, match="seed"):
+        ShardPlan(seed=0)
+    with pytest.raises(ShardError, match="core"):
+        ShardPlan(cores=0)
+    with pytest.raises(ShardError, match="positive"):
+        ShardPlan(quantum=0.0)
+    with pytest.raises(ShardError, match="positive"):
+        ShardPlan(epoch_ms=-1.0)
+
+
+def test_plan_rejects_unknown_body_and_core():
+    # add_* appends before validating, so each invalid mutation gets a
+    # fresh plan (the bad spec stays on the plan after the raise).
+    with pytest.raises(ShardError, match="unregistered body"):
+        ShardPlan(cores=2).add_thread(0, "no-such-body", "t", tickets=10.0)
+    with pytest.raises(ShardError, match="unknown core"):
+        ShardPlan(cores=2).add_thread(5, "spin", "t", tickets=10.0)
+
+
+def test_plan_rejects_duplicate_names_and_nonpositive_tickets():
+    with pytest.raises(ShardError, match="unique"):
+        ShardPlan(cores=2).add_thread(0, "spin", "a", tickets=10.0) \
+            .add_thread(1, "spin", "a", tickets=10.0)
+    with pytest.raises(ShardError, match="positive tickets"):
+        ShardPlan(cores=2).add_thread(1, "spin", "b", tickets=0.0)
+
+
+def _seeded_plan() -> ShardPlan:
+    return ShardPlan(cores=2).add_thread(0, "spin", "a", tickets=10.0)
+
+
+def test_plan_rejects_bad_ops():
+    with pytest.raises(ShardError, match="bad migrate"):
+        _seeded_plan().migrate(at=100.0, thread="missing", src=0, dst=1)
+    with pytest.raises(ShardError, match="bad crash"):
+        _seeded_plan().crash(at=100.0, core=7)
+    with pytest.raises(ShardError, match="non-negative"):
+        _seeded_plan().migrate(at=-5.0, thread="a", src=0, dst=1)
+
+
+def test_plan_rejects_bad_placement():
+    with pytest.raises(ShardError, match="placement"):
+        ShardPlan(cores=2, placement={5: 0})
+
+
+# -- derived views -----------------------------------------------------------
+
+
+def test_core_seeds_are_distinct_strided_streams():
+    plan = ShardPlan(seed=7, cores=4)
+    seeds = [plan.core_seed(core) for core in range(4)]
+    assert seeds == [7 + CORE_SEED_STRIDE * core for core in range(4)]
+    assert len(set(seeds)) == 4
+
+
+def test_threads_on_and_ops_on_partition_by_source_core():
+    plan = mix_plan(seed=11, cores=4, with_ops=True)
+    names = {spec["name"] for core in range(4)
+             for spec in plan.threads_on(core)}
+    assert names == {spec["name"] for spec in plan.threads}
+    # migrate is sourced on its src core, crash on the crashed core.
+    assert [op["op"] for op in plan.ops_on(0)] == ["migrate"]
+    assert [op["op"] for op in plan.ops_on(3)] == ["crash"]
+    assert plan.ops_on(1) == [] and plan.ops_on(2) == []
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_plan_round_trips_through_json_dict():
+    import json
+
+    plan = mix_plan(seed=11, cores=4, with_ops=True)
+    plan.placement[3] = 0
+    data = json.loads(json.dumps(plan.to_dict()))
+    rebuilt = ShardPlan.from_dict(data)
+    assert rebuilt.to_dict() == plan.to_dict()
+    assert rebuilt.checksum() == plan.checksum()
+    assert rebuilt.placement == {3: 0}
+
+
+def test_checksum_is_sensitive_to_every_field():
+    base = spin_plan(seed=97, cores=2, spinners=1).checksum()
+    assert spin_plan(seed=98, cores=2, spinners=1).checksum() != base
+    assert spin_plan(seed=97, cores=3, spinners=1).checksum() != base
+    assert spin_plan(seed=97, cores=2, spinners=2).checksum() != base
+
+
+# -- topology -----------------------------------------------------------------
+
+
+def test_topology_default_is_modulo_hash():
+    topo = ShardTopology(cores=5, shards=2)
+    assert [topo.shard_of(c) for c in range(5)] == [0, 1, 0, 1, 0]
+    assert topo.cores_of(0) == [0, 2, 4]
+    assert topo.cores_of(1) == [1, 3]
+
+
+def test_topology_placement_pins_cores():
+    topo = ShardTopology(cores=4, shards=2, placement={3: 0})
+    assert topo.shard_of(3) == 0
+    assert topo.cores_of(0) == [0, 2, 3]
+    assert topo.cores_of(1) == [1]
+
+
+def test_topology_rejects_out_of_range():
+    with pytest.raises(ShardError):
+        ShardTopology(cores=0, shards=1)
+    with pytest.raises(ShardError):
+        ShardTopology(cores=2, shards=0)
+    with pytest.raises(ShardError, match="placed on shard"):
+        ShardTopology(cores=2, shards=2, placement={0: 5})
+    topo = ShardTopology(cores=2, shards=2)
+    with pytest.raises(ShardError):
+        topo.shard_of(9)
+    with pytest.raises(ShardError):
+        topo.cores_of(9)
+
+
+def test_placement_changes_execution_not_results():
+    """Placement is pure configuration: pinning every core onto one
+    shard must not move a single bit of the merged history."""
+    from repro.shard.engine import ShardedEngine
+
+    default = mix_plan(seed=11, cores=4)
+    pinned = mix_plan(seed=11, cores=4)
+    pinned.placement.update({0: 1, 1: 1, 2: 1, 3: 1})
+    with ShardedEngine(default, shards=2) as a, \
+            ShardedEngine(pinned, shards=2) as b:
+        a.advance(2_000.0)
+        b.advance(2_000.0)
+        assert a.merged_stream() == b.merged_stream()
+        # The state trees differ only in the plan checksum (placement
+        # is part of plan identity), never in core state.
+        assert a.snapshot_state()["cores"] == b.snapshot_state()["cores"]

@@ -1,0 +1,153 @@
+"""The determinism-race sanitizer versus the sharded engine.
+
+Positive direction: a sanitized sharded run (tracker armed, invariant
+sanitizer installed, mp workers self-sanitizing via REPRO_SANITIZE) is
+clean and bit-identical to an unsanitized run.  Negative direction: a
+thread that reaches across cores and mutates another core's thread
+outside a declared barrier seam trips ``DeterminismRaceError`` at the
+exact mutation site -- proving the seams are load-bearing, not
+decorative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.races import tracker
+from repro.analysis.sanitizer import (install_autosanitize,
+                                      uninstall_autosanitize)
+from repro.checkpoint.statetree import tree_checksum
+from repro.errors import DeterminismRaceError
+from repro.kernel.syscalls import Compute
+from repro.kernel.thread import ThreadState
+from repro.shard.builders import register_body
+from repro.shard.engine import ShardedEngine
+from repro.shard.plan import ShardPlan, mix_plan
+
+# -- cross-core poke fixture bodies -------------------------------------------
+#
+# Registered at import time (the registry is write-once).  The victim
+# body publishes its own Thread into a module-level mailbox; the evil
+# body -- placed on a *different* core -- later mutates that thread's
+# lifecycle state directly, which is exactly the bug class the shard
+# refactor outlaws.  Real cross-core effects must travel as barrier
+# payloads through the shard.barrier seam instead.
+
+_VICTIMS: dict = {}
+
+
+@register_body("test_race_victim")
+def _victim_factory(core, args):
+    def body(ctx):
+        _VICTIMS["thread"] = ctx.thread
+        while True:
+            yield Compute(10.0)
+
+    return body
+
+
+@register_body("test_race_evil")
+def _evil_factory(core, args):
+    def body(ctx):
+        while True:
+            yield Compute(10.0)
+            victim = _VICTIMS.get("thread")
+            if (victim is not None and victim is not ctx.thread
+                    and victim.state is not ThreadState.EXITED):
+                # EXITED is a legal edge from every live state, so this
+                # passes lifecycle validation and reaches the race trap.
+                victim.transition(ThreadState.EXITED)
+
+    return body
+
+
+def _poke_plan() -> ShardPlan:
+    plan = ShardPlan(seed=9, cores=2, quantum=50.0, epoch_ms=100.0)
+    plan.add_thread(0, "test_race_victim", "victim", tickets=100.0)
+    plan.add_thread(1, "test_race_evil", "evil", tickets=100.0)
+    return plan
+
+
+@pytest.fixture
+def armed_tracker():
+    """Activate the race tracker *before* any engine is built (threads
+    are tagged to their owning kernel at construction time)."""
+    tracker.activate()
+    try:
+        yield tracker
+    finally:
+        tracker.deactivate()
+
+
+def test_cross_core_thread_mutation_trips_the_tracker(armed_tracker):
+    with ShardedEngine(_poke_plan(), shards=2, backend="inline") as engine:
+        with pytest.raises(DeterminismRaceError, match="cross-owner"):
+            engine.advance(1_000.0)
+    assert armed_tracker.violations >= 1
+
+
+def test_same_core_mutation_is_not_a_race_violation(armed_tracker):
+    """Both bodies on one core: the mutation comes from the owning
+    kernel's own context, so the *race* tracker stays quiet.  The
+    forced transition still corrupts the kernel's bookkeeping, and the
+    kernel's own validation reports that deterministically -- a
+    ThreadStateError (or, when REPRO_SANITIZE=1 has installed the
+    invariant sanitizer, an InvariantViolation caught even earlier) --
+    never a DeterminismRaceError."""
+    from repro.errors import InvariantViolation, ThreadStateError
+
+    plan = ShardPlan(seed=9, cores=1, quantum=50.0, epoch_ms=100.0)
+    plan.add_thread(0, "test_race_victim", "victim2", tickets=100.0)
+    plan.add_thread(0, "test_race_evil", "evil2", tickets=100.0)
+    victims_before = dict(_VICTIMS)
+    # The violation counter is cumulative across the process-wide
+    # tracker's lifetime; assert on the delta, not the absolute value.
+    violations_before = armed_tracker.violations
+    try:
+        with ShardedEngine(plan, shards=1, backend="inline") as engine:
+            with pytest.raises((ThreadStateError, InvariantViolation)):
+                engine.advance(1_000.0)
+        assert armed_tracker.violations == violations_before
+    finally:
+        _VICTIMS.clear()
+        _VICTIMS.update(victims_before)
+
+
+def test_sanitized_sharded_run_is_clean_and_bit_identical():
+    """Tracker + invariant sanitizer change nothing about a legal run."""
+    plan_kwargs = {"seed": 11, "cores": 4, "with_ops": True}
+    with ShardedEngine(mix_plan(**plan_kwargs), shards=2) as engine:
+        engine.advance(3_000.0)
+        want = (tree_checksum(engine.merged_stream()),
+                tree_checksum(engine.snapshot_state()))
+
+    tracker.activate()
+    install_autosanitize()
+    try:
+        with ShardedEngine(mix_plan(**plan_kwargs), shards=2) as engine:
+            engine.advance(3_000.0)
+            got = (tree_checksum(engine.merged_stream()),
+                   tree_checksum(engine.snapshot_state()))
+    finally:
+        uninstall_autosanitize()
+        tracker.deactivate()
+    assert got == want
+
+
+def test_mp_workers_self_sanitize(monkeypatch):
+    """REPRO_SANITIZE=1 at engine construction arms the tracker and the
+    invariant sanitizer inside every worker process; a legal run stays
+    clean and matches the unsanitized digests."""
+    plan_kwargs = {"seed": 11, "cores": 4, "with_ops": True}
+    with ShardedEngine(mix_plan(**plan_kwargs), shards=2) as engine:
+        engine.advance(3_000.0)
+        want = (tree_checksum(engine.merged_stream()),
+                tree_checksum(engine.snapshot_state()))
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    with ShardedEngine(mix_plan(**plan_kwargs), shards=2,
+                       backend="mp") as engine:
+        engine.advance(3_000.0)
+        got = (tree_checksum(engine.merged_stream()),
+               tree_checksum(engine.snapshot_state()))
+    assert got == want

@@ -1,0 +1,56 @@
+"""Shard telemetry: epoch spans and barrier instants are themselves
+deterministic -- a trace is a pure function of (plan, shards, epoch),
+independent of the execution backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.plan import mix_plan
+from repro.telemetry.spans import SpanTracer
+
+
+def _traced_run(backend: str, shards: int, until: float = 2_000.0):
+    tracer = SpanTracer()
+    with ShardedEngine(mix_plan(seed=11, cores=4), shards=shards,
+                       backend=backend) as engine:
+        engine.attach_telemetry(tracer)
+        engine.advance(until)
+    return tracer
+
+
+def test_epoch_spans_cover_every_shard_and_barrier():
+    tracer = _traced_run("inline", shards=2)
+    # 2000ms / 500ms grid = 4 barriers; one epoch span per shard each.
+    per_track = {}
+    for span in tracer.spans:
+        per_track[span.track] = per_track.get(span.track, 0) + 1
+    assert per_track == {"shard0": 4, "shard1": 4, "barrier": 4}
+    assert tracer.counts() == {("shard", "epoch"): 8,
+                               ("shard", "shard.barrier"): 4}
+    epochs = [s for s in tracer.spans if s.name == "epoch"]
+    assert all(s.duration == pytest.approx(500.0) for s in epochs)
+
+
+def test_barrier_events_carry_payload_counts():
+    tracer = _traced_run("inline", shards=2)
+    barriers = [s for s in tracer.spans if s.track == "barrier"]
+    assert all(s.instant for s in barriers)
+    # mix_plan has cross-core RPC traffic, so at least one barrier
+    # must have carried payloads.
+    assert any(s.attrs["payloads"] > 0 for s in barriers)
+
+
+def test_trace_is_backend_independent():
+    want = [s.to_dict() for s in _traced_run("inline", shards=2).spans]
+    for backend in ("single", "mp"):
+        got = [s.to_dict() for s in _traced_run(backend, shards=2).spans]
+        assert got == want, f"{backend} trace diverged from inline"
+
+
+def test_epoch_spans_carry_shard_core_ownership():
+    tracer = _traced_run("inline", shards=2)
+    epochs = [s for s in tracer.spans if s.name == "epoch"]
+    owned = {s.track: tuple(s.attrs["cores"]) for s in epochs}
+    assert owned == {"shard0": (0, 2), "shard1": (1, 3)}
