@@ -62,6 +62,12 @@ class ShardError(ReproError):
     (bad plan, off-grid advance, dead worker, undeclared payload)."""
 
 
+class FrameCorruptError(ShardError):
+    """A checksummed pipe frame failed validation (bad shape, checksum
+    mismatch, or non-JSON body) -- the supervised mp backend treats
+    this as a host fault and recovers the emitting worker."""
+
+
 class ExperimentError(ReproError):
     """An experiment was configured with invalid parameters."""
 

@@ -179,20 +179,24 @@ def _fmt_ratio(value: Optional[float]) -> str:
 
 
 def format_shard_summary(report: PerfReport, markdown: bool = False) -> str:
-    """Single-loop vs sharded ops/s for the ``shard.dispatch.*`` family.
+    """Single-loop vs sharded ops/s for the ``shard.dispatch.*`` and
+    ``shard.supervised.*`` families.
 
     Groups the report's shard benchmarks by workload size and shows
     each backend/shards variant's throughput as a speedup over that
     size's ``single`` (one-event-loop oracle) variant -- the number the
-    sharding work exists to move.  Returns ``""`` when the report holds
-    no shard benchmarks (e.g. a filtered run).
+    sharding work exists to move.  Supervised variants share the size
+    group, so their row reads directly as the supervision tax against
+    the bare mp variant.  Returns ``""`` when the report holds no shard
+    benchmarks (e.g. a filtered run).
     """
-    prefix = "shard.dispatch."
+    prefixes = ("shard.dispatch.", "shard.supervised.")
     groups: Dict[str, List[Any]] = {}
     for entry in report.results:
-        if entry.name.startswith(prefix):
-            size = entry.name[len(prefix):].split(".", 1)[0]
-            groups.setdefault(size, []).append(entry)
+        for prefix in prefixes:
+            if entry.name.startswith(prefix):
+                size = entry.name[len(prefix):].split(".", 1)[0]
+                groups.setdefault(size, []).append(entry)
     if not groups:
         return ""
     header = ("benchmark", "ops/s", "vs single-loop")

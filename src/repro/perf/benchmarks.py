@@ -243,7 +243,7 @@ def _export_chrome(exports: int):
 
 
 def _shard_dispatch(threads_total: int, backend: str, shards: int,
-                    epochs: int, use_tree: bool):
+                    epochs: int, use_tree: bool, supervise: bool = False):
     """Sharded dispatch: ``threads_total`` spinners spread over 4 cores,
     advanced through ``epochs`` epoch barriers.  The engine (and, for
     the mp backend, its worker processes) is built in setup and closed
@@ -264,7 +264,8 @@ def _shard_dispatch(threads_total: int, backend: str, shards: int,
                          spinners=threads_total // cores,
                          quantum=quantum, epoch_ms=epoch_ms,
                          use_tree=use_tree)
-        engine = ShardedEngine(plan, shards=shards, backend=backend)
+        engine = ShardedEngine(plan, shards=shards, backend=backend,
+                               supervise=supervise)
         horizon = epochs * epoch_ms
         ops = int(cores * horizon / quantum)
 
@@ -339,6 +340,13 @@ def _full_suite(quick: bool = False) -> List[BenchmarkEntry]:
          {"threads": 10_000, "backend": "mp", "shards": 4,
           "epochs": epochs},
          _shard_dispatch(10_000, "mp", 4, epochs, True)),
+        # Supervised mp with no faults firing: the gap to the bare mp
+        # variant above is the pure supervision tax (framing checksums,
+        # heartbeat polling, command logging) -- budgeted at <= 5%.
+        ("shard.supervised.10000.mp.s4",
+         {"threads": 10_000, "backend": "mp", "shards": 4,
+          "epochs": epochs, "supervise": True},
+         _shard_dispatch(10_000, "mp", 4, epochs, True, supervise=True)),
     ]
 
 

@@ -13,14 +13,25 @@ everywhere else in the zones).
 
 from repro.shard.builders import BODY_REGISTRY, register_body
 from repro.shard.engine import ShardedEngine
+from repro.shard.hostfaults import (
+    HostFault,
+    HostFaultPlan,
+    load_host_faults,
+)
 from repro.shard.plan import ShardPlan, mix_plan, spin_plan
+from repro.shard.supervisor import SupervisedMpBackend, SupervisorPolicy
 from repro.shard.topology import ShardTopology
 
 __all__ = [
     "BODY_REGISTRY",
+    "HostFault",
+    "HostFaultPlan",
     "ShardPlan",
     "ShardTopology",
     "ShardedEngine",
+    "SupervisedMpBackend",
+    "SupervisorPolicy",
+    "load_host_faults",
     "mix_plan",
     "register_body",
     "spin_plan",

@@ -1,19 +1,25 @@
 """Sharded-engine CLI: ``python -m repro.shard``.
 
 * ``run`` -- execute a built-in plan on one backend and print the
-  stream/state checksums;
+  stream/state checksums; ``--supervise`` runs the mp backend under
+  the fault-tolerant supervisor, optionally injecting a deliberate
+  ``--host-faults`` plan (preset name or JSON file);
 * ``verify`` -- the CI equivalence gate: run the single-loop oracle,
   then every requested ``(backend, shards)`` combination, and compare
-  replay-stream and state-tree sha256s bit-for-bit.  On divergence,
-  writes a report (first differing entry, per-combination checksums)
-  suitable for upload as a CI artifact.
+  replay-stream and state-tree sha256s bit-for-bit.  With
+  ``--supervise`` two extra combinations join the matrix: a supervised
+  mp run, and a supervised mp run with a worker killed at **every
+  epoch barrier** -- both must still be bit-identical to the oracle.
+  On divergence, writes a report (first differing entry,
+  per-combination checksums) suitable for upload as a CI artifact.
 
 Examples::
 
     python -m repro.shard run --plan mix --cores 4 --backend mp \
-        --shards 4 --until 5000
+        --shards 4 --until 5000 --supervise --host-faults chaos
     python -m repro.shard verify --plan mix --cores 4 --until 5000 \
-        --backends inline,mp --shards 1,2,4 --report divergence.txt
+        --backends inline,mp --shards 1,2,4 --supervise \
+        --report divergence.txt
 """
 
 from __future__ import annotations
@@ -25,7 +31,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.checkpoint.statetree import tree_checksum
 from repro.errors import ShardError
 from repro.shard.engine import ShardedEngine
+from repro.shard.hostfaults import (
+    HostFaultPlan,
+    kill_every_epoch,
+    load_host_faults,
+)
 from repro.shard.plan import ShardPlan, mix_plan, spin_plan
+from repro.shard.supervisor import SupervisorPolicy
 
 PLANS = {
     "mix": lambda args: mix_plan(seed=args.seed, cores=args.cores),
@@ -35,13 +47,18 @@ PLANS = {
 }
 
 
-def _run_combo(plan: ShardPlan, backend: str, shards: int,
-               until: float) -> Tuple[str, str, List[Dict[str, Any]]]:
-    with ShardedEngine(plan, shards=shards, backend=backend) as engine:
+def _run_combo(plan: ShardPlan, backend: str, shards: int, until: float,
+               supervise: bool = False,
+               policy: Optional[SupervisorPolicy] = None,
+               host_faults: Optional[HostFaultPlan] = None,
+               ) -> Tuple[str, str, List[Dict[str, Any]], dict]:
+    with ShardedEngine(plan, shards=shards, backend=backend,
+                       supervise=supervise, policy=policy,
+                       host_faults=host_faults) as engine:
         engine.advance(until)
         stream = engine.merged_stream()
         return (tree_checksum(stream), tree_checksum(engine.snapshot_state()),
-                stream)
+                stream, engine.recovery_summary())
 
 
 def _first_divergence(reference: List[Dict[str, Any]],
@@ -54,6 +71,18 @@ def _first_divergence(reference: List[Dict[str, Any]],
         return (f"streams diverge in length: single={len(reference)} "
                 f"other={len(stream)}")
     return "streams identical (state trees diverge)"
+
+
+def _recovery_line(summary: dict) -> str:
+    return (f"recovery: restarts={sum(summary['restarts'])} "
+            f"retries={sum(summary['retries'])} "
+            f"faults_armed={summary['faults_armed']} "
+            f"degraded={summary['degraded']}")
+
+
+def _policy_from_args(args: argparse.Namespace) -> SupervisorPolicy:
+    return SupervisorPolicy(max_retries=args.max_retries,
+                            deadline_s=args.deadline)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -72,25 +101,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shards", default="1,2,4",
                         help="shard counts: one int for 'run', comma "
                              "list for 'verify'")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run mp workers under the fault-tolerant "
+                             "supervisor (run: requires --backend mp; "
+                             "verify: adds supervised and "
+                             "killed-every-barrier combinations)")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="supervisor retry budget per exchange")
+    parser.add_argument("--deadline", type=float, default=30.0,
+                        help="supervisor heartbeat deadline (host "
+                             "seconds) per exchange")
+    parser.add_argument("--host-faults", metavar="PLAN",
+                        help="host-fault plan to inject: preset name "
+                             "('kill-every-epoch', 'chaos') or JSON "
+                             "file path (requires --supervise)")
     parser.add_argument("--report", metavar="PATH",
                         help="divergence report path for 'verify'")
     args = parser.parse_args(argv)
 
     plan = PLANS[args.plan](args)
 
+    if args.host_faults and not args.supervise:
+        parser.error("--host-faults requires --supervise: only the "
+                     "supervised backend recovers from host faults")
+
     if args.command == "run":
         shards = int(args.shards.split(",")[0])
-        stream_sha, state_sha, stream = _run_combo(
-            plan, args.backend, shards, args.until)
-        print(f"plan={args.plan} cores={args.cores} backend={args.backend} "
-              f"shards={shards} until={args.until:g}")
+        policy = _policy_from_args(args) if args.supervise else None
+        host_faults = (load_host_faults(args.host_faults, shards)
+                       if args.host_faults else None)
+        stream_sha, state_sha, stream, recovery = _run_combo(
+            plan, args.backend, shards, args.until,
+            supervise=args.supervise, policy=policy,
+            host_faults=host_faults)
+        mode = " supervised" if args.supervise else ""
+        print(f"plan={args.plan} cores={args.cores} backend={args.backend}"
+              f"{mode} shards={shards} until={args.until:g}")
         print(f"entries {len(stream)}")
         print(f"stream  {stream_sha}")
         print(f"state   {state_sha}")
+        if args.supervise:
+            print(_recovery_line(recovery))
         return 0
 
     # verify: single-loop oracle first, then every combination.
-    ref_stream_sha, ref_state_sha, ref_stream = _run_combo(
+    ref_stream_sha, ref_state_sha, ref_stream, _ = _run_combo(
         plan, "single", 1, args.until)
     print(f"single-loop oracle: stream {ref_stream_sha[:16]} "
           f"state {ref_state_sha[:16]} ({len(ref_stream)} entries)")
@@ -101,26 +156,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"single-loop oracle: stream={ref_stream_sha} "
         f"state={ref_state_sha}",
     ]
+
+    combos: List[Dict[str, Any]] = []
     for backend in args.backends.split(","):
         for shard_text in args.shards.split(","):
-            shards = int(shard_text)
-            try:  # repro: noqa[RPR006] -- not a retry: each combination runs exactly once; a failing combo is recorded in the divergence report and fails the exit code
-                stream_sha, state_sha, stream = _run_combo(
-                    plan, backend.strip(), shards, args.until)
-            except ShardError as exc:
-                failures.append(f"{backend}/s{shards}: {exc}")
-                lines.append(f"{backend}/s{shards}: ERROR {exc}")
-                continue
-            ok = (stream_sha == ref_stream_sha
-                  and state_sha == ref_state_sha)
-            verdict = "OK" if ok else "DIVERGED"
-            print(f"{backend:>7}/s{shards}: stream {stream_sha[:16]} "
-                  f"state {state_sha[:16]} {verdict}")
-            lines.append(f"{backend}/s{shards}: stream={stream_sha} "
-                         f"state={state_sha} {verdict}")
-            if not ok:
-                failures.append(f"{backend}/s{shards}")
-                lines.append(_first_divergence(ref_stream, stream))
+            combos.append({"label": f"{backend.strip()}/s{shard_text}",
+                           "backend": backend.strip(),
+                           "shards": int(shard_text)})
+    if args.supervise:
+        shards = max(int(text) for text in args.shards.split(","))
+        policy = _policy_from_args(args)
+        combos.append({"label": f"mp+supervise/s{shards}", "backend": "mp",
+                       "shards": shards, "supervise": True,
+                       "policy": policy})
+        faults = (load_host_faults(args.host_faults, shards)
+                  if args.host_faults else kill_every_epoch(shards))
+        combos.append({"label": f"mp+supervise+faults/s{shards}",
+                       "backend": "mp", "shards": shards,
+                       "supervise": True, "policy": policy,
+                       "host_faults": faults})
+
+    for combo in combos:
+        label = combo["label"]
+        try:  # repro: noqa[RPR006] -- not a retry: each combination runs exactly once; a failing combo is recorded in the divergence report and fails the exit code
+            stream_sha, state_sha, stream, recovery = _run_combo(
+                plan, combo["backend"], combo["shards"], args.until,
+                supervise=combo.get("supervise", False),
+                policy=combo.get("policy"),
+                host_faults=combo.get("host_faults"))
+        except ShardError as exc:
+            failures.append(f"{label}: {exc}")
+            lines.append(f"{label}: ERROR {exc}")
+            continue
+        ok = (stream_sha == ref_stream_sha
+              and state_sha == ref_state_sha)
+        verdict = "OK" if ok else "DIVERGED"
+        print(f"{label:>24}: stream {stream_sha[:16]} "
+              f"state {state_sha[:16]} {verdict}")
+        lines.append(f"{label}: stream={stream_sha} "
+                     f"state={state_sha} {verdict}")
+        if combo.get("supervise"):
+            print(f"{'':>24}  {_recovery_line(recovery)}")
+            lines.append(f"{label}: {_recovery_line(recovery)}")
+        if not ok:
+            failures.append(label)
+            lines.append(_first_divergence(ref_stream, stream))
     if args.report and failures:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write("\n".join(lines) + "\n")

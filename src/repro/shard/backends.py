@@ -137,6 +137,94 @@ class SingleBackend(_InProcessBackend):
 # -- multiprocessing backend --------------------------------------------------
 
 
+def _reap_process(process: Any, timeout: float) -> bool:
+    """Join ``process``, escalating terminate -> kill; True when dead."""
+    process.join(timeout=timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=timeout)
+    return not process.is_alive()
+
+
+def _build_worker_cores(plan_dict: Dict[str, Any], core_ids: List[int],
+                        sanitize: bool) -> tuple:
+    """(Re)build a shard's universe inside a worker process."""
+    if sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+        from repro.analysis.sanitizer import install_autosanitize
+
+        install_autosanitize()
+    plan = ShardPlan.from_dict(plan_dict)
+    router = ShardRouter()
+    router.install()
+    cores = {core_id: ShardCore(core_id, plan, router)
+             for core_id in sorted(core_ids)}
+    return cores, router
+
+
+def _execute_command(cores: Dict[int, ShardCore], router: ShardRouter,
+                     message: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one worker command against this process's cores.
+
+    Shared by the bare and supervised worker mains so the command
+    semantics -- and therefore the produced histories -- cannot drift
+    between the fail-stop and the fault-tolerant protocol.
+    """
+    command = message["cmd"]
+    if command == "epoch":
+        for core_id in sorted(cores):
+            cores[core_id].run_epoch(message["horizon"])
+        return {"payloads": router.drain()}
+    if command == "inclusive":
+        for core_id in sorted(cores):
+            cores[core_id].run_inclusive(message["until"])
+        return {"payloads": router.drain()}
+    if command == "barrier":
+        grouped: Dict[int, List[Dict[str, Any]]] = {}
+        for payload in message["payloads"]:
+            grouped.setdefault(payload["target"], []).append(payload)
+        for core_id in sorted(cores):
+            cores[core_id].apply_barrier(
+                message["time"], grouped.get(core_id, []))
+        return {"ok": True}
+    if command == "collect":
+        return {"cores": [
+            {"core": core_id,
+             "snapshot": cores[core_id].snapshot_state(),
+             "stream": cores[core_id].stream_entries()}
+            for core_id in sorted(cores)
+        ]}
+    if command == "stop":
+        return {"ok": True, "stop": True}
+    raise ShardError(f"unknown worker command {command!r}")
+
+
+def _describe_error(exc: BaseException, command: Optional[str]) -> dict:
+    """Worker-side failure description shipped back over the pipe, so
+    supervisor logs and ShardError messages name the real cause."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+        "cmd": command,
+    }
+
+
+def _format_worker_error(shard: int, error: Any) -> str:
+    """Render a worker error reply (structured dict or legacy text)."""
+    if isinstance(error, dict):
+        command = error.get("cmd")
+        where = f" running {command!r}" if command else ""
+        return (f"shard worker {shard} failed{where}: "
+                f"{error.get('type', 'Exception')}: "
+                f"{error.get('message', '')}\n"
+                f"{error.get('traceback', '')}")
+    return f"shard worker {shard} failed:\n{error}"
+
+
 def _worker_main(conn: Any, plan_dict: Dict[str, Any],
                  core_ids: List[int], sanitize: bool) -> None:
     """Worker entry point: rebuild this shard's cores from the plan
@@ -148,53 +236,21 @@ def _worker_main(conn: Any, plan_dict: Dict[str, Any],
     ``REPRO_SANITIZE=1`` -- their own race sanitizer, so barrier
     handoffs are sanitized inside every process.
     """
+    command: Optional[str] = None
     try:
-        if sanitize:
-            os.environ["REPRO_SANITIZE"] = "1"
-            from repro.analysis.sanitizer import install_autosanitize
-
-            install_autosanitize()
-        plan = ShardPlan.from_dict(plan_dict)
-        router = ShardRouter()
-        router.install()
-        cores = {core_id: ShardCore(core_id, plan, router)
-                 for core_id in sorted(core_ids)}
+        cores, router = _build_worker_cores(plan_dict, core_ids, sanitize)
         while True:
             message = conn.recv()
-            command = message["cmd"]
-            if command == "epoch":
-                for core_id in sorted(cores):
-                    cores[core_id].run_epoch(message["horizon"])
-                conn.send({"payloads": router.drain()})
-            elif command == "inclusive":
-                for core_id in sorted(cores):
-                    cores[core_id].run_inclusive(message["until"])
-                conn.send({"payloads": router.drain()})
-            elif command == "barrier":
-                grouped: Dict[int, List[Dict[str, Any]]] = {}
-                for payload in message["payloads"]:
-                    grouped.setdefault(payload["target"], []).append(payload)
-                for core_id in sorted(cores):
-                    cores[core_id].apply_barrier(
-                        message["time"], grouped.get(core_id, []))
-                conn.send({"ok": True})
-            elif command == "collect":
-                conn.send({"cores": [
-                    {"core": core_id,
-                     "snapshot": cores[core_id].snapshot_state(),
-                     "stream": cores[core_id].stream_entries()}
-                    for core_id in sorted(cores)
-                ]})
-            elif command == "stop":
-                conn.send({"ok": True})
+            command = message.get("cmd")
+            reply = _execute_command(cores, router, message)
+            conn.send(reply)
+            if reply.get("stop"):
                 break
-            else:
-                raise ShardError(f"unknown worker command {command!r}")
     except EOFError:  # parent went away: nothing left to serve
         pass
-    except BaseException:
+    except BaseException as exc:
         try:
-            conn.send({"error": traceback.format_exc()})
+            conn.send({"error": _describe_error(exc, command)})
         except (OSError, ValueError):
             pass
     finally:
@@ -248,8 +304,7 @@ class MpBackend:
                     f"shard worker {shard} died mid-command "
                     f"{message.get('cmd')!r}") from None
             if "error" in reply:
-                raise ShardError(
-                    f"shard worker {shard} failed:\n{reply['error']}")
+                raise ShardError(_format_worker_error(shard, reply["error"]))
             replies.append(reply)
         return replies
 
@@ -294,22 +349,40 @@ class MpBackend:
         """No kernels live in the parent process under ``mp``."""
         return []
 
+    #: Host seconds granted to each shutdown stage (stop ack, join,
+    #: terminate, kill); a class attribute so tests can shrink it.
+    close_timeout_s = 5.0
+
     def close(self) -> None:
+        """Stop every worker, escalating politely: ``stop`` command ->
+        ``terminate`` (SIGTERM) -> ``kill`` (SIGKILL).
+
+        Wedged workers used to hang this method at ``conn.recv()``;
+        the ack wait is now bounded by ``close_timeout_s`` and pipes
+        that died early (EOF/broken) are tolerated.  A worker that
+        survives SIGKILL is reported by shard id instead of hanging
+        the interpreter at exit.
+        """
+        timeout = self.close_timeout_s
         for conn in self._conns:
             try:
                 conn.send({"cmd": "stop"})
-                conn.recv()
+                if conn.poll(timeout):
+                    conn.recv()
             except (OSError, EOFError, BrokenPipeError):
                 pass
             finally:
                 conn.close()
-        for process in self._workers:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - hang safety net
-                process.terminate()
-                process.join(timeout=5.0)
+        unkillable: List[int] = []
+        for shard, process in enumerate(self._workers):
+            if not _reap_process(process, timeout):  # pragma: no cover
+                unkillable.append(shard)
         self._conns = []
         self._workers = []
+        if unkillable:  # pragma: no cover - kernel-level wedge
+            raise ShardError(
+                f"shard worker(s) {unkillable} survived SIGKILL during "
+                f"close; processes leaked")
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         if self._workers:

@@ -57,11 +57,29 @@ class ShardedEngine:
         ``"single"`` (the oracle), ``"inline"`` (default), or ``"mp"``.
     epoch_ms:
         Barrier grid; defaults to the plan's ``epoch_ms``.
+    supervise:
+        Run the ``mp`` backend under the fault-tolerant supervisor
+        (:class:`repro.shard.supervisor.SupervisedMpBackend`):
+        checksummed pipe frames, per-barrier heartbeats, and
+        respawn-and-replay recovery.  Requires ``backend="mp"``.
+    policy:
+        A :class:`repro.shard.supervisor.SupervisorPolicy` overriding
+        the default retry budget / deadlines (supervised runs only).
+    host_faults:
+        A :class:`repro.shard.hostfaults.HostFaultPlan` of host-level
+        faults to inject deliberately (supervised runs only).
+    telemetry:
+        A :class:`repro.telemetry.Telemetry` hub for recovery counters
+        and supervisor trace events (supervised runs only).
     """
 
     def __init__(self, plan: Any, shards: int = 1,
                  backend: str = "inline",
-                 epoch_ms: Optional[float] = None) -> None:
+                 epoch_ms: Optional[float] = None,
+                 supervise: bool = False,
+                 policy: Any = None,
+                 host_faults: Any = None,
+                 telemetry: Any = None) -> None:
         self.plan = (plan if isinstance(plan, ShardPlan)
                      else ShardPlan.from_dict(plan))
         self.epoch_ms = float(epoch_ms if epoch_ms is not None
@@ -71,7 +89,24 @@ class ShardedEngine:
         self.topology = ShardTopology(self.plan.cores, shards,
                                       self.plan.placement)
         self.backend_name = backend
-        self._backend = make_backend(backend, self.plan, self.topology)
+        self.supervised = bool(supervise)
+        if not supervise and (policy is not None or host_faults is not None):
+            raise ShardError(
+                "policy/host_faults require supervise=True: only the "
+                "supervised mp backend recovers from host faults")
+        if supervise:
+            if backend != "mp":
+                raise ShardError(
+                    f"supervise=True requires backend='mp' (got "
+                    f"{backend!r}): supervision recovers worker "
+                    f"*processes*, which only the mp backend has")
+            from repro.shard.supervisor import SupervisedMpBackend
+
+            self._backend = SupervisedMpBackend(
+                self.plan, self.topology, policy=policy,
+                host_faults=host_faults, telemetry=telemetry)
+        else:
+            self._backend = make_backend(backend, self.plan, self.topology)
         self._time = 0.0
         self._barriers = 0
         self._pending: List[Dict[str, Any]] = []
@@ -162,6 +197,15 @@ class ShardedEngine:
         """Kernels living in this process (empty under ``mp``); the
         checkpoint registry duck-types on this for recorder fan-out."""
         return self._backend.local_kernels()
+
+    def recovery_summary(self) -> dict:
+        """Supervisor recovery counters and events (observability; not
+        part of the canonical state).  Empty for unsupervised runs."""
+        summary = getattr(self._backend, "recovery_summary", None)
+        if summary is None:
+            return {"degraded": False, "restarts": [], "retries": [],
+                    "faults_armed": 0, "events": []}
+        return summary()
 
     # -- telemetry --------------------------------------------------------------
 

@@ -1,0 +1,642 @@
+"""Fault-tolerant execution of the mp backend: worker supervision.
+
+The bare :class:`~repro.shard.backends.MpBackend` is fail-stop: a
+dead, hung, or corrupting worker raises
+:class:`~repro.errors.ShardError` and the whole run is lost.
+:class:`SupervisedMpBackend` wraps the same one-worker-per-shard
+layout in a supervisor that *recovers*:
+
+* every pipe message travels as a sha256-checksummed frame
+  (:mod:`repro.shard.frames`), so damaged payloads are detected, not
+  applied;
+* every exchange doubles as a per-barrier heartbeat bounded by a
+  host-time deadline, so a wedged worker is detected, not waited on
+  forever;
+* on worker crash (SIGKILL/exit), hang (deadline exceeded), or corrupt
+  frame, the shard's worker is respawned from the
+  :class:`~repro.shard.plan.ShardPlan` and **replayed from the
+  committed command log** -- every epoch horizon and barrier payload
+  the supervisor has already acknowledged.  Because a core's history
+  is a pure function of ``(plan, core_id, barrier payloads received)``
+  (the sharding determinism argument, ``docs/SHARDING.md``), replay
+  reconstructs the state at the last committed epoch barrier
+  bit-exactly: barriers are implicit recovery points, for free;
+* recovery attempts are bounded by a :class:`SupervisorPolicy` budget
+  with exponential host-time backoff.  On exhaustion the run
+  **degrades**: all workers are stopped, the full universe is rebuilt
+  in-process from the same log, and the run completes on the inline
+  path -- legal because engine snapshots deliberately exclude backend
+  and shard identity, so the final checkpoint is still bit-identical.
+
+Deterministic worker *exceptions* (a reply carrying a traceback) are
+not host faults: retrying deterministic code re-raises the same
+error, so they surface immediately as :class:`ShardError` naming the
+real cause.
+
+Host faults can be injected deliberately through a
+:class:`~repro.shard.hostfaults.HostFaultPlan` -- armed fault
+descriptors ride on the epoch command frames and the worker damages
+*itself* (SIGKILLs mid-epoch, wedges, corrupts or drops its reply
+frame) -- which is how the equivalence tests prove that a run with
+workers killed at every barrier still produces a replay stream and
+final checkpoint sha256-identical to an undisturbed single-loop run.
+
+This module supervises real operating-system processes, so it is the
+one place in the shard layer where *host* time legitimately appears:
+deadlines and backoff never touch virtual time and therefore never
+perturb the simulated history.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FrameCorruptError, ShardError
+from repro.shard.backends import (
+    _build_worker_cores,
+    _describe_error,
+    _execute_command,
+    _format_worker_error,
+    _reap_process,
+)
+from repro.shard.core import ShardCore
+from repro.shard.frames import (
+    corrupt_frame,
+    decode_frame,
+    encode_frame,
+    send_frame,
+)
+from repro.shard.hostfaults import HostFaultPlan, HostFaultSchedule
+from repro.shard.plan import ShardPlan
+from repro.shard.router import ShardRouter
+from repro.shard.topology import ShardTopology
+
+__all__ = ["SupervisedMpBackend", "SupervisorPolicy"]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Recovery budget and heartbeat deadlines (host time, never
+    virtual time -- mirrors :class:`repro.faults.retry.RetryPolicy` in
+    shape, but supervises real processes instead of simulated ones).
+
+    ``max_retries`` bounds recoveries *per command exchange*; once a
+    single epoch/barrier needs more, the run degrades to the inline
+    backend (``degrade=True``) or raises.  ``deadline_s`` is the
+    per-exchange heartbeat deadline; a worker that does not reply in
+    time is declared hung.  Failed attempt ``k`` backs off
+    ``min(backoff_base_s * backoff_factor**(k-1), backoff_max_s)``
+    host seconds before the respawn.
+    """
+
+    max_retries: int = 3
+    deadline_s: float = 30.0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ShardError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.deadline_s <= 0:
+            raise ShardError(f"deadline_s must be positive: {self.deadline_s}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ShardError("backoff delays must be >= 0")
+        if self.backoff_factor < 1:
+            raise ShardError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Host-seconds delay before the ``attempt``-th respawn."""
+        if attempt < 1:
+            raise ShardError(f"attempt is 1-based: {attempt}")
+        return min(self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+                   self.backoff_max_s)
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def _self_destruct() -> None:  # pragma: no cover - runs in worker process
+    """Die the hard way: SIGKILL leaves no chance to flush or reply."""
+    sigkill = getattr(signal, "SIGKILL", None)
+    if sigkill is not None:
+        os.kill(os.getpid(), sigkill)
+    os._exit(137)
+
+
+def _wedge_forever() -> None:  # pragma: no cover - runs in worker process
+    """Injected hang: stop serving until the supervisor kills us."""
+    while True:
+        time.sleep(3600)  # repro: noqa[RPR006] -- injected 'wedge' host fault: this worker must block on wall time forever so the supervisor's heartbeat deadline expires
+
+
+def _apply_reply_faults(faults: List[Dict[str, Any]],
+                        frame: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Damage this reply as the armed host faults demand.
+
+    Returns the (possibly corrupted) frame to send, or None when the
+    reply must never arrive (``drop``).  ``kill``/``wedge`` do not
+    return.
+    """
+    for fault in faults:
+        kind = fault.get("kind")
+        if kind == "kill":
+            _self_destruct()
+        elif kind == "wedge":
+            _wedge_forever()
+        elif kind == "drop":
+            frame = None
+        elif kind == "corrupt" and frame is not None:
+            frame = corrupt_frame(frame)
+        elif kind == "slow":
+            time.sleep(float(fault.get("delay_s", 0.0)))  # repro: noqa[RPR006] -- injected 'slow' host fault: delays a real worker process on wall time; virtual time is untouched
+    return frame
+
+
+def _supervised_worker_main(conn: Any, plan_dict: Dict[str, Any],
+                            core_ids: List[int], sanitize: bool) -> None:
+    """Framed worker loop: like ``_worker_main`` but every message is a
+    checksummed frame, and armed host-fault descriptors riding on a
+    command make the worker damage itself at the scripted point."""
+    command: Optional[str] = None
+    try:
+        cores, router = _build_worker_cores(plan_dict, core_ids, sanitize)
+        while True:
+            message = decode_frame(conn.recv_bytes())
+            command = message.get("cmd")
+            faults = message.get("faults") or []
+            for fault in faults:
+                if fault.get("kind") == "kill" and \
+                        fault.get("point") == "pre":
+                    _self_destruct()
+            reply = _execute_command(cores, router, message)
+            frame = _apply_reply_faults(
+                [fault for fault in faults
+                 if not (fault.get("kind") == "kill"
+                         and fault.get("point") == "pre")],
+                encode_frame(reply))
+            if frame is not None:
+                conn.send_bytes(frame)
+            if reply.get("stop"):
+                break
+    except EOFError:  # supervisor went away (or respawned us): done
+        pass
+    except BaseException as exc:
+        # Includes FrameCorruptError on a damaged *incoming* frame: the
+        # command cannot be trusted, so report and stop serving -- the
+        # supervisor treats the dying worker as a host fault.
+        try:
+            send_frame(conn, {"error": _describe_error(exc, command)})
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+# -- supervisor side ----------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One shard's live worker process + pipe."""
+
+    __slots__ = ("shard", "process", "conn")
+
+    def __init__(self, shard: int, process: Any, conn: Any) -> None:
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+
+
+class SupervisedMpBackend:
+    """The mp backend under supervision: heartbeats, checksummed
+    frames, respawn-and-replay recovery, and inline degradation.
+
+    Drop-in replacement for :class:`~repro.shard.backends.MpBackend`
+    behind :class:`~repro.shard.engine.ShardedEngine` -- same
+    ``run_epoch`` / ``collect`` / ``barrier`` / ``snapshots`` surface,
+    same bit-exact merged history (host faults included).
+    """
+
+    name = "mp-supervised"
+
+    #: Host seconds granted to each shutdown stage; see MpBackend.
+    close_timeout_s = 5.0
+
+    def __init__(self, plan: ShardPlan, topology: ShardTopology,
+                 policy: Optional[SupervisorPolicy] = None,
+                 host_faults: Optional[HostFaultPlan] = None,
+                 telemetry: Any = None) -> None:
+        self.plan = plan
+        self.topology = topology
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        if host_faults is not None:
+            host_faults.validate_for(topology.shards)
+        self.schedule = HostFaultSchedule(host_faults)
+        self.telemetry = telemetry
+
+        self._context = multiprocessing.get_context()
+        self._sanitize = bool(os.environ.get("REPRO_SANITIZE"))
+        self._plan_dict = plan.to_dict()
+        self._collected: List[Dict[str, Any]] = []
+        #: Committed (fully acknowledged) commands, in issue order --
+        #: the recovery log.  Barrier entries keep the *full* payload
+        #: list so both per-shard replay and inline degradation can
+        #: regroup it.
+        self._log: List[Dict[str, Any]] = []
+        #: Index of the epoch slice currently executing (incremented by
+        #: every epoch/inclusive command; host faults are scheduled in
+        #: these coordinates).
+        self._epoch_index = -1
+        #: Virtual time of the current command (observability only).
+        self._time = 0.0
+
+        # -- recovery bookkeeping (observability; not canonical state) --
+        self.events: List[Dict[str, Any]] = []
+        self.restarts = [0] * topology.shards
+        self.retries = [0] * topology.shards
+        self.degraded = False
+        self.degrade_reason: Optional[str] = None
+
+        self._mode = "mp"
+        self._cores: Optional[List[ShardCore]] = None
+        self._router: Optional[ShardRouter] = None
+        self._handles: List[_WorkerHandle] = [
+            self._spawn_worker(shard) for shard in range(topology.shards)]
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _spawn_worker(self, shard: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_supervised_worker_main,
+            args=(child_conn, self._plan_dict, self.topology.cores_of(shard),
+                  self._sanitize),
+            daemon=True,
+            name=f"repro-shard-sup-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(shard, process, parent_conn)
+
+    def _kill_worker(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        _reap_process(handle.process, self.close_timeout_s)
+
+    def _respawn_worker(self, shard: int, attempt: int) -> None:
+        self._kill_worker(self._handles[shard])
+        backoff = self.policy.backoff_for(attempt)
+        if backoff > 0:
+            time.sleep(backoff)  # repro: noqa[RPR006] -- supervision backoff is host-level by design: it paces real process respawns and never touches virtual time, so the simulated history is unperturbed
+        self._handles[shard] = self._spawn_worker(shard)
+        self.restarts[shard] += 1
+        self._event("worker.restart", shard=shard, attempt=attempt)
+
+    # -- observability --------------------------------------------------------
+
+    def _event(self, kind: str, shard: Optional[int] = None,
+               **attrs: Any) -> None:
+        entry: Dict[str, Any] = {
+            "kind": kind, "time": self._time, "epoch": self._epoch_index,
+            "shard": shard,
+        }
+        entry.update(attrs)
+        self.events.append(entry)
+        if self.telemetry is not None:
+            labels = None if shard is None else {"shard": str(shard)}
+            self.telemetry.registry.counter(
+                f"shard.{kind}", labels,
+                help="supervised shard backend recovery event").inc()
+            self.telemetry.tracer.event(
+                track="supervisor", name=f"shard.{kind}", category="shard",
+                time=self._time,
+                attrs={key: value for key, value in entry.items()
+                       if key not in ("kind", "time")})
+
+    def recovery_summary(self) -> Dict[str, Any]:
+        """Recovery counters and the full event log (observability)."""
+        return {
+            "degraded": self.degraded,
+            "degrade_reason": self.degrade_reason,
+            "restarts": list(self.restarts),
+            "retries": list(self.retries),
+            "faults_armed": self.schedule.armed,
+            "events": [dict(event) for event in self.events],
+        }
+
+    # -- framed exchanges with recovery ---------------------------------------
+
+    def _send(self, shard: int, message: Dict[str, Any]) -> bool:
+        try:
+            self._handles[shard].conn.send_bytes(encode_frame(message))
+            return True
+        except (OSError, BrokenPipeError, ValueError):
+            return False
+
+    def _await(self, shard: int) -> Tuple[str, Any]:
+        """Wait for one framed reply under the heartbeat deadline.
+
+        Returns ``("ok", reply)`` or a failure classification:
+        ``hang`` (deadline expired), ``crash`` (pipe died), or
+        ``corrupt`` (frame failed its checksum).  A structured worker
+        error is deterministic, not a host fault, and raises."""
+        conn = self._handles[shard].conn
+        deadline = self.policy.deadline_s
+        try:
+            if not conn.poll(deadline):
+                return "hang", f"no heartbeat within {deadline:g}s"
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            return "crash", "pipe closed"
+        try:
+            reply = decode_frame(raw)
+        except FrameCorruptError as exc:
+            return "corrupt", str(exc)
+        if "error" in reply:
+            raise ShardError(_format_worker_error(shard, reply["error"]))
+        return "ok", reply
+
+    def _budget_exhausted(self, shard: int, failures: int, status: str,
+                          detail: Any) -> bool:
+        """True when the caller should stop retrying because the run
+        degraded; raises instead when degradation is disabled."""
+        if failures <= self.policy.max_retries:
+            return False
+        reason = (f"shard {shard} exhausted its retry budget "
+                  f"({self.policy.max_retries}) at epoch "
+                  f"{self._epoch_index}; last failure {status}: {detail}")
+        if self.policy.degrade:
+            self._degrade(reason)
+            return True
+        raise ShardError(reason)
+
+    def _replay_into_worker(self, shard: int) -> Tuple[bool, str]:
+        """Re-execute the committed log in a fresh worker.
+
+        Replies (including re-emitted barrier payloads) are discarded:
+        they were already committed.  Faults are never armed during
+        replay -- double faults are encoded as a second plan entry
+        firing on the *retried* command instead."""
+        for command in self._log:
+            message = self._message_for_shard(shard, command)
+            if not self._send(shard, message):
+                return False, "crash: pipe closed during replay"
+            status, detail = self._await(shard)
+            if status != "ok":
+                return False, f"{status} during replay: {detail}"
+        return True, ""
+
+    def _message_for_shard(self, shard: int,
+                           command: Dict[str, Any]) -> Dict[str, Any]:
+        if command["cmd"] == "barrier":
+            mine = [payload for payload in command["payloads"]
+                    if self.topology.shard_of(payload["target"]) == shard]
+            return {"cmd": "barrier", "time": command["time"],
+                    "payloads": mine, "faults": []}
+        return {**command, "faults": []}
+
+    def _finish_exchange(self, shard: int, base_message: Dict[str, Any],
+                         arm: bool, in_flight: bool,
+                         ) -> Optional[Dict[str, Any]]:
+        """Drive one shard's exchange to a committed reply, recovering
+        as needed; None means the run degraded (reply is moot)."""
+        failures = 0
+        need_recovery = False
+        while True:
+            if need_recovery:
+                self._respawn_worker(shard, failures)
+                ok, detail = self._replay_into_worker(shard)
+                if not ok:
+                    failures += 1
+                    self.retries[shard] += 1
+                    self._event("fault.detected", shard=shard,
+                                failure="replay", detail=detail,
+                                attempt=failures)
+                    if self._budget_exhausted(shard, failures, "replay",
+                                              detail):
+                        return None
+                    continue
+                need_recovery = False
+                self._event("epoch.retry", shard=shard,
+                            cmd=base_message.get("cmd"), attempt=failures)
+            if in_flight:
+                in_flight = False
+                status, value = self._await(shard)
+            else:
+                faults = (self.schedule.arm(shard, self._epoch_index)
+                          if arm else [])
+                if faults:
+                    self._event("fault.armed", shard=shard,
+                                fault=faults[0]["kind"])
+                message = {**base_message, "faults": faults}
+                if self._send(shard, message):
+                    status, value = self._await(shard)
+                else:
+                    status, value = "crash", "pipe closed on send"
+            if status == "ok":
+                return value
+            failures += 1
+            self.retries[shard] += 1
+            self._event("fault.detected", shard=shard, failure=status,
+                        detail=str(value), attempt=failures,
+                        cmd=base_message.get("cmd"))
+            if self._budget_exhausted(shard, failures, status, value):
+                return None
+            need_recovery = True
+
+    def _broadcast(self, message: Optional[Dict[str, Any]],
+                   per_shard: Optional[List[Dict[str, Any]]] = None,
+                   arm: bool = False) -> Optional[List[Dict[str, Any]]]:
+        """Supervised fan-out: optimistic concurrent first attempt,
+        then per-shard recovery.  None means the run degraded and the
+        caller must re-run the current command on the inline path."""
+        messages: List[Dict[str, Any]] = []
+        in_flight: List[bool] = []
+        for shard in range(self.topology.shards):
+            base = dict(message if per_shard is None else per_shard[shard])
+            faults = self.schedule.arm(shard, self._epoch_index) if arm else []
+            if faults:
+                self._event("fault.armed", shard=shard,
+                            fault=faults[0]["kind"])
+            base["faults"] = faults
+            messages.append(base)
+            # Send to every worker before gathering any reply, so the
+            # shards genuinely run concurrently.
+            in_flight.append(self._send(shard, base))
+        replies: List[Dict[str, Any]] = []
+        for shard, base in enumerate(messages):
+            reply = self._finish_exchange(
+                shard, {key: value for key, value in base.items()
+                        if key != "faults"},
+                arm=arm, in_flight=in_flight[shard])
+            if reply is None:
+                return None
+            replies.append(reply)
+        return replies
+
+    # -- degradation ----------------------------------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        """Migrate the entire run to the inline backend mid-run.
+
+        Stops every worker, rebuilds all cores in-process, and replays
+        the committed command log against them.  Legal because engine
+        snapshots exclude backend/shard identity; bit-exact because
+        the log *is* the universe's input history."""
+        self._event("backend.degrade", detail=reason)
+        self.degraded = True
+        self.degrade_reason = reason
+        for handle in self._handles:
+            self._kill_worker(handle)
+        self._handles = []
+        self._router = ShardRouter()
+        self._router.install()
+        self._cores = [ShardCore(core_id, self.plan, self._router)
+                       for core_id in range(self.plan.cores)]
+        self._mode = "inline"
+        for command in self._log:
+            self._apply_inline(command)
+
+    def _apply_inline(self, command: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Execute one logged command on the in-process cores."""
+        assert self._router is not None and self._cores is not None
+        self._router.install()
+        cmd = command["cmd"]
+        if cmd == "epoch":
+            for core in self._cores:
+                core.run_epoch(command["horizon"])
+            return self._router.drain()
+        if cmd == "inclusive":
+            for core in self._cores:
+                core.run_inclusive(command["until"])
+            return self._router.drain()
+        if cmd == "barrier":
+            grouped: Dict[int, List[Dict[str, Any]]] = {}
+            for payload in command["payloads"]:
+                grouped.setdefault(payload["target"], []).append(payload)
+            for core in self._cores:
+                core.apply_barrier(command["time"],
+                                   grouped.get(core.core_id, []))
+            return []
+        raise ShardError(f"unknown inline command {cmd!r}")
+
+    # -- backend interface ----------------------------------------------------
+
+    def _run_slice(self, command: Dict[str, Any]) -> None:
+        """Common path for epoch/inclusive commands."""
+        self._epoch_index += 1
+        if self._mode == "inline":
+            self._collected.extend(self._apply_inline(command))
+            return
+        replies = self._broadcast(command, arm=True)
+        if replies is None:  # degraded mid-command; partial replies moot
+            self._collected.extend(self._apply_inline(command))
+            return
+        for reply in replies:
+            self._collected.extend(reply["payloads"])
+        self._log.append(dict(command))
+
+    def run_epoch(self, horizon: float) -> None:
+        self._time = horizon
+        self._run_slice({"cmd": "epoch", "horizon": horizon})
+
+    def run_inclusive(self, until: float) -> None:
+        self._time = until
+        self._run_slice({"cmd": "inclusive", "until": until})
+
+    def collect(self) -> List[Dict[str, Any]]:
+        out, self._collected = self._collected, []
+        return out
+
+    def barrier(self, time_: float, payloads: List[Dict[str, Any]]) -> None:
+        self._time = time_
+        command = {"cmd": "barrier", "time": time_,
+                   "payloads": [dict(payload) for payload in payloads]}
+        if self._mode == "inline":
+            self._apply_inline(command)
+            return
+        per_shard: List[Dict[str, Any]] = [
+            {"cmd": "barrier", "time": time_, "payloads": []}
+            for _ in range(self.topology.shards)]
+        for payload in payloads:
+            shard = self.topology.shard_of(payload["target"])
+            per_shard[shard]["payloads"].append(payload)
+        replies = self._broadcast(None, per_shard=per_shard)
+        if replies is None:
+            self._apply_inline(command)
+            return
+        self._log.append(command)
+
+    # -- observation ----------------------------------------------------------
+
+    def _collect_cores(self) -> List[Dict[str, Any]]:
+        if self._mode == "inline":
+            assert self._cores is not None
+            return [{"core": core.core_id,
+                     "snapshot": core.snapshot_state(),
+                     "stream": core.stream_entries()}
+                    for core in self._cores]
+        replies = self._broadcast({"cmd": "collect"})
+        if replies is None:  # degraded during collection
+            return self._collect_cores()
+        cores = [entry for reply in replies for entry in reply["cores"]]
+        cores.sort(key=lambda entry: entry["core"])
+        return cores
+
+    def snapshots(self) -> List[dict]:
+        return [entry["snapshot"] for entry in self._collect_cores()]
+
+    def streams(self) -> List[List[Dict[str, Any]]]:
+        return [entry["stream"] for entry in self._collect_cores()]
+
+    def local_kernels(self) -> List[Any]:
+        """Empty like the bare mp backend, and kept empty after a
+        degrade so recorder fan-out does not depend on backend fate."""
+        return []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._mode == "inline":
+            if self._router is not None:
+                self._router.uninstall()
+            self._cores = None
+            self._router = None
+            return
+        timeout = self.close_timeout_s
+        unkillable: List[int] = []
+        for shard, handle in enumerate(self._handles):
+            try:
+                send_frame(handle.conn, {"cmd": "stop", "faults": []})
+                if handle.conn.poll(timeout):
+                    handle.conn.recv_bytes()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            finally:
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover - already torn down
+                    pass
+            if not _reap_process(handle.process, timeout):  # pragma: no cover
+                unkillable.append(shard)
+        self._handles = []
+        if unkillable:  # pragma: no cover - kernel-level wedge
+            raise ShardError(
+                f"supervised shard worker(s) {unkillable} survived SIGKILL "
+                f"during close; processes leaked")
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        if getattr(self, "_handles", None):
+            try:
+                self.close()
+            except Exception:
+                pass

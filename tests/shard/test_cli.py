@@ -61,3 +61,39 @@ def test_first_divergence_formats_index_and_length():
     assert "index 1" in _first_divergence(a, [{"t": 1}, {"t": 9}])
     assert "length" in _first_divergence(a, [{"t": 1}])
     assert "identical" in _first_divergence(a, list(a))
+
+
+def test_run_supervised_with_host_faults_matches_bare_run(capsys):
+    """The supervised+faulted CLI run prints the same checksums as the
+    unsupervised run of the same plan, plus a recovery line."""
+    main(["run", "--plan", "mix", "--cores", "2", "--until", "1000",
+          "--backend", "mp", "--shards", "2"])
+    bare = capsys.readouterr().out
+    code = main(["run", "--plan", "mix", "--cores", "2", "--until", "1000",
+                 "--backend", "mp", "--shards", "2", "--supervise",
+                 "--host-faults", "kill-every-epoch", "--deadline", "10"])
+    supervised = capsys.readouterr().out
+    assert code == 0
+    bare_sums = [line for line in bare.splitlines()
+                 if line.startswith(("stream", "state"))]
+    sup_sums = [line for line in supervised.splitlines()
+                if line.startswith(("stream", "state"))]
+    assert bare_sums == sup_sums
+    assert "recovery:" in supervised and "restarts=" in supervised
+
+
+def test_host_faults_flag_requires_supervise(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--backend", "mp", "--host-faults", "chaos"])
+    assert "requires --supervise" in capsys.readouterr().err
+
+
+def test_verify_supervised_adds_fault_combinations(capsys):
+    code = main(["verify", "--plan", "mix", "--cores", "2",
+                 "--until", "1000", "--backends", "inline",
+                 "--shards", "1,2", "--supervise", "--deadline", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "mp+supervise/s2" in out
+    assert "mp+supervise+faults/s2" in out
+    assert "PASS: all combinations bit-identical" in out
