@@ -3,10 +3,11 @@
 Four layers keep the simulation honest:
 
 * :mod:`repro.analysis.lint` -- an AST-based determinism lint with
-  repo-specific rules (``RPR001``..``RPR011``) flagging nondeterminism
+  repo-specific rules (``RPR001``..``RPR013``) flagging nondeterminism
   hazards: stdlib RNGs, wall-clock reads, unordered iteration in
   scheduling paths, float hazards on ticket amounts, mutable default
-  arguments, and undeclared module-level state.
+  arguments, undeclared module-level state, and cross-owner telemetry
+  mutation outside the ``shard.barrier`` seam.
 * :mod:`repro.analysis.shardmap` -- a whole-program shard-safety
   analysis that classifies every mutable location in the deterministic
   zones as ``shard-local`` or ``barrier-shared`` against the committed

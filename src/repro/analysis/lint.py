@@ -56,6 +56,17 @@ RPR012    host-concurrency imports (``multiprocessing``,
           nondeterministic by construction; the one sanctioned home
           for worker processes is :mod:`repro.shard`, whose epoch
           barriers re-serialize every cross-core effect
+RPR013    cross-owner telemetry mutation: a mutator method (``inc``,
+          ``set``, ``record``, ``begin``, ``event``, ...) called
+          through another object's ``.telemetry`` hub (receiver chain
+          contains ``.telemetry`` but is not rooted at ``self``/
+          ``cls``) outside a ``with race_seam("shard.barrier")``
+          block -- every core's :class:`~repro.telemetry.registry.
+          MetricRegistry`/:class:`~repro.telemetry.spans.SpanTracer`
+          is that core's private history; writing into a foreign hub
+          bypasses the barrier-mediated aggregation protocol and makes
+          the "merged metrics are a pure function of per-core
+          histories" claim false
 ========  ==============================================================
 
 A finding on a line can be suppressed with an inline comment::
@@ -225,6 +236,18 @@ RULES: Dict[str, Rule] = {
             "canonical order",
             ("sim", "kernel", "schedulers", "core", "distributed"),
         ),
+        Rule(
+            "RPR013",
+            "cross-owner-telemetry-mutation",
+            "telemetry mutator called through another object's "
+            ".telemetry hub outside the shard.barrier seam",
+            "per-core MetricRegistry/SpanTracer hubs are owner-private; "
+            "record through the owner's own methods (obs_emit / "
+            "obs_frame), or, for legal barrier-time effects, wrap the "
+            "write in `with race_seam(\"shard.barrier\")` -- the "
+            "declared seam the aggregation protocol already audits",
+            ("shard", "telemetry"),
+        ),
     )
 }
 
@@ -270,6 +293,17 @@ _AMOUNT_STEMS = ("amount", "ticket", "funding", "bonus")
 
 #: Method names whose call constitutes a ticket valuation (RPR010).
 _VALUATION_METHODS = frozenset({"funding", "base_value", "nominal_funding"})
+
+#: Method names that mutate a telemetry hub (RPR013): registry
+#: instrument writes and tracer lifecycle calls.
+_TELEMETRY_MUTATORS = frozenset({
+    "inc", "add", "set", "record", "begin", "end", "event", "complete",
+    "finalize",
+})
+
+#: The one seam where cross-owner telemetry effects are legal (the
+#: barrier applies payloads into the target core's universe).
+_TELEMETRY_SEAM = "shard.barrier"
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?")
 
@@ -478,6 +512,9 @@ class _Visitor(ast.NodeVisitor):
         self._loop_depth = 0
         #: Nesting depth of ``select`` method definitions (RPR010).
         self._select_depth = 0
+        #: Nesting depth of ``with race_seam("shard.barrier")`` blocks
+        #: (RPR013's declared exemption).
+        self._seam_depth = 0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -597,7 +634,72 @@ class _Visitor(ast.NodeVisitor):
             if tail in _ORDER_INSENSITIVE_REDUCERS and node.args and \
                     isinstance(node.args[0], _COMPREHENSIONS):
                 self._exempt_comprehensions.add(id(node.args[0]))
+        self._check_cross_owner_telemetry(node)
         self.generic_visit(node)
+
+    # -- RPR013: cross-owner telemetry mutation ----------------------------
+
+    @staticmethod
+    def _is_barrier_seam(item: ast.withitem) -> bool:
+        call = item.context_expr
+        if not isinstance(call, ast.Call) or not call.args:
+            return False
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        first = call.args[0]
+        return (name == "race_seam" and isinstance(first, ast.Constant)
+                and first.value == _TELEMETRY_SEAM)
+
+    def visit_With(self, node: ast.With) -> None:
+        seam = any(self._is_barrier_seam(item) for item in node.items)
+        if seam:
+            self._seam_depth += 1
+        self.generic_visit(node)
+        if seam:
+            self._seam_depth -= 1
+
+    def _check_cross_owner_telemetry(self, node: ast.Call) -> None:
+        """Flag ``X.telemetry....mutator(...)`` where ``X`` is not the
+        owner (``self``/``cls``) and no barrier seam is declared.
+
+        The walk is syntactic: the receiver chain is unwound through
+        attributes, calls, and subscripts to its base name.  Aliasing
+        the foreign hub into a local first evades the rule -- the same
+        honesty boundary as every other rule here.
+        """
+        if not self._applies("RPR013") or self._seam_depth > 0:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or \
+                func.attr not in _TELEMETRY_MUTATORS:
+            return
+        parts: List[str] = []
+        cursor: ast.AST = func.value
+        base: Optional[str] = None
+        while True:
+            if isinstance(cursor, ast.Call):
+                cursor = cursor.func
+            elif isinstance(cursor, ast.Attribute):
+                parts.append(cursor.attr)
+                cursor = cursor.value
+            elif isinstance(cursor, ast.Subscript):
+                cursor = cursor.value
+            elif isinstance(cursor, ast.Name):
+                base = cursor.id
+                break
+            else:
+                break
+        if base in (None, "self", "cls"):
+            return
+        if "telemetry" not in parts:
+            return
+        self._report(
+            "RPR013", node,
+            f"telemetry mutator .{func.attr}() reaches through "
+            f"{base}.telemetry -- a foreign core's private hub; route "
+            f"through the owner or the shard.barrier seam",
+        )
 
     def _print_allowed(self) -> bool:
         """Printing is the presentation layers' job; library code may

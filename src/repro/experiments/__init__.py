@@ -18,6 +18,7 @@ quantum_sweep             Section 2.2 -- quantum size vs sub-second fairness
 multiresource             Section 6.3 -- manager threads over CPU+disk budgets
 cluster_fairness          Section 4.2 hint -- distributed lottery scheduling
 chaos_fairness            Extension -- fairness reconvergence under faults
+shard_observability       Extension -- one observability truth per backend
 diverse_resources         Section 6 -- disk and virtual-circuit lotteries
 responsiveness            Sections 1/3.4 -- interactive latency under load
 service_classes           Section 5.4 note -- job-stream service classes
@@ -45,6 +46,7 @@ from repro.experiments import (  # noqa: F401 (re-exported driver modules)
     quantum_sweep,
     responsiveness,
     service_classes,
+    shard_observability,
 )
 from repro.experiments.common import ExperimentResult, Machine, build_machine
 
@@ -71,4 +73,5 @@ __all__ = [
     "quantum_sweep",
     "responsiveness",
     "service_classes",
+    "shard_observability",
 ]

@@ -43,6 +43,7 @@ from repro.experiments import (
     quantum_sweep,
     responsiveness,
     service_classes,
+    shard_observability,
 )
 
 __all__ = ["reproduce", "checkpoint_sweep", "telemetry_trace", "main"]
@@ -210,6 +211,16 @@ def _service(quick: bool):
                 f"{lottery['bronze_slowdown']:.1f} (gold/silver/bronze)")
 
 
+def _shard_obs(quick: bool):
+    result = shard_observability.run(until=2000.0)
+    agree = (result.summary["canonical reports agree"] == "yes"
+             and result.summary["stitched traces agree"] == "yes"
+             and result.summary["slo verdict"] == "PASS everywhere")
+    shas = {row["canonical"] for row in result.rows}
+    return agree, (f"canonical report {shas.pop() if len(shas) == 1 else shas}"
+                   f" across {len(result.rows)} backends")
+
+
 CHECKS: List[Check] = [
     ("Figure 1  list-lottery walkthrough", _fig1),
     ("Figure 4  rate accuracy", _fig4),
@@ -229,6 +240,7 @@ CHECKS: List[Check] = [
     ("Ext  distributed lottery", _cluster),
     ("Ext  responsiveness", _responsiveness),
     ("Ext  service classes", _service),
+    ("Ext  shard observability", _shard_obs),
 ]
 
 

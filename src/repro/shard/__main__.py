@@ -3,7 +3,14 @@
 * ``run`` -- execute a built-in plan on one backend and print the
   stream/state checksums; ``--supervise`` runs the mp backend under
   the fault-tolerant supervisor, optionally injecting a deliberate
-  ``--host-faults`` plan (preset name or JSON file);
+  ``--host-faults`` plan (preset name or JSON file).  ``--obs`` turns
+  on the cross-shard observability plane; ``--trace-out`` writes the
+  stitched Chrome trace, ``--report-out``/``--report-md`` the
+  observability report (JSON / markdown), ``--prom-out`` the
+  aggregated metrics in Prometheus text format, and ``--flight-dir``
+  arms the crash flight recorder.  All observability outputs are
+  byte-deterministic: same plan/seed on any backend produces
+  sha256-identical canonical artifacts;
 * ``verify`` -- the CI equivalence gate: run the single-loop oracle,
   then every requested ``(backend, shards)`` combination, and compare
   replay-stream and state-tree sha256s bit-for-bit.  With
@@ -25,6 +32,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -51,14 +59,54 @@ def _run_combo(plan: ShardPlan, backend: str, shards: int, until: float,
                supervise: bool = False,
                policy: Optional[SupervisorPolicy] = None,
                host_faults: Optional[HostFaultPlan] = None,
-               ) -> Tuple[str, str, List[Dict[str, Any]], dict]:
+               obs: bool = False, flight_dir: Optional[str] = None,
+               ) -> Tuple[str, str, List[Dict[str, Any]], dict,
+                          Optional[Dict[str, Any]]]:
     with ShardedEngine(plan, shards=shards, backend=backend,
                        supervise=supervise, policy=policy,
-                       host_faults=host_faults) as engine:
+                       host_faults=host_faults, obs=obs,
+                       flight_dir=flight_dir) as engine:
         engine.advance(until)
         stream = engine.merged_stream()
+        obs_out: Optional[Dict[str, Any]] = None
+        if obs:
+            obs_out = {
+                "trace": engine.stitched_trace(),
+                "report": engine.obs_report(),
+                "view": engine.metrics_view(),
+            }
         return (tree_checksum(stream), tree_checksum(engine.snapshot_state()),
-                stream, engine.recovery_summary())
+                stream, engine.recovery_summary(), obs_out)
+
+
+def _write_obs_outputs(args: argparse.Namespace,
+                       obs_out: Dict[str, Any]) -> None:
+    from repro.telemetry.exporters import export_prometheus, write_checksummed
+    from repro.telemetry.obsreport import render_markdown
+
+    trace = obs_out["trace"]
+    report = obs_out["report"]
+    slo = report["canonical"]["slo"]
+    print(f"obs     slices={report['canonical']['slices']} "
+          f"slo={'PASS' if slo['ok'] else 'FAIL'} "
+          f"breaches={len(slo['breaches'])}")
+    print(f"trace   {json.loads(trace)['metadata']['sha256']}")
+    print(f"reportc {report['canonical_sha256']}")
+    if args.trace_out:
+        write_checksummed(args.trace_out, trace)
+        print(f"stitched trace written to {args.trace_out}")
+    if args.report_out:
+        write_checksummed(args.report_out,
+                          json.dumps(report, sort_keys=True,
+                                     separators=(",", ":")) + "\n")
+        print(f"obs report written to {args.report_out}")
+    if args.report_md:
+        write_checksummed(args.report_md, render_markdown(report))
+        print(f"obs report (markdown) written to {args.report_md}")
+    if args.prom_out:
+        write_checksummed(args.prom_out,
+                          export_prometheus(obs_out["view"]))
+        print(f"prometheus metrics written to {args.prom_out}")
 
 
 def _first_divergence(reference: List[Dict[str, Any]],
@@ -117,6 +165,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "file path (requires --supervise)")
     parser.add_argument("--report", metavar="PATH",
                         help="divergence report path for 'verify'")
+    parser.add_argument("--obs", action="store_true",
+                        help="run with the cross-shard observability "
+                             "plane: barrier-mediated metric frames, "
+                             "stitched trace, SLO watchdogs")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the stitched Chrome trace here "
+                             "(implies --obs)")
+    parser.add_argument("--report-out", metavar="PATH",
+                        help="write the observability report JSON here "
+                             "(implies --obs)")
+    parser.add_argument("--report-md", metavar="PATH",
+                        help="write the observability report as "
+                             "markdown here (implies --obs)")
+    parser.add_argument("--prom-out", metavar="PATH",
+                        help="write the aggregated metrics in "
+                             "Prometheus text format here (implies "
+                             "--obs)")
+    parser.add_argument("--flight-dir", metavar="DIR",
+                        help="flight-recorder bundle directory: on a "
+                             "shard fault / sanitizer trap the engine "
+                             "dumps a checksummed debug bundle here "
+                             "(implies --obs)")
     args = parser.parse_args(argv)
 
     plan = PLANS[args.plan](args)
@@ -124,16 +194,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.host_faults and not args.supervise:
         parser.error("--host-faults requires --supervise: only the "
                      "supervised backend recovers from host faults")
+    obs = bool(args.obs or args.trace_out or args.report_out
+               or args.report_md or args.prom_out or args.flight_dir)
+    if obs and args.command != "run":
+        parser.error("--obs and its output flags apply to 'run' only")
 
     if args.command == "run":
         shards = int(args.shards.split(",")[0])
         policy = _policy_from_args(args) if args.supervise else None
         host_faults = (load_host_faults(args.host_faults, shards)
                        if args.host_faults else None)
-        stream_sha, state_sha, stream, recovery = _run_combo(
+        stream_sha, state_sha, stream, recovery, obs_out = _run_combo(
             plan, args.backend, shards, args.until,
             supervise=args.supervise, policy=policy,
-            host_faults=host_faults)
+            host_faults=host_faults, obs=obs,
+            flight_dir=args.flight_dir)
         mode = " supervised" if args.supervise else ""
         print(f"plan={args.plan} cores={args.cores} backend={args.backend}"
               f"{mode} shards={shards} until={args.until:g}")
@@ -142,10 +217,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"state   {state_sha}")
         if args.supervise:
             print(_recovery_line(recovery))
+        if obs:
+            _write_obs_outputs(args, obs_out)
         return 0
 
     # verify: single-loop oracle first, then every combination.
-    ref_stream_sha, ref_state_sha, ref_stream, _ = _run_combo(
+    ref_stream_sha, ref_state_sha, ref_stream, _, _ = _run_combo(
         plan, "single", 1, args.until)
     print(f"single-loop oracle: stream {ref_stream_sha[:16]} "
           f"state {ref_state_sha[:16]} ({len(ref_stream)} entries)")
@@ -179,7 +256,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for combo in combos:
         label = combo["label"]
         try:  # repro: noqa[RPR006] -- not a retry: each combination runs exactly once; a failing combo is recorded in the divergence report and fails the exit code
-            stream_sha, state_sha, stream, recovery = _run_combo(
+            stream_sha, state_sha, stream, recovery, _ = _run_combo(
                 plan, combo["backend"], combo["shards"], args.until,
                 supervise=combo.get("supervise", False),
                 policy=combo.get("policy"),

@@ -24,6 +24,7 @@ canonical ``(target, src, seq)`` order, so any schedule of the
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import traceback
@@ -44,16 +45,34 @@ _EPS = 1e-9
 class _InProcessBackend:
     """Common machinery for the ``single`` and ``inline`` backends."""
 
-    def __init__(self, plan: ShardPlan, topology: ShardTopology) -> None:
+    def __init__(self, plan: ShardPlan, topology: ShardTopology,
+                 obs: bool = False) -> None:
         self.plan = plan
         self.topology = topology
+        self.obs = bool(obs)
         self.router = ShardRouter()
         self.router.install()
-        self.cores = [ShardCore(core_id, plan, self.router)
+        self.cores = [ShardCore(core_id, plan, self.router, obs=self.obs)
                       for core_id in range(plan.cores)]
 
     def collect(self) -> List[Dict[str, Any]]:
         return self.router.drain()
+
+    def collect_obs(self, time: float) -> List[Dict[str, Any]]:
+        """Per-core obs frames for the slice ending at ``time``
+        (JSON-round-tripped like barrier payloads, so in-process and
+        mp runs aggregate byte-identical data)."""
+        if not self.obs:
+            return []
+        return json.loads(json.dumps(
+            [core.obs_frame(time) for core in self.cores]))
+
+    def obs_dumps(self) -> List[Dict[str, Any]]:
+        """Per-core span dumps for trace stitching."""
+        if not self.obs:
+            return []
+        return json.loads(json.dumps(
+            [core.obs_dump() for core in self.cores]))
 
     def barrier(self, time: float, payloads: List[Dict[str, Any]]) -> None:
         self.router.install()
@@ -150,7 +169,7 @@ def _reap_process(process: Any, timeout: float) -> bool:
 
 
 def _build_worker_cores(plan_dict: Dict[str, Any], core_ids: List[int],
-                        sanitize: bool) -> tuple:
+                        sanitize: bool, obs: bool = False) -> tuple:
     """(Re)build a shard's universe inside a worker process."""
     if sanitize:
         os.environ["REPRO_SANITIZE"] = "1"
@@ -160,28 +179,40 @@ def _build_worker_cores(plan_dict: Dict[str, Any], core_ids: List[int],
     plan = ShardPlan.from_dict(plan_dict)
     router = ShardRouter()
     router.install()
-    cores = {core_id: ShardCore(core_id, plan, router)
+    cores = {core_id: ShardCore(core_id, plan, router, obs=obs)
              for core_id in sorted(core_ids)}
     return cores, router
 
 
 def _execute_command(cores: Dict[int, ShardCore], router: ShardRouter,
-                     message: Dict[str, Any]) -> Dict[str, Any]:
+                     message: Dict[str, Any],
+                     obs: bool = False) -> Dict[str, Any]:
     """Run one worker command against this process's cores.
 
     Shared by the bare and supervised worker mains so the command
     semantics -- and therefore the produced histories -- cannot drift
-    between the fail-stop and the fault-tolerant protocol.
+    between the fail-stop and the fault-tolerant protocol.  With
+    ``obs``, epoch/inclusive replies piggyback per-core observability
+    frames and ``collect`` replies carry full span dumps -- pure
+    per-core reads, so the canonical reply content is unchanged.
     """
     command = message["cmd"]
     if command == "epoch":
         for core_id in sorted(cores):
             cores[core_id].run_epoch(message["horizon"])
-        return {"payloads": router.drain()}
+        reply: Dict[str, Any] = {"payloads": router.drain()}
+        if obs:
+            reply["obs"] = [cores[core_id].obs_frame(message["horizon"])
+                            for core_id in sorted(cores)]
+        return reply
     if command == "inclusive":
         for core_id in sorted(cores):
             cores[core_id].run_inclusive(message["until"])
-        return {"payloads": router.drain()}
+        reply = {"payloads": router.drain()}
+        if obs:
+            reply["obs"] = [cores[core_id].obs_frame(message["until"])
+                            for core_id in sorted(cores)]
+        return reply
     if command == "barrier":
         grouped: Dict[int, List[Dict[str, Any]]] = {}
         for payload in message["payloads"]:
@@ -191,12 +222,15 @@ def _execute_command(cores: Dict[int, ShardCore], router: ShardRouter,
                 message["time"], grouped.get(core_id, []))
         return {"ok": True}
     if command == "collect":
-        return {"cores": [
-            {"core": core_id,
-             "snapshot": cores[core_id].snapshot_state(),
-             "stream": cores[core_id].stream_entries()}
-            for core_id in sorted(cores)
-        ]}
+        entries = []
+        for core_id in sorted(cores):
+            entry = {"core": core_id,
+                     "snapshot": cores[core_id].snapshot_state(),
+                     "stream": cores[core_id].stream_entries()}
+            if obs:
+                entry["obs"] = cores[core_id].obs_dump()
+            entries.append(entry)
+        return {"cores": entries}
     if command == "stop":
         return {"ok": True, "stop": True}
     raise ShardError(f"unknown worker command {command!r}")
@@ -226,7 +260,8 @@ def _format_worker_error(shard: int, error: Any) -> str:
 
 
 def _worker_main(conn: Any, plan_dict: Dict[str, Any],
-                 core_ids: List[int], sanitize: bool) -> None:
+                 core_ids: List[int], sanitize: bool,
+                 obs: bool = False) -> None:
     """Worker entry point: rebuild this shard's cores from the plan
     and serve epoch/barrier commands until told to stop.
 
@@ -238,11 +273,12 @@ def _worker_main(conn: Any, plan_dict: Dict[str, Any],
     """
     command: Optional[str] = None
     try:
-        cores, router = _build_worker_cores(plan_dict, core_ids, sanitize)
+        cores, router = _build_worker_cores(plan_dict, core_ids, sanitize,
+                                            obs=obs)
         while True:
             message = conn.recv()
             command = message.get("cmd")
-            reply = _execute_command(cores, router, message)
+            reply = _execute_command(cores, router, message, obs=obs)
             conn.send(reply)
             if reply.get("stop"):
                 break
@@ -262,10 +298,13 @@ class MpBackend:
 
     name = "mp"
 
-    def __init__(self, plan: ShardPlan, topology: ShardTopology) -> None:
+    def __init__(self, plan: ShardPlan, topology: ShardTopology,
+                 obs: bool = False) -> None:
         self.plan = plan
         self.topology = topology
+        self.obs = bool(obs)
         self._collected: List[Dict[str, Any]] = []
+        self._obs_frames: List[Dict[str, Any]] = []
         self._workers: List[Any] = []
         self._conns: List[Any] = []
         context = multiprocessing.get_context()
@@ -276,7 +315,7 @@ class MpBackend:
             process = context.Process(
                 target=_worker_main,
                 args=(child_conn, plan_dict, topology.cores_of(shard),
-                      sanitize),
+                      sanitize, self.obs),
                 daemon=True,
                 name=f"repro-shard-{shard}",
             )
@@ -310,17 +349,32 @@ class MpBackend:
 
     def run_epoch(self, horizon: float) -> None:
         replies = self._broadcast({"cmd": "epoch", "horizon": horizon})
+        self._obs_frames = []
         for reply in replies:
             self._collected.extend(reply["payloads"])
+            self._obs_frames.extend(reply.get("obs", []))
 
     def run_inclusive(self, until: float) -> None:
         replies = self._broadcast({"cmd": "inclusive", "until": until})
+        self._obs_frames = []
         for reply in replies:
             self._collected.extend(reply["payloads"])
+            self._obs_frames.extend(reply.get("obs", []))
 
     def collect(self) -> List[Dict[str, Any]]:
         out, self._collected = self._collected, []
         return out
+
+    def collect_obs(self, time: float) -> List[Dict[str, Any]]:
+        """Frames piggybacked on the last slice's replies (already
+        pickled over the pipe, i.e. plain data by construction)."""
+        out, self._obs_frames = self._obs_frames, []
+        return sorted(out, key=lambda frame: frame["core"])
+
+    def obs_dumps(self) -> List[Dict[str, Any]]:
+        if not self.obs:
+            return []
+        return [entry["obs"] for entry in self._collect_cores()]
 
     def barrier(self, time: float, payloads: List[Dict[str, Any]]) -> None:
         per_shard: List[Dict[str, Any]] = [
@@ -399,11 +453,12 @@ BACKENDS = {
 }
 
 
-def make_backend(name: str, plan: ShardPlan, topology: ShardTopology) -> Any:
+def make_backend(name: str, plan: ShardPlan, topology: ShardTopology,
+                 obs: bool = False) -> Any:
     try:
         factory = BACKENDS[name]
     except KeyError:
         raise ShardError(
             f"unknown shard backend {name!r}; choose from "
             f"{sorted(BACKENDS)}") from None
-    return factory(plan, topology)
+    return factory(plan, topology, obs=obs)

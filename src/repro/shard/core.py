@@ -49,7 +49,7 @@ class ShardCore:
     """A core's full private universe plus its barrier plumbing."""
 
     def __init__(self, core_id: int, plan: ShardPlan,
-                 router: ShardRouter) -> None:
+                 router: ShardRouter, obs: bool = False) -> None:
         self.core_id = core_id
         self.plan = plan
         self.router = router
@@ -61,6 +61,19 @@ class ShardCore:
         self.recorder = ReplayRecorder()
         self.kernel = Kernel(self.loop, self.policy, ledger=self.ledger,
                              quantum=plan.quantum, recorder=self.recorder)
+        #: Per-core observability hub (None when obs is off).  The obs
+        #: flag rides the constructor -- never the plan -- because plan
+        #: checksums are part of the pinned canonical state, and
+        #: observation must not change identity.  Instrumented before
+        #: any thread exists, so probe counters are complete.
+        self.obs = bool(obs)
+        self.telemetry = None
+        if self.obs:
+            from repro.telemetry.probe import Telemetry
+
+            self.telemetry = Telemetry()
+            self.telemetry.instrument_kernel(self.kernel,
+                                             track=f"core{core_id}")
         router.register(self)
 
         #: Per-source emission counter (stamped into payload ``seq`` by
@@ -229,8 +242,93 @@ class ShardCore:
             else:
                 raise ShardError(f"unknown barrier payload kind {kind!r}")
             self.payloads_applied += 1
+            if self.telemetry is not None:
+                self.telemetry.tracer.event(
+                    f"core{self.core_id}", f"shard.rx.{kind}", "shard",
+                    self.loop.now,
+                    {"src": payload["src"], "seq": payload["seq"],
+                     "target": self.core_id})
 
     # -- observation -----------------------------------------------------------
+
+    def obs_emit(self, payload: Dict[str, Any]) -> None:
+        """Trace a just-stamped outgoing payload (the tx half of the
+        stitched flow edge; called by the router after ``src``/``seq``
+        are assigned).  Observation-only by construction."""
+        if self.telemetry is not None:
+            self.telemetry.tracer.event(
+                f"core{self.core_id}", f"shard.tx.{payload['kind']}",
+                "shard", self.loop.now,
+                {"src": payload["src"], "seq": payload["seq"],
+                 "target": payload["target"]})
+
+    def obs_frame(self, time: float) -> Dict[str, Any]:
+        """Cumulative observability frame at a barrier instant.
+
+        Plain JSON data only (it rides the worker pipes next to barrier
+        payloads).  Cumulative -- a pure function of this core's
+        history -- so supervisor replay and inline degradation
+        reproduce it bit-exactly and re-observation is idempotent.
+        """
+        from repro.telemetry.aggregate import (
+            FRAME_FORMAT,
+            FRAME_VERSION,
+            RING_ENTRIES,
+            RING_SPANS,
+        )
+
+        threads = []
+        for thread in self.kernel.threads:
+            threads.append({
+                "name": thread.name,
+                "tid": thread.tid,
+                "alive": bool(thread.alive),
+                "state": thread.state.value,
+                "runnable": thread.state.value == "runnable",
+                "tickets": float(thread.nominal_funding()),
+                "cpu_ms": float(thread.cpu_time),
+                "dispatches": int(thread.dispatches),
+            })
+        metrics = (self.telemetry.registry.as_dict()
+                   if self.telemetry is not None else {})
+        spans = (self.telemetry.tracer.spans
+                 if self.telemetry is not None else [])
+        return {
+            "format": FRAME_FORMAT,
+            "version": FRAME_VERSION,
+            "core": self.core_id,
+            "time": float(time),
+            "metrics": metrics,
+            "threads": threads,
+            "shard": {
+                "payloads_applied": self.payloads_applied,
+                "migrations_out": self.migrations_out,
+                "evacuations": self.evacuations,
+                "casualties": self.casualties,
+                "ops_skipped": self.ops_skipped,
+                "crashed": self.crashed,
+            },
+            "ring": {
+                "entries": [dict(entry) for entry in
+                            self.recorder.entries[-RING_ENTRIES:]],
+                "spans": [span.to_dict()
+                          for span in spans[-RING_SPANS:]],
+            },
+        }
+
+    def obs_dump(self) -> Dict[str, Any]:
+        """Full span dump for trace stitching (a pure read: the tracer
+        is never finalized here, open spans ship with ``end=None``)."""
+        if self.telemetry is None:
+            return {"core": self.core_id, "spans": [], "open_spans": [],
+                    "frame": self.obs_frame(self.loop.now)}
+        tracer = self.telemetry.tracer
+        return {
+            "core": self.core_id,
+            "spans": [span.to_dict() for span in tracer.spans],
+            "open_spans": [span.to_dict() for span in tracer.open_spans()],
+            "frame": self.obs_frame(self.loop.now),
+        }
 
     def stream_entries(self) -> List[Dict[str, Any]]:
         """This core's replay entries, stamped with the core id (the

@@ -33,7 +33,11 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from repro.errors import ShardError
+from repro.errors import (
+    DeterminismRaceError,
+    InvariantViolation,
+    ShardError,
+)
 from repro.shard.backends import make_backend
 from repro.shard.plan import ShardPlan
 from repro.shard.topology import ShardTopology
@@ -41,6 +45,10 @@ from repro.shard.topology import ShardTopology
 __all__ = ["ShardedEngine"]
 
 _EPS = 1e-9
+
+#: Failures that trigger a flight-recorder dump: shard/frame faults,
+#: determinism-race sanitizer traps, and invariant violations.
+_FLIGHT_ERRORS = (ShardError, DeterminismRaceError, InvariantViolation)
 
 
 class ShardedEngine:
@@ -79,7 +87,9 @@ class ShardedEngine:
                  supervise: bool = False,
                  policy: Any = None,
                  host_faults: Any = None,
-                 telemetry: Any = None) -> None:
+                 telemetry: Any = None,
+                 obs: bool = False,
+                 flight_dir: Optional[str] = None) -> None:
         self.plan = (plan if isinstance(plan, ShardPlan)
                      else ShardPlan.from_dict(plan))
         self.epoch_ms = float(epoch_ms if epoch_ms is not None
@@ -90,6 +100,9 @@ class ShardedEngine:
                                       self.plan.placement)
         self.backend_name = backend
         self.supervised = bool(supervise)
+        #: A flight dir implies obs: the recorder rings ride obs frames.
+        self.obs_enabled = bool(obs or flight_dir)
+        self.flight_dir = flight_dir
         if not supervise and (policy is not None or host_faults is not None):
             raise ShardError(
                 "policy/host_faults require supervise=True: only the "
@@ -104,9 +117,17 @@ class ShardedEngine:
 
             self._backend = SupervisedMpBackend(
                 self.plan, self.topology, policy=policy,
-                host_faults=host_faults, telemetry=telemetry)
+                host_faults=host_faults, telemetry=telemetry,
+                obs=self.obs_enabled)
         else:
-            self._backend = make_backend(backend, self.plan, self.topology)
+            self._backend = make_backend(backend, self.plan, self.topology,
+                                         obs=self.obs_enabled)
+        if self.obs_enabled:
+            from repro.telemetry.aggregate import ObsAggregator
+
+            self._obs: Any = ObsAggregator()
+        else:
+            self._obs = None
         self._time = 0.0
         self._barriers = 0
         self._pending: List[Dict[str, Any]] = []
@@ -147,6 +168,13 @@ class ShardedEngine:
                 f"cannot advance backwards: now={self._time}, "
                 f"asked={until}")
         self._require_grid(until)
+        try:
+            return self._advance(until)
+        except _FLIGHT_ERRORS as exc:
+            self._flight_dump(exc)
+            raise
+
+    def _advance(self, until: float) -> "ShardedEngine":
         while self._time < until - _EPS:
             end = min(self._time + self.epoch_ms, until)
             self._backend.run_epoch(end)
@@ -157,12 +185,18 @@ class ShardedEngine:
             self._barriers += 1
             if self._tracer is not None:
                 self._trace_epoch(self._time, end, len(ordered))
+            if self._obs is not None:
+                self._obs.observe(end, self._backend.collect_obs(end),
+                                  payloads=len(ordered), kind="epoch")
             self._time = end
         # Stop point: fire barrier applications and events at exactly
         # ``until``; hold what they emit for the next epoch's barrier.
         self._backend.run_inclusive(until)
         self._pending = self._canonical(self._pending
                                         + self._backend.collect())
+        if self._obs is not None:
+            self._obs.observe(until, self._backend.collect_obs(until),
+                              payloads=len(self._pending), kind="stop")
         self._time = until
         return self
 
@@ -206,6 +240,103 @@ class ShardedEngine:
             return {"degraded": False, "restarts": [], "retries": [],
                     "faults_armed": 0, "events": []}
         return summary()
+
+    # -- observability plane ---------------------------------------------------
+
+    @property
+    def obs(self) -> Any:
+        """The :class:`~repro.telemetry.aggregate.ObsAggregator` (None
+        when the run was built without ``obs=True``)."""
+        return self._obs
+
+    def _require_obs(self) -> Any:
+        if self._obs is None:
+            raise ShardError(
+                "observability is off for this engine; construct it "
+                "with obs=True (or pass --obs on the CLI)")
+        return self._obs
+
+    def metrics_view(self) -> Any:
+        """Global (cross-core merged) registry view of the latest
+        barrier slice; exporter-compatible."""
+        return self._require_obs().merged_metrics()
+
+    def aggregated_metrics(self) -> Dict[str, Any]:
+        """``full name -> snapshot`` of the global registry view."""
+        return self.metrics_view().as_dict()
+
+    def slo_report(self, policy: Any = None) -> Dict[str, Any]:
+        """Deterministic SLO watchdog verdicts over all slices."""
+        from repro.telemetry.slo import evaluate_slo
+
+        return evaluate_slo(self._require_obs().slices, policy)
+
+    def stitched_trace(self, include_recovery: bool = True,
+                       slo_policy: Any = None) -> str:
+        """One canonical Chrome trace across all cores (JSON text)."""
+        from repro.telemetry.stitch import stitched_chrome
+
+        obs = self._require_obs()
+        slo = self.slo_report(slo_policy)
+        recovery = (self.recovery_summary()["events"]
+                    if include_recovery else [])
+        return stitched_chrome(
+            self._backend.obs_dumps(),
+            barriers=obs.barrier_instants(),
+            alerts=slo["breaches"],
+            recovery=recovery,
+            end_time=self._time)
+
+    def obs_report(self, slo_policy: Any = None) -> Dict[str, Any]:
+        """The run report document (canonical section + recovery annex;
+        see :mod:`repro.telemetry.obsreport`)."""
+        import json as _json
+
+        from repro.telemetry.obsreport import build_report
+
+        obs = self._require_obs()
+        trace = _json.loads(self.stitched_trace(slo_policy=slo_policy))
+        return build_report(
+            plan_checksum=self.plan.checksum(),
+            time=self._time,
+            metrics=self.aggregated_metrics(),
+            fairness=obs.fairness(),
+            slo=self.slo_report(slo_policy),
+            trace_sha256=trace["metadata"]["sha256"],
+            slices=len(obs),
+            barriers=self._barriers,
+            recovery=self.recovery_summary(),
+            context={"cores": self.plan.cores,
+                     "epoch_ms": self.epoch_ms})
+
+    def _flight_dump(self, exc: BaseException) -> None:
+        """Best-effort crash bundle; never masks the original error."""
+        if self._obs is None or self.flight_dir is None:
+            return
+        if getattr(exc, "flight_bundle", None) is not None:
+            return  # an inner advance() already dumped for this error
+        try:
+            from repro.telemetry.flight import build_bundle, write_bundle
+
+            metrics: Dict[str, Any] = {}
+            try:
+                metrics = self.aggregated_metrics()
+            except Exception:  # pragma: no cover - merge died with run
+                pass
+            bundle = build_bundle(
+                exc,
+                plan_checksum=self.plan.checksum(),
+                time=self._time,
+                rings=self._obs.rings(),
+                metrics=metrics,
+                recovery=self.recovery_summary(),
+                context={"backend": self.backend_name,
+                         "supervised": self.supervised,
+                         "shards": self.topology.shards,
+                         "barriers": self._barriers})
+            exc.flight_bundle = write_bundle(self.flight_dir, bundle)
+        except Exception:  # pragma: no cover - recorder must not mask
+            pass
 
     # -- telemetry --------------------------------------------------------------
 

@@ -128,6 +128,9 @@ class ShardRouter:
                 f"JSON-serializable: {exc}") from exc
         self._outbox.append(payload)
         self.emitted += 1
+        # tx half of the stitched cross-core flow edge (no-op unless
+        # the core carries an observability hub).
+        core.obs_emit(payload)
         return payload
 
     def drain(self) -> List[Dict[str, Any]]:

@@ -49,6 +49,7 @@ perturb the simulated history.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import signal
@@ -161,13 +162,15 @@ def _apply_reply_faults(faults: List[Dict[str, Any]],
 
 
 def _supervised_worker_main(conn: Any, plan_dict: Dict[str, Any],
-                            core_ids: List[int], sanitize: bool) -> None:
+                            core_ids: List[int], sanitize: bool,
+                            obs: bool = False) -> None:
     """Framed worker loop: like ``_worker_main`` but every message is a
     checksummed frame, and armed host-fault descriptors riding on a
     command make the worker damage itself at the scripted point."""
     command: Optional[str] = None
     try:
-        cores, router = _build_worker_cores(plan_dict, core_ids, sanitize)
+        cores, router = _build_worker_cores(plan_dict, core_ids, sanitize,
+                                            obs=obs)
         while True:
             message = decode_frame(conn.recv_bytes())
             command = message.get("cmd")
@@ -176,7 +179,7 @@ def _supervised_worker_main(conn: Any, plan_dict: Dict[str, Any],
                 if fault.get("kind") == "kill" and \
                         fault.get("point") == "pre":
                     _self_destruct()
-            reply = _execute_command(cores, router, message)
+            reply = _execute_command(cores, router, message, obs=obs)
             frame = _apply_reply_faults(
                 [fault for fault in faults
                  if not (fault.get("kind") == "kill"
@@ -232,7 +235,7 @@ class SupervisedMpBackend:
     def __init__(self, plan: ShardPlan, topology: ShardTopology,
                  policy: Optional[SupervisorPolicy] = None,
                  host_faults: Optional[HostFaultPlan] = None,
-                 telemetry: Any = None) -> None:
+                 telemetry: Any = None, obs: bool = False) -> None:
         self.plan = plan
         self.topology = topology
         self.policy = policy if policy is not None else SupervisorPolicy()
@@ -240,11 +243,13 @@ class SupervisedMpBackend:
             host_faults.validate_for(topology.shards)
         self.schedule = HostFaultSchedule(host_faults)
         self.telemetry = telemetry
+        self.obs = bool(obs)
 
         self._context = multiprocessing.get_context()
         self._sanitize = bool(os.environ.get("REPRO_SANITIZE"))
         self._plan_dict = plan.to_dict()
         self._collected: List[Dict[str, Any]] = []
+        self._obs_frames: List[Dict[str, Any]] = []
         #: Committed (fully acknowledged) commands, in issue order --
         #: the recovery log.  Barrier entries keep the *full* payload
         #: list so both per-shard replay and inline degradation can
@@ -277,7 +282,7 @@ class SupervisedMpBackend:
         process = self._context.Process(
             target=_supervised_worker_main,
             args=(child_conn, self._plan_dict, self.topology.cores_of(shard),
-                  self._sanitize),
+                  self._sanitize, self.obs),
             daemon=True,
             name=f"repro-shard-sup-{shard}",
         )
@@ -500,7 +505,8 @@ class SupervisedMpBackend:
         self._handles = []
         self._router = ShardRouter()
         self._router.install()
-        self._cores = [ShardCore(core_id, self.plan, self._router)
+        self._cores = [ShardCore(core_id, self.plan, self._router,
+                                 obs=self.obs)
                        for core_id in range(self.plan.cores)]
         self._mode = "inline"
         for command in self._log:
@@ -531,18 +537,32 @@ class SupervisedMpBackend:
 
     # -- backend interface ----------------------------------------------------
 
+    def _inline_obs_frames(self, time: float) -> List[Dict[str, Any]]:
+        """Frames from the in-process cores after a degrade (JSON
+        round-tripped to match what the pipe path ships)."""
+        assert self._cores is not None
+        return json.loads(json.dumps(
+            [core.obs_frame(time) for core in self._cores]))
+
     def _run_slice(self, command: Dict[str, Any]) -> None:
         """Common path for epoch/inclusive commands."""
         self._epoch_index += 1
+        slice_time = command.get("horizon", command.get("until"))
         if self._mode == "inline":
             self._collected.extend(self._apply_inline(command))
+            if self.obs:
+                self._obs_frames = self._inline_obs_frames(slice_time)
             return
         replies = self._broadcast(command, arm=True)
         if replies is None:  # degraded mid-command; partial replies moot
             self._collected.extend(self._apply_inline(command))
+            if self.obs:
+                self._obs_frames = self._inline_obs_frames(slice_time)
             return
+        self._obs_frames = []
         for reply in replies:
             self._collected.extend(reply["payloads"])
+            self._obs_frames.extend(reply.get("obs", []))
         self._log.append(dict(command))
 
     def run_epoch(self, horizon: float) -> None:
@@ -556,6 +576,17 @@ class SupervisedMpBackend:
     def collect(self) -> List[Dict[str, Any]]:
         out, self._collected = self._collected, []
         return out
+
+    def collect_obs(self, time: float) -> List[Dict[str, Any]]:
+        """Frames from the last committed slice (cumulative, so a
+        recovered-and-replayed worker reproduced them bit-exactly)."""
+        out, self._obs_frames = self._obs_frames, []
+        return sorted(out, key=lambda frame: frame["core"])
+
+    def obs_dumps(self) -> List[Dict[str, Any]]:
+        if not self.obs:
+            return []
+        return [entry["obs"] for entry in self._collect_cores()]
 
     def barrier(self, time_: float, payloads: List[Dict[str, Any]]) -> None:
         self._time = time_
@@ -581,10 +612,15 @@ class SupervisedMpBackend:
     def _collect_cores(self) -> List[Dict[str, Any]]:
         if self._mode == "inline":
             assert self._cores is not None
-            return [{"core": core.core_id,
-                     "snapshot": core.snapshot_state(),
-                     "stream": core.stream_entries()}
-                    for core in self._cores]
+            entries = []
+            for core in self._cores:
+                entry = {"core": core.core_id,
+                         "snapshot": core.snapshot_state(),
+                         "stream": core.stream_entries()}
+                if self.obs:
+                    entry["obs"] = json.loads(json.dumps(core.obs_dump()))
+                entries.append(entry)
+            return entries
         replies = self._broadcast({"cmd": "collect"})
         if replies is None:  # degraded during collection
             return self._collect_cores()

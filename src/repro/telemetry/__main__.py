@@ -1,18 +1,28 @@
-"""One-shot trace-a-recipe CLI: ``python -m repro.telemetry``.
+"""Telemetry CLI: ``python -m repro.telemetry [report]``.
 
-Builds a checkpoint recipe, instruments it with a fresh
-:class:`~repro.telemetry.probe.Telemetry` hub, runs it to a virtual
-deadline, and exports the trace in any of the three formats.  Used by
-the CI telemetry-smoke job, which runs it twice with the same seed and
-asserts the Chrome exports are byte-identical.
+Two entry styles share this module:
+
+* The legacy flat invocation (no subcommand) builds a checkpoint
+  recipe, instruments it with a fresh
+  :class:`~repro.telemetry.probe.Telemetry` hub, runs it to a virtual
+  deadline, and exports the trace in any of the three formats.  Used
+  by the CI telemetry-smoke job, which runs it twice with the same
+  seed and asserts the Chrome exports are byte-identical.
+* ``report`` drives a sharded run with the observability plane on and
+  renders the aggregated run report (markdown to stdout; ``--json``/
+  ``--md``/``--trace``/``--prom`` write checksummed artifacts).  With
+  ``--bundle PATH`` it instead verifies and summarizes a crash
+  flight-recorder bundle.
 
 Exit status is non-zero when ``--validate`` finds schema problems in
-the Chrome export.
+the Chrome export, when a ``report`` run breaches its SLO policy, or
+when a flight bundle fails its checksum.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -27,7 +37,103 @@ from repro.telemetry.exporters import (
 from repro.telemetry.probe import Telemetry
 
 
+def _report_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry report",
+        description="Aggregate a sharded run's observability plane "
+                    "into a run report (or summarize a flight bundle).")
+    parser.add_argument("--bundle", metavar="PATH",
+                        help="verify + summarize a flight-recorder "
+                             "bundle instead of running a plan")
+    parser.add_argument("--plan", choices=("mix", "mix-ops", "spin"),
+                        default="mix")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--until", type=float, default=5000.0)
+    parser.add_argument("--backend", default="inline",
+                        help="single/inline/mp (default: %(default)s)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--supervise", action="store_true",
+                        help="supervised mp run (requires --backend mp)")
+    parser.add_argument("--host-faults", metavar="PLAN",
+                        help="host-fault preset/JSON file (requires "
+                             "--supervise)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the report document as JSON")
+    parser.add_argument("--md", metavar="PATH",
+                        help="write the markdown report")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write the stitched Chrome trace")
+    parser.add_argument("--prom", metavar="PATH",
+                        help="write aggregated metrics as Prometheus "
+                             "text")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the markdown dump on stdout")
+    args = parser.parse_args(argv)
+
+    if args.bundle:
+        from repro.telemetry.flight import load_bundle, summarize_bundle
+
+        try:
+            bundle = load_bundle(args.bundle)
+        except Exception as exc:
+            print(f"INVALID bundle: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(summarize_bundle(bundle), indent=2,
+                         sort_keys=True))
+        return 0
+
+    from repro.shard.engine import ShardedEngine
+    from repro.shard.hostfaults import load_host_faults
+    from repro.shard.plan import mix_plan, spin_plan
+    from repro.telemetry.obsreport import render_markdown
+
+    if args.host_faults and not args.supervise:
+        parser.error("--host-faults requires --supervise")
+    makers = {
+        "mix": lambda: mix_plan(seed=args.seed, cores=args.cores),
+        "mix-ops": lambda: mix_plan(seed=args.seed, cores=args.cores,
+                                    with_ops=True),
+        "spin": lambda: spin_plan(seed=args.seed, cores=args.cores),
+    }
+    plan = makers[args.plan]()
+    host_faults = (load_host_faults(args.host_faults, args.shards)
+                   if args.host_faults else None)
+    with ShardedEngine(plan, shards=args.shards, backend=args.backend,
+                       supervise=args.supervise, host_faults=host_faults,
+                       obs=True) as engine:
+        engine.advance(args.until)
+        report = engine.obs_report()
+        trace = engine.stitched_trace()
+        view = engine.metrics_view()
+    markdown = render_markdown(report)
+    if not args.quiet:
+        print(markdown, end="")
+    slo = report["canonical"]["slo"]
+    print(f"canonical sha256: {report['canonical_sha256']}",
+          file=sys.stderr)
+    if args.json:
+        digest = write_checksummed(
+            args.json, json.dumps(report, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        print(f"json {args.json} sha256={digest}", file=sys.stderr)
+    if args.md:
+        digest = write_checksummed(args.md, markdown)
+        print(f"md {args.md} sha256={digest}", file=sys.stderr)
+    if args.trace:
+        digest = write_checksummed(args.trace, trace)
+        print(f"trace {args.trace} sha256={digest}", file=sys.stderr)
+    if args.prom:
+        digest = write_checksummed(args.prom, export_prometheus(view))
+        print(f"prom {args.prom} sha256={digest}", file=sys.stderr)
+    return 0 if slo["ok"] else 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry",
         description="Trace a recipe run and export spans/metrics.",

@@ -1,0 +1,393 @@
+"""Barrier-mediated cross-shard metric aggregation.
+
+The sharded engine (``repro.shard``) gives every core a private
+:class:`~repro.telemetry.probe.Telemetry` hub, so per-core metrics are
+deterministic but *local*.  This module folds them into one global
+view at every epoch barrier:
+
+* Each :class:`~repro.shard.core.ShardCore` snapshots an **obs frame**
+  -- its cumulative :class:`~repro.telemetry.registry.MetricRegistry`
+  contents, per-thread accounting, shard counters, and a bounded ring
+  of recent replay entries/spans -- as plain JSON data.  Frames ride
+  the same pipes as barrier payloads under the ``mp`` backends and are
+  JSON-round-tripped in-process, so no object identity ever crosses a
+  core boundary.
+* Frames are **cumulative**, not deltas: a frame is a pure function of
+  the core's history, so supervisor respawn-and-replay recovery (and
+  full inline degradation) reproduces it bit-exactly and re-observing
+  a slice is idempotent.  Deltas, where needed (the SLO sliding
+  windows), are computed on the aggregated side by differencing
+  consecutive slices.
+* :class:`ObsAggregator` stores one slice per barrier in canonical
+  ``(time, core)`` order and merges the latest frames into a global
+  registry view: counters and gauges sum, histograms merge bin-wise
+  (same fixed widths on every core), and derived gauges -- global
+  fairness error and ticket-conservation totals -- are appended.
+
+Everything here is observation-only: aggregation reads frames that the
+cores already produced and never feeds anything back, so a run with
+``obs`` enabled has the same canonical history as one without.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.telemetry.registry import parse_full_name
+
+__all__ = [
+    "FRAME_FORMAT",
+    "FRAME_VERSION",
+    "GlobalMetricsView",
+    "MergedHistogram",
+    "MergedScalar",
+    "ObsAggregator",
+    "fairness_summary",
+    "merge_frames",
+    "percentile_from_bins",
+]
+
+FRAME_FORMAT = "repro-obs-frame"
+FRAME_VERSION = 1
+
+#: Default capacity of the per-core flight-recorder rings (recent
+#: replay entries and recent completed spans shipped in every frame).
+RING_ENTRIES = 32
+RING_SPANS = 16
+
+
+def percentile_from_bins(bins: List[List[float]], q: float) -> float:
+    """Nearest-rank percentile over merged histogram bins.
+
+    Raw observations do not cross core boundaries (frames carry bins
+    only), so the percentile is resolved to the upper edge of the bin
+    containing the ``q``-th ranked observation -- deterministic and
+    conservative (never under-reports a latency bound).
+    """
+    if not 0 <= q <= 100:
+        raise ReproError(f"percentile out of range: {q}")
+    total = sum(int(count) for _, _, count in bins)
+    if total == 0:
+        return 0.0
+    rank = max(1, int(-(-q * total // 100)))  # ceil(q/100 * total), >= 1
+    seen = 0
+    for _, end, count in bins:
+        seen += int(count)
+        if seen >= rank:
+            return float(end)
+    return float(bins[-1][1])
+
+
+class MergedScalar:
+    """A counter/gauge summed across cores (registry-instrument shaped)."""
+
+    __slots__ = ("full_name", "kind", "help", "value")
+
+    def __init__(self, full_name: str, kind: str, value: float,
+                 help: str = "") -> None:
+        self.full_name = full_name
+        self.kind = kind
+        self.value = value
+        self.help = help
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class _BinView:
+    """Duck-typed ``repro.metrics.Histogram`` over merged bins, so the
+    Prometheus exporter renders global histograms unchanged."""
+
+    __slots__ = ("_bins", "count", "_mean")
+
+    def __init__(self, bins: List[Tuple[float, float, int]], count: int,
+                 mean: float) -> None:
+        self._bins = bins
+        self.count = count
+        self._mean = mean
+
+    def bins(self) -> List[Tuple[float, float, int]]:
+        return list(self._bins)
+
+    def mean(self) -> float:
+        return self._mean
+
+
+class MergedHistogram:
+    """A histogram merged bin-wise across cores."""
+
+    kind = "histogram"
+
+    __slots__ = ("full_name", "help", "histogram")
+
+    def __init__(self, full_name: str, bins: List[Tuple[float, float, int]],
+                 count: int, mean: float, help: str = "") -> None:
+        self.full_name = full_name
+        self.help = help
+        self.histogram = _BinView(bins, count, mean)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    def mean(self) -> float:
+        return self.histogram.mean()
+
+    def percentile(self, q: float) -> float:
+        return percentile_from_bins(
+            [list(b) for b in self.histogram.bins()], q)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "mean": self.mean(),
+            "bins": [[start, end, count]
+                     for start, end, count in self.histogram.bins()],
+        }
+
+
+class GlobalMetricsView:
+    """Registry-shaped read-only view over merged instruments.
+
+    Exposes exactly the surface the exporters consume
+    (:meth:`instruments`, :meth:`as_dict`, :meth:`get`), so
+    :func:`repro.telemetry.exporters.export_prometheus` serves the
+    global registry without knowing it is an aggregate.
+    """
+
+    def __init__(self, instruments: Dict[str, Any]) -> None:
+        self._instruments = instruments
+
+    def instruments(self) -> List[Any]:
+        return [self._instruments[name]
+                for name in sorted(self._instruments)]
+
+    def get(self, full_name: str) -> Optional[Any]:
+        return self._instruments.get(full_name)
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        return {instrument.full_name: instrument.snapshot_state()
+                for instrument in self.instruments()}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GlobalMetricsView instruments={len(self._instruments)}>"
+
+
+def _merge_histogram(full_name: str,
+                     snapshots: List[Dict[str, Any]]) -> MergedHistogram:
+    bins: Dict[float, List[float]] = {}
+    count = 0
+    weighted = 0.0
+    for snapshot in snapshots:
+        count += int(snapshot["count"])
+        weighted += float(snapshot["mean"]) * int(snapshot["count"])
+        for start, end, n in snapshot["bins"]:
+            slot = bins.setdefault(float(start), [float(start),
+                                                  float(end), 0])
+            slot[2] += int(n)
+    ordered = [(s, e, int(n)) for s, e, n in
+               (bins[key] for key in sorted(bins))]
+    mean = weighted / count if count else 0.0
+    return MergedHistogram(full_name, ordered, count, mean)
+
+
+def merge_frames(frames: List[Dict[str, Any]]) -> GlobalMetricsView:
+    """Fold per-core frames (canonical core order) into a global view.
+
+    Counters and gauges sum; histograms merge bin-wise (identical fixed
+    widths per instrument on every core, enforced by the per-core
+    registries).  Kind conflicts across cores are wiring bugs and
+    raise.
+    """
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for frame in sorted(frames, key=lambda f: f["core"]):
+        for full_name, snapshot in frame.get("metrics", {}).items():
+            grouped.setdefault(full_name, []).append(snapshot)
+    merged: Dict[str, Any] = {}
+    for full_name, snapshots in grouped.items():
+        kinds = {snapshot["kind"] for snapshot in snapshots}
+        if len(kinds) != 1:
+            raise ReproError(
+                f"metric {full_name!r} has conflicting kinds across "
+                f"cores: {sorted(kinds)}")
+        kind = kinds.pop()
+        if kind == "histogram":
+            merged[full_name] = _merge_histogram(full_name, snapshots)
+        else:
+            value = 0.0
+            for snapshot in snapshots:
+                value += float(snapshot["value"])
+            merged[full_name] = MergedScalar(full_name, kind, value)
+    for gauge in _derived_gauges(frames):
+        merged[gauge.full_name] = gauge
+    return GlobalMetricsView(merged)
+
+
+def fairness_summary(frames: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Proportional-share fairness over the latest frames.
+
+    Entitlement and usage are normalized **within each core**: every
+    core runs its own lottery, so a thread's entitlement is its ticket
+    share of the alive tickets *on its core* and its usage is its
+    share of the CPU *its core* consumed.  (Cross-core ticket stakes
+    never race each other -- a global normalization would grade the
+    placement, not the scheduler.)  The paper's claim is that these
+    converge for competing threads, so the maximum and mean absolute
+    error (and the maximum relative error over funded threads) are the
+    headline gauges; ``tickets_total``/``cpu_ms_total`` stay global,
+    serving the ticket-conservation gauges.
+    """
+    threads: List[Dict[str, Any]] = []
+    for frame in sorted(frames, key=lambda f: f["core"]):
+        for entry in frame.get("threads", []):
+            threads.append({**entry, "core": frame["core"]})
+    alive = [t for t in threads if t["alive"]]
+    core_tickets: Dict[int, float] = {}
+    core_cpu: Dict[int, float] = {}
+    for t in alive:
+        core_tickets[t["core"]] = (core_tickets.get(t["core"], 0.0)
+                                   + t["tickets"])
+    for t in threads:
+        core_cpu[t["core"]] = core_cpu.get(t["core"], 0.0) + t["cpu_ms"]
+    per_thread: List[Dict[str, Any]] = []
+    max_abs = 0.0
+    sum_abs = 0.0
+    max_rel = 0.0
+    funded = 0
+    for t in alive:
+        tickets_on_core = core_tickets.get(t["core"], 0.0)
+        cpu_on_core = core_cpu.get(t["core"], 0.0)
+        entitlement = (t["tickets"] / tickets_on_core
+                       if tickets_on_core else 0.0)
+        usage = (t["cpu_ms"] / cpu_on_core) if cpu_on_core else 0.0
+        abs_error = abs(usage - entitlement)
+        rel_error = (abs_error / entitlement) if entitlement > 0 else 0.0
+        if entitlement > 0:
+            funded += 1
+            max_abs = max(max_abs, abs_error)
+            sum_abs += abs_error
+            max_rel = max(max_rel, rel_error)
+        per_thread.append({
+            "core": t["core"], "tid": t["tid"], "name": t["name"],
+            "tickets": t["tickets"], "cpu_ms": t["cpu_ms"],
+            "entitlement": entitlement, "usage": usage,
+            "abs_error": abs_error, "rel_error": rel_error,
+        })
+    per_thread.sort(key=lambda t: (t["core"], t["tid"]))
+    return {
+        "threads": per_thread,
+        "alive": len(alive),
+        "funded": funded,
+        "tickets_total": sum(t["tickets"] for t in alive),
+        "cpu_ms_total": sum(t["cpu_ms"] for t in threads),
+        "max_abs_error": max_abs,
+        "mean_abs_error": (sum_abs / funded) if funded else 0.0,
+        "max_rel_error": max_rel,
+    }
+
+
+def _derived_gauges(frames: List[Dict[str, Any]]) -> List[MergedScalar]:
+    """Global gauges computed at merge time (fairness + conservation)."""
+    fairness = fairness_summary(frames)
+    shard_totals = {"payloads_applied": 0, "migrations_out": 0,
+                    "evacuations": 0, "casualties": 0}
+    for frame in frames:
+        shard = frame.get("shard", {})
+        for key in shard_totals:
+            shard_totals[key] += int(shard.get(key, 0))
+    gauges = [
+        MergedScalar("repro_obs_fairness_abs_error_max", "gauge",
+                     fairness["max_abs_error"],
+                     help="Global max |cpu share - ticket share|."),
+        MergedScalar("repro_obs_fairness_abs_error_mean", "gauge",
+                     fairness["mean_abs_error"],
+                     help="Global mean |cpu share - ticket share|."),
+        MergedScalar("repro_obs_fairness_rel_error_max", "gauge",
+                     fairness["max_rel_error"],
+                     help="Global max relative fairness error."),
+        MergedScalar("repro_obs_tickets_alive", "gauge",
+                     fairness["tickets_total"],
+                     help="Ticket conservation: global alive nominal "
+                          "funding."),
+        MergedScalar("repro_obs_threads_alive", "gauge",
+                     float(fairness["alive"]),
+                     help="Alive threads across all cores."),
+        MergedScalar("repro_obs_cpu_ms", "gauge",
+                     fairness["cpu_ms_total"],
+                     help="Virtual CPU ms consumed across all cores."),
+    ]
+    for key, value in sorted(shard_totals.items()):
+        gauges.append(MergedScalar(
+            f"repro_obs_shard_{key}", "gauge", float(value),
+            help=f"Sum of per-core shard counter {key!r}."))
+    return gauges
+
+
+class ObsAggregator:
+    """Per-barrier observability slices and their global merge.
+
+    One slice is recorded per engine slice (epoch or stop point) in
+    canonical order; frames inside a slice are sorted by core -- the
+    ``(time, core)`` merge order of the sharding protocol.  Observing
+    the same slice time again (a stop-point re-run) replaces the slice,
+    keeping observation idempotent.
+    """
+
+    def __init__(self) -> None:
+        self._slices: List[Dict[str, Any]] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def observe(self, time: float, frames: List[Dict[str, Any]],
+                payloads: int = 0, kind: str = "epoch") -> None:
+        if not frames:
+            return
+        ordered = sorted(frames, key=lambda frame: frame["core"])
+        record = {"seq": len(self._slices), "time": float(time),
+                  "kind": kind, "payloads": int(payloads),
+                  "frames": ordered}
+        if self._slices and self._slices[-1]["time"] == record["time"]:
+            record["seq"] = self._slices[-1]["seq"]
+            self._slices[-1] = record
+        else:
+            self._slices.append(record)
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def slices(self) -> List[Dict[str, Any]]:
+        return list(self._slices)
+
+    def latest_frames(self) -> List[Dict[str, Any]]:
+        if not self._slices:
+            return []
+        return list(self._slices[-1]["frames"])
+
+    def merged_metrics(self) -> GlobalMetricsView:
+        return merge_frames(self.latest_frames())
+
+    def fairness(self) -> Dict[str, Any]:
+        return fairness_summary(self.latest_frames())
+
+    def barrier_instants(self) -> List[Dict[str, Any]]:
+        """(time, payloads) per epoch slice, for the stitched trace."""
+        return [{"time": record["time"], "payloads": record["payloads"]}
+                for record in self._slices if record["kind"] == "epoch"]
+
+    def rings(self) -> List[Dict[str, Any]]:
+        """Latest per-core flight-recorder rings (canonical core order)."""
+        return [{"core": frame["core"], "time": frame["time"],
+                 "ring": frame.get("ring", {})}
+                for frame in self.latest_frames()]
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ObsAggregator slices={len(self._slices)} "
+                f"cores={len(self.latest_frames())}>")

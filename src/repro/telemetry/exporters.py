@@ -29,10 +29,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.registry import MetricRegistry, parse_full_name
 from repro.telemetry.spans import Span, SpanTracer
 
 __all__ = [
@@ -223,7 +224,7 @@ def validate_chrome_trace(text: str) -> List[str]:
             problems.append(f"{where}: not an object")
             continue
         ph = event.get("ph")
-        if ph not in ("X", "i", "M", "B", "E"):
+        if ph not in ("X", "i", "M", "B", "E", "s", "t", "f"):
             problems.append(f"{where}: unknown phase {ph!r}")
             continue
         for key in ("pid", "tid"):
@@ -231,9 +232,12 @@ def validate_chrome_trace(text: str) -> List[str]:
                 problems.append(f"{where}: missing integer {key!r}")
         if not isinstance(event.get("name"), str):
             problems.append(f"{where}: missing name")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "s", "t", "f"):
             if not isinstance(event.get("ts"), (int, float)):
                 problems.append(f"{where}: missing numeric ts")
+        if ph in ("s", "t", "f"):
+            if not isinstance(event.get("id"), int):
+                problems.append(f"{where}: flow event missing integer id")
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)):
@@ -247,12 +251,52 @@ def validate_chrome_trace(text: str) -> List[str]:
 
 # -- Prometheus text ----------------------------------------------------------
 
-def _split_name(full_name: str) -> Tuple[str, str]:
-    """``name{labels}`` -> (name, "{labels}" or "")."""
-    brace = full_name.find("{")
-    if brace < 0:
-        return full_name, ""
-    return full_name[:brace], full_name[brace:]
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _sanitize_metric_name(name: str) -> str:
+    """Coerce into ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (the exposition-format
+    grammar): every illegal character becomes ``_``.  Internal metric
+    names like the supervisor's ``shard.restart`` need this -- a
+    Prometheus scraper rejects the whole page on one bad name."""
+    if _NAME_OK.match(name):
+        return name
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _sanitize_label_name(name: str) -> str:
+    """Label grammar is narrower than metric names (no colon)."""
+    if _LABEL_OK.match(name):
+        return name
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _render_labels(labels: Dict[str, str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(_sanitize_label_name(key), _escape_label_value(str(value)))
+             for key, value in labels.items()]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + rendered + "}"
 
 
 def _fmt(value: float) -> str:
@@ -262,32 +306,43 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-def export_prometheus(registry: MetricRegistry) -> str:
-    """Serialize the registry in the Prometheus text exposition format."""
+def export_prometheus(registry: Any) -> str:
+    """Serialize the registry in the Prometheus text exposition format.
+
+    Accepts a :class:`~repro.telemetry.registry.MetricRegistry` or the
+    aggregated :class:`~repro.telemetry.aggregate.GlobalMetricsView`
+    (anything with an ``instruments()`` iterator of instrument-shaped
+    objects).  Metric and label names are sanitized to the exposition
+    grammar; label values are escaped; ``# HELP``/``# TYPE`` family
+    lines are emitted once per sanitized family (histograms advertise
+    the family that owns the ``_bucket``/``_sum``/``_count`` series).
+    """
     lines: List[str] = []
     typed: set = set()
     for instrument in registry.instruments():
-        name, labels = _split_name(instrument.full_name)
+        raw_name, labels = parse_full_name(instrument.full_name)
+        name = _sanitize_metric_name(raw_name)
         if name not in typed:
             typed.add(name)
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
             lines.append(f"# TYPE {name} {instrument.kind}")
         if instrument.kind == "histogram":
             histogram = instrument.histogram
-            prefix = labels[:-1] + "," if labels else "{"
             cumulative = 0
             for _, bin_end, count in histogram.bins():
                 cumulative += count
-                lines.append(
-                    f'{name}_bucket{prefix}le="{bin_end:g}"}} {cumulative}'
-                )
-            lines.append(f'{name}_bucket{prefix}le="+Inf"}} {histogram.count}')
+                rendered = _render_labels(labels, ("le", f"{bin_end:g}"))
+                lines.append(f"{name}_bucket{rendered} {cumulative}")
+            rendered = _render_labels(labels, ("le", "+Inf"))
+            lines.append(f"{name}_bucket{rendered} {histogram.count}")
             total = histogram.mean() * histogram.count
-            lines.append(f"{name}_sum{labels} {_fmt(total)}")
-            lines.append(f"{name}_count{labels} {histogram.count}")
+            lines.append(f"{name}_sum{_render_labels(labels)} {_fmt(total)}")
+            lines.append(
+                f"{name}_count{_render_labels(labels)} {histogram.count}")
         else:
-            lines.append(f"{name}{labels} {_fmt(instrument.value)}")
+            lines.append(
+                f"{name}{_render_labels(labels)} {_fmt(instrument.value)}")
     body = "\n".join(lines)
     lines.append(f"# sha256 {sha256_text(body)}")
     return "\n".join(lines) + "\n"

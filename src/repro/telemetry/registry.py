@@ -14,13 +14,14 @@ simulation, and exporters sort by full name -- same seed, same bytes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Union
+import re
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
 from repro.metrics.histogram import Histogram
 
 __all__ = ["Counter", "Gauge", "HistogramInstrument", "MetricRegistry",
-           "render_name"]
+           "parse_full_name", "render_name"]
 
 
 def render_name(name: str, labels: Optional[Dict[str, str]] = None) -> str:
@@ -29,6 +30,24 @@ def render_name(name: str, labels: Optional[Dict[str, str]] = None) -> str:
         return name
     inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+_LABEL_PAIR_RE = re.compile(r'([^=,{}]+)="([^"]*)"')
+
+
+def parse_full_name(full_name: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`render_name`: ``name{k="v"}`` -> (name, labels).
+
+    Registry identities never contain quotes inside label values (they
+    are built by :func:`render_name` from plain strings), so a simple
+    quoted-pair scan is exact.
+    """
+    brace = full_name.find("{")
+    if brace < 0:
+        return full_name, {}
+    labels = {match.group(1): match.group(2)
+              for match in _LABEL_PAIR_RE.finditer(full_name[brace:])}
+    return full_name[:brace], labels
 
 
 class Counter:

@@ -1,0 +1,26 @@
+"""Fixture: a legacy probe that mutates foreign telemetry hubs.
+
+The aggregation protocol requires every core's registry/tracer to be a
+pure function of that core's own history; both writes below violate it
+(RPR013).  Kept as a real on-disk package so the lint tests cover file
+walking and the baseline workflow, not just inline snippets.
+"""
+
+from repro.shard.router import race_seam
+
+
+def poke_neighbor(core, now):
+    # Hazard: tracer write into another core's hub, no seam declared.
+    core.telemetry.tracer.event("core0", "poke", "shard", now)
+
+
+def bump_remote_counter(cores, cid):
+    # Hazard: registry write through a foreign hub.
+    cores[cid].telemetry.registry.counter("legacy.pokes").inc()
+
+
+def legal_barrier_effect(core, now):
+    # Legal: the declared shard.barrier seam covers barrier-time
+    # effects into the target core's universe.
+    with race_seam("shard.barrier"):
+        core.telemetry.tracer.event("core0", "rx", "shard", now)

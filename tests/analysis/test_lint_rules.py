@@ -1,4 +1,4 @@
-"""Unit tests for every determinism-lint rule (RPR001..RPR012).
+"""Unit tests for every determinism-lint rule (RPR001..RPR013).
 
 Each rule gets positive fixtures (the hazard is flagged), negative
 fixtures (clean or out-of-zone code is not), and a noqa-suppressed
@@ -636,6 +636,122 @@ def test_rpr012_noqa_requires_justification():
     assert ids(justified) == []
 
 
+# -- RPR013: cross-owner telemetry mutation ---------------------------------
+
+SHARD_PATH = "repro/shard/fixture.py"
+TELEMETRY_PATH = "repro/telemetry/fixture.py"
+
+
+def test_rpr013_flags_foreign_hub_tracer_event():
+    src = """
+    def apply(core, now):
+        core.telemetry.tracer.event("t", "x", "shard", now)
+    """
+    findings = lint_source(textwrap.dedent(src), SHARD_PATH)
+    assert [f.rule_id for f in findings] == ["RPR013"]
+    assert "core.telemetry" in findings[0].message
+
+
+def test_rpr013_flags_registry_write_through_subscript_and_call():
+    src = """
+    def bump(cores, cid):
+        cores[cid].telemetry.registry.counter("n").inc()
+    """
+    assert ids(src, TELEMETRY_PATH) == ["RPR013"]
+
+
+def test_rpr013_own_hub_is_exempt():
+    src = """
+    class Core:
+        def note(self, now):
+            self.telemetry.tracer.event("t", "x", "shard", now)
+    """
+    assert ids(src, SHARD_PATH) == []
+
+
+def test_rpr013_barrier_seam_exempts():
+    src = """
+    from repro.shard.router import race_seam
+
+    def apply(core, now):
+        with race_seam("shard.barrier"):
+            core.telemetry.tracer.event("t", "x", "shard", now)
+    """
+    assert ids(src, SHARD_PATH) == []
+
+
+def test_rpr013_other_seams_do_not_exempt():
+    src = """
+    from repro.shard.router import race_seam
+
+    def apply(core, now):
+        with race_seam("shard.migrate"):
+            core.telemetry.registry.gauge("g").set(1.0)
+    """
+    assert ids(src, SHARD_PATH) == ["RPR013"]
+
+
+def test_rpr013_out_of_zone_is_exempt():
+    src = """
+    def apply(core, now):
+        core.telemetry.tracer.event("t", "x", "shard", now)
+    """
+    assert ids(src, KERNEL_PATH) == []
+    assert ids(src, EXPERIMENT_PATH) == []
+
+
+def test_rpr013_non_mutator_reads_are_exempt():
+    src = """
+    def peek(core):
+        return core.telemetry.registry.as_dict()
+    """
+    assert ids(src, SHARD_PATH) == []
+
+
+def test_rpr013_noqa_requires_justification():
+    line = ('def f(core):\n'
+            '    core.telemetry.tracer.finalize(0.0)'
+            '  # repro: noqa[RPR013]\n')
+    assert ids(line, SHARD_PATH) == ["RPR000"]
+    justified = ('def f(core):\n'
+                 '    core.telemetry.tracer.finalize(0.0)'
+                 '  # repro: noqa[RPR013] -- teardown after joins\n')
+    assert ids(justified, SHARD_PATH) == []
+
+
+RPR013_FIXTURES = Path(__file__).parent / "fixtures" / "lint_rpr013"
+
+
+def test_rpr013_fixture_package_findings():
+    findings = lint_paths([RPR013_FIXTURES])
+    assert [f.rule_id for f in findings] == ["RPR013", "RPR013"]
+    assert all("legacy_probe.py" in f.path for f in findings)
+    # the seam-covered write in the same file is not among them
+    assert {f.line for f in findings} == {14, 19}
+
+
+def test_rpr013_baseline_adoption_workflow(tmp_path):
+    from repro.analysis.report import (filter_new, load_baseline,
+                                       write_baseline)
+
+    findings = lint_paths([RPR013_FIXTURES])
+    baseline_path = tmp_path / "lint-baseline.json"
+    count = write_baseline(findings, baseline_path, tool="repro-lint")
+    assert count == 2
+    baseline = load_baseline(baseline_path)
+    # adopted: the pre-existing violations no longer fail the run
+    assert filter_new(lint_paths([RPR013_FIXTURES]), baseline) == []
+    # a NEW violation still fails against the same baseline
+    new_file = tmp_path / "repro" / "shard" / "fresh.py"
+    new_file.parent.mkdir(parents=True)
+    new_file.write_text(
+        "def f(core):\n"
+        "    core.telemetry.registry.gauge('g').set(1.0)\n",
+        encoding="utf-8")
+    fresh = filter_new(lint_paths([tmp_path]), baseline)
+    assert [f.rule_id for f in fresh] == ["RPR013"]
+
+
 # -- suppression syntax -----------------------------------------------------
 
 
@@ -728,7 +844,7 @@ def test_every_rule_has_id_summary_and_fixit():
     assert set(RULES) == {"RPR000", "RPR001", "RPR002", "RPR003",
                           "RPR004", "RPR005", "RPR006", "RPR007",
                           "RPR008", "RPR009", "RPR010", "RPR011",
-                          "RPR012"}
+                          "RPR012", "RPR013"}
     for rule in RULES.values():
         assert rule.summary and rule.fixit and rule.slug
 

@@ -59,3 +59,24 @@ class TestClusterFairness:
         for row in result.rows:
             assert row["cpu_ms"] >= 0
             assert row["entitled_ms"] >= 0
+
+
+class TestShardObservability:
+    def test_backends_agree_on_the_canonical_record(self):
+        from repro.experiments import shard_observability
+
+        single = shard_observability.run_backend("single", 1)
+        inline = shard_observability.run_backend("inline", 2)
+        assert single["canonical_sha"] == inline["canonical_sha"]
+        assert single["trace_sha"] == inline["trace_sha"]
+        assert single["slo_ok"] and inline["slo_ok"]
+        assert single["restarts"] == inline["restarts"] == 0
+
+    def test_report_covers_every_backend_combo(self):
+        from repro.experiments import shard_observability
+
+        labels = {label for label, _, _, _
+                  in shard_observability.BACKENDS}
+        assert "supervised+kill x2" in labels  # faulted combo present
+        assert any(b == "mp" for _, b, _, _
+                   in shard_observability.BACKENDS)

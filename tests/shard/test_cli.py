@@ -97,3 +97,46 @@ def test_verify_supervised_adds_fault_combinations(capsys):
     assert "mp+supervise/s2" in out
     assert "mp+supervise+faults/s2" in out
     assert "PASS: all combinations bit-identical" in out
+
+
+class TestObsFlags:
+    """``run --obs``: observability outputs from the run CLI."""
+
+    def test_obs_prints_trace_and_report_digests(self, capsys):
+        code = main(["run", "--plan", "mix", "--until", "2000",
+                     "--backend", "inline", "--shards", "2", "--obs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "obs     slices=4 slo=PASS breaches=0" in out
+        assert "trace   " in out and "reportc " in out
+
+    def test_obs_outputs_are_deterministic_and_checksummed(
+            self, capsys, tmp_path):
+        def run(tag):
+            trace = tmp_path / f"trace-{tag}.json"
+            report = tmp_path / f"report-{tag}.json"
+            prom = tmp_path / f"metrics-{tag}.prom"
+            assert main(["run", "--plan", "mix", "--until", "2000",
+                         "--shards", "2", "--obs",
+                         "--trace-out", str(trace),
+                         "--report-out", str(report),
+                         "--prom-out", str(prom)]) == 0
+            capsys.readouterr()
+            return (trace.read_bytes(), report.read_bytes(),
+                    prom.read_bytes())
+
+        first = run("a")
+        assert first == run("b")  # byte-for-byte, like CI's cmp
+        # every artifact carries its sidecar digest
+        for name in ("trace-a.json", "report-a.json", "metrics-a.prom"):
+            assert (tmp_path / (name + ".sha256")).exists()
+
+    def test_output_flags_imply_obs(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        code = main(["run", "--plan", "mix", "--until", "1000",
+                     "--report-out", str(report)])
+        assert code == 0 and report.exists()
+
+    def test_obs_flags_rejected_under_verify(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--until", "1000", "--obs"])

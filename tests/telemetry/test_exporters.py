@@ -147,3 +147,57 @@ class TestDeterminism:
 
     def test_different_seed_diverges(self):
         assert self._traced_chaos(seed=2718) != self._traced_chaos(seed=99)
+
+
+class TestPrometheusSanitization:
+    """Exposition-format hygiene: the registry allows dotted/spaced
+    names (e.g. the supervisor's ``shard.restart`` counters), the
+    exporter must emit legal Prometheus families anyway."""
+
+    def test_dotted_names_and_spaced_labels_are_sanitized(self):
+        registry = MetricRegistry()
+        registry.counter("shard.restart", {"fault kind": "kill"},
+                         help="worker restarts").inc(2)
+        text = export_prometheus(registry)
+        assert 'shard_restart{fault_kind="kill"} 2' in text
+        assert "# HELP shard_restart worker restarts" in text
+        assert "# TYPE shard_restart counter" in text
+        assert "shard.restart" not in text
+
+    def test_histograms_render_help_type_and_le_series(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("repro_latency_ms", 5.0,
+                                       {"shard id": "s0"}, help="lat")
+        histogram.record(7.0)
+        text = export_prometheus(registry)
+        assert text.count("# TYPE repro_latency_ms histogram") == 1
+        assert 'repro_latency_ms_bucket{shard_id="s0",le="10"} 1' in text
+        assert 'repro_latency_ms_bucket{shard_id="s0",le="+Inf"} 1' in text
+        assert 'repro_latency_ms_sum{shard_id="s0"} 7' in text
+        assert 'repro_latency_ms_count{shard_id="s0"} 1' in text
+
+    def test_label_values_escape_backslash_and_newline(self):
+        registry = MetricRegistry()
+        registry.counter("evil", {"msg": "a\\b\nc"}).inc()
+        text = export_prometheus(registry)
+        assert 'evil{msg="a\\\\b\\nc"} 1' in text
+
+    def test_every_sample_line_is_legal_exposition(self):
+        import re
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? \S+$')
+        registry = MetricRegistry()
+        registry.counter("shard.worker restart", {"shard id": "0"}).inc()
+        registry.gauge("a-b.c").set(1.0)
+        registry.histogram("d e", 1.0, {"x y": "z"}).record(0.5)
+        for line in export_prometheus(registry).splitlines():
+            if line.startswith("#"):
+                continue
+            assert sample.match(line), line
+
+    def test_sanitization_is_identity_on_legal_names(self):
+        first = export_prometheus(_sample_registry())
+        assert "repro_dispatches_total" in first
+        assert first == export_prometheus(_sample_registry())

@@ -1,0 +1,139 @@
+"""Trace stitching: per-core span dumps -> one canonical Chrome trace."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.exporters import validate_chrome_trace
+from repro.telemetry.stitch import (
+    STITCH_FORMAT,
+    STITCH_VERSION,
+    stitch_trace,
+    stitched_chrome,
+)
+
+
+def _span(sid, name, start, end, track="sched", category="kernel",
+          parent=None, attrs=None):
+    return {"sid": sid, "parent": parent, "track": track, "name": name,
+            "category": category, "start": start, "end": end,
+            "attrs": attrs or {}}
+
+
+def _dump(core, spans=(), open_spans=()):
+    return {"core": core, "spans": list(spans),
+            "open_spans": list(open_spans)}
+
+
+def test_stitched_trace_is_valid_chrome_json():
+    dumps = [
+        _dump(0, [_span(0, "epoch", 0.0, 500.0, track="shard0",
+                        category="shard")]),
+        _dump(1, [_span(0, "epoch", 0.0, 500.0, track="shard1",
+                        category="shard")]),
+    ]
+    text = stitched_chrome(dumps, barriers=[{"time": 500.0,
+                                             "payloads": 1}])
+    validate_chrome_trace(text)  # raises on malformed events
+    payload = json.loads(text)
+    assert payload["metadata"]["format"] == STITCH_FORMAT
+    assert payload["metadata"]["version"] == STITCH_VERSION
+    assert payload["metadata"]["cores"] == 2
+
+
+def test_span_ids_are_remapped_globally_with_parents():
+    """Local sids collide across cores; the stitch reassigns them on
+    the canonical (start, core, sid) order and remaps parent links."""
+    dumps = [
+        _dump(0, [_span(7, "outer", 0.0, 400.0),
+                  _span(8, "inner", 100.0, 200.0, parent=7)]),
+        _dump(1, [_span(7, "other", 50.0, 300.0)]),
+    ]
+    payload = json.loads(stitched_chrome(dumps))
+    by_name = {e["name"]: e for e in payload["traceEvents"]
+               if e["ph"] == "X"}
+    # canonical order: outer@0/core0 -> 0, other@50/core1 -> 1,
+    # inner@100/core0 -> 2.
+    assert by_name["outer"]["args"]["sid"] == 0
+    assert by_name["other"]["args"]["sid"] == 1
+    assert by_name["inner"]["args"]["sid"] == 2
+    assert by_name["inner"]["args"]["parent"] == 0
+    assert by_name["outer"]["args"]["parent"] is None
+
+
+def test_tx_rx_instants_become_flow_events():
+    """A matching (src, seq) tx/rx pair renders as a Chrome flow
+    arrow: ph 's' at the emission, ph 'f' at the application."""
+    tx = _span(0, "shard.tx.ipc", 500.0, None, track="barrier",
+               category="shard", attrs={"src": 0, "seq": 3})
+    tx["end"] = 500.0
+    rx = _span(0, "shard.rx.ipc", 500.0, None, track="barrier",
+               category="shard", attrs={"src": 0, "seq": 3})
+    rx["end"] = 500.0
+    payload = json.loads(stitched_chrome([_dump(0, [tx]),
+                                          _dump(1, [rx])]))
+    flows = [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+    assert [e["ph"] for e in flows] == ["s", "f"]
+    start, finish = flows
+    assert start["id"] == finish["id"]
+    assert start["pid"] == 1 and finish["pid"] == 2  # core0 -> core1
+    assert start["name"] == finish["name"] == "shard.flow.ipc"
+    validate_chrome_trace(json.dumps(payload))
+
+
+def test_unmatched_tx_produces_no_flow():
+    tx = _span(0, "shard.tx.ipc", 500.0, 500.0, category="shard",
+               attrs={"src": 0, "seq": 9})
+    payload = json.loads(stitched_chrome([_dump(0, [tx])]))
+    assert not [e for e in payload["traceEvents"]
+                if e["ph"] in ("s", "f")]
+
+
+def test_open_spans_are_clamped_and_flagged_not_finalized():
+    dumps = [_dump(0, open_spans=[_span(0, "epoch", 1500.0, None)])]
+    payload = json.loads(stitched_chrome(dumps, end_time=2000.0))
+    event = next(e for e in payload["traceEvents"] if e["ph"] == "X")
+    assert event["dur"] == 500.0 * 1000.0
+    assert event["args"]["stitch_open"] is True
+
+
+def test_recovery_events_live_in_a_separate_annex():
+    dumps = [_dump(0, [_span(0, "epoch", 0.0, 500.0)])]
+    bare = json.loads(stitched_chrome(dumps))
+    supervised = json.loads(stitched_chrome(dumps, recovery=[
+        {"kind": "worker.restart", "time": 0.5, "shard": 0},
+    ]))
+    # host fate differs; the canonical digest must not.
+    assert (supervised["metadata"]["sha256"]
+            == bare["metadata"]["sha256"])
+    assert (supervised["metadata"]["recovery_sha256"]
+            != bare["metadata"]["recovery_sha256"])
+    annex = [e for e in supervised["traceEvents"]
+             if e.get("cat") == "recovery"]
+    assert len(annex) == 1
+    assert annex[0]["name"] == "shard.worker.restart"
+    # recovery gets its own Chrome process, after all core pids.
+    assert annex[0]["pid"] == 2
+
+
+def test_slo_alerts_render_on_the_global_track():
+    dumps = [_dump(0, [_span(0, "epoch", 0.0, 500.0)])]
+    payload = json.loads(stitched_chrome(dumps, alerts=[
+        {"rule": "fairness.drift", "time": 500.0, "subject": "hog",
+         "value": 1.2, "bound": 0.9},
+    ]))
+    alert = next(e for e in payload["traceEvents"]
+                 if e.get("cat") == "slo")
+    assert alert["pid"] == 0  # run-global process
+    assert alert["name"] == "slo.fairness.drift"
+    assert alert["args"]["subject"] == "hog"
+
+
+def test_stitching_is_deterministic_and_order_insensitive():
+    dumps = [
+        _dump(1, [_span(0, "b", 50.0, 300.0)]),
+        _dump(0, [_span(0, "a", 0.0, 400.0)]),
+    ]
+    first = stitched_chrome(dumps)
+    second = stitched_chrome(list(reversed(dumps)))
+    assert first == second
