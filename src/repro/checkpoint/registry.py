@@ -270,4 +270,54 @@ SNAPSHOT_COVERAGE: Dict[str, Dict[str, Iterable[str]]] = {
         "transient": {"_probes", "_instrumented_policies",
                       "_observing_checkpoints"},
     },
+    "repro.workloads.arrivals.ArrivalProcess": {
+        "covered": {"rate_per_s", "prng", "clock_ms", "emitted"},
+        "transient": set(),
+    },
+    "repro.workloads.arrivals.MMPPArrivals": {
+        # Rates derive from the constructor parameters; the evolving
+        # phase machine is what a restore must re-position.
+        "covered": {"burst_factor", "mean_dwell_ms", "_phase",
+                    "_phase_until_ms"},
+        "transient": {"_calm_rate", "_burst_rate"},
+    },
+    "repro.workloads.arrivals.DiurnalArrivals": {
+        "covered": {"period_ms", "amplitude"},
+        "transient": {"_peak_rate_per_ms"},
+    },
+    "repro.serving.admission.TokenBucket": {
+        "covered": {"rate_per_s", "burst", "tokens", "clock_ms",
+                    "admitted", "shed"},
+        "transient": set(),
+    },
+    "repro.serving.admission.AdmissionController": {
+        "covered": {"capacity_rps", "headroom", "burst_s", "buckets"},
+        "transient": set(),
+    },
+    "repro.serving.stats.LatencyDigest": {
+        "covered": {"bin_ms", "count", "total_ms", "max_ms", "counts"},
+        "transient": set(),
+    },
+    "repro.serving.stats.ServingStats": {
+        "covered": {"bin_ms", "offered", "shed", "completed", "e2e",
+                    "wake"},
+        "transient": set(),
+    },
+    "repro.serving.slo_controller.ClassLatencyProbe": {
+        "covered": {"prefix", "window"},
+        # stats is shared measurement plumbing (captured as its own
+        # object); the id-keyed attribution cache is rebuilt on replay.
+        "transient": {"stats", "bin_ms", "_by_tid"},
+    },
+    "repro.serving.slo_controller.SloClassState": {
+        "covered": {"name", "target_p99_ms", "floor", "ceiling"},
+        # Lever tickets live in the ledger's state tree; the window
+        # baseline is re-established at the next control epoch.
+        "transient": {"levers", "baseline"},
+    },
+    "repro.serving.slo_controller.SloController": {
+        "covered": {"epoch_ms", "epochs", "min_samples", "inflate",
+                    "deflate", "comfort", "classes"},
+        "transient": {"probe", "history"},
+    },
 }

@@ -40,6 +40,7 @@ __all__ = [
     "sanitize",
     "chaos",
     "telemetry",
+    "serving",
     "save",
     "load",
     "replay",
@@ -311,6 +312,81 @@ def telemetry(state: CommandState, args: Sequence[str]) -> str:
     return "\n".join(lines)
 
 
+def serving(state: CommandState, args: Sequence[str]) -> str:
+    """serving [seed] [load] [--policy NAME] [--slo] -- overload arena.
+
+    Runs a short open-loop serving-arena simulation (see
+    ``docs/SERVING.md``): per-class arrival pumps at ``load`` times
+    capacity, ticket-priced admission, frontends RPCing a backend pool
+    with ticket transfers.  Reports per-class offered/shed/completed
+    counts with wake->dispatch and end-to-end tails, plus the
+    class-keyed telemetry histogram; ``--slo`` enables the feedback
+    controller that inflates a breaching class's tickets.
+    """
+    from repro.experiments.common import build_machine
+    from repro.serving import ArenaConfig, build_arena
+    from repro.telemetry import Telemetry
+
+    policy = "lottery"
+    slo = False
+    positional = []
+    remaining = list(args)
+    while remaining:
+        arg = remaining.pop(0)
+        if arg == "--policy":
+            if not remaining:
+                raise ReproError("--policy needs a value")
+            policy = remaining.pop(0)
+        elif arg == "--slo":
+            slo = True
+        else:
+            positional.append(arg)
+    if len(positional) > 2:
+        raise ReproError(
+            "usage: serving [seed] [load] [--policy NAME] [--slo]")
+    seed = int(positional[0]) if len(positional) >= 1 else 2026
+    load = float(positional[1]) if len(positional) == 2 else 1.5
+
+    machine = build_machine(seed=seed, quantum=20.0, policy=policy)
+    hub = Telemetry()
+    hub.instrument_kernel(machine.kernel, track="serving")
+    config = ArenaConfig(seed=seed, load_factor=load,
+                         requests_per_class=300, slo=slo,
+                         slo_min_samples=10)
+    arena = build_arena(machine.kernel, config)
+    arena.run()
+    hub.finalize(machine.now)
+
+    lines = [f"serving: seed={seed} policy={policy} load={load:g}x "
+             f"capacity={config.capacity_rps():.1f}rps "
+             f"horizon={config.horizon_ms():.0f}ms"]
+    lines.append("CLASS    OFFERED  SHED  DONE  WAKE-P99  E2E-P99")
+    for row in arena.rows():
+        lines.append(
+            f"{row['class']:<8} {row['offered']:>7} {row['shed']:>5}"
+            f" {row['completed']:>5} {row['wake_p99_ms']:>8.1f}"
+            f" {row['e2e_p99_ms']:>8.1f}")
+    if arena.controller is not None:
+        lines.append("SLO")
+        for name in sorted(arena.controller.classes):
+            cls_state = arena.controller.classes[name]
+            recovery = arena.controller.recovery_epoch(name)
+            lines.append(
+                f"  {name}: target={cls_state.target_p99_ms:g}ms"
+                f" lever={cls_state.amount():.1f}"
+                f" recovery_epoch="
+                f"{'-' if recovery is None else recovery}")
+    lines.append("TELEMETRY (repro_request_e2e_ms)")
+    for instrument in hub.registry.instruments():
+        if instrument.kind == "histogram" and \
+                instrument.full_name.startswith("repro_request_e2e_ms"):
+            lines.append(
+                f"  {instrument.full_name}: n={instrument.count}"
+                f" p99={instrument.percentile(99):.1f}ms")
+    hub.close()
+    return "\n".join(lines)
+
+
 def save(state: CommandState, args: Sequence[str]) -> str:
     """save <path> -- checkpoint the live simulation to a file.
 
@@ -413,6 +489,7 @@ COMMANDS: Dict[str, Callable[[CommandState, Sequence[str]], str]] = {
     "sanitize": sanitize,
     "chaos": chaos,
     "telemetry": telemetry,
+    "serving": serving,
     "save": save,
     "load": load,
     "replay": replay,

@@ -43,6 +43,7 @@ from repro.experiments import (
     quantum_sweep,
     responsiveness,
     service_classes,
+    serving_tail,
     shard_observability,
 )
 
@@ -211,6 +212,17 @@ def _service(quick: bool):
                 f"{lottery['bronze_slowdown']:.1f} (gold/silver/bronze)")
 
 
+def _serving(quick: bool):
+    result = serving_tail.run(quick=True, requests=200 if quick else 600)
+    ok = result.summary["verdict"] == "PASS"
+    return ok, (f"lottery ordered "
+                f"{result.summary['lottery wake-p99 share-ordered at 1.5x']},"
+                f" timesharing ordered "
+                f"{result.summary['timesharing wake-p99 share-ordered at 1.5x']},"
+                f" slo recovery epoch "
+                f"{result.summary['slo bronze recovery epoch']}")
+
+
 def _shard_obs(quick: bool):
     result = shard_observability.run(until=2000.0)
     agree = (result.summary["canonical reports agree"] == "yes"
@@ -240,6 +252,7 @@ CHECKS: List[Check] = [
     ("Ext  distributed lottery", _cluster),
     ("Ext  responsiveness", _responsiveness),
     ("Ext  service classes", _service),
+    ("Ext  serving tail latency", _serving),
     ("Ext  shard observability", _shard_obs),
 ]
 

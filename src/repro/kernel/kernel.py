@@ -467,6 +467,12 @@ class Kernel:
         thread = self.policy.select()
         if thread is None:
             # CPU idles; the next _make_runnable re-arms the dispatcher.
+            # Normalize the dispatch window: a block mid-quantum leaves
+            # leftover quantum behind, and an idle CPU carrying one
+            # fails check_dispatch_window (checkpoints would refuse).
+            self._quantum_left = 0.0
+            self._quantum_size = self.quantum
+            self._instant_syscalls = 0
             if self._idle_since is None:
                 self._idle_since = self.now
             return

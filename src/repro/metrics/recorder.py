@@ -51,6 +51,7 @@ RECORDER_SINKS: FrozenSet[str] = frozenset({
     "repro.kernel.trace.SchedulerTrace",
     "repro.checkpoint.replay.ReplayRecorder",
     "repro.telemetry.probe.KernelProbe",
+    "repro.serving.slo_controller.ClassLatencyProbe",
 })
 
 

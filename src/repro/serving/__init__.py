@@ -1,0 +1,35 @@
+"""Heavy-traffic serving arena: open-loop overload on the paper's kernel.
+
+The ROADMAP's north-star scenario: deterministic open-loop arrival
+streams (:mod:`repro.workloads.arrivals`) drive a multi-tier service --
+per-class arrival pumps feeding frontend threads that RPC a backend
+pool with ticket transfers -- through admission control priced in
+tickets and an SLO feedback loop that inflates a class's tickets when
+its wake->dispatch p99 breaches target.  ``experiments/serving_tail``
+is the head-to-head harness; ``docs/SERVING.md`` the narrative.
+"""
+
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.arena import ArenaConfig, ServingArena, build_arena
+from repro.serving.shardplan import serving_plan
+from repro.serving.slo_controller import ClassLatencyProbe, SloController
+from repro.serving.stats import LatencyDigest, ServingStats
+from repro.serving.tiers import (DEFAULT_CLASSES, ServiceClassSpec,
+                                 ServingRuntime, capacity_rps)
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "ArenaConfig",
+    "ServingArena",
+    "build_arena",
+    "serving_plan",
+    "ClassLatencyProbe",
+    "SloController",
+    "LatencyDigest",
+    "ServingStats",
+    "DEFAULT_CLASSES",
+    "ServiceClassSpec",
+    "ServingRuntime",
+    "capacity_rps",
+]

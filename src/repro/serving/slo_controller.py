@@ -1,0 +1,290 @@
+"""SLO feedback loop: ticket inflation driven by wake->dispatch p99.
+
+Two halves:
+
+* :class:`ClassLatencyProbe` -- a recorder sink (the same protocol as
+  :class:`repro.metrics.recorder.SchedulerRecorder`) that attributes
+  each wake->dispatch latency sample to a *service class* by thread
+  name (``fe:<class>:<n>`` by default) and folds it into a bounded
+  :class:`~repro.serving.stats.LatencyDigest` per class;
+* :class:`SloController` -- a periodic control loop, run as an
+  ordinary simulated thread, that compares each class's windowed p99
+  against its target and **inflates** the class's lever tickets
+  (``Ticket.set_amount``, the paper's section 3.2 primitive) on breach,
+  deflating back toward the floor once the class runs comfortably
+  under target.
+
+Everything the controller reads (bin deltas at virtual-time epochs)
+and everything it writes (ticket amounts) is inside the simulation, so
+a controlled run remains a pure function of the seed: the feedback
+loop changes *which* deterministic history happens, never determinism
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.tickets import Ticket
+from repro.errors import ReproError
+from repro.kernel.syscalls import Sleep
+from repro.serving.stats import LatencyDigest, ServingStats, \
+    percentile_from_counts
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import Thread
+
+__all__ = ["ClassLatencyProbe", "SloController", "SloClassState"]
+
+#: Thread-name prefix that marks a class-attributed serving thread:
+#: ``fe:<class>:<index>``.
+FRONTEND_PREFIX = "fe:"
+
+
+class ClassLatencyProbe:
+    """Recorder sink folding wake->dispatch latency into class digests.
+
+    Class attribution is by thread name (``fe:gold:0`` -> ``gold``),
+    resolved once per thread and cached by id; threads may also be
+    registered explicitly with :meth:`watch`.  Implements the full
+    recorder event surface (audited by lint rule RPR009 via
+    ``RECORDER_SINKS``).
+    """
+
+    def __init__(self, stats: Optional[ServingStats] = None,
+                 prefix: str = FRONTEND_PREFIX,
+                 bin_ms: float = 5.0) -> None:
+        self.stats = stats
+        self.prefix = prefix
+        self.bin_ms = float(bin_ms)
+        #: Cumulative per-class wake->dispatch digests (the controller
+        #: reads windowed deltas out of these).
+        self.window: Dict[str, LatencyDigest] = {}
+        #: id(thread) -> class name ("" = not a serving thread).
+        self._by_tid: Dict[int, str] = {}
+
+    def watch(self, thread: "Thread", service_class: str) -> None:
+        """Explicitly attribute ``thread`` to ``service_class``."""
+        self._by_tid[id(thread)] = service_class
+
+    def _class_of(self, thread: "Thread") -> str:
+        tid = id(thread)
+        cached = self._by_tid.get(tid)
+        if cached is None:
+            name = thread.name
+            if name.startswith(self.prefix):
+                cached = name[len(self.prefix):].split(":", 1)[0]
+            else:
+                cached = ""
+            self._by_tid[tid] = cached
+        return cached
+
+    def digest(self, service_class: str) -> LatencyDigest:
+        existing = self.window.get(service_class)
+        if existing is None:
+            existing = LatencyDigest(self.bin_ms)
+            self.window[service_class] = existing
+        return existing
+
+    # -- recorder event surface -------------------------------------------
+
+    def on_dispatch(self, thread: "Thread", time: float) -> None:
+        service_class = self._class_of(thread)
+        if not service_class:
+            return
+        runnable_since = thread.runnable_since
+        if runnable_since is None:
+            return
+        latency = time - runnable_since
+        if latency < 0:
+            return
+        self.digest(service_class).record(latency)
+        if self.stats is not None:
+            self.stats.record_wake(service_class, latency)
+
+    def on_cpu(self, thread: "Thread", start: float, duration: float) -> None:
+        pass
+
+    def on_block(self, thread: "Thread", time: float) -> None:
+        pass
+
+    def on_wake(self, thread: "Thread", time: float) -> None:
+        pass
+
+    def on_exit(self, thread: "Thread", time: float) -> None:
+        # Drop the cache entry so a recycled id cannot inherit a class.
+        self._by_tid.pop(id(thread), None)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "prefix": self.prefix,
+            "window": {name: digest.snapshot_state()
+                       for name, digest in sorted(self.window.items())},
+        }
+
+
+class SloClassState:
+    """Per-class controller bookkeeping (target, lever, window base)."""
+
+    def __init__(self, name: str, target_p99_ms: float,
+                 levers: List[Ticket], floor: float,
+                 ceiling: float) -> None:
+        if target_p99_ms <= 0:
+            raise ReproError(
+                f"SLO target must be positive: {target_p99_ms}")
+        if not levers:
+            raise ReproError(f"class {name!r} has no lever tickets")
+        if floor <= 0 or ceiling < floor:
+            raise ReproError(
+                f"bad lever bounds for {name!r}: [{floor}, {ceiling}]")
+        self.name = name
+        self.target_p99_ms = float(target_p99_ms)
+        self.levers = list(levers)
+        self.floor = float(floor)
+        self.ceiling = float(ceiling)
+        self.baseline: Dict[int, int] = {}
+
+    def amount(self) -> float:
+        return self.levers[0].amount
+
+    def set_amount(self, amount: float) -> None:
+        for lever in self.levers:
+            lever.set_amount(amount)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "name": self.name,
+            "target_p99_ms": self.target_p99_ms,
+            "floor": self.floor,
+            "ceiling": self.ceiling,
+            "amount": self.amount(),
+            "levers": len(self.levers),
+        }
+
+
+class SloController:
+    """Windowed p99 -> multiplicative ticket inflation, per epoch.
+
+    Each control epoch the controller takes the delta of a class's
+    wake->dispatch bins since the previous epoch, computes the window
+    p99, and multiplies the class's lever tickets by ``inflate`` on a
+    breach (clamped to ``ceiling``) or ``deflate`` once p99 falls below
+    ``comfort * target`` (clamped back to ``floor``).  Multiplicative
+    increase converges geometrically; the comfort band keeps the loop
+    from oscillating around the target.
+    """
+
+    def __init__(self, probe: ClassLatencyProbe,
+                 epoch_ms: float = 500.0,
+                 min_samples: int = 20,
+                 inflate: float = 1.3,
+                 deflate: float = 0.85,
+                 comfort: float = 0.5) -> None:
+        if epoch_ms <= 0:
+            raise ReproError(f"epoch must be positive: {epoch_ms}")
+        if inflate <= 1.0 or not 0.0 < deflate < 1.0:
+            raise ReproError(
+                f"need inflate > 1 > deflate > 0: {inflate}, {deflate}")
+        self.probe = probe
+        self.epoch_ms = float(epoch_ms)
+        self.min_samples = int(min_samples)
+        self.inflate = float(inflate)
+        self.deflate = float(deflate)
+        self.comfort = float(comfort)
+        self.classes: Dict[str, SloClassState] = {}
+        self.epochs = 0
+        #: One row per (epoch, class) decision, in control order.
+        self.history: List[Dict[str, Any]] = []
+
+    def add_class(self, name: str, target_p99_ms: float,
+                  levers: List[Ticket],
+                  floor: Optional[float] = None,
+                  ceiling: Optional[float] = None) -> None:
+        """Register a class: its SLO target and its lever tickets."""
+        if name in self.classes:
+            raise ReproError(f"class {name!r} already registered")
+        base = levers[0].amount if levers else 0.0
+        self.classes[name] = SloClassState(
+            name, target_p99_ms, levers,
+            floor=base if floor is None else floor,
+            ceiling=base * 16.0 if ceiling is None else ceiling)
+
+    def control(self, now_ms: float) -> None:
+        """Run one control epoch over all registered classes."""
+        self.epochs += 1
+        for name in sorted(self.classes):
+            state = self.classes[name]
+            digest = self.probe.digest(name)
+            window = digest.window_since(state.baseline)
+            state.baseline = digest.counts_copy()
+            samples = sum(window.values())
+            old = state.amount()
+            if samples < self.min_samples:
+                action, p99, new = "idle", 0.0, old
+            else:
+                p99 = percentile_from_counts(
+                    window, digest.bin_ms, 99.0)
+                if p99 > state.target_p99_ms:
+                    action = "inflate"
+                    new = min(state.ceiling, old * self.inflate)
+                elif (p99 < state.target_p99_ms * self.comfort
+                      and old > state.floor):
+                    action = "deflate"
+                    new = max(state.floor, old * self.deflate)
+                else:
+                    action, new = "hold", old
+            if new != old:
+                state.set_amount(new)
+            self.history.append({
+                "epoch": self.epochs,
+                "time_ms": now_ms,
+                "class": name,
+                "samples": samples,
+                "window_p99_ms": p99,
+                "amount_before": old,
+                "amount_after": new,
+                "action": action,
+            })
+
+    def body(self):
+        """Thread body running :meth:`control` every ``epoch_ms``."""
+        controller = self
+
+        def _body(ctx):
+            while True:
+                yield Sleep(controller.epoch_ms)
+                controller.control(ctx.now)
+
+        return _body
+
+    def recovery_epoch(self, name: str) -> Optional[int]:
+        """First epoch at which ``name`` met its target after a breach.
+
+        None if the class never breached or never recovered.
+        """
+        target = self.classes[name].target_p99_ms
+        breached = False
+        for row in self.history:
+            if row["class"] != name or row["action"] == "idle":
+                continue
+            if row["window_p99_ms"] > target:
+                breached = True
+            elif breached:
+                return row["epoch"]
+        return None
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "epoch_ms": self.epoch_ms,
+            "epochs": self.epochs,
+            "min_samples": self.min_samples,
+            "inflate": self.inflate,
+            "deflate": self.deflate,
+            "comfort": self.comfort,
+            "classes": {name: state.snapshot_state()
+                        for name, state in sorted(self.classes.items())},
+            "decisions": len(self.history),
+        }

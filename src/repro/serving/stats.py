@@ -1,0 +1,193 @@
+"""Bounded per-class latency accounting for the serving arena.
+
+The arena replays millions of requests, so per-request samples cannot
+be kept (:class:`repro.metrics.histogram.Histogram` stores raw values).
+:class:`LatencyDigest` keeps only fixed-width bin counts plus count /
+sum / max scalars -- O(distinct bins) memory regardless of traffic --
+and answers percentiles by the same nearest-rank-over-bins rule as
+:func:`repro.telemetry.aggregate.percentile_from_bins`, returning the
+upper bin edge so two runs that fill identical bins report identical
+quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+
+__all__ = ["LatencyDigest", "ServingStats", "percentile_from_counts"]
+
+
+def percentile_from_counts(counts: Dict[int, int], bin_ms: float,
+                           q: float) -> float:
+    """Nearest-rank percentile over ``{bin_index: count}``; upper edge.
+
+    Same convention as ``repro.telemetry.aggregate.percentile_from_bins``
+    so arena digests and telemetry histograms agree bin-for-bin.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    rank = max(1, math.ceil(q * total / 100.0))
+    seen = 0
+    for index in sorted(counts):
+        seen += counts[index]
+        if seen >= rank:
+            return (index + 1) * bin_ms
+    return (max(counts) + 1) * bin_ms  # pragma: no cover - defensive
+
+
+class LatencyDigest:
+    """Fixed-width binned latency accumulator (bounded memory)."""
+
+    def __init__(self, bin_ms: float = 5.0) -> None:
+        if bin_ms <= 0:
+            raise ReproError(f"bin width must be positive: {bin_ms}")
+        self.bin_ms = float(bin_ms)
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        #: bin index -> sample count; index = floor(latency / bin_ms).
+        self.counts: Dict[int, int] = {}
+
+    def record(self, latency_ms: float) -> None:
+        if latency_ms < 0:
+            return
+        index = int(latency_ms // self.bin_ms)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.count += 1
+        self.total_ms += latency_ms
+        if latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (upper bin edge); 0.0 when empty."""
+        return percentile_from_counts(self.counts, self.bin_ms, q)
+
+    def mean(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def counts_copy(self) -> Dict[int, int]:
+        """Snapshot of the bin counts (for windowed deltas)."""
+        return dict(self.counts)
+
+    def window_since(self, baseline: Dict[int, int]) -> Dict[int, int]:
+        """Bin counts accumulated since ``baseline`` (a counts_copy)."""
+        return {index: count - baseline.get(index, 0)
+                for index, count in self.counts.items()
+                if count > baseline.get(index, 0)}
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "bin_ms": self.bin_ms,
+            "count": self.count,
+            "total_ms": self.total_ms,
+            "max_ms": self.max_ms,
+            "bins": [[index, self.counts[index]]
+                     for index in sorted(self.counts)],
+        }
+
+
+class ServingStats:
+    """Per-service-class counters and latency digests for one arena.
+
+    Two digests per class: ``wake`` (scheduler wake->dispatch latency,
+    fed by the recorder probe) and ``e2e`` (arrival->reply, fed by the
+    frontend on completion).  Offered = admitted + shed; completed <=
+    admitted (the difference is queued in-flight work at the horizon --
+    expected to grow without bound under overload).
+    """
+
+    def __init__(self, bin_ms: float = 5.0) -> None:
+        self.bin_ms = float(bin_ms)
+        self.offered: Dict[str, int] = {}
+        self.shed: Dict[str, int] = {}
+        self.completed: Dict[str, int] = {}
+        self.e2e: Dict[str, LatencyDigest] = {}
+        self.wake: Dict[str, LatencyDigest] = {}
+
+    def ensure_class(self, name: str) -> None:
+        if name not in self.offered:
+            self.offered[name] = 0
+            self.shed[name] = 0
+            self.completed[name] = 0
+            self.e2e[name] = LatencyDigest(self.bin_ms)
+            self.wake[name] = LatencyDigest(self.bin_ms)
+
+    # -- recording hooks --------------------------------------------------
+
+    def record_offered(self, name: str) -> None:
+        self.ensure_class(name)
+        self.offered[name] += 1
+
+    def record_shed(self, name: str) -> None:
+        self.ensure_class(name)
+        self.shed[name] += 1
+
+    def record_completion(self, name: str, e2e_ms: float) -> None:
+        self.ensure_class(name)
+        self.completed[name] += 1
+        self.e2e[name].record(e2e_ms)
+
+    def record_wake(self, name: str, latency_ms: float) -> None:
+        self.ensure_class(name)
+        self.wake[name].record(latency_ms)
+
+    # -- reporting ----------------------------------------------------------
+
+    def classes(self) -> List[str]:
+        return sorted(self.offered)
+
+    def row(self, name: str) -> Dict[str, Any]:
+        """One deterministic report row for a class."""
+        wake = self.wake[name]
+        e2e = self.e2e[name]
+        return {
+            "class": name,
+            "offered": self.offered[name],
+            "shed": self.shed[name],
+            "completed": self.completed[name],
+            "wake_p99_ms": wake.percentile(99.0),
+            "wake_p999_ms": wake.percentile(99.9),
+            "e2e_p99_ms": e2e.percentile(99.0),
+            "e2e_p999_ms": e2e.percentile(99.9),
+            "e2e_mean_ms": e2e.mean(),
+        }
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [self.row(name) for name in self.classes()]
+
+    def merge(self, other: "ServingStats") -> None:
+        """Fold another stats object in (per-core -> whole-plan view)."""
+        for name in other.classes():
+            self.ensure_class(name)
+            self.offered[name] += other.offered[name]
+            self.shed[name] += other.shed[name]
+            self.completed[name] += other.completed[name]
+            for mine, theirs in ((self.e2e[name], other.e2e[name]),
+                                 (self.wake[name], other.wake[name])):
+                for index, count in theirs.counts.items():
+                    mine.counts[index] = mine.counts.get(index, 0) + count
+                mine.count += theirs.count
+                mine.total_ms += theirs.total_ms
+                if theirs.max_ms > mine.max_ms:
+                    mine.max_ms = theirs.max_ms
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Typed state tree for checkpointing (see ``repro.checkpoint``)."""
+        return {
+            "bin_ms": self.bin_ms,
+            "classes": {
+                name: {
+                    "offered": self.offered[name],
+                    "shed": self.shed[name],
+                    "completed": self.completed[name],
+                    "e2e": self.e2e[name].snapshot_state(),
+                    "wake": self.wake[name].snapshot_state(),
+                }
+                for name in self.classes()
+            },
+        }

@@ -47,11 +47,20 @@ from repro.shard.hostfaults import (
 from repro.shard.plan import ShardPlan, mix_plan, spin_plan
 from repro.shard.supervisor import SupervisorPolicy
 
+def _serving(args):
+    # Imported lazily: repro.serving pulls in the arena stack, which
+    # plain mix/spin runs never need.
+    from repro.serving.shardplan import serving_plan
+
+    return serving_plan(seed=args.seed, cores=args.cores)
+
+
 PLANS = {
     "mix": lambda args: mix_plan(seed=args.seed, cores=args.cores),
     "mix-ops": lambda args: mix_plan(seed=args.seed, cores=args.cores,
                                      with_ops=True),
     "spin": lambda args: spin_plan(seed=args.seed, cores=args.cores),
+    "serving": _serving,
 }
 
 

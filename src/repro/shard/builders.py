@@ -140,3 +140,38 @@ def _rpc_client(core: Any, args: Dict[str, Any]) -> Callable[..., Any]:
                 yield Sleep(sleep_ms)
 
     return body
+
+
+# -- serving-arena bodies (see repro.serving.shardplan) -----------------------
+
+
+@register_body("serving_pump")
+def _serving_pump(core: Any, args: Dict[str, Any]) -> Callable[..., Any]:
+    """Open-loop arrival pump for one service class's per-core slice."""
+    from repro.serving.shardplan import build_shard_pump
+
+    return build_shard_pump(core, args)
+
+
+@register_body("serving_frontend")
+def _serving_frontend(core: Any, args: Dict[str, Any]) -> Callable[..., Any]:
+    """Class frontend: ingress receive, parse, backend RPC, record."""
+    from repro.serving.shardplan import build_shard_frontend
+
+    return build_shard_frontend(core, args)
+
+
+@register_body("serving_backend")
+def _serving_backend(core: Any, args: Dict[str, Any]) -> Callable[..., Any]:
+    """Backend pool worker on the channel's home core."""
+    from repro.serving.shardplan import build_shard_backend
+
+    return build_shard_backend(core, args)
+
+
+@register_body("serving_slo")
+def _serving_slo(core: Any, args: Dict[str, Any]) -> Callable[..., Any]:
+    """Per-core SLO controller inflating frontend funding on breach."""
+    from repro.serving.shardplan import build_shard_slo
+
+    return build_shard_slo(core, args)

@@ -281,6 +281,23 @@ class Telemetry:
             help="RPC response times (call to reply).",
         ).record(now - request.created_at)
 
+    def on_request_complete(self, kernel: "Kernel", service_class: str,
+                            e2e_ms: float) -> None:
+        """A serving-arena request finished end-to-end (arrival to
+        reply); keyed by service class, not share band, so per-class
+        tail latency is readable straight off the histogram."""
+        track = self._track_of(kernel)
+        self.registry.counter(
+            "repro_requests_completed_total",
+            {"track": track, "class": service_class},
+            help="Serving requests completed end-to-end.").inc()
+        self.registry.histogram(
+            "repro_request_e2e_ms", LATENCY_BIN_MS,
+            {"track": track, "class": service_class},
+            help="End-to-end request latency (scheduled arrival to "
+                 "reply) by service class.",
+        ).record(e2e_ms)
+
     def on_ipc_retransmit(self, port: Any, request: Any,
                           backoff: float, forced: bool) -> None:
         """A dropped delivery was rescheduled (fault window)."""

@@ -1,5 +1,14 @@
 """The paper's application workloads, rebuilt on the simulated kernel."""
 
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrivals,
+    replay_digest,
+)
 from repro.workloads.corpus import (
     DEFAULT_SEARCH_STRING,
     count_occurrences,
@@ -27,23 +36,30 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
     "Bursty",
     "CpuBound",
     "DEFAULT_SEARCH_STRING",
     "DatabaseClient",
     "DatabaseServer",
     "DhrystoneTask",
+    "DiurnalArrivals",
     "FractionalQuantum",
     "ITERATION_MS",
     "JobSpec",
+    "MMPPArrivals",
     "MonteCarloEstimator",
     "MonteCarloTask",
     "MpegViewer",
     "MutexContender",
+    "PoissonArrivals",
     "TraceReplayer",
     "WorkloadTrace",
     "count_occurrences",
     "generate_corpus",
     "generate_poisson_trace",
+    "make_arrivals",
     "quarter_circle",
+    "replay_digest",
 ]

@@ -1,0 +1,78 @@
+"""Token-bucket admission: analytic refill, ticket pricing, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.workloads.arrivals import PoissonArrivals
+
+
+class TestTokenBucket:
+    def test_burst_then_shed_then_refill(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=5.0)
+        # Burst allowance admits the first five simultaneous arrivals.
+        assert all(bucket.admit(0.0) for _ in range(5))
+        assert not bucket.admit(0.0)
+        assert (bucket.admitted, bucket.shed) == (5, 1)
+        # 10/s refill: 300ms buys exactly three more tokens.
+        assert all(bucket.admit(300.0) for _ in range(3))
+        assert not bucket.admit(300.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=2.0)
+        bucket.admit(0.0)
+        bucket.admit(10_000.0)  # a long idle gap refills to burst only
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_stale_instants_refill_nothing(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1.0)
+        assert bucket.admit(1_000.0)
+        # An earlier instant must not rewind the clock or mint tokens.
+        assert not bucket.admit(500.0)
+        assert bucket.clock_ms == 1_000.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="refill rate"):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ReproError, match="burst"):
+            TokenBucket(1.0, 0.5)
+
+
+class TestAdmissionController:
+    def test_rates_priced_by_ticket_share(self):
+        controller = AdmissionController(
+            100.0, {"gold": 400, "silver": 200, "bronze": 100},
+            headroom=1.4)
+        rates = {row["class"]: row["rate_per_s"]
+                 for row in controller.rows()}
+        assert rates["gold"] == pytest.approx(100.0 * 1.4 * 400 / 700)
+        assert rates["silver"] == pytest.approx(rates["gold"] / 2.0)
+        assert rates["bronze"] == pytest.approx(rates["gold"] / 4.0)
+
+    def test_unknown_class_is_an_error(self):
+        controller = AdmissionController(10.0, {"gold": 1})
+        with pytest.raises(ReproError, match="no admission bucket"):
+            controller.admit("lead", 0.0)
+
+    def test_shed_pattern_is_a_pure_function_of_the_trace(self):
+        """Two controllers fed the same seeded trace shed identically --
+        the property that keeps the shed pattern policy-independent."""
+
+        def run():
+            controller = AdmissionController(
+                50.0, {"gold": 2, "bronze": 1}, headroom=1.0)
+            trace = PoissonArrivals(99, 120.0).take(400)
+            return [controller.admit("bronze", at) for at in trace]
+
+        first, second = run(), run()
+        assert first == second
+        assert False in first  # offered 120/s vs ~16.7/s priced: sheds
+
+    def test_snapshot_state_round_trips_counts(self):
+        controller = AdmissionController(10.0, {"a": 1})
+        controller.admit("a", 0.0)
+        state = controller.snapshot_state()
+        assert state["buckets"]["a"]["admitted"] == 1
+        assert state["capacity_rps"] == 10.0
